@@ -1,0 +1,229 @@
+(* Benchmark & reproduction harness.
+
+   Running [dune exec bench/main.exe] does two things:
+
+   1. Regenerates every table and figure of the paper's evaluation section
+      at bench scale (scaled-down grids; the full-scale runs are available
+      through [bin/mapqn <artifact> --paper-scale]):
+        Figure 1  - ACF of the six TPC-W flows
+        Figure 3  - TPC-W: measured vs ACF model vs no-ACF model
+        Figure 4  - decomposition/ABA failure on the autocorrelated tandem
+        Table 1   - bound accuracy statistics on random models
+        Figure 8  - case-study bounds vs exact
+   2. Runs Bechamel micro-benchmarks of the solver stages (one Test.make
+      per paper artifact plus the individual solver components and an
+      ablation across constraint-family configurations).
+
+   Pass section names as arguments to run a subset, e.g.
+   [dune exec bench/main.exe -- fig4 micro]. *)
+
+let wanted =
+  let args = List.tl (Array.to_list Sys.argv) in
+  fun name -> args = [] || List.mem name args
+
+let section name thunk =
+  if wanted name then begin
+    Printf.printf "==== %s ====\n%!" name;
+    let t0 = Unix.gettimeofday () in
+    thunk ();
+    Printf.printf "(%s finished in %.1fs)\n\n%!" name (Unix.gettimeofday () -. t0)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Paper artifacts (scaled)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  let options =
+    {
+      Mapqn_experiments.Fig1.default_options with
+      browsers = 128;
+      horizon = 60_000.;
+      max_lag = 300;
+    }
+  in
+  Mapqn_experiments.Fig1.print ~lags:[ 1; 2; 5; 10; 20; 50; 100; 200; 300 ]
+    (Mapqn_experiments.Fig1.run ~options ())
+
+let fig3 () =
+  Mapqn_experiments.Fig3.print
+    (Mapqn_experiments.Fig3.run ~options:Mapqn_experiments.Fig3.bench_options ())
+
+let fig4 () =
+  let t = Mapqn_experiments.Fig4.run ~options:Mapqn_experiments.Fig4.bench_options () in
+  Mapqn_experiments.Fig4.print t;
+  Printf.printf "decomposition max |error|: %.4f\n"
+    (Mapqn_experiments.Fig4.decomposition_max_error t)
+
+let table1 () =
+  Mapqn_experiments.Table1.print
+    (Mapqn_experiments.Table1.run ~options:Mapqn_experiments.Table1.bench_options ())
+
+let fig8 () =
+  let t = Mapqn_experiments.Fig8.run ~options:Mapqn_experiments.Fig8.bench_options () in
+  Mapqn_experiments.Fig8.print t;
+  let lo, hi = Mapqn_experiments.Fig8.max_response_error t in
+  Printf.printf "max relative response-time error: lower %.4f upper %.4f\n" lo hi
+
+let trace_pipeline () =
+  Mapqn_experiments.Trace_pipeline.print
+    (Mapqn_experiments.Trace_pipeline.run
+       ~options:
+         {
+           Mapqn_experiments.Trace_pipeline.default_options with
+           browsers = [ 64; 128 ];
+           trace_length = 100_000;
+         }
+       ())
+
+let moment_order () =
+  Mapqn_experiments.Moment_order.print
+    (Mapqn_experiments.Moment_order.run
+       ~options:Mapqn_experiments.Moment_order.bench_options ())
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: constraint families vs tightness and LP size              *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  print_endline
+    "Constraint-family ablation on the case-study network (N = 12): bound \
+     width vs LP size (see DESIGN.md section 6).";
+  let net = Mapqn_workloads.Case_study.network ~population:12 () in
+  let exact = Mapqn_ctmc.Solution.solve net in
+  let exact_r = Mapqn_ctmc.Solution.system_response_time exact in
+  let rows =
+    List.map
+      (fun (name, config) ->
+        let t0 = Unix.gettimeofday () in
+        let b = Mapqn_core.Bounds.create_exn ~config net in
+        let r = Mapqn_core.Bounds.response_time b in
+        let dt = Unix.gettimeofday () -. t0 in
+        let vars, nrows = Mapqn_core.Bounds.lp_size b in
+        [
+          name;
+          string_of_int vars;
+          string_of_int nrows;
+          Mapqn_util.Table.float_cell ~decimals:3 r.Mapqn_core.Bounds.lower;
+          Mapqn_util.Table.float_cell ~decimals:3 exact_r;
+          Mapqn_util.Table.float_cell ~decimals:3 r.Mapqn_core.Bounds.upper;
+          Mapqn_util.Table.float_cell ~decimals:3 (Mapqn_core.Bounds.width r);
+          Printf.sprintf "%.2fs" dt;
+        ])
+      [
+        ("minimal", Mapqn_core.Constraints.minimal);
+        ("standard", Mapqn_core.Constraints.standard);
+        ("full", Mapqn_core.Constraints.full);
+      ]
+  in
+  Mapqn_util.Table.print
+    ~header:[ "config"; "vars"; "rows"; "R lower"; "R exact"; "R upper"; "width"; "time" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let case n = Mapqn_workloads.Case_study.network ~population:n () in
+  let tandem n = Mapqn_workloads.Tandem.network ~population:n () in
+  (* One Test.make per paper artifact (scaled to micro size) plus the
+     solver stages they are built from. *)
+  let tests =
+    Test.make_grouped ~name:"mapqn"
+      [
+        Test.make ~name:"fig4/exact-tandem-N64"
+          (Staged.stage (fun () -> ignore (Mapqn_ctmc.Solution.solve (tandem 64))));
+        Test.make ~name:"fig4/decomposition-N64"
+          (Staged.stage (fun () ->
+               ignore (Mapqn_baselines.Decomposition.solve (tandem 64))));
+        Test.make ~name:"fig8/exact-case-study-N16"
+          (Staged.stage (fun () -> ignore (Mapqn_ctmc.Solution.solve (case 16))));
+        Test.make ~name:"fig8/bounds-standard-N8"
+          (Staged.stage (fun () ->
+               let b = Mapqn_core.Bounds.create_exn (case 8) in
+               ignore (Mapqn_core.Bounds.response_time b)));
+        Test.make ~name:"table1/bounds-full-N4"
+          (Staged.stage (fun () ->
+               let b =
+                 Mapqn_core.Bounds.create_exn ~config:Mapqn_core.Constraints.full
+                   (case 4)
+               in
+               ignore (Mapqn_core.Bounds.response_time b)));
+        Test.make ~name:"fig3/mva-tpcw-N512"
+          (Staged.stage (fun () ->
+               ignore
+                 (Mapqn_baselines.Mva.solve
+                    (Mapqn_workloads.Tpcw.network_no_acf ~browsers:512 ()))));
+        Test.make ~name:"fig1/sim-tpcw-500s"
+          (Staged.stage (fun () ->
+               let options =
+                 {
+                   Mapqn_sim.Simulator.default_options with
+                   warmup = 0.;
+                   horizon = 500.;
+                 }
+               in
+               ignore
+                 (Mapqn_sim.Simulator.run ~options
+                    (Mapqn_workloads.Tpcw.network ~browsers:64 ()))));
+        Test.make ~name:"map/fit-map2"
+          (Staged.stage (fun () ->
+               ignore (Mapqn_map.Fit.map2_exn ~mean:1. ~scv:16. ~gamma2:0.5 ())));
+        Test.make ~name:"sparse/gauss-seidel-case-N64"
+          (Staged.stage (fun () ->
+               let space = Mapqn_ctmc.State_space.create (case 64) in
+               let q = Mapqn_ctmc.Generator.build space in
+               ignore
+                 (Mapqn_sparse.Stationary.solve
+                    ~options:
+                      {
+                        Mapqn_sparse.Stationary.default_options with
+                        method_ = Mapqn_sparse.Stationary.Gauss_seidel;
+                      }
+                    q)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:25 ~quota:(Time.second 1.5) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let time_ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | Some [] | None -> Float.nan
+      in
+      rows := (name, time_ns) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Mapqn_util.Table.print
+    ~header:[ "benchmark"; "time/run" ]
+    (List.map
+       (fun (name, ns) ->
+         let cell =
+           if Float.is_nan ns then "-"
+           else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         [ name; cell ])
+       rows)
+
+let () =
+  section "fig4" fig4;
+  section "fig8" fig8;
+  section "table1" table1;
+  section "fig1" fig1;
+  section "fig3" fig3;
+  section "moment-order" moment_order;
+  section "trace-pipeline" trace_pipeline;
+  section "ablation" ablation;
+  section "micro" micro;
+  print_endline "bench: done"

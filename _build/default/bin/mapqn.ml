@@ -1,0 +1,401 @@
+(* Command-line interface to the MAP queueing network toolkit: per-model
+   solvers (exact / bounds / mva / simulate / fit) and the paper's
+   experiments (fig1, fig3, fig4, fig8, table1). *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  let doc = "Enable debug logging (including simplex pivot traces)." in
+  Arg.(value & flag & info [ "verbose" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* Shared model arguments                                               *)
+(* ------------------------------------------------------------------ *)
+
+let population_arg =
+  let doc = "Closed population (number of circulating jobs)." in
+  Arg.(value & opt int 20 & info [ "n"; "population" ] ~docv:"N" ~doc)
+
+let scv_arg =
+  let doc = "Squared coefficient of variation of the MAP service." in
+  Arg.(value & opt float 16. & info [ "scv" ] ~doc)
+
+let gamma2_arg =
+  let doc = "Geometric ACF decay rate of the MAP service (0 <= g < 1)." in
+  Arg.(value & opt float 0.5 & info [ "gamma2" ] ~doc)
+
+let model_arg =
+  let doc =
+    "Built-in model: $(b,case-study) (paper Fig. 5/8), $(b,tandem) (Fig. 4), \
+     $(b,tpcw) (Fig. 2/3)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("case-study", `Case_study); ("tandem", `Tandem); ("tpcw", `Tpcw) ])
+        `Case_study
+    & info [ "model" ] ~doc)
+
+let build_model model ~population ~scv ~gamma2 =
+  match model with
+  | `Case_study ->
+    Mapqn_workloads.Case_study.network
+      ~params:{ Mapqn_workloads.Case_study.default_params with scv; gamma2 }
+      ~population ()
+  | `Tandem ->
+    Mapqn_workloads.Tandem.network
+      ~params:{ Mapqn_workloads.Tandem.default_params with scv2 = scv; gamma2 }
+      ~population ()
+  | `Tpcw ->
+    Mapqn_workloads.Tpcw.network
+      ~params:
+        { Mapqn_workloads.Tpcw.default_params with front_scv = scv; front_gamma2 = gamma2 }
+      ~browsers:population ()
+
+let config_arg =
+  let doc = "Constraint families: $(b,minimal), $(b,standard) or $(b,full)." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("minimal", Mapqn_core.Constraints.minimal);
+             ("standard", Mapqn_core.Constraints.standard);
+             ("full", Mapqn_core.Constraints.full);
+           ])
+        Mapqn_core.Constraints.standard
+    & info [ "config" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* exact                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let print_metrics_table rows =
+  Mapqn_util.Table.print
+    ~header:[ "metric"; "station"; "value" ]
+    (List.concat_map
+       (fun (name, values) ->
+         List.mapi
+           (fun k v -> [ name; string_of_int k; Mapqn_util.Table.float_cell v ])
+           (Array.to_list values))
+       rows)
+
+let exact_cmd =
+  let run verbose model population scv gamma2 =
+    setup_logs verbose;
+    let net = build_model model ~population ~scv ~gamma2 in
+    let sol = Mapqn_ctmc.Solution.solve ~max_states:3_000_000 net in
+    print_metrics_table (Mapqn_ctmc.Solution.metrics_table sol);
+    Printf.printf "system response time (ref station 0): %.6f\n"
+      (Mapqn_ctmc.Solution.system_response_time sol)
+  in
+  let term =
+    Term.(const run $ verbose_arg $ model_arg $ population_arg $ scv_arg $ gamma2_arg)
+  in
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Exact CTMC solution of a built-in MAP network")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* bounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bounds_cmd =
+  let sensitivity_arg =
+    let doc = "Also print the binding constraints (largest |dual|) of the upper response-time bound." in
+    Arg.(value & flag & info [ "sensitivity" ] ~doc)
+  in
+  let run verbose model population scv gamma2 config sensitivity =
+    setup_logs verbose;
+    let net = build_model model ~population ~scv ~gamma2 in
+    match Mapqn_core.Bounds.create ~config net with
+    | Error msg -> prerr_endline ("bounds: " ^ msg)
+    | Ok b ->
+      let vars, rows = Mapqn_core.Bounds.lp_size b in
+      Printf.printf "LP: %d variables, %d rows\n" vars rows;
+      let m = Mapqn_model.Network.num_stations net in
+      let row name (i : Mapqn_core.Bounds.interval) =
+        [
+          name;
+          Mapqn_util.Table.float_cell i.Mapqn_core.Bounds.lower;
+          Mapqn_util.Table.float_cell i.Mapqn_core.Bounds.upper;
+        ]
+      in
+      let rows =
+        List.concat
+          (List.init m (fun k ->
+               [
+                 row (Printf.sprintf "utilization[%d]" k) (Mapqn_core.Bounds.utilization b k);
+                 row (Printf.sprintf "throughput[%d]" k) (Mapqn_core.Bounds.throughput b k);
+                 row
+                   (Printf.sprintf "queue length[%d]" k)
+                   (Mapqn_core.Bounds.mean_queue_length b k);
+               ]))
+        @ [ row "response time" (Mapqn_core.Bounds.response_time b) ]
+      in
+      Mapqn_util.Table.print ~header:[ "metric"; "lower"; "upper" ] rows;
+      if sensitivity then begin
+        print_endline "binding constraints of the response-time upper bound (X min):";
+        let ms = Mapqn_core.Bounds.space b in
+        let terms = ref [] in
+        let r0 =
+          Mapqn_map.Process.completion_rates
+            (Mapqn_model.Station.service_process (Mapqn_model.Network.station net 0))
+        in
+        for n = 1 to Mapqn_model.Network.population net do
+          Mapqn_core.Marginal_space.iter_phases ms (fun h ->
+              terms :=
+                ( Mapqn_core.Marginal_space.v ms ~station:0 ~level:n ~phase:h,
+                  r0.(Mapqn_core.Marginal_space.phase_component ms h 0) )
+                :: !terms)
+        done;
+        List.iter
+          (fun (name, dual) -> Printf.printf "  %-28s %+.6f\n" name dual)
+          (Mapqn_core.Bounds.sensitivity b Mapqn_lp.Simplex.Minimize !terms)
+      end
+  in
+  let term =
+    Term.(
+      const run $ verbose_arg $ model_arg $ population_arg $ scv_arg $ gamma2_arg
+      $ config_arg $ sensitivity_arg)
+  in
+  Cmd.v
+    (Cmd.info "bounds"
+       ~doc:"Marginal-balance LP bounds (the paper's method) for a built-in model")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* mva                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mva_cmd =
+  let run verbose model population scv gamma2 =
+    setup_logs verbose;
+    let net =
+      Mapqn_model.Network.exponentialize (build_model model ~population ~scv ~gamma2)
+    in
+    let mva = Mapqn_baselines.Mva.solve net in
+    print_metrics_table
+      [
+        ("utilization", mva.Mapqn_baselines.Mva.utilization);
+        ("throughput", mva.Mapqn_baselines.Mva.throughput);
+        ("queue length", mva.Mapqn_baselines.Mva.mean_queue_length);
+      ];
+    Printf.printf "system response time: %.6f\n"
+      mva.Mapqn_baselines.Mva.system_response_time
+  in
+  let term =
+    Term.(const run $ verbose_arg $ model_arg $ population_arg $ scv_arg $ gamma2_arg)
+  in
+  Cmd.v
+    (Cmd.info "mva"
+       ~doc:"Exact MVA on the exponentialized (no-burstiness) model")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let horizon_arg =
+    Arg.(value & opt float 100_000. & info [ "horizon" ] ~doc:"Measured simulated time.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let run verbose model population scv gamma2 horizon seed =
+    setup_logs verbose;
+    let net = build_model model ~population ~scv ~gamma2 in
+    let options = { Mapqn_sim.Simulator.default_options with horizon; seed } in
+    let r = Mapqn_sim.Simulator.run ~options net in
+    print_metrics_table
+      [
+        ("utilization", Array.map (fun s -> s.Mapqn_sim.Simulator.utilization) r.Mapqn_sim.Simulator.stations);
+        ("throughput", Array.map (fun s -> s.Mapqn_sim.Simulator.throughput) r.Mapqn_sim.Simulator.stations);
+        ( "queue length",
+          Array.map (fun s -> s.Mapqn_sim.Simulator.mean_queue_length) r.Mapqn_sim.Simulator.stations );
+      ];
+    Printf.printf "events: %d\nsystem response time: %.6f\n"
+      r.Mapqn_sim.Simulator.total_events r.Mapqn_sim.Simulator.system_response_time
+  in
+  let term =
+    Term.(
+      const run $ verbose_arg $ model_arg $ population_arg $ scv_arg $ gamma2_arg
+      $ horizon_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Discrete-event simulation of a built-in model") term
+
+(* ------------------------------------------------------------------ *)
+(* fit                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fit_cmd =
+  let mean_arg = Arg.(value & opt float 1. & info [ "mean" ] ~doc:"Target mean.") in
+  let skewness_arg =
+    Arg.(value & opt (some float) None & info [ "skewness" ] ~doc:"Target skewness.")
+  in
+  let run verbose mean scv gamma2 skewness =
+    setup_logs verbose;
+    match Mapqn_map.Fit.map2 ~mean ~scv ~gamma2 ?skewness () with
+    | Error msg -> prerr_endline ("fit: " ^ msg)
+    | Ok p ->
+      Format.printf "%a@." Mapqn_map.Process.pp p;
+      Printf.printf "mean=%.6f scv=%.6f skewness=%.6f\n" (Mapqn_map.Process.mean p)
+        (Mapqn_map.Process.scv p) (Mapqn_map.Process.skewness p);
+      (match Mapqn_map.Process.acf_decay p with
+      | Some g -> Printf.printf "acf decay gamma2=%.6f\n" g
+      | None -> print_endline "acf decay: (complex)");
+      List.iter
+        (fun k -> Printf.printf "acf[%d]=%.6f\n" k (Mapqn_map.Process.acf p k))
+        [ 1; 2; 5; 10 ];
+      Printf.printf "IDC limit: %.4f (Poisson = 1)\n" (Mapqn_map.Counting.idc_limit p)
+  in
+  let term =
+    Term.(const run $ verbose_arg $ mean_arg $ scv_arg $ gamma2_arg $ skewness_arg)
+  in
+  Cmd.v
+    (Cmd.info "fit" ~doc:"Fit a MAP(2) to mean/SCV/gamma2 (and optional skewness)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* experiments                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let scale_arg =
+  let doc = "Run the full paper-scale experiment (slow) instead of the scaled default." in
+  Arg.(value & flag & info [ "paper-scale" ] ~doc)
+
+let fig1_cmd =
+  let run verbose paper_scale =
+    setup_logs verbose;
+    let options =
+      if paper_scale then Mapqn_experiments.Fig1.default_options
+      else
+        { Mapqn_experiments.Fig1.default_options with browsers = 128; horizon = 60_000. }
+    in
+    Mapqn_experiments.Fig1.print (Mapqn_experiments.Fig1.run ~options ())
+  in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Figure 1: ACF of the six TPC-W flows")
+    Term.(const run $ verbose_arg $ scale_arg)
+
+let fig3_cmd =
+  let run verbose paper_scale =
+    setup_logs verbose;
+    let options =
+      if paper_scale then Mapqn_experiments.Fig3.default_options
+      else Mapqn_experiments.Fig3.bench_options
+    in
+    Mapqn_experiments.Fig3.print (Mapqn_experiments.Fig3.run ~options ())
+  in
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Figure 3: TPC-W model vs measurement bars")
+    Term.(const run $ verbose_arg $ scale_arg)
+
+let fig4_cmd =
+  let run verbose paper_scale =
+    setup_logs verbose;
+    let options =
+      if paper_scale then Mapqn_experiments.Fig4.default_options
+      else Mapqn_experiments.Fig4.bench_options
+    in
+    Mapqn_experiments.Fig4.print (Mapqn_experiments.Fig4.run ~options ())
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Figure 4: decomposition and ABA failure on the tandem")
+    Term.(const run $ verbose_arg $ scale_arg)
+
+let fig8_cmd =
+  let run verbose paper_scale =
+    setup_logs verbose;
+    let options =
+      if paper_scale then Mapqn_experiments.Fig8.default_options
+      else Mapqn_experiments.Fig8.bench_options
+    in
+    let t = Mapqn_experiments.Fig8.run ~options () in
+    Mapqn_experiments.Fig8.print t;
+    let lo, hi = Mapqn_experiments.Fig8.max_response_error t in
+    Printf.printf "max relative response-time error: lower %.4f upper %.4f\n" lo hi
+  in
+  Cmd.v
+    (Cmd.info "fig8" ~doc:"Figure 8: case-study bounds vs exact")
+    Term.(const run $ verbose_arg $ scale_arg)
+
+let table1_cmd =
+  let models_arg =
+    Arg.(value & opt (some int) None & info [ "models" ] ~doc:"Number of random models.")
+  in
+  let run verbose paper_scale models =
+    setup_logs verbose;
+    let options =
+      if paper_scale then Mapqn_experiments.Table1.default_options
+      else Mapqn_experiments.Table1.bench_options
+    in
+    let options =
+      match models with
+      | Some m -> { options with Mapqn_experiments.Table1.models = m }
+      | None -> options
+    in
+    Mapqn_experiments.Table1.print (Mapqn_experiments.Table1.run ~options ())
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Table 1: bound accuracy on random models")
+    Term.(const run $ verbose_arg $ scale_arg $ models_arg)
+
+let pipeline_cmd =
+  let run verbose paper_scale =
+    setup_logs verbose;
+    let options =
+      if paper_scale then Mapqn_experiments.Trace_pipeline.default_options
+      else
+        {
+          Mapqn_experiments.Trace_pipeline.default_options with
+          browsers = [ 64; 128 ];
+          trace_length = 100_000;
+        }
+    in
+    Mapqn_experiments.Trace_pipeline.print
+      (Mapqn_experiments.Trace_pipeline.run ~options ())
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:"Measurement pipeline: fit the front server from a service trace and predict")
+    Term.(const run $ verbose_arg $ scale_arg)
+
+let moment_order_cmd =
+  let run verbose paper_scale =
+    setup_logs verbose;
+    let options =
+      if paper_scale then Mapqn_experiments.Moment_order.default_options
+      else Mapqn_experiments.Moment_order.bench_options
+    in
+    Mapqn_experiments.Moment_order.print
+      (Mapqn_experiments.Moment_order.run ~options ())
+  in
+  Cmd.v
+    (Cmd.info "moment-order"
+       ~doc:"Extension: second- vs third-order MAP parameterization accuracy")
+    Term.(const run $ verbose_arg $ scale_arg)
+
+let () =
+  let doc = "MAP queueing networks: exact solution, LP bounds, baselines, simulation" in
+  let info = Cmd.info "mapqn" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            exact_cmd;
+            bounds_cmd;
+            mva_cmd;
+            simulate_cmd;
+            fit_cmd;
+            fig1_cmd;
+            fig3_cmd;
+            fig4_cmd;
+            fig8_cmd;
+            table1_cmd;
+            pipeline_cmd;
+            moment_order_cmd;
+          ]))

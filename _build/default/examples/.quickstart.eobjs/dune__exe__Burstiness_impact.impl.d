@@ -1,0 +1,1 @@
+examples/burstiness_impact.ml: List Mapqn_core Mapqn_ctmc Mapqn_map Mapqn_model Mapqn_util Printf

@@ -1,0 +1,1 @@
+examples/burstiness_impact.mli:

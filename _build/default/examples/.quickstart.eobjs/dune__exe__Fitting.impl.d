@@ -1,0 +1,1 @@
+examples/fitting.ml: List Mapqn_ctmc Mapqn_map Mapqn_model Mapqn_util Printf

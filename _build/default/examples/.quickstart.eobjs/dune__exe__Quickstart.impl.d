@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Mapqn_baselines Mapqn_core Mapqn_ctmc Mapqn_map Mapqn_model Mapqn_util Printf

@@ -1,0 +1,1 @@
+examples/resource_allocation.ml: Float List Mapqn_baselines Mapqn_core Mapqn_ctmc Mapqn_map Mapqn_model Mapqn_util Printf

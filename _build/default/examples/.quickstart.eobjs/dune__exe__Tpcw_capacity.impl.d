@@ -1,0 +1,1 @@
+examples/tpcw_capacity.ml: List Mapqn_baselines Mapqn_ctmc Mapqn_sim Mapqn_util Mapqn_workloads Printf

@@ -1,0 +1,1 @@
+examples/tpcw_capacity.mli:

@@ -1,0 +1,82 @@
+(* How much do service-time variability (SCV) and temporal dependence
+   (ACF decay rate gamma2) each cost, at identical mean utilizations?
+
+   Sweeps the MAP queue of the paper's Figure-5 network through increasing
+   SCV and gamma2, solving exactly each time. The means never change, so a
+   product-form model predicts the same numbers for every row: the whole
+   spread of this table is invisible to classic capacity planning.
+
+   Run with: dune exec examples/burstiness_impact.exe *)
+
+module Station = Mapqn_model.Station
+module Network = Mapqn_model.Network
+
+(* Visit ratios are (1, 0.7, 0.1): a MAP mean of 10 gives the bursty queue
+   the dominant demand (1.0 vs 0.8 at the exponential queues), so its
+   service process actually matters. *)
+let network ~scv ~gamma2 =
+  let service =
+    if scv = 1. && gamma2 = 0. then Mapqn_map.Builders.exponential ~rate:0.1
+    else Mapqn_map.Fit.map2_exn ~mean:10. ~scv ~gamma2 ()
+  in
+  Network.make_exn
+    ~stations:
+      [|
+        Station.exp ~rate:1.25 ();
+        Station.exp ~rate:0.875 ();
+        Station.map service;
+      |]
+    ~routing:[| [| 0.2; 0.7; 0.1 |]; [| 1.; 0.; 0. |]; [| 1.; 0.; 0. |] |]
+    ~population:15
+
+let () =
+  print_endline
+    "Response time and MAP-queue mean queue length of the Figure-5 network \
+     (N = 15) as burstiness grows; all rows have identical service MEANS.";
+  print_newline ();
+  let base = Mapqn_ctmc.Solution.solve (network ~scv:1. ~gamma2:0.) in
+  let base_r = Mapqn_ctmc.Solution.system_response_time base in
+  let rows =
+    List.map
+      (fun (scv, gamma2) ->
+        let sol = Mapqn_ctmc.Solution.solve (network ~scv ~gamma2) in
+        let r = Mapqn_ctmc.Solution.system_response_time sol in
+        [
+          Printf.sprintf "%.0f" scv;
+          Printf.sprintf "%.2f" gamma2;
+          Mapqn_util.Table.float_cell ~decimals:3 r;
+          Printf.sprintf "%.2fx" (r /. base_r);
+          Mapqn_util.Table.float_cell ~decimals:3
+            (Mapqn_ctmc.Solution.mean_queue_length sol 2);
+          Mapqn_util.Table.float_cell ~decimals:3
+            (Mapqn_ctmc.Solution.utilization sol 2);
+        ])
+      [
+        (1., 0.);
+        (4., 0.);
+        (16., 0.);
+        (16., 0.25);
+        (16., 0.5);
+        (16., 0.75);
+        (16., 0.9);
+        (16., 0.95);
+      ]
+  in
+  Mapqn_util.Table.print
+    ~header:[ "SCV"; "gamma2"; "R"; "vs exp"; "Q map"; "U map" ]
+    rows;
+  print_newline ();
+  print_endline
+    "Two separate effects: raising SCV at gamma2 = 0 (renewal, hyperexponential) \
+     already hurts; adding temporal dependence (gamma2 > 0) multiplies the \
+     damage again while utilization barely moves — the paper's Figure 3 story.";
+  (* Show the bounds track this degradation without exact solving. *)
+  print_newline ();
+  let bursty = network ~scv:16. ~gamma2:0.9 in
+  let b = Mapqn_core.Bounds.create_exn ~config:Mapqn_core.Constraints.full bursty in
+  let r = Mapqn_core.Bounds.response_time b in
+  let exact = Mapqn_ctmc.Solution.system_response_time (Mapqn_ctmc.Solution.solve bursty) in
+  Printf.printf
+    "LP bounds at SCV=16, gamma2=0.90: R in [%.3f, %.3f] (exact %.3f) — the \
+     degradation is certified without enumerating the state space.\n"
+    r.Mapqn_core.Bounds.lower r.Mapqn_core.Bounds.upper exact

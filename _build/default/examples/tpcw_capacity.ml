@@ -1,0 +1,75 @@
+(* Capacity planning for a TPC-W-style multi-tier site (the paper's
+   motivating scenario, Figures 1-3).
+
+   Question: how many emulated browsers can the site sustain with a mean
+   user response time below 2 seconds?
+
+   Answer it three ways and compare:
+   - the classic product-form model (MVA, no burstiness)    -> too optimistic
+   - the MAP model solved exactly                            -> truthful
+   - the MAP model simulated (sanity check of the exact run)
+
+   Run with: dune exec examples/tpcw_capacity.exe *)
+
+module Tpcw = Mapqn_workloads.Tpcw
+module Sim = Mapqn_sim.Simulator
+
+let sla = 2.0
+
+let () =
+  let params = Tpcw.default_params in
+  Printf.printf
+    "TPC-W capacity planning: think %.1fs, front %.0fms (SCV %.0f, gamma2 %.2f), \
+     db %.0fms, SLA %.1fs\n\n"
+    params.Tpcw.think_time
+    (1000. *. params.Tpcw.front_mean)
+    params.Tpcw.front_scv params.Tpcw.front_gamma2
+    (1000. *. params.Tpcw.db_mean)
+    sla;
+  let header =
+    [ "browsers"; "R mva"; "R exact"; "R sim"; "U front exact"; "mva ok?"; "truth ok?" ]
+  in
+  let rows =
+    List.map
+      (fun browsers ->
+        let net = Tpcw.network ~params ~browsers () in
+        let mva = Mapqn_baselines.Mva.solve (Tpcw.network_no_acf ~params ~browsers ()) in
+        let r_mva =
+          Tpcw.user_response_time
+            ~network_response:mva.Mapqn_baselines.Mva.system_response_time ~params
+        in
+        let sol = Mapqn_ctmc.Solution.solve ~max_states:3_000_000 net in
+        let r_exact =
+          Tpcw.user_response_time
+            ~network_response:(Mapqn_ctmc.Solution.system_response_time sol)
+            ~params
+        in
+        let sim =
+          Sim.run
+            ~options:{ Sim.default_options with warmup = 5_000.; horizon = 60_000. }
+            net
+        in
+        let r_sim =
+          Tpcw.user_response_time ~network_response:sim.Sim.system_response_time ~params
+        in
+        [
+          string_of_int browsers;
+          Mapqn_util.Table.float_cell ~decimals:2 r_mva;
+          Mapqn_util.Table.float_cell ~decimals:2 r_exact;
+          Mapqn_util.Table.float_cell ~decimals:2 r_sim;
+          Mapqn_util.Table.float_cell ~decimals:3
+            (Mapqn_ctmc.Solution.utilization sol Tpcw.front);
+          (if r_mva <= sla then "yes" else "no");
+          (if r_exact <= sla then "yes" else "no");
+        ])
+      [ 64; 128; 192; 256; 320 ]
+  in
+  Mapqn_util.Table.print ~header rows;
+  print_newline ();
+  print_endline
+    "Reading: the no-burstiness (MVA) column says the site meets the SLA at \
+     populations where the bursty truth is far above it — the exact mistake \
+     the paper warns capacity planners about.";
+  print_endline
+    "Note the moderate front-server utilization at populations that already \
+     violate the SLA: burstiness, not saturation, destroys response times."

@@ -1,0 +1,1 @@
+lib/baselines/aba.ml: Array Float List Mapqn_model Mapqn_util

@@ -1,0 +1,1 @@
+lib/baselines/aba.mli: Mapqn_model

@@ -1,0 +1,1 @@
+lib/baselines/decomposition.ml: Array Float Mapqn_linalg Mapqn_map Mapqn_model Mapqn_util

@@ -1,0 +1,1 @@
+lib/baselines/decomposition.mli: Mapqn_map Mapqn_model

@@ -1,0 +1,1 @@
+lib/baselines/mva.ml: Array Mapqn_model Mapqn_util

@@ -1,0 +1,1 @@
+lib/baselines/mva.mli: Mapqn_model

@@ -1,0 +1,1 @@
+lib/baselines/schweitzer.ml: Array Float Mapqn_model Mapqn_util

@@ -1,0 +1,1 @@
+lib/baselines/schweitzer.mli: Mapqn_model

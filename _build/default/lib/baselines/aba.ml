@@ -1,0 +1,52 @@
+type bounds = { x_lower : float; x_upper : float; r_lower : float; r_upper : float }
+
+(* Demands split into queueing stations (D, D_max, D_avg) and delay
+   stations (think time Z). *)
+let demand_stats network =
+  let demands = Mapqn_model.Network.demands network in
+  let queueing = ref [] and z = ref 0. in
+  Array.iteri
+    (fun k d ->
+      if Mapqn_model.Station.is_delay (Mapqn_model.Network.station network k) then
+        z := !z +. d
+      else queueing := d :: !queueing)
+    demands;
+  let qs = !queueing in
+  let total = Mapqn_util.Ksum.sum (Array.of_list qs) in
+  let dmax = List.fold_left Float.max 0. qs in
+  let count = max 1 (List.length qs) in
+  (total, dmax, total /. float_of_int count, !z)
+
+let with_response ~n ~x_lower ~x_upper =
+  {
+    x_lower;
+    x_upper;
+    r_lower = (if x_upper > 0. then n /. x_upper else 0.);
+    r_upper = (if x_lower > 0. then n /. x_lower else infinity);
+  }
+
+let aba network =
+  let n = float_of_int (Mapqn_model.Network.population network) in
+  let d, dmax, _, z = demand_stats network in
+  if n = 0. then { x_lower = 0.; x_upper = 0.; r_lower = 0.; r_upper = 0. }
+  else
+    let x_upper = Float.min (n /. (d +. z)) (1. /. dmax) in
+    (* Pessimistic: all other jobs queued ahead at every queueing station,
+       so R <= N * D + Z. *)
+    let x_lower = n /. ((n *. d) +. z) in
+    with_response ~n ~x_lower ~x_upper
+
+let balanced network =
+  let n = float_of_int (Mapqn_model.Network.population network) in
+  let d, dmax, davg, z = demand_stats network in
+  if n = 0. then { x_lower = 0.; x_upper = 0.; r_lower = 0.; r_upper = 0. }
+  else
+    let x_upper = Float.min (1. /. dmax) (n /. (d +. z +. ((n -. 1.) *. davg))) in
+    let x_lower = n /. (d +. z +. ((n -. 1.) *. dmax)) in
+    with_response ~n ~x_lower ~x_upper
+
+let utilization_bounds network k =
+  let demands = Mapqn_model.Network.demands network in
+  let b = aba network in
+  let clamp = Mapqn_util.Tol.clamp ~lo:0. ~hi:1. in
+  (clamp (b.x_lower *. demands.(k)), clamp (b.x_upper *. demands.(k)))

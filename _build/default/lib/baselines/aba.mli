@@ -1,0 +1,28 @@
+(** Asymptotic Bound Analysis and Balanced Job Bounds.
+
+    The general throughput/response bounds of [Lazowska et al. 1984]
+    (the paper's reference [4]), shown failing on autocorrelated networks
+    in the paper's Figure 4. For a closed network with total demand
+    [D = Σ D_k], bottleneck demand [D_max], no think time:
+
+    - optimistic (upper) throughput:  [X(N) <= min(N/D, 1/D_max)]
+    - pessimistic (lower) throughput: [X(N) >= N/(N·D) = 1/D]
+    - balanced job bounds tighten both using the average demand. *)
+
+type bounds = {
+  x_lower : float;
+  x_upper : float;
+  r_lower : float;  (** response-time lower bound [N / x_upper] *)
+  r_upper : float;  (** response-time upper bound [N / x_lower] *)
+}
+
+val aba : Mapqn_model.Network.t -> bounds
+(** Classic asymptotic bounds at the network's population. *)
+
+val balanced : Mapqn_model.Network.t -> bounds
+(** Balanced-job bounds (tighter than {!aba}):
+    [N/(D + (N-1) D_max) <= X(N) <= min(1/D_max, N/(D + (N-1) D_avg))]. *)
+
+val utilization_bounds : Mapqn_model.Network.t -> int -> float * float
+(** [(lower, upper)] bounds on station [k]'s utilization, [U_k = X D_k]
+    with X from {!aba}, both clamped to [0, 1]. *)

@@ -1,0 +1,157 @@
+module Mat = Mapqn_linalg.Mat
+
+type t = {
+  system_throughput : float;
+  throughput : float array;
+  utilization : float array;
+  mean_queue_length : float array;
+  system_response_time : float;
+  iterations : int;
+}
+
+(* Stationary analysis of an M/MAP/1/cap queue: states (n, phase) with
+   n = 0..cap. Poisson arrivals at [arrival_rate] (lost at capacity), MAP
+   service, phase frozen while idle. Small state space: dense GTH. *)
+(* M/M/∞ truncated at [capacity]: birth rate a, death rate n·mu;
+   pi_n ∝ (a/mu)^n / n!. *)
+let isolated_delay_metrics ~arrival_rate ~capacity rate =
+  let rho = arrival_rate /. rate in
+  let weights = Array.make (capacity + 1) 1. in
+  for n = 1 to capacity do
+    weights.(n) <- weights.(n - 1) *. rho /. float_of_int n
+  done;
+  let z = Mapqn_util.Ksum.sum weights in
+  let qlen = ref 0. and tput = ref 0. and util = ref 0. in
+  for n = 0 to capacity do
+    let p = weights.(n) /. z in
+    qlen := !qlen +. (float_of_int n *. p);
+    if n > 0 then begin
+      util := !util +. p;
+      tput := !tput +. (p *. float_of_int n *. rate)
+    end
+  done;
+  (!qlen, !tput, !util)
+
+let isolated_queue_metrics ~arrival_rate ~capacity service =
+  if arrival_rate <= 0. then invalid_arg "isolated_queue_metrics: rate <= 0";
+  if capacity < 1 then invalid_arg "isolated_queue_metrics: capacity < 1";
+  let order = Mapqn_map.Process.order service in
+  let d0 = Mapqn_map.Process.d0 service and d1 = Mapqn_map.Process.d1 service in
+  let states = (capacity + 1) * order in
+  let idx n ph = (n * order) + ph in
+  let q = Mat.create ~rows:states ~cols:states in
+  let add i j v = if i <> j then Mat.update q i j (fun x -> x +. v) in
+  for n = 0 to capacity do
+    for ph = 0 to order - 1 do
+      let i = idx n ph in
+      if n < capacity then add i (idx (n + 1) ph) arrival_rate;
+      if n > 0 then begin
+        for b = 0 to order - 1 do
+          if b <> ph then add i (idx n b) (Mat.get d0 ph b);
+          add i (idx (n - 1) b) (Mat.get d1 ph b)
+        done
+      end
+    done
+  done;
+  for i = 0 to states - 1 do
+    Mat.set q i i (-.Mapqn_util.Ksum.sum (Mat.row q i))
+  done;
+  let pi = Mapqn_linalg.Gth.ctmc q in
+  let qlen = ref 0. and tput = ref 0. and util = ref 0. in
+  let rates = Mapqn_map.Process.completion_rates service in
+  for n = 0 to capacity do
+    for ph = 0 to order - 1 do
+      let p = pi.(idx n ph) in
+      qlen := !qlen +. (float_of_int n *. p);
+      if n > 0 then begin
+        util := !util +. p;
+        tput := !tput +. (p *. rates.(ph))
+      end
+    done
+  done;
+  (!qlen, !tput, !util)
+
+let solve ?(tol = 1e-10) network =
+  let m = Mapqn_model.Network.num_stations network in
+  let n = Mapqn_model.Network.population network in
+  if n = 0 then
+    {
+      system_throughput = 0.;
+      throughput = Array.make m 0.;
+      utilization = Array.make m 0.;
+      mean_queue_length = Array.make m 0.;
+      system_response_time = 0.;
+      iterations = 0;
+    }
+  else begin
+    let visits = Mapqn_model.Network.visit_ratios network in
+    let services =
+      Array.init m (fun k ->
+          Mapqn_model.Station.service_process (Mapqn_model.Network.station network k))
+    in
+    let is_delay =
+      Array.init m (fun k ->
+          Mapqn_model.Station.is_delay (Mapqn_model.Network.station network k))
+    in
+    let isolated k arrival_rate =
+      if is_delay.(k) then
+        isolated_delay_metrics ~arrival_rate ~capacity:n
+          (Mapqn_map.Process.rate services.(k))
+      else isolated_queue_metrics ~arrival_rate ~capacity:n services.(k)
+    in
+    let total_qlen x =
+      let acc = ref 0. in
+      for k = 0 to m - 1 do
+        let qlen, _, _ = isolated k (x *. visits.(k)) in
+        acc := !acc +. qlen
+      done;
+      !acc
+    in
+    (* The population constraint Σ Q_k(x) = N is monotone in x. At the
+       bottleneck saturation rate the isolated finite-capacity queues hold
+       only about half their capacity on average, so the nominal arrival
+       rate of the fixed point may exceed saturation: expand the bracket
+       until the population fits (Σ Q_k → M·N as x → ∞, so it always
+       does). *)
+    let x_sat =
+      Array.fold_left Float.min infinity
+        (Array.init m (fun k ->
+             if is_delay.(k) then infinity
+             else Mapqn_map.Process.rate services.(k) /. visits.(k)))
+    in
+    (* Pure-delay networks never saturate; fall back to the total service
+       rate as the bracket scale. *)
+    let x_sat =
+      if x_sat < infinity then x_sat
+      else Mapqn_util.Ksum.sum (Array.map Mapqn_map.Process.rate services)
+    in
+    let lo = ref (x_sat *. 1e-9) and hi = ref x_sat in
+    while total_qlen !hi < float_of_int n && !hi < 64. *. x_sat do
+      hi := !hi *. 2.
+    done;
+    let iterations = ref 0 in
+    while !hi -. !lo > tol *. x_sat && !iterations < 200 do
+      incr iterations;
+      let mid = 0.5 *. (!lo +. !hi) in
+      if total_qlen mid < float_of_int n then lo := mid else hi := mid
+    done;
+    let x = 0.5 *. (!lo +. !hi) in
+    let throughput = Array.make m 0. in
+    let utilization = Array.make m 0. in
+    let mean_queue_length = Array.make m 0. in
+    for k = 0 to m - 1 do
+      let qlen, tput, util = isolated k (x *. visits.(k)) in
+      mean_queue_length.(k) <- qlen;
+      throughput.(k) <- tput;
+      utilization.(k) <- util
+    done;
+    {
+      system_throughput = throughput.(0) /. visits.(0);
+      throughput;
+      utilization;
+      mean_queue_length;
+      system_response_time =
+        (if throughput.(0) > 0. then float_of_int n /. throughput.(0) else infinity);
+      iterations = !iterations;
+    }
+  end

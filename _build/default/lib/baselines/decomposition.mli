@@ -1,0 +1,37 @@
+(** Decomposition–aggregation approximation (the failing baseline of the
+    paper's Figure 4).
+
+    Classic Markov-chain decomposition in the style of Courtois (the
+    paper's reference [3]) as instantiated by the fixed-population-mean
+    method: each station is analyzed {e in isolation} as a finite-capacity
+    queue with MAP service and {e Poisson} arrivals — the decomposition
+    step discards all correlation in the arrival flows — and the isolated
+    models are coupled only through a scalar fixed point on the system
+    throughput [x]: arrivals to station [k] come at rate [x·v_k], and [x]
+    is chosen so the isolated mean queue lengths sum to the population [N].
+
+    On renewal (exponential) networks this is a good approximation; on
+    autocorrelated networks it degrades badly as [N] grows, which is
+    exactly the phenomenon Figure 4 demonstrates. *)
+
+type t = {
+  system_throughput : float;
+  throughput : float array;
+  utilization : float array;
+  mean_queue_length : float array;
+  system_response_time : float;
+  iterations : int;  (** bisection steps used by the fixed point *)
+}
+
+val solve : ?tol:float -> Mapqn_model.Network.t -> t
+(** Run the fixed point. [tol] (default [1e-10]) controls the bisection on
+    the population constraint. *)
+
+val isolated_queue_metrics :
+  arrival_rate:float ->
+  capacity:int ->
+  Mapqn_map.Process.t ->
+  float * float * float
+(** Analysis of one isolated M/MAP/1/[capacity] queue (Poisson arrivals,
+    MAP service, arrivals blocked at capacity):
+    [(mean_queue_length, throughput, utilization)]. Exposed for tests. *)

@@ -1,0 +1,53 @@
+type t = {
+  population : int;
+  system_throughput : float;
+  throughput : float array;
+  utilization : float array;
+  mean_queue_length : float array;
+  residence_time : float array;
+  system_response_time : float;
+}
+
+let result_of ~population ~visits ~demands ~x ~qlen ~rtime =
+  let m = Array.length demands in
+  {
+    population;
+    system_throughput = x;
+    throughput = Array.init m (fun k -> x *. visits.(k));
+    utilization = Array.init m (fun k -> x *. demands.(k));
+    mean_queue_length = Array.copy qlen;
+    residence_time = Array.copy rtime;
+    system_response_time = (if x > 0. then float_of_int population /. x else 0.);
+  }
+
+let solve_sweep network n_max =
+  if n_max < 0 then invalid_arg "Mva.solve_sweep: negative population";
+  let visits = Mapqn_model.Network.visit_ratios network in
+  let demands = Mapqn_model.Network.demands network in
+  let m = Array.length demands in
+  let delay =
+    Array.init m (fun k ->
+        Mapqn_model.Station.is_delay (Mapqn_model.Network.station network k))
+  in
+  let qlen = Array.make m 0. in
+  let rtime = Array.make m 0. in
+  let out = Array.make (n_max + 1) (result_of ~population:0 ~visits ~demands ~x:0. ~qlen ~rtime) in
+  for n = 1 to n_max do
+    for k = 0 to m - 1 do
+      (* Delay (infinite-server) stations have no queueing term. *)
+      rtime.(k) <- (if delay.(k) then demands.(k) else demands.(k) *. (1. +. qlen.(k)))
+    done;
+    let total = Mapqn_util.Ksum.sum rtime in
+    let x = float_of_int n /. total in
+    for k = 0 to m - 1 do
+      qlen.(k) <- x *. rtime.(k)
+    done;
+    out.(n) <- result_of ~population:n ~visits ~demands ~x ~qlen ~rtime
+  done;
+  out
+
+let solve network =
+  let n = Mapqn_model.Network.population network in
+  (solve_sweep network n).(n)
+
+let is_exact_for = Mapqn_model.Network.is_product_form

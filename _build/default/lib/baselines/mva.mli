@@ -1,0 +1,33 @@
+(** Exact Mean Value Analysis for product-form closed networks.
+
+    The classic recursion (Reiser–Lavenberg; [Lazowska et al. 1984], the
+    paper's reference [4]): for single-server FCFS stations with demands
+    [D_k], [R_k(n) = D_k (1 + Q_k(n-1))], [X(n) = n / Σ R_k(n)],
+    [Q_k(n) = X(n) R_k(n)].
+
+    MVA is exact only under product form (exponential service here). On a
+    MAP network it is the "ignore burstiness" baseline of the paper's
+    Figure 3 second row: call it on
+    [Mapqn_model.Network.exponentialize net]. *)
+
+type t = {
+  population : int;
+  system_throughput : float;  (** [X(N)] relative to the reference station 0 *)
+  throughput : float array;  (** per-station completion rate [X v_k] *)
+  utilization : float array;
+  mean_queue_length : float array;
+  residence_time : float array;  (** per-visit response time at each station times [v_k] *)
+  system_response_time : float;  (** [N / X(N)] *)
+}
+
+val solve : Mapqn_model.Network.t -> t
+(** Run the exact recursion from population 1 to [N]. Population 0 gives
+    zero throughput and queue lengths. *)
+
+val solve_sweep : Mapqn_model.Network.t -> int -> t array
+(** [solve_sweep net n_max]: results for every population [0..n_max] in one
+    pass of the recursion (entry [n] is population [n]). *)
+
+val is_exact_for : Mapqn_model.Network.t -> bool
+(** True when the network is product-form (all stations exponential), i.e.
+    when MVA is exact rather than a means-only approximation. *)

@@ -1,0 +1,59 @@
+type t = {
+  system_throughput : float;
+  throughput : float array;
+  utilization : float array;
+  mean_queue_length : float array;
+  system_response_time : float;
+  iterations : int;
+}
+
+let solve ?(tol = 1e-10) ?(max_iter = 100_000) network =
+  let visits = Mapqn_model.Network.visit_ratios network in
+  let demands = Mapqn_model.Network.demands network in
+  let m = Array.length demands in
+  let delay =
+    Array.init m (fun k ->
+        Mapqn_model.Station.is_delay (Mapqn_model.Network.station network k))
+  in
+  let n = Mapqn_model.Network.population network in
+  if n = 0 then
+    {
+      system_throughput = 0.;
+      throughput = Array.make m 0.;
+      utilization = Array.make m 0.;
+      mean_queue_length = Array.make m 0.;
+      system_response_time = 0.;
+      iterations = 0;
+    }
+  else begin
+    let nf = float_of_int n in
+    (* Start from an even split and iterate Q -> X(Q) -> Q. *)
+    let qlen = Array.make m (nf /. float_of_int m) in
+    let rtime = Array.make m 0. in
+    let x = ref 0. in
+    let iterations = ref 0 in
+    let delta = ref infinity in
+    while !delta > tol && !iterations < max_iter do
+      incr iterations;
+      for k = 0 to m - 1 do
+        rtime.(k) <-
+          (if delay.(k) then demands.(k)
+           else demands.(k) *. (1. +. ((nf -. 1.) /. nf *. qlen.(k))))
+      done;
+      x := nf /. Mapqn_util.Ksum.sum rtime;
+      delta := 0.;
+      for k = 0 to m - 1 do
+        let next = !x *. rtime.(k) in
+        delta := Float.max !delta (Float.abs (next -. qlen.(k)));
+        qlen.(k) <- next
+      done
+    done;
+    {
+      system_throughput = !x;
+      throughput = Array.init m (fun k -> !x *. visits.(k));
+      utilization = Array.init m (fun k -> !x *. demands.(k));
+      mean_queue_length = Array.copy qlen;
+      system_response_time = nf /. !x;
+      iterations = !iterations;
+    }
+  end

@@ -1,0 +1,22 @@
+(** Schweitzer's approximate MVA (the Bard–Schweitzer fixed point).
+
+    The classic O(M) -per-iteration approximation of exact MVA for
+    product-form closed networks: it replaces the exact recursion's
+    [Q_k(N-1)] with the proportional estimate [(N-1)/N · Q_k(N)] and
+    iterates to a fixed point. Used in practice when the population is
+    large enough to make the exact recursion annoying, and included here
+    as the "industrial strength" representative of the product-form
+    toolbox that the paper argues is insufficient under burstiness. *)
+
+type t = {
+  system_throughput : float;
+  throughput : float array;
+  utilization : float array;
+  mean_queue_length : float array;
+  system_response_time : float;
+  iterations : int;
+}
+
+val solve : ?tol:float -> ?max_iter:int -> Mapqn_model.Network.t -> t
+(** Fixed point to absolute queue-length tolerance [tol] (default 1e-10).
+    Handles delay stations like MVA (no queueing term). *)

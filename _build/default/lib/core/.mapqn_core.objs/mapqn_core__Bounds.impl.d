@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Array Constraints Float List Mapqn_lp Mapqn_map Mapqn_model Mapqn_util Marginal_space

@@ -1,0 +1,1 @@
+lib/core/bounds.mli: Constraints Mapqn_lp Mapqn_model Marginal_space

@@ -1,0 +1,1 @@
+lib/core/constraints.ml: Array Float Format List Mapqn_linalg Mapqn_lp Mapqn_map Mapqn_model Marginal_space Printf

@@ -1,0 +1,1 @@
+lib/core/constraints.mli: Format Mapqn_lp Mapqn_model Marginal_space

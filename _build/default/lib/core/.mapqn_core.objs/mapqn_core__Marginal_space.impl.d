@@ -1,0 +1,1 @@
+lib/core/marginal_space.ml: Array Mapqn_ctmc Mapqn_model Mapqn_util Printf

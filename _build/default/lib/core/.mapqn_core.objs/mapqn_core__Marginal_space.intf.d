@@ -1,0 +1,1 @@
+lib/core/marginal_space.mli: Mapqn_ctmc Mapqn_model

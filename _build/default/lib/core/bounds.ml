@@ -1,0 +1,146 @@
+module Ms = Marginal_space
+module Lp = Mapqn_lp.Lp_model
+module Simplex = Mapqn_lp.Simplex
+
+type t = {
+  network : Mapqn_model.Network.t;
+  ms : Ms.t;
+  model : Lp.t;
+  prepared : Simplex.prepared;
+  config : Constraints.config;
+  max_iter : int option;
+}
+
+type interval = { lower : float; upper : float }
+
+let width i = i.upper -. i.lower
+let midpoint i = 0.5 *. (i.lower +. i.upper)
+
+let contains i x =
+  let tol = 1e-7 *. Float.max 1. (Float.max (Float.abs i.lower) (Float.abs i.upper)) in
+  x >= i.lower -. tol && x <= i.upper +. tol
+
+let create ?(config = Constraints.standard) ?max_iter network =
+  if Mapqn_model.Network.has_delay network then
+    Error "delay (infinite-server) stations are not supported by the bound analysis"
+  else
+  let ms, model = Constraints.build config network in
+  match Simplex.prepare ?max_iter model with
+  | Ok prepared -> Ok { network; ms; model; prepared; config; max_iter }
+  | Error `Infeasible ->
+    Error
+      "marginal-balance LP is infeasible — this indicates a constraint \
+       generation bug, since the exact solution is always feasible"
+  | Error `Iteration_limit -> Error "simplex iteration limit in phase 1"
+
+let create_exn ?config ?max_iter network =
+  match create ?config ?max_iter network with
+  | Ok t -> t
+  | Error msg -> failwith ("Bounds.create: " ^ msg)
+
+let network t = t.network
+let space t = t.ms
+let config t = t.config
+let lp_size t = (Lp.num_vars t.model, Lp.num_rows t.model)
+
+let optimize t direction objective =
+  let objective =
+    List.map (fun (i, c) -> (Lp.var_of_int t.model i, c)) objective
+  in
+  match Simplex.optimize ?max_iter:t.max_iter t.prepared direction objective with
+  | Simplex.Optimal s -> s.Simplex.objective
+  | Simplex.Infeasible -> failwith "Bounds: phase-2 infeasibility (bug)"
+  | Simplex.Unbounded ->
+    failwith "Bounds: unbounded objective (missing normalization constraint?)"
+  | Simplex.Iteration_limit -> failwith "Bounds: simplex iteration limit"
+
+let sensitivity ?(top = 10) t direction objective =
+  let objective =
+    List.map (fun (i, c) -> (Lp.var_of_int t.model i, c)) objective
+  in
+  match Simplex.optimize ?max_iter:t.max_iter t.prepared direction objective with
+  | Simplex.Optimal s ->
+    let names =
+      Array.of_list (List.map (fun (_, _, _, name) -> name) (Lp.rows t.model))
+    in
+    let pairs = ref [] in
+    Array.iteri
+      (fun i d -> if Float.abs d > 1e-9 then pairs := (names.(i), d) :: !pairs)
+      s.Simplex.duals;
+    let sorted =
+      List.sort (fun (_, a) (_, b) -> compare (Float.abs b) (Float.abs a)) !pairs
+    in
+    List.filteri (fun i _ -> i < top) sorted
+  | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit -> []
+
+let custom t objective =
+  let lower = optimize t Simplex.Minimize objective in
+  let upper = optimize t Simplex.Maximize objective in
+  (* The simplex solves a slightly perturbed problem (anti-degeneracy) and
+     stops at loose reduced-cost tolerances, so each optimum can sit a few
+     parts in 1e6 inside the true one. Widen by a conservative margin so
+     the returned interval is always a valid bound; the margin is orders
+     of magnitude below the accuracy being studied. *)
+  let margin v = 1e-5 *. Float.max 1. (Float.abs v) in
+  let lower = lower -. margin lower and upper = upper +. margin upper in
+  { lower = Float.min lower upper; upper = Float.max lower upper }
+
+let clamp_interval ~lo ~hi i =
+  { lower = Mapqn_util.Tol.clamp ~lo ~hi i.lower; upper = Mapqn_util.Tol.clamp ~lo ~hi i.upper }
+
+let throughput t k =
+  let rates =
+    Mapqn_map.Process.completion_rates
+      (Mapqn_model.Station.service_process (Mapqn_model.Network.station t.network k))
+  in
+  let terms = ref [] in
+  for n = 1 to Ms.population t.ms do
+    Ms.iter_phases t.ms (fun h ->
+        let rate = rates.(Ms.phase_component t.ms h k) in
+        if rate <> 0. then
+          terms := (Ms.v t.ms ~station:k ~level:n ~phase:h, rate) :: !terms)
+  done;
+  if !terms = [] then { lower = 0.; upper = 0. } else custom t !terms
+
+let utilization t k =
+  let n = Ms.population t.ms in
+  if n = 0 then { lower = 0.; upper = 0. }
+  else begin
+    let terms = ref [] in
+    for level = 1 to n do
+      Ms.iter_phases t.ms (fun h ->
+          terms := (Ms.v t.ms ~station:k ~level ~phase:h, 1.) :: !terms)
+    done;
+    clamp_interval ~lo:0. ~hi:1. (custom t !terms)
+  end
+
+let queue_length_moment t k r =
+  if r < 0 then invalid_arg "Bounds.queue_length_moment: negative order";
+  let n = Ms.population t.ms in
+  let terms = ref [] in
+  for level = 1 to n do
+    Ms.iter_phases t.ms (fun h ->
+        terms :=
+          (Ms.v t.ms ~station:k ~level ~phase:h, float_of_int level ** float_of_int r)
+          :: !terms)
+  done;
+  if !terms = [] then { lower = 0.; upper = 0. }
+  else clamp_interval ~lo:0. ~hi:(float_of_int n ** float_of_int r) (custom t !terms)
+
+let mean_queue_length t k = queue_length_moment t k 1
+
+let marginal_probability t ~station ~level =
+  let terms = ref [] in
+  Ms.iter_phases t.ms (fun h ->
+      terms := (Ms.v t.ms ~station ~level ~phase:h, 1.) :: !terms);
+  clamp_interval ~lo:0. ~hi:1. (custom t !terms)
+
+let response_time ?(reference = 0) t =
+  let n = float_of_int (Ms.population t.ms) in
+  if n = 0. then { lower = 0.; upper = 0. }
+  else begin
+    let x = throughput t reference in
+    let upper = if x.lower <= 0. then infinity else n /. x.lower in
+    let lower = if x.upper <= 0. then infinity else n /. x.upper in
+    { lower; upper }
+  end

@@ -1,0 +1,73 @@
+(** Linear-programming performance bounds for MAP queueing networks — the
+    paper's contribution.
+
+    [create] assembles the marginal-balance LP for a network (one phase-1
+    simplex run); each metric query then solves two phase-2 problems
+    (minimize and maximize the metric as a linear function of the
+    aggregate probabilities) over the same feasible region. Because every
+    constraint is exact, the true value always lies in the returned
+    interval; tightness depends on the constraint families enabled
+    ({!Constraints.config}). *)
+
+type t
+
+type interval = { lower : float; upper : float }
+
+val width : interval -> float
+val midpoint : interval -> float
+val contains : interval -> float -> bool
+(** Within a small numerical tolerance (1e-7 absolute + relative). *)
+
+val create :
+  ?config:Constraints.config ->
+  ?max_iter:int ->
+  Mapqn_model.Network.t ->
+  (t, string) result
+(** Build the LP and run phase 1. Default config is
+    {!Constraints.standard}. Errors on phase-1 failure (which would
+    indicate a bug: the exact solution is always feasible) or iteration
+    limit. *)
+
+val create_exn :
+  ?config:Constraints.config -> ?max_iter:int -> Mapqn_model.Network.t -> t
+
+val network : t -> Mapqn_model.Network.t
+val space : t -> Marginal_space.t
+val config : t -> Constraints.config
+
+val lp_size : t -> int * int
+(** [(variables, rows)] of the underlying LP model. *)
+
+val sensitivity :
+  ?top:int ->
+  t ->
+  Mapqn_lp.Simplex.direction ->
+  (int * float) list ->
+  (string * float) list
+(** The constraints that drive a bound: names and dual values (shadow
+    prices) of the rows with the largest |dual| at the optimum of the
+    given objective/direction (default the top 10). A large |dual| means
+    the bound is sensitive to that balance equation — useful for
+    understanding where tightness comes from (see the ablation bench). *)
+
+val custom : t -> (int * float) list -> interval
+(** Bounds on an arbitrary linear function of the marginal-space variables
+    (indices from {!Marginal_space}). Raises [Failure] if the simplex hits
+    its iteration limit. *)
+
+val throughput : t -> int -> interval
+(** Completion-rate bounds at a station:
+    [X_k = Σ_{n>=1,h} λ_k(h_k) v_k(n,h)]. *)
+
+val utilization : t -> int -> interval
+(** [U_k = 1 - Σ_h v_k(0,h)], clamped to [\[0,1\]]. *)
+
+val mean_queue_length : t -> int -> interval
+val queue_length_moment : t -> int -> int -> interval
+val marginal_probability : t -> station:int -> level:int -> interval
+
+val response_time : ?reference:int -> t -> interval
+(** Little's-law response time [R = N / X_ref] (default reference station
+    0): [R_min = N / X_max], [R_max = N / X_min] — exactly the paper's
+    derivation of response-time bounds from throughput bounds. An LP
+    throughput lower bound of 0 yields [upper = infinity]. *)

@@ -1,0 +1,52 @@
+(** Generation of the marginal balance constraint families.
+
+    Every row produced here is an {e exact} consequence of the global
+    balance equations of the underlying CTMC together with elementary
+    probability identities — this is what makes the LP optima true bounds.
+    The families (numbering follows DESIGN.md §4):
+
+    + level–phase balance: flux balance of the aggregate set
+      [{n_k = n, phase = h}] — the paper's marginal-balance aggregation,
+      one equality per (station, level, phase vector);
+    + normalization of each station's marginal;
+    + phase-marginal consistency across stations;
+    + busy-mass consistency tying [w] to [v];
+    + population mean [Σ_k E[n_k] = N];
+    + boundary zeros [w_{j,k}(N, h) = 0];
+    + dominance [w_{j,k}(n,h) <= v_k(n,h)] (optional);
+    + busy-count bounds
+      [v_k(n,h) <= Σ_j w_{j,k}(n,h) <= min(M-1, N-n) v_k(n,h)] for [n < N]
+      (optional);
+    + level-2 population identities on the [z] variables (optional).
+
+    The paper's marginal cut balance (its equation (1)) is implied by
+    family 1 summed over levels; {!cut_balance_residual} exposes it for
+    validation. *)
+
+type config = {
+  dominance : bool;
+  busy_count : bool;
+  level2 : bool;
+}
+
+val minimal : config
+(** Families 1–6 only. *)
+
+val standard : config
+(** [minimal] + dominance + busy-count. The default of the bound solver. *)
+
+val full : config
+(** [standard] + level-2 [z] variables and their families. *)
+
+val pp_config : Format.formatter -> config -> unit
+
+val build : config -> Mapqn_model.Network.t -> Marginal_space.t * Mapqn_lp.Lp_model.t
+(** Allocate one LP variable per marginal-space slot (same indices) and add
+    every constraint row selected by [config]. *)
+
+val cut_balance_residual : Marginal_space.t -> float array -> float
+(** Maximum absolute residual of the paper's equation-(1) cut balances
+    [Σ_{i≠k} Σ_h λ_i(h_i) p_{i,k} w_{i,k}(n-1, h)
+     = Σ_h λ_k(h_k) (1 - p_{k,k}) v_k(n, h)]
+    evaluated at an aggregate point — zero (numerically) at the exact
+    aggregated solution. *)

@@ -1,0 +1,1 @@
+lib/ctmc/generator.ml: Array List Mapqn_linalg Mapqn_map Mapqn_model Mapqn_sparse State_space

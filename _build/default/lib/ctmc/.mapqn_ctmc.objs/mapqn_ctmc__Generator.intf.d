@@ -1,0 +1,1 @@
+lib/ctmc/generator.mli: Mapqn_sparse State_space

@@ -1,0 +1,1 @@
+lib/ctmc/solution.ml: Array Generator Mapqn_linalg Mapqn_map Mapqn_model Mapqn_sparse Mapqn_util State_space

@@ -1,0 +1,1 @@
+lib/ctmc/solution.mli: Mapqn_linalg Mapqn_model Mapqn_sparse State_space

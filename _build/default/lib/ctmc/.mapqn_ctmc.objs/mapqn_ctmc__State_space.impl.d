@@ -1,0 +1,1 @@
+lib/ctmc/state_space.ml: Array Hashtbl Mapqn_model Mapqn_util Printf

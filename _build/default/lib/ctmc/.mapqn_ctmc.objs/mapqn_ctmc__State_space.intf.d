@@ -1,0 +1,1 @@
+lib/ctmc/state_space.mli: Mapqn_model

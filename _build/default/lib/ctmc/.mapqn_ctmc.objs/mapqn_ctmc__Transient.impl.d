@@ -1,0 +1,1 @@
+lib/ctmc/transient.ml: Array Float Mapqn_linalg Mapqn_sparse Mapqn_util

@@ -1,0 +1,102 @@
+module Mat = Mapqn_linalg.Mat
+
+type station_data = {
+  hidden : (int * int * float) list array; (* phase a -> (a, b, rate) with b <> a *)
+  completions : (int * float) list array; (* phase a -> (b, rate) *)
+  routes : (int * float) list; (* (j, prob) with prob > 0 *)
+  is_delay : bool; (* infinite server: completion rate scales with n_k *)
+}
+
+let station_data network k =
+  let st = Mapqn_model.Network.station network k in
+  let p = Mapqn_model.Station.service_process st in
+  let d0 = Mapqn_map.Process.d0 p and d1 = Mapqn_map.Process.d1 p in
+  let order = Mapqn_map.Process.order p in
+  let hidden =
+    Array.init order (fun a ->
+        List.filter_map
+          (fun b ->
+            let r = Mat.get d0 a b in
+            if b <> a && r > 0. then Some (a, b, r) else None)
+          (List.init order (fun b -> b)))
+  in
+  let completions =
+    Array.init order (fun a ->
+        List.filter_map
+          (fun b ->
+            let r = Mat.get d1 a b in
+            if r > 0. then Some (b, r) else None)
+          (List.init order (fun b -> b)))
+  in
+  let m = Mapqn_model.Network.num_stations network in
+  let routes =
+    List.filter_map
+      (fun j ->
+        let p = Mapqn_model.Network.routing_prob network k j in
+        if p > 0. then Some (j, p) else None)
+      (List.init m (fun j -> j))
+  in
+  { hidden; completions; routes; is_delay = Mapqn_model.Station.is_delay st }
+
+let build space =
+  let network = State_space.network space in
+  let m = Mapqn_model.Network.num_stations network in
+  let per_station = Array.init m (station_data network) in
+  let n_states = State_space.num_states space in
+  let triplets = ref [] in
+  let count = ref 0 in
+  let push i j v =
+    triplets := (i, j, v) :: !triplets;
+    incr count
+  in
+  State_space.iter space (fun idx n h ->
+      let diag = ref 0. in
+      let emit target rate =
+        if target <> idx then begin
+          push idx target rate;
+          diag := !diag +. rate
+        end
+      in
+      for k = 0 to m - 1 do
+        if n.(k) > 0 then begin
+          let data = per_station.(k) in
+          let a = h.(k) in
+          (* Hidden phase transitions. *)
+          List.iter
+            (fun (_, b, rate) ->
+              h.(k) <- b;
+              let target =
+                State_space.index_of_ranks space
+                  ~comp:(State_space.comp_rank space n)
+                  ~phase:(State_space.phase_rank space h)
+              in
+              h.(k) <- a;
+              emit target rate)
+            data.hidden.(a);
+          (* Service completions: phase a -> b, job routed k -> j. Infinite
+             servers complete at n_k times the per-job rate. *)
+          let multiplier = if data.is_delay then float_of_int n.(k) else 1. in
+          List.iter
+            (fun (b, rate) ->
+              let rate = rate *. multiplier in
+              List.iter
+                (fun (j, prob) ->
+                  h.(k) <- b;
+                  n.(k) <- n.(k) - 1;
+                  n.(j) <- n.(j) + 1;
+                  let target =
+                    State_space.index_of_ranks space
+                      ~comp:(State_space.comp_rank space n)
+                      ~phase:(State_space.phase_rank space h)
+                  in
+                  n.(j) <- n.(j) - 1;
+                  n.(k) <- n.(k) + 1;
+                  h.(k) <- a;
+                  emit target (rate *. prob))
+                data.routes)
+            data.completions.(a)
+        end
+      done;
+      if !diag > 0. then push idx idx (-. !diag));
+  Mapqn_sparse.Csr.of_coo_array ~rows:n_states ~cols:n_states
+    (Array.of_list !triplets)

@@ -1,0 +1,18 @@
+(** Infinitesimal generator of the MAP network CTMC.
+
+    Transition structure from state [(n, h)], for every busy station [k]
+    in phase [a = h.(k)]:
+
+    - hidden phase change [a → b] at rate [D0_k\[a,b\]] ([b ≠ a]):
+      new state [(n, h\[k := b\])];
+    - service completion with phase move [a → b] at rate [D1_k\[a,b\]],
+      routed to station [j] with probability [p_kj]: new state
+      [(n - e_k + e_j, h\[k := b\])].
+
+    Idle stations freeze their phase (the phase "left active by the last
+    served job", as in the paper's Figure 6). Transitions that return to
+    the originating state (self-routing without phase change) are no-ops
+    and omitted; the diagonal closes each row to zero. *)
+
+val build : State_space.t -> Mapqn_sparse.Csr.t
+(** Assemble the sparse generator [Q]. *)

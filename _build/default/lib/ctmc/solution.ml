@@ -1,0 +1,115 @@
+module Ksum = Mapqn_util.Ksum
+
+type t = {
+  network : Mapqn_model.Network.t;
+  space : State_space.t;
+  pi : float array;
+  completion_rates : float array array; (* station -> phase -> per-job rate *)
+  is_delay : bool array;
+}
+
+let solve ?max_states ?options network =
+  let space = State_space.create ?max_states network in
+  let pi =
+    if Mapqn_model.Network.population network = 0 then
+      (* No transitions exist; every metric is 0 regardless of the phase
+         distribution, so any fixed distribution will do. *)
+      Array.make (State_space.num_states space)
+        (1. /. float_of_int (State_space.num_states space))
+    else Mapqn_sparse.Stationary.solve ?options (Generator.build space)
+  in
+  let m = Mapqn_model.Network.num_stations network in
+  let completion_rates =
+    Array.init m (fun k ->
+        Mapqn_map.Process.completion_rates
+          (Mapqn_model.Station.service_process (Mapqn_model.Network.station network k)))
+  in
+  let is_delay =
+    Array.init m (fun k ->
+        Mapqn_model.Station.is_delay (Mapqn_model.Network.station network k))
+  in
+  { network; space; pi; completion_rates; is_delay }
+
+let network t = t.network
+let space t = t.space
+let probability t i = t.pi.(i)
+let distribution t = t.pi
+
+let queue_length_marginal t k =
+  let n = Mapqn_model.Network.population t.network in
+  let accs = Array.init (n + 1) (fun _ -> Ksum.create ()) in
+  State_space.iter t.space (fun idx qlen _ -> Ksum.add accs.(qlen.(k)) t.pi.(idx));
+  Array.map Ksum.total accs
+
+let utilization t k =
+  let marginal = queue_length_marginal t k in
+  Mapqn_util.Tol.clamp_probability (1. -. marginal.(0))
+
+let throughput t k =
+  let acc = Ksum.create () in
+  State_space.iter t.space (fun idx qlen h ->
+      if qlen.(k) > 0 then begin
+        let multiplier = if t.is_delay.(k) then float_of_int qlen.(k) else 1. in
+        Ksum.add acc (t.pi.(idx) *. t.completion_rates.(k).(h.(k)) *. multiplier)
+      end);
+  Ksum.total acc
+
+let queue_length_moment t k r =
+  if r < 0 then invalid_arg "Solution.queue_length_moment: negative order";
+  let marginal = queue_length_marginal t k in
+  let acc = Ksum.create () in
+  Array.iteri
+    (fun n p -> Ksum.add acc (p *. (float_of_int n ** float_of_int r)))
+    marginal;
+  Ksum.total acc
+
+let mean_queue_length t k = queue_length_moment t k 1
+
+let queue_length_variance t k =
+  let m1 = queue_length_moment t k 1 in
+  queue_length_moment t k 2 -. (m1 *. m1)
+
+let system_response_time ?(reference = 0) t =
+  let n = Mapqn_model.Network.population t.network in
+  if n = 0 then 0.
+  else begin
+    let x = throughput t reference in
+    if x <= 0. then infinity else float_of_int n /. x
+  end
+
+let phase_marginal t k =
+  let dims = Mapqn_model.Network.phase_dims t.network in
+  let accs = Array.init dims.(k) (fun _ -> Ksum.create ()) in
+  State_space.iter t.space (fun idx _ h -> Ksum.add accs.(h.(k)) t.pi.(idx));
+  Array.map Ksum.total accs
+
+let joint_queue_length t j k =
+  if j = k then invalid_arg "Solution.joint_queue_length: j = k";
+  let n = Mapqn_model.Network.population t.network in
+  let out = Mapqn_linalg.Mat.create ~rows:(n + 1) ~cols:(n + 1) in
+  State_space.iter t.space (fun idx qlen _ ->
+      Mapqn_linalg.Mat.update out qlen.(j) qlen.(k) (fun x -> x +. t.pi.(idx)));
+  out
+
+let queue_length_correlation t j k =
+  let joint = joint_queue_length t j k in
+  let n = Mapqn_model.Network.population t.network in
+  let ej = mean_queue_length t j and ek = mean_queue_length t k in
+  let cov = Ksum.create () in
+  for a = 0 to n do
+    for b = 0 to n do
+      Ksum.add cov
+        ((float_of_int a -. ej) *. (float_of_int b -. ek)
+        *. Mapqn_linalg.Mat.get joint a b)
+    done
+  done;
+  let sj = sqrt (queue_length_variance t j) and sk = sqrt (queue_length_variance t k) in
+  if sj <= 0. || sk <= 0. then 0. else Ksum.total cov /. (sj *. sk)
+
+let metrics_table t =
+  let m = Mapqn_model.Network.num_stations t.network in
+  [
+    ("utilization", Array.init m (utilization t));
+    ("throughput", Array.init m (throughput t));
+    ("mean queue length", Array.init m (mean_queue_length t));
+  ]

@@ -1,0 +1,63 @@
+(** Exact stationary solution of a MAP closed network and the performance
+    indexes derived from it. *)
+
+type t
+
+val solve :
+  ?max_states:int ->
+  ?options:Mapqn_sparse.Stationary.options ->
+  Mapqn_model.Network.t ->
+  t
+(** Enumerate the state space, assemble the generator, solve for the
+    stationary distribution. The solver method is chosen by
+    {!Mapqn_sparse.Stationary} ([Auto] by default: GTH for small spaces,
+    Gauss–Seidel above). *)
+
+val network : t -> Mapqn_model.Network.t
+val space : t -> State_space.t
+val probability : t -> int -> float
+(** Stationary probability of a state index. *)
+
+val distribution : t -> float array
+(** The full stationary vector (not copied; callers must not mutate). *)
+
+val queue_length_marginal : t -> int -> float array
+(** [queue_length_marginal t k] is the distribution of the queue length at
+    station [k]: entry [n] is [P{n_k = n}], for [n = 0..N]. *)
+
+val utilization : t -> int -> float
+(** [P{n_k >= 1}] — single-server busy probability. *)
+
+val throughput : t -> int -> float
+(** Completion rate at station [k]:
+    [Σ_{n_k >= 1} π(n, h) · λ_k(h_k)] with [λ_k(a)] the total event rate
+    of phase [a] (row sum of [D1_k]). *)
+
+val mean_queue_length : t -> int -> float
+val queue_length_variance : t -> int -> float
+val queue_length_moment : t -> int -> int -> float
+(** [queue_length_moment t k r] is [E[n_k^r]]. *)
+
+val system_response_time : ?reference:int -> t -> float
+(** Little's law on the whole network: [N / X_ref] with [X_ref] the
+    throughput of the reference station (default 0) — the paper's response
+    time metric. Population 0 yields 0. *)
+
+val phase_marginal : t -> int -> float array
+(** [phase_marginal t k]: distribution of station [k]'s MAP phase. *)
+
+val joint_queue_length : t -> int -> int -> Mapqn_linalg.Mat.t
+(** [joint_queue_length t j k] (for [j <> k]): the matrix
+    [P{n_j = a, n_k = b}] with [a, b = 0..N]. Marginalizing either
+    coordinate recovers {!queue_length_marginal}; used to study how
+    burstiness correlates queue lengths across stations (a quantity the
+    marginal-balance LP can only bound). *)
+
+val queue_length_correlation : t -> int -> int -> float
+(** Pearson correlation of [n_j] and [n_k] ([j <> k]); in a closed network
+    the population constraint makes it typically negative, but shared
+    bursty upstreams can push pairs positive. *)
+
+val metrics_table : t -> (string * float array) list
+(** Summary rows ([utilization], [throughput], [mean queue length]) for
+    display. *)

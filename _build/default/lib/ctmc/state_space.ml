@@ -1,0 +1,92 @@
+module Comb = Mapqn_util.Comb
+
+type t = {
+  network : Mapqn_model.Network.t;
+  phase_dims : int array;
+  num_comps : int;
+  num_phases : int;
+  comps : int array array; (* rank -> composition *)
+  comp_table : (int array, int) Hashtbl.t;
+}
+
+let create ?(max_states = 2_000_000) network =
+  let m = Mapqn_model.Network.num_stations network in
+  let n = Mapqn_model.Network.population network in
+  let phase_dims = Mapqn_model.Network.phase_dims network in
+  let num_comps = Comb.compositions_count ~total:n ~parts:m in
+  let num_phases = Comb.ranges_count phase_dims in
+  if num_comps > max_states / num_phases then
+    invalid_arg
+      (Printf.sprintf "State_space.create: %d x %d states exceeds limit %d"
+         num_comps num_phases max_states);
+  let comps = Array.make num_comps [||] in
+  let comp_table = Hashtbl.create (2 * num_comps) in
+  let rank = ref 0 in
+  Comb.iter_compositions ~total:n ~parts:m (fun c ->
+      let c = Array.copy c in
+      comps.(!rank) <- c;
+      Hashtbl.add comp_table c !rank;
+      incr rank);
+  { network; phase_dims; num_comps; num_phases; comps; comp_table }
+
+let network t = t.network
+let num_states t = t.num_comps * t.num_phases
+let num_compositions t = t.num_comps
+let num_phase_vectors t = t.num_phases
+
+let comp_rank t c =
+  match Hashtbl.find_opt t.comp_table c with
+  | Some r -> r
+  | None -> invalid_arg "State_space.comp_rank: not a valid composition"
+
+let phase_rank t h = Comb.rank_range t.phase_dims h
+
+let index_of_ranks t ~comp ~phase =
+  if comp < 0 || comp >= t.num_comps || phase < 0 || phase >= t.num_phases then
+    invalid_arg "State_space.index_of_ranks: out of range";
+  (comp * t.num_phases) + phase
+
+let index t ~queue_lengths ~phases =
+  index_of_ranks t ~comp:(comp_rank t queue_lengths) ~phase:(phase_rank t phases)
+
+let decode t idx =
+  if idx < 0 || idx >= num_states t then invalid_arg "State_space.decode";
+  let comp = idx / t.num_phases and phase = idx mod t.num_phases in
+  (Array.copy t.comps.(comp), Comb.unrank_range t.phase_dims phase)
+
+let iter t f =
+  let h = Array.make (Array.length t.phase_dims) 0 in
+  (* The callback receives a scratch copy of the composition so that callers
+     (e.g. the generator) may mutate-and-restore it without touching the
+     arrays that serve as hash-table keys. *)
+  let c = Array.make (Array.length t.phase_dims) 0 in
+  for comp = 0 to t.num_comps - 1 do
+    Array.blit t.comps.(comp) 0 c 0 (Array.length c);
+    let base = comp * t.num_phases in
+    if t.num_phases = 1 then begin
+      Array.fill h 0 (Array.length h) 0;
+      f base c h
+    end
+    else begin
+      (* Enumerate phase vectors in rank order. *)
+      Array.fill h 0 (Array.length h) 0;
+      let rec next_phase rank =
+        f (base + rank) c h;
+        (* Increment h as a mixed-radix counter (last index fastest, to
+           match Comb.rank_range). *)
+        let rec bump i =
+          if i < 0 then false
+          else if h.(i) + 1 < t.phase_dims.(i) then begin
+            h.(i) <- h.(i) + 1;
+            true
+          end
+          else begin
+            h.(i) <- 0;
+            bump (i - 1)
+          end
+        in
+        if bump (Array.length h - 1) then next_phase (rank + 1)
+      in
+      next_phase 0
+    end
+  done

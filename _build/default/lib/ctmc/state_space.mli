@@ -1,0 +1,38 @@
+(** Explicit state space of the CTMC underlying a MAP closed network.
+
+    A state is a pair [(n, h)]: the queue-length vector [n] (a weak
+    composition of the population over the stations) and the phase vector
+    [h] (one MAP phase per station; exponential stations have the single
+    phase 0). The count is [C(N+M-1, M-1) · Π order_k] — the combinatorial
+    explosion the paper's bounds avoid; here we enumerate it for the exact
+    solver and for validation. *)
+
+type t
+
+val create : ?max_states:int -> Mapqn_model.Network.t -> t
+(** Enumerate the state space. Raises [Invalid_argument] when the state
+    count exceeds [max_states] (default [2_000_000]) — a guard against
+    accidentally materializing an infeasible space. *)
+
+val network : t -> Mapqn_model.Network.t
+val num_states : t -> int
+val num_compositions : t -> int
+val num_phase_vectors : t -> int
+
+val index : t -> queue_lengths:int array -> phases:int array -> int
+(** State index of [(n, h)]; raises if the composition or phase vector is
+    invalid. *)
+
+val decode : t -> int -> int array * int array
+(** Inverse of {!index}: fresh [(queue_lengths, phases)] arrays. *)
+
+val iter : t -> (int -> int array -> int array -> unit) -> unit
+(** [iter t f] calls [f index queue_lengths phases] for every state. The
+    arrays are shared and must not be mutated or retained. *)
+
+val comp_rank : t -> int array -> int
+(** Rank of a queue-length composition (used to move jobs between
+    stations without re-deriving the full index). *)
+
+val index_of_ranks : t -> comp:int -> phase:int -> int
+val phase_rank : t -> int array -> int

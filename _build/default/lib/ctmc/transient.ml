@@ -1,0 +1,82 @@
+module Csr = Mapqn_sparse.Csr
+
+let uniformization_rate q =
+  let worst = ref 0. in
+  for i = 0 to Csr.nrows q - 1 do
+    worst := Float.max !worst (Float.abs (Csr.get q i i))
+  done;
+  (!worst *. 1.05) +. 1e-12
+
+let check q ~initial =
+  if Csr.nrows q <> Csr.ncols q then invalid_arg "Transient: not square";
+  if Array.length initial <> Csr.nrows q then invalid_arg "Transient: dim mismatch";
+  if not (Mapqn_util.Tol.close ~rel:1e-8 ~abs:1e-8 (Mapqn_util.Ksum.sum initial) 1.)
+  then invalid_arg "Transient: initial distribution does not sum to 1"
+
+let distribution_at ?(precision = 1e-12) q ~initial ~t =
+  check q ~initial;
+  if t < 0. then invalid_arg "Transient: negative time";
+  if t = 0. then Array.copy initial
+  else begin
+    let lambda = uniformization_rate q in
+    let lt = lambda *. t in
+    (* Poisson weights by the stable recurrence, accumulated until the tail
+       is below [precision]. *)
+    let acc = Array.make (Array.length initial) 0. in
+    let v = ref (Array.copy initial) in
+    (* p_k = e^{-lt} (lt)^k / k!, computed in log space for large lt. *)
+    let log_p0 = -.lt in
+    let log_pk = ref log_p0 in
+    let covered = ref 0. in
+    let k = ref 0 in
+    let p = Csr.scale (1. /. lambda) q in
+    while 1. -. !covered > precision && !k < 100_000_000 do
+      let pk = exp !log_pk in
+      if pk > 0. then begin
+        Mapqn_linalg.Vec.axpy ~alpha:pk ~x:!v ~y:acc;
+        covered := !covered +. pk
+      end;
+      (* Advance v <- v (I + Q/lambda). *)
+      let qv = Csr.vec_mat !v p in
+      let next = Array.mapi (fun i x -> x +. qv.(i)) !v in
+      v := next;
+      incr k;
+      log_pk := !log_pk +. log lt -. log (float_of_int !k)
+    done;
+    (* Distribute the residual tail proportionally to the last iterate (it
+       is within [precision] anyway), then renormalize. *)
+    Mapqn_linalg.Vec.axpy ~alpha:(1. -. !covered) ~x:!v ~y:acc;
+    Mapqn_linalg.Vec.normalize1 acc
+  end
+
+let expected_metric_at ?precision q ~initial ~metric ~t =
+  let pi = distribution_at ?precision q ~initial ~t in
+  Mapqn_util.Ksum.dot pi metric
+
+let relaxation_time ?precision ?(tol = 1e-3) q ~initial ~stationary =
+  check q ~initial;
+  if Array.length stationary <> Array.length initial then
+    invalid_arg "Transient.relaxation_time: dim mismatch";
+  let distance t =
+    let pi = distribution_at ?precision q ~initial ~t in
+    Mapqn_linalg.Vec.norm1 (Mapqn_linalg.Vec.sub pi stationary)
+  in
+  (* Doubling search for an upper end, then bisection. *)
+  let hi = ref (1. /. uniformization_rate q) in
+  let guard = ref 0 in
+  while distance !hi > tol && !guard < 60 do
+    hi := !hi *. 2.;
+    incr guard
+  done;
+  if !guard >= 60 then infinity
+  else begin
+    let lo = ref (!hi /. 2.) and hi = ref !hi in
+    if distance !lo <= tol then !lo
+    else begin
+      for _ = 1 to 20 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if distance mid <= tol then hi := mid else lo := mid
+      done;
+      !hi
+    end
+  end

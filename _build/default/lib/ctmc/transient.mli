@@ -1,0 +1,38 @@
+(** Transient analysis of the network CTMC by uniformization.
+
+    [π(t) = Σ_k e^{-Λt} (Λt)^k / k! · π(0) P^k] with [P = I + Q/Λ]: the
+    standard numerically stable way to compute transient state
+    probabilities, here exposed for studying how long burstiness effects
+    persist (e.g. relaxation of the queue-length distribution after a
+    bursty period — the time-scale that makes temporal dependence matter). *)
+
+val distribution_at :
+  ?precision:float ->
+  Mapqn_sparse.Csr.t ->
+  initial:float array ->
+  t:float ->
+  float array
+(** [distribution_at q ~initial ~t]: the state distribution after [t] time
+    units starting from [initial]. [precision] (default [1e-12]) bounds
+    the truncated Poisson tail mass. Raises [Invalid_argument] on negative
+    [t], dimension mismatch, or an [initial] that does not sum to 1. *)
+
+val expected_metric_at :
+  ?precision:float ->
+  Mapqn_sparse.Csr.t ->
+  initial:float array ->
+  metric:float array ->
+  t:float ->
+  float
+(** Expectation of a per-state metric at time [t]. *)
+
+val relaxation_time :
+  ?precision:float ->
+  ?tol:float ->
+  Mapqn_sparse.Csr.t ->
+  initial:float array ->
+  stationary:float array ->
+  float
+(** Smallest [t] from a doubling search at which
+    [‖π(t) − π(∞)‖₁ <= tol] (default [tol = 1e-3]): a practical measure of
+    how long the chain remembers its initial (e.g. bursty) state. *)

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Array Float List Mapqn_sim Mapqn_util Mapqn_workloads Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array Float List Mapqn_baselines Mapqn_ctmc Mapqn_sim Mapqn_sparse Mapqn_util Mapqn_workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Float List Mapqn_baselines Mapqn_ctmc Mapqn_util Mapqn_workloads

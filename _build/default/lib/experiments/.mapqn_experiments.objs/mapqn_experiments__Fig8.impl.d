@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Float List Mapqn_core Mapqn_ctmc Mapqn_util Mapqn_workloads

@@ -1,0 +1,1 @@
+lib/experiments/moment_order.ml: Array Float List Mapqn_ctmc Mapqn_linalg Mapqn_map Mapqn_model Mapqn_prng Mapqn_util Printf

@@ -1,0 +1,1 @@
+lib/experiments/moment_order.mli:

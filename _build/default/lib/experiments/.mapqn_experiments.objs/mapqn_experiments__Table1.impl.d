@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Float List Mapqn_core Mapqn_ctmc Mapqn_model Mapqn_util Mapqn_workloads Printf String

@@ -1,0 +1,1 @@
+lib/experiments/trace_pipeline.ml: Float List Mapqn_baselines Mapqn_ctmc Mapqn_map Mapqn_model Mapqn_prng Mapqn_util Mapqn_workloads Printf

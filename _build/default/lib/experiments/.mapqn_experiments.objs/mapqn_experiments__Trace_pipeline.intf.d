@@ -1,0 +1,1 @@
+lib/experiments/trace_pipeline.mli: Mapqn_map Mapqn_workloads

@@ -1,0 +1,94 @@
+module Tpcw = Mapqn_workloads.Tpcw
+module Sim = Mapqn_sim.Simulator
+
+type options = {
+  browsers : int;
+  params : Tpcw.params;
+  horizon : float;
+  max_lag : int;
+  seed : int;
+}
+
+let default_options =
+  {
+    browsers = 384;
+    params = Tpcw.default_params;
+    horizon = 200_000.;
+    max_lag = 500;
+    seed = 7;
+  }
+
+type t = {
+  options : options;
+  flow_names : string array;
+  acf : float array array;
+  sample_sizes : int array;
+}
+
+(* The paper's flow numbering (Figure 1): (1) client arrivals, (2) client
+   departures, (3) front arrivals, (4) front departures, (5) DB arrivals,
+   (6) DB departures. *)
+let probes =
+  [
+    ("(1) Client Arrival", Sim.Arrivals Tpcw.client);
+    ("(2) Client Departure", Sim.Departures Tpcw.client);
+    ("(3) Front Arrival", Sim.Arrivals Tpcw.front);
+    ("(4) Front Departure", Sim.Departures Tpcw.front);
+    ("(5) DB Arrival", Sim.Arrivals Tpcw.db);
+    ("(6) DB Departure", Sim.Departures Tpcw.db);
+  ]
+
+let run ?(options = default_options) () =
+  let network = Tpcw.network ~params:options.params ~browsers:options.browsers () in
+  let sim_options =
+    {
+      Sim.default_options with
+      seed = options.seed;
+      warmup = 5_000.;
+      horizon = options.horizon;
+      probes = List.map snd probes;
+    }
+  in
+  let result = Sim.run ~options:sim_options network in
+  let series probe =
+    match List.assoc_opt probe result.Sim.probe_series with
+    | Some ts -> Sim.inter_event_times ts
+    | None -> [||]
+  in
+  let flows = Array.of_list probes in
+  let acf =
+    Array.map
+      (fun (_, probe) ->
+        let xs = series probe in
+        if Array.length xs <= options.max_lag + 1 then
+          Array.make options.max_lag Float.nan
+        else Mapqn_util.Stats.autocorrelation_function xs ~max_lag:options.max_lag)
+      flows
+  in
+  {
+    options;
+    flow_names = Array.map fst flows;
+    acf;
+    sample_sizes = Array.map (fun (_, p) -> Array.length (series p)) flows;
+  }
+
+let print ?(lags = [ 1; 2; 5; 10; 20; 50; 100; 200; 350; 500 ]) t =
+  let lags = List.filter (fun l -> l >= 1 && l <= t.options.max_lag) lags in
+  print_endline
+    (Printf.sprintf
+       "Figure 1 (right): ACF of TPC-W flows, %d browsers (DES substitute for \
+        the testbed; %d..%d inter-event samples per flow)"
+       t.options.browsers
+       (Array.fold_left min max_int t.sample_sizes)
+       (Array.fold_left max 0 t.sample_sizes));
+  let header = "lag" :: List.map (fun (n : string) -> n) (Array.to_list t.flow_names) in
+  let rows =
+    List.map
+      (fun lag ->
+        string_of_int lag
+        :: List.map
+             (fun flow -> Mapqn_util.Table.float_cell ~decimals:4 flow.(lag - 1))
+             (Array.to_list t.acf))
+      lags
+  in
+  Mapqn_util.Table.print ~header rows

@@ -1,0 +1,34 @@
+(** Figure 1 (right): autocorrelation of the six flows of the TPC-W
+    system — client arrivals/departures, front-server arrivals/departures,
+    DB arrivals/departures.
+
+    The paper measures these on a hardware testbed; here the testbed is
+    the discrete-event simulator running the same closed model (Figure 2)
+    with a bursty MAP front server. The headline qualitative result to
+    reproduce: burstiness originates at the front server and, because the
+    loop is closed, {e every} flow in the system shows positive ACF over
+    hundreds of lags, even though client think times are exponential. *)
+
+type options = {
+  browsers : int;  (** paper: 384 *)
+  params : Mapqn_workloads.Tpcw.params;
+  horizon : float;  (** simulated seconds measured *)
+  max_lag : int;  (** paper plots lags up to 500 *)
+  seed : int;
+}
+
+val default_options : options
+(** 384 browsers, default TPC-W parameters, horizon 200_000 s, 500 lags. *)
+
+type t = {
+  options : options;
+  flow_names : string array;  (** 6 flows in the paper's numbering *)
+  acf : float array array;  (** [acf.(flow).(lag - 1)] *)
+  sample_sizes : int array;
+}
+
+val run : ?options:options -> unit -> t
+
+val print : ?lags:int list -> t -> unit
+(** Print the ACF of each flow at selected lags (default
+    [1; 2; 5; 10; 20; 50; 100; 200; 350; 500]). *)

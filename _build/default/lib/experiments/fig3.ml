@@ -1,0 +1,146 @@
+module Tpcw = Mapqn_workloads.Tpcw
+module Sim = Mapqn_sim.Simulator
+module Solution = Mapqn_ctmc.Solution
+
+type options = {
+  params : Tpcw.params;
+  browsers : int list;
+  sim_horizon : float;
+  exact_model : bool;
+  seed : int;
+}
+
+let default_options =
+  {
+    params = Tpcw.default_params;
+    browsers = [ 128; 256; 384; 512 ];
+    sim_horizon = 200_000.;
+    exact_model = true;
+    seed = 11;
+  }
+
+let bench_options =
+  { default_options with browsers = [ 64; 128; 192 ]; sim_horizon = 50_000. }
+
+type cell = {
+  response_time : float;
+  front_utilization : float;
+  db_utilization : float;
+}
+
+type row = { browsers : int; measured : cell; acf_model : cell; no_acf_model : cell }
+
+type t = { options : options; rows : row list }
+
+let cell_of_sim options (r : Sim.result) =
+  {
+    response_time =
+      Tpcw.user_response_time ~network_response:r.Sim.system_response_time
+        ~params:options.params;
+    front_utilization = r.Sim.stations.(Tpcw.front).Sim.utilization;
+    db_utilization = r.Sim.stations.(Tpcw.db).Sim.utilization;
+  }
+
+let cell_of_exact options sol =
+  {
+    response_time =
+      Tpcw.user_response_time
+        ~network_response:(Solution.system_response_time sol)
+        ~params:options.params;
+    front_utilization = Solution.utilization sol Tpcw.front;
+    db_utilization = Solution.utilization sol Tpcw.db;
+  }
+
+let cell_of_mva options (mva : Mapqn_baselines.Mva.t) =
+  {
+    response_time =
+      Tpcw.user_response_time ~network_response:mva.Mapqn_baselines.Mva.system_response_time
+        ~params:options.params;
+    front_utilization = mva.Mapqn_baselines.Mva.utilization.(Tpcw.front);
+    db_utilization = mva.Mapqn_baselines.Mva.utilization.(Tpcw.db);
+  }
+
+let run ?(options = default_options) () =
+  let rows =
+    List.map
+      (fun browsers ->
+        let net = Tpcw.network ~params:options.params ~browsers () in
+        let sim_options =
+          {
+            Sim.default_options with
+            seed = options.seed;
+            warmup = 10_000.;
+            horizon = options.sim_horizon;
+          }
+        in
+        let measured = cell_of_sim options (Sim.run ~options:sim_options net) in
+        let acf_model =
+          if options.exact_model then
+            let sol =
+              Solution.solve ~max_states:3_000_000
+                ~options:
+                  {
+                    Mapqn_sparse.Stationary.default_options with
+                    method_ = Mapqn_sparse.Stationary.Gauss_seidel;
+                    tol = 1e-10;
+                  }
+                net
+            in
+            cell_of_exact options sol
+          else
+            cell_of_sim options
+              (Sim.run ~options:{ sim_options with seed = options.seed + 1 } net)
+        in
+        let no_acf_model =
+          cell_of_mva options
+            (Mapqn_baselines.Mva.solve (Tpcw.network_no_acf ~params:options.params ~browsers ()))
+        in
+        { browsers; measured; acf_model; no_acf_model })
+      options.browsers
+  in
+  { options; rows }
+
+let print t =
+  print_endline
+    "Figure 3: TPC-W response time and utilizations — measured (DES testbed \
+     substitute) vs ACF model (I) vs no-ACF model (II)";
+  Mapqn_util.Table.print
+    ~header:
+      [
+        "browsers";
+        "R meas";
+        "R acf";
+        "R noacf";
+        "Ufront meas";
+        "Ufront acf";
+        "Ufront noacf";
+        "Udb meas";
+        "Udb acf";
+        "Udb noacf";
+      ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.browsers;
+           Mapqn_util.Table.float_cell ~decimals:2 r.measured.response_time;
+           Mapqn_util.Table.float_cell ~decimals:2 r.acf_model.response_time;
+           Mapqn_util.Table.float_cell ~decimals:2 r.no_acf_model.response_time;
+           Mapqn_util.Table.float_cell ~decimals:3 r.measured.front_utilization;
+           Mapqn_util.Table.float_cell ~decimals:3 r.acf_model.front_utilization;
+           Mapqn_util.Table.float_cell ~decimals:3 r.no_acf_model.front_utilization;
+           Mapqn_util.Table.float_cell ~decimals:3 r.measured.db_utilization;
+           Mapqn_util.Table.float_cell ~decimals:3 r.acf_model.db_utilization;
+           Mapqn_util.Table.float_cell ~decimals:3 r.no_acf_model.db_utilization;
+         ])
+       t.rows)
+
+let no_acf_response_underestimation t =
+  let ratios =
+    List.filter_map
+      (fun r ->
+        if r.no_acf_model.response_time > 0. then
+          Some (r.measured.response_time /. r.no_acf_model.response_time)
+        else None)
+      t.rows
+  in
+  if ratios = [] then Float.nan else Mapqn_util.Stats.mean (Array.of_list ratios)

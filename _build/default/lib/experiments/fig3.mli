@@ -1,0 +1,54 @@
+(** Figure 3: model-vs-measurement comparison on the TPC-W system.
+
+    For each browser population the paper shows bars of user response time
+    and of front/DB utilization for (I) a model that captures the front
+    server's autocorrelated service and (II) the same model with
+    uncorrelated service, next to testbed measurements. The qualitative
+    result: (I) matches; (II) severely underestimates response times and
+    queue lengths and overestimates utilizations at all tiers.
+
+    Substitutions here: "measurement" is the discrete-event simulation of
+    the MAP network (the testbed substitute); model (I) is the exact CTMC
+    solution of the same MAP network; model (II) is exact MVA on the
+    exponentialized network. Because model (I) and the simulator share the
+    MAP network, their agreement validates both; the interesting column is
+    how far model (II) falls from them. *)
+
+type options = {
+  params : Mapqn_workloads.Tpcw.params;
+  browsers : int list;  (** paper: 128, 256, 384, 512 *)
+  sim_horizon : float;
+  exact_model : bool;
+      (** solve model (I) exactly via the CTMC (hundreds of thousands of
+          states at 512 browsers); when false, (I) is reported from an
+          independent simulation replica *)
+  seed : int;
+}
+
+val default_options : options
+(** browsers [128;256;384;512], exact model (I), horizon 200_000 s. *)
+
+val bench_options : options
+(** browsers [64;128;192], exact model (I), horizon 50_000 s. *)
+
+type cell = {
+  response_time : float;  (** user-perceived response time (think excluded) *)
+  front_utilization : float;
+  db_utilization : float;
+}
+
+type row = {
+  browsers : int;
+  measured : cell;  (** DES "testbed" *)
+  acf_model : cell;  (** model (I) *)
+  no_acf_model : cell;  (** model (II) *)
+}
+
+type t = { options : options; rows : row list }
+
+val run : ?options:options -> unit -> t
+val print : t -> unit
+
+val no_acf_response_underestimation : t -> float
+(** Mean factor by which model (II) underestimates the measured response
+    time — the headline mismatch of the paper's second row of bars. *)

@@ -1,0 +1,64 @@
+module Tandem = Mapqn_workloads.Tandem
+
+type options = { params : Tandem.params; populations : int list }
+
+let grid ~max_n ~points =
+  let step = max 1 (max_n / points) in
+  let rec go n acc = if n > max_n then List.rev acc else go (n + step) (n :: acc) in
+  go step [ 1 ]
+  |> List.sort_uniq compare
+
+let default_options = { params = Tandem.default_params; populations = grid ~max_n:500 ~points:25 }
+let bench_options = { params = Tandem.default_params; populations = grid ~max_n:120 ~points:12 }
+
+type row = {
+  population : int;
+  exact : float;
+  decomposition : float;
+  aba_lower : float;
+  aba_upper : float;
+}
+
+type t = { options : options; rows : row list }
+
+let run ?(options = default_options) () =
+  let q = Tandem.observed_queue in
+  let rows =
+    List.map
+      (fun population ->
+        let net = Tandem.network ~params:options.params ~population () in
+        let sol = Mapqn_ctmc.Solution.solve net in
+        let dec = Mapqn_baselines.Decomposition.solve net in
+        let lo, hi = Mapqn_baselines.Aba.utilization_bounds net q in
+        {
+          population;
+          exact = Mapqn_ctmc.Solution.utilization sol q;
+          decomposition = dec.Mapqn_baselines.Decomposition.utilization.(q);
+          aba_lower = lo;
+          aba_upper = hi;
+        })
+      options.populations
+  in
+  { options; rows }
+
+let print t =
+  print_endline
+    "Figure 4: queue-1 utilization of the autocorrelated two-queue tandem \
+     (exact vs decomposition vs ABA bounds)";
+  Mapqn_util.Table.print
+    ~header:[ "N"; "exact"; "decomp"; "ABA lower"; "ABA upper" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.population;
+           Mapqn_util.Table.float_cell r.exact;
+           Mapqn_util.Table.float_cell r.decomposition;
+           Mapqn_util.Table.float_cell r.aba_lower;
+           Mapqn_util.Table.float_cell r.aba_upper;
+         ])
+       t.rows)
+
+let decomposition_max_error t =
+  List.fold_left
+    (fun acc r -> Float.max acc (Float.abs (r.decomposition -. r.exact)))
+    0. t.rows

@@ -1,0 +1,38 @@
+(** Figure 4: failure of classic approximations on an autocorrelated
+    two-queue closed tandem.
+
+    Plots (as a table of series) the utilization of queue 1 versus the
+    population N: the exact global-balance value, the decomposition–
+    aggregation approximation, and the ABA upper/lower bounds. Shape to
+    reproduce: decomposition overshoots the exact curve badly once N grows
+    past a few tens of jobs, and the ABA bounds are only informative at
+    very low or very high utilization. *)
+
+type options = {
+  params : Mapqn_workloads.Tandem.params;
+  populations : int list;
+}
+
+val default_options : options
+(** Paper range: N up to 500 (grid of 26 points). *)
+
+val bench_options : options
+(** Scaled-down grid (N <= 120) for the benchmark harness. *)
+
+type row = {
+  population : int;
+  exact : float;
+  decomposition : float;
+  aba_lower : float;
+  aba_upper : float;
+}
+
+type t = { options : options; rows : row list }
+
+val run : ?options:options -> unit -> t
+val print : t -> unit
+
+val decomposition_max_error : t -> float
+(** Max absolute utilization error of decomposition over the sweep — the
+    figure's headline ("unacceptable inaccuracies beyond a few tens of
+    requests"). *)

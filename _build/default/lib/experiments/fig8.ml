@@ -1,0 +1,79 @@
+module Case_study = Mapqn_workloads.Case_study
+module Bounds = Mapqn_core.Bounds
+module Solution = Mapqn_ctmc.Solution
+
+type options = {
+  params : Case_study.params;
+  populations : int list;
+  config : Mapqn_core.Constraints.config;
+}
+
+let default_options =
+  {
+    params = Case_study.default_params;
+    populations = [ 1; 5; 10; 20; 40; 60; 80; 100 ];
+    config = Mapqn_core.Constraints.standard;
+  }
+
+let bench_options =
+  {
+    params = Case_study.default_params;
+    populations = [ 2; 4; 8; 16; 32 ];
+    config = Mapqn_core.Constraints.full;
+  }
+
+type row = {
+  population : int;
+  exact_utilization : float;
+  utilization : Bounds.interval;
+  exact_response : float;
+  response : Bounds.interval;
+}
+
+type t = { options : options; rows : row list }
+
+let run ?(options = default_options) () =
+  let q = Case_study.bottleneck in
+  let rows =
+    List.map
+      (fun population ->
+        let net = Case_study.network ~params:options.params ~population () in
+        let sol = Solution.solve net in
+        let b = Bounds.create_exn ~config:options.config net in
+        {
+          population;
+          exact_utilization = Solution.utilization sol q;
+          utilization = Bounds.utilization b q;
+          exact_response = Solution.system_response_time sol;
+          response = Bounds.response_time b;
+        })
+      options.populations
+  in
+  { options; rows }
+
+let print t =
+  print_endline
+    "Figure 8: case-study bounds vs exact (queue-3 utilization and system \
+     response time)";
+  Mapqn_util.Table.print
+    ~header:
+      [ "N"; "U3 lower"; "U3 exact"; "U3 upper"; "R lower"; "R exact"; "R upper" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.population;
+           Mapqn_util.Table.float_cell r.utilization.Bounds.lower;
+           Mapqn_util.Table.float_cell r.exact_utilization;
+           Mapqn_util.Table.float_cell r.utilization.Bounds.upper;
+           Mapqn_util.Table.float_cell ~decimals:2 r.response.Bounds.lower;
+           Mapqn_util.Table.float_cell ~decimals:2 r.exact_response;
+           Mapqn_util.Table.float_cell ~decimals:2 r.response.Bounds.upper;
+         ])
+       t.rows)
+
+let max_response_error t =
+  List.fold_left
+    (fun (lo, hi) r ->
+      ( Float.max lo (Mapqn_util.Tol.relative_error ~exact:r.exact_response r.response.Bounds.lower),
+        Float.max hi (Mapqn_util.Tol.relative_error ~exact:r.exact_response r.response.Bounds.upper) ))
+    (0., 0.) t.rows

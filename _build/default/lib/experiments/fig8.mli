@@ -1,0 +1,40 @@
+(** Figure 8: LP bounds versus the exact solution on the case-study
+    network (Figure 5 topology, MAP queue with CV = 4, γ₂ = 0.5).
+
+    (a) bottleneck (queue 3) utilization and (b) system response time as
+    functions of the population, each with the LP lower/upper bounds.
+    Properties to reproduce: the bounds stay close to the exact value at
+    every population and both converge to the exact asymptote as N grows
+    (the paper highlights that asymptotic exactness). *)
+
+type options = {
+  params : Mapqn_workloads.Case_study.params;
+  populations : int list;
+  config : Mapqn_core.Constraints.config;
+}
+
+val default_options : options
+(** N <= 100 on a coarse grid with the [standard] constraint set (the
+    paper plots to N = 200; the LP at that size takes hours with this
+    repository's dense simplex — see EXPERIMENTS.md for runtimes). *)
+
+val bench_options : options
+(** N <= 32 with the [full] (level-2) constraint set — the configuration
+    that reproduces the paper's ~2% accuracy. *)
+
+type row = {
+  population : int;
+  exact_utilization : float;
+  utilization : Mapqn_core.Bounds.interval;
+  exact_response : float;
+  response : Mapqn_core.Bounds.interval;
+}
+
+type t = { options : options; rows : row list }
+
+val run : ?options:options -> unit -> t
+val print : t -> unit
+
+val max_response_error : t -> float * float
+(** Max relative error of (lower, upper) response-time bounds over the
+    sweep. *)

@@ -1,0 +1,126 @@
+module Process = Mapqn_map.Process
+module Fit = Mapqn_map.Fit
+module Rng = Mapqn_prng.Rng
+module Dist = Mapqn_prng.Dist
+module Mat = Mapqn_linalg.Mat
+
+type options = { instances : int; population : int; seed : int }
+
+let default_options = { instances = 40; population = 16; seed = 77 }
+let bench_options = { instances = 12; population = 12; seed = 77 }
+
+type row = { index : int; exact : float; second_order : float; third_order : float }
+
+type t = {
+  options : options;
+  rows : row list;
+  mean_err2 : float;
+  max_err2 : float;
+  mean_err3 : float;
+  max_err3 : float;
+}
+
+(* A random general MAP(2) — including hidden transitions, so it lies
+   outside the Markov-switched-H2 fitting family — retried until it is
+   valid, genuinely variable (scv > 1.2) and positively autocorrelated
+   with a real ACF decay (so that both fits are well posed). *)
+let rec random_truth rng =
+  let u lo hi = Dist.uniform rng ~lo ~hi in
+  let h01 = u 0.01 0.5 and h10 = u 0.01 0.5 in
+  let fast = u 2. 8. and slow = u 0.05 0.8 in
+  let candidate =
+    Process.make
+      ~d0:(Mat.of_arrays [| [| -.(h01 +. fast); h01 |]; [| h10; -.(h10 +. slow) |] |])
+      ~d1:(Mat.of_arrays [| [| fast; 0. |]; [| 0.; slow |] |])
+  in
+  match candidate with
+  | Error _ -> random_truth rng
+  | Ok p -> (
+    let scv = Process.scv p in
+    match Process.acf_decay p with
+    | Some g when scv > 1.2 && g > 0.05 && g < 0.98 && Process.acf p 1 > 0.01 ->
+      p
+    | Some _ | None -> random_truth rng)
+
+(* The MAP queue must be the clear bottleneck (demand ratio ~3x) or the
+   response time barely depends on its higher-order statistics and both
+   fits trivially succeed. Visit ratios here are (1, 0.7, 0.1). *)
+let network ~population service =
+  let mean = Process.mean service in
+  Mapqn_model.Network.make_exn
+    ~stations:
+      [|
+        Mapqn_model.Station.exp ~rate:(1. /. (0.03 *. mean)) ();
+        Mapqn_model.Station.exp ~rate:(1. /. (0.06 *. mean)) ();
+        Mapqn_model.Station.map service;
+      |]
+    ~routing:[| [| 0.2; 0.7; 0.1 |]; [| 1.; 0.; 0. |]; [| 1.; 0.; 0. |] |]
+    ~population
+
+let response ~population service =
+  Mapqn_ctmc.Solution.system_response_time
+    (Mapqn_ctmc.Solution.solve (network ~population service))
+
+let run ?(options = default_options) () =
+  let rng = Rng.create ~seed:options.seed in
+  let rows = ref [] in
+  let index = ref 0 in
+  while List.length !rows < options.instances do
+    incr index;
+    let truth = random_truth rng in
+    let mean = Process.mean truth and scv = Process.scv truth in
+    let skewness = Process.skewness truth in
+    let gamma2 =
+      match Process.acf_decay truth with Some g -> g | None -> assert false
+    in
+    let second = Fit.map2 ~mean ~scv ~gamma2 () in
+    let third = Fit.map2 ~mean ~scv ~gamma2 ~skewness () in
+    match (second, third) with
+    | Ok p2, Ok p3 ->
+      let exact = response ~population:options.population truth in
+      let r2 = response ~population:options.population p2 in
+      let r3 = response ~population:options.population p3 in
+      rows :=
+        { index = !index; exact; second_order = r2; third_order = r3 } :: !rows
+    | Error _, _ | _, Error _ ->
+      (* Skewness outside the H2-feasible range for this (mean, scv):
+         skip the instance (counted neither way). *)
+      ()
+  done;
+  let rows = List.rev !rows in
+  let errs f =
+    Array.of_list
+      (List.map (fun r -> Mapqn_util.Tol.relative_error ~exact:r.exact (f r)) rows)
+  in
+  let e2 = errs (fun r -> r.second_order) and e3 = errs (fun r -> r.third_order) in
+  {
+    options;
+    rows;
+    mean_err2 = Mapqn_util.Stats.mean e2;
+    max_err2 = Mapqn_util.Stats.maximum e2;
+    mean_err3 = Mapqn_util.Stats.mean e3;
+    max_err3 = Mapqn_util.Stats.maximum e3;
+  }
+
+let print t =
+  Printf.printf
+    "Moment-order extension: response-time prediction error when the MAP is \
+     refitted from summary statistics (%d random ground-truth MAP(2)s, N = %d)\n"
+    t.options.instances t.options.population;
+  Mapqn_util.Table.print
+    ~header:[ "fit"; "mean rel err"; "max rel err" ]
+    [
+      [
+        "2nd order (mean, scv, gamma2)";
+        Mapqn_util.Table.float_cell t.mean_err2;
+        Mapqn_util.Table.float_cell t.max_err2;
+      ];
+      [
+        "3rd order (+ skewness)";
+        Mapqn_util.Table.float_cell t.mean_err3;
+        Mapqn_util.Table.float_cell t.max_err3;
+      ];
+    ];
+  Printf.printf
+    "third-order fitting reduces the mean prediction error by %.1fx\n%!"
+    (t.mean_err2 /. Float.max t.mean_err3 1e-12)

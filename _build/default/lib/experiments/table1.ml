@@ -1,0 +1,96 @@
+module Random_models = Mapqn_workloads.Random_models
+module Bounds = Mapqn_core.Bounds
+module Solution = Mapqn_ctmc.Solution
+
+type options = {
+  spec : Random_models.spec;
+  models : int;
+  populations : int list;
+  config : Mapqn_core.Constraints.config;
+  seed : int;
+}
+
+let default_options =
+  {
+    spec = Random_models.default_spec;
+    models = 50;
+    populations = [ 1; 2; 4; 8; 16; 32 ];
+    config = Mapqn_core.Constraints.full;
+    seed = 2008;
+  }
+
+let bench_options =
+  { default_options with models = 12; populations = [ 1; 2; 4; 8 ] }
+
+type model_result = {
+  index : int;
+  max_err_lower : float;
+  max_err_upper : float;
+  bracket_violations : int;
+}
+
+type t = {
+  options : options;
+  per_model : model_result list;
+  rmax_stats : float * float * float * float;
+  rmin_stats : float * float * float * float;
+}
+
+let evaluate_model options index (model : Random_models.model) =
+  let max_lower = ref 0. and max_upper = ref 0. and violations = ref 0 in
+  List.iter
+    (fun population ->
+      let net = Mapqn_model.Network.with_population model.Random_models.network population in
+      let sol = Solution.solve net in
+      let exact = Solution.system_response_time sol in
+      let b = Bounds.create_exn ~config:options.config net in
+      let r = b |> Bounds.response_time in
+      max_lower :=
+        Float.max !max_lower (Mapqn_util.Tol.relative_error ~exact r.Bounds.lower);
+      max_upper :=
+        Float.max !max_upper (Mapqn_util.Tol.relative_error ~exact r.Bounds.upper);
+      if not (Bounds.contains r exact) then incr violations)
+    options.populations;
+  {
+    index;
+    max_err_lower = !max_lower;
+    max_err_upper = !max_upper;
+    bracket_violations = !violations;
+  }
+
+let run ?(options = default_options) () =
+  let models =
+    Random_models.generate_many ~spec:options.spec ~seed:options.seed options.models
+  in
+  let per_model = List.mapi (evaluate_model options) models in
+  let upper = Array.of_list (List.map (fun r -> r.max_err_upper) per_model) in
+  let lower = Array.of_list (List.map (fun r -> r.max_err_lower) per_model) in
+  {
+    options;
+    per_model;
+    rmax_stats = Mapqn_util.Stats.summary upper;
+    rmin_stats = Mapqn_util.Stats.summary lower;
+  }
+
+let print t =
+  Printf.printf
+    "Table 1: maximal relative error of response-time bounds on %d random \
+     models (populations %s)\n"
+    t.options.models
+    (String.concat "," (List.map string_of_int t.options.populations));
+  let row label (mean, std, median, maximum) =
+    [
+      label;
+      Mapqn_util.Table.float_cell ~decimals:3 mean;
+      Mapqn_util.Table.float_cell ~decimals:3 std;
+      Mapqn_util.Table.float_cell ~decimals:3 median;
+      Mapqn_util.Table.float_cell ~decimals:3 maximum;
+    ]
+  in
+  Mapqn_util.Table.print
+    ~header:[ ""; "mean"; "std dev"; "median"; "max" ]
+    [ row "Rmax" t.rmax_stats; row "Rmin" t.rmin_stats ];
+  let violations =
+    List.fold_left (fun acc r -> acc + r.bracket_violations) 0 t.per_model
+  in
+  Printf.printf "bracket violations (must be 0): %d\n%!" violations

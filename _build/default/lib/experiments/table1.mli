@@ -1,0 +1,45 @@
+(** Table 1: accuracy of the response-time bounds on random models.
+
+    For each random 3-queue MAP(2) network, compute the maximal relative
+    error of the response-time bounds against the exact solution over a
+    population grid, then report the distribution of those maxima across
+    models — exactly the paper's four statistics (mean, std dev, median,
+    max) for the upper bound [R_max] (from [X_min]) and the lower bound
+    [R_min] (from [X_max]).
+
+    The paper runs 10_000 models over every population 1..100; that is
+    CPU-months with this repository's from-scratch LP solver, so the count
+    and grid are parameters (defaults documented in EXPERIMENTS.md) — the
+    reported statistics estimate the same population quantities. *)
+
+type options = {
+  spec : Mapqn_workloads.Random_models.spec;
+  models : int;
+  populations : int list;  (** paper: 1..100 *)
+  config : Mapqn_core.Constraints.config;
+  seed : int;
+}
+
+val default_options : options
+(** 50 models, populations [1;2;4;8;16;32], [full] constraints. *)
+
+val bench_options : options
+(** 12 models, populations [1;2;4;8], [full] constraints. *)
+
+type model_result = {
+  index : int;
+  max_err_lower : float;  (** max over N of rel. error of R_min *)
+  max_err_upper : float;  (** max over N of rel. error of R_max *)
+  bracket_violations : int;  (** populations where exact fell outside *)
+}
+
+type t = {
+  options : options;
+  per_model : model_result list;
+  (* Summary rows in the paper's format: (mean, std, median, max). *)
+  rmax_stats : float * float * float * float;
+  rmin_stats : float * float * float * float;
+}
+
+val run : ?options:options -> unit -> t
+val print : t -> unit

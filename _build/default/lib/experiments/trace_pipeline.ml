@@ -1,0 +1,121 @@
+module Tpcw = Mapqn_workloads.Tpcw
+module Trace = Mapqn_map.Trace
+module Solution = Mapqn_ctmc.Solution
+
+type options = {
+  params : Tpcw.params;
+  trace_length : int;
+  browsers : int list;
+  seed : int;
+}
+
+let default_options =
+  {
+    params = Tpcw.default_params;
+    trace_length = 200_000;
+    browsers = [ 64; 128; 192 ];
+    seed = 31;
+  }
+
+type row = { browsers : int; truth : float; fitted : float; mean_only : float }
+
+type t = {
+  options : options;
+  estimated : Trace.statistics;
+  rows : row list;
+  max_err_fitted : float;
+  max_err_mean_only : float;
+}
+
+let response_of_network options net =
+  let sol = Solution.solve ~max_states:3_000_000 net in
+  Tpcw.user_response_time
+    ~network_response:(Solution.system_response_time sol)
+    ~params:options.params
+
+let run ?(options = default_options) () =
+  let params = options.params in
+  (* Ground-truth service process (treated as unknown by the pipeline). *)
+  let truth_map =
+    Mapqn_map.Fit.map2_exn ~mean:params.Tpcw.front_mean ~scv:params.Tpcw.front_scv
+      ~gamma2:params.Tpcw.front_gamma2 ()
+  in
+  (* "Measure" a service-time trace and fit. *)
+  let rng = Mapqn_prng.Rng.create ~seed:options.seed in
+  let trace = Trace.sample rng truth_map ~count:options.trace_length in
+  let fitted_map, estimated =
+    match Trace.fit_map2 trace with
+    | Ok r -> r
+    | Error msg -> failwith ("Trace_pipeline: " ^ msg)
+  in
+  (* Rebuild the TPC-W network around a given front-service process. *)
+  let network_with front ~browsers =
+    Mapqn_model.Network.make_exn
+      ~stations:
+        [|
+          Mapqn_model.Station.delay ~name:"clients"
+            ~rate:(1. /. params.Tpcw.think_time) ();
+          Mapqn_model.Station.map ~name:"front" front;
+          Mapqn_model.Station.exp ~name:"db" ~rate:(1. /. params.Tpcw.db_mean) ();
+        |]
+      ~routing:
+        [|
+          [| 0.; 1.; 0. |];
+          [| params.Tpcw.p_reply; 0.; 1. -. params.Tpcw.p_reply |];
+          [| 0.; 1.; 0. |];
+        |]
+      ~population:browsers
+  in
+  let rows =
+    List.map
+      (fun browsers ->
+        let truth = response_of_network options (network_with truth_map ~browsers) in
+        let fitted = response_of_network options (network_with fitted_map ~browsers) in
+        let mean_only =
+          let mva =
+            Mapqn_baselines.Mva.solve
+              (Mapqn_model.Network.exponentialize (network_with truth_map ~browsers))
+          in
+          Tpcw.user_response_time
+            ~network_response:mva.Mapqn_baselines.Mva.system_response_time
+            ~params
+        in
+        { browsers; truth; fitted; mean_only })
+      options.browsers
+  in
+  let max_err f =
+    List.fold_left
+      (fun acc r -> Float.max acc (Mapqn_util.Tol.relative_error ~exact:r.truth (f r)))
+      0. rows
+  in
+  {
+    options;
+    estimated;
+    rows;
+    max_err_fitted = max_err (fun r -> r.fitted);
+    max_err_mean_only = max_err (fun r -> r.mean_only);
+  }
+
+let print t =
+  Printf.printf
+    "Trace pipeline: fit the front server from a %d-sample service trace\n"
+    t.options.trace_length;
+  Printf.printf
+    "estimated from trace: mean=%.5f scv=%.2f skewness=%.2f gamma2=%.3f (from \
+     %d ACF lags)\n"
+    t.estimated.Trace.mean t.estimated.Trace.scv t.estimated.Trace.skewness
+    t.estimated.Trace.gamma2 t.estimated.Trace.gamma2_lags_used;
+  Mapqn_util.Table.print
+    ~header:[ "browsers"; "R truth"; "R trace-fit"; "R mean-only" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.browsers;
+           Mapqn_util.Table.float_cell ~decimals:3 r.truth;
+           Mapqn_util.Table.float_cell ~decimals:3 r.fitted;
+           Mapqn_util.Table.float_cell ~decimals:3 r.mean_only;
+         ])
+       t.rows);
+  Printf.printf
+    "max relative error: trace-fitted %.3f, mean-only %.3f\n%!"
+    t.max_err_fitted t.max_err_mean_only

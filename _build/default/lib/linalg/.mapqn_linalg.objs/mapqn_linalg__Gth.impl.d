@@ -1,0 +1,1 @@
+lib/linalg/gth.ml: Array Mapqn_util Mat Printf Vec

@@ -1,0 +1,70 @@
+let eigenvalues_2x2 m =
+  if Mat.rows m <> 2 || Mat.cols m <> 2 then invalid_arg "Eig.eigenvalues_2x2";
+  let a = Mat.get m 0 0 and b = Mat.get m 0 1 in
+  let c = Mat.get m 1 0 and d = Mat.get m 1 1 in
+  let tr = a +. d and det = (a *. d) -. (b *. c) in
+  let disc = (tr *. tr /. 4.) -. det in
+  if disc < 0. then Error disc
+  else begin
+    let s = sqrt disc in
+    let l1 = (tr /. 2.) +. s and l2 = (tr /. 2.) -. s in
+    if Float.abs l1 >= Float.abs l2 then Ok (l1, l2) else Ok (l2, l1)
+  end
+
+let power_iteration ?(max_iter = 10_000) ?(tol = 1e-12) m =
+  let n = Mat.rows m in
+  if Mat.cols m <> n then invalid_arg "Eig.power_iteration: not square";
+  (* A deterministic, dense starting vector avoids accidental orthogonality
+     with high probability for the matrices we care about. *)
+  let x = ref (Vec.normalize1 (Array.init n (fun i -> 1. +. (0.1 *. float_of_int (i + 1))))) in
+  let lambda = ref 0. in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let y = Mat.mat_vec m !x in
+    let norm = Vec.norm_inf y in
+    if norm < 1e-300 then begin
+      (* The image collapsed: dominant eigenvalue is 0. *)
+      lambda := 0.;
+      converged := true
+    end
+    else begin
+      let y = Vec.scale (1. /. norm) y in
+      (* Rayleigh-style estimate from the largest component keeps the sign. *)
+      let idx = ref 0 in
+      Array.iteri
+        (fun i v -> if Float.abs v > Float.abs y.(!idx) then idx := i)
+        y;
+      let est =
+        let num = (Mat.mat_vec m y).(!idx) and den = y.(!idx) in
+        num /. den
+      in
+      if
+        Float.abs (est -. !lambda) <= tol *. Float.max 1. (Float.abs est)
+        && Vec.max_abs_diff y !x < sqrt tol
+      then converged := true;
+      lambda := est;
+      x := y
+    end
+  done;
+  if !converged then Some (!lambda, !x) else None
+
+let subdominant_stochastic p =
+  let n = Mat.rows p in
+  if n <= 1 then Some 0.
+  else if n = 2 then
+    match eigenvalues_2x2 p with
+    | Ok (l1, l2) ->
+      (* For a stochastic matrix the Perron eigenvalue is 1. *)
+      Some (if Mapqn_util.Tol.close l1 1. then l2 else l1)
+    | Error _ -> None
+  else begin
+    let pi = Gth.dtmc p in
+    (* Deflation B = P - e·π removes the (1, e) eigenpair and leaves every
+       other eigenpair intact (π is the left Perron vector, π·e = 1). *)
+    let b = Mat.init ~rows:n ~cols:n (fun i j -> Mat.get p i j -. pi.(j)) in
+    match power_iteration b with
+    | Some (l, _) -> Some l
+    | None -> None
+  end

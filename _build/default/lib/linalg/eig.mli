@@ -1,0 +1,22 @@
+(** Eigenvalue helpers for the small matrices of the MAP layer. *)
+
+val eigenvalues_2x2 : Mat.t -> (float * float, float) result
+(** Both eigenvalues of a 2×2 matrix, larger magnitude first, when they are
+    real; [Error discriminant] when they are complex (negative
+    discriminant). *)
+
+val power_iteration :
+  ?max_iter:int ->
+  ?tol:float ->
+  Mat.t ->
+  (float * Vec.t) option
+(** Dominant eigenvalue (by magnitude, assumed real and simple) and
+    eigenvector of a square matrix, or [None] if the iteration does not
+    converge within [max_iter] (default 10_000). *)
+
+val subdominant_stochastic : Mat.t -> float option
+(** Second-largest-modulus eigenvalue of an irreducible stochastic matrix,
+    assumed real (true for reversible chains and all 2×2 chains): deflates
+    the known Perron eigenpair [(1, e)] against the stationary vector and
+    runs power iteration on the remainder. [None] when the iteration fails
+    to converge (e.g. genuinely complex subdominant pair). *)

@@ -1,0 +1,61 @@
+(* GTH elimination works directly on the off-diagonal transition rates
+   (or probabilities); the diagonal is never used, which is what removes the
+   cancellation. We therefore share one core over DTMCs and CTMCs. *)
+
+let gth_core rates =
+  let n = Mat.rows rates in
+  let a = Mat.copy rates in
+  (* Censor states n-1, n-2, ..., 1 in turn. *)
+  for k = n - 1 downto 1 do
+    let out = ref 0. in
+    for j = 0 to k - 1 do
+      out := !out +. Mat.get a k j
+    done;
+    if !out <= 0. then failwith "Gth: reducible chain (zero outflow)";
+    for i = 0 to k - 1 do
+      let aik = Mat.get a i k /. !out in
+      if aik <> 0. then
+        for j = 0 to k - 1 do
+          if j <> i then Mat.set a i j (Mat.get a i j +. (aik *. Mat.get a k j))
+        done
+    done
+  done;
+  (* Back-substitution: unnormalized stationary weights. *)
+  let pi = Array.make n 0. in
+  pi.(0) <- 1.;
+  for k = 1 to n - 1 do
+    let out = ref 0. in
+    for j = 0 to k - 1 do
+      out := !out +. Mat.get a k j
+    done;
+    let acc = Mapqn_util.Ksum.create () in
+    for i = 0 to k - 1 do
+      Mapqn_util.Ksum.add acc (pi.(i) *. Mat.get a i k)
+    done;
+    pi.(k) <- Mapqn_util.Ksum.total acc /. !out
+  done;
+  Vec.normalize1 pi
+
+let off_diagonal m =
+  let n = Mat.rows m in
+  Mat.init ~rows:n ~cols:n (fun i j -> if i = j then 0. else Mat.get m i j)
+
+let dtmc p =
+  let n = Mat.rows p in
+  if Mat.cols p <> n then invalid_arg "Gth.dtmc: not square";
+  Array.iteri
+    (fun i s ->
+      if not (Mapqn_util.Tol.close ~rel:1e-8 ~abs:1e-8 s 1.) then
+        invalid_arg (Printf.sprintf "Gth.dtmc: row %d sums to %g, not 1" i s))
+    (Mat.row_sums p);
+  if n = 1 then [| 1. |] else gth_core (off_diagonal p)
+
+let ctmc q =
+  let n = Mat.rows q in
+  if Mat.cols q <> n then invalid_arg "Gth.ctmc: not square";
+  Array.iteri
+    (fun i s ->
+      if not (Mapqn_util.Tol.close ~rel:1e-6 ~abs:1e-8 s 0.) then
+        invalid_arg (Printf.sprintf "Gth.ctmc: row %d sums to %g, not 0" i s))
+    (Mat.row_sums q);
+  if n = 1 then [| 1. |] else gth_core (off_diagonal q)

@@ -1,0 +1,16 @@
+(** Grassmann–Taksar–Heyman (GTH) elimination for stationary distributions.
+
+    GTH computes the stationary vector of an irreducible Markov chain using
+    only additions of nonnegative quantities — no subtractive cancellation —
+    so it is the numerically preferred direct method for small and
+    medium chains (up to a few thousand states, O(n³) time). *)
+
+val dtmc : Mat.t -> Vec.t
+(** Stationary row vector [π] of an irreducible stochastic matrix [P]
+    ([π P = π], [π 1 = 1]). Raises [Invalid_argument] on non-square input
+    or rows that do not sum to 1 within tolerance; raises [Failure] when
+    the chain is reducible (zero total outflow during elimination). *)
+
+val ctmc : Mat.t -> Vec.t
+(** Stationary row vector of an irreducible CTMC generator [Q]
+    ([π Q = 0], [π 1 = 1]). Rows must sum to 0 within tolerance. *)

@@ -1,0 +1,11 @@
+let product a b =
+  let ra = Mat.rows a and ca = Mat.cols a in
+  let rb = Mat.rows b and cb = Mat.cols b in
+  Mat.init ~rows:(ra * rb) ~cols:(ca * cb) (fun i j ->
+      Mat.get a (i / rb) (j / cb) *. Mat.get b (i mod rb) (j mod cb))
+
+let sum a b =
+  if Mat.rows a <> Mat.cols a || Mat.rows b <> Mat.cols b then
+    invalid_arg "Kron.sum: arguments must be square";
+  let ia = Mat.identity (Mat.rows a) and ib = Mat.identity (Mat.rows b) in
+  Mat.add (product a ib) (product ia b)

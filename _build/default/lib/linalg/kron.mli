@@ -1,0 +1,10 @@
+(** Kronecker product and sum.
+
+    MAP network generators and MAP superpositions have natural Kronecker
+    structure; these helpers are used by tests and by the MAP operations. *)
+
+val product : Mat.t -> Mat.t -> Mat.t
+(** [product a b] is [a ⊗ b]. *)
+
+val sum : Mat.t -> Mat.t -> Mat.t
+(** [sum a b = a ⊗ I + I ⊗ b]; both arguments must be square. *)

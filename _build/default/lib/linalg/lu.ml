@@ -1,0 +1,91 @@
+type t = { lu : Mat.t; perm : int array; sign : float }
+
+exception Singular of int
+
+let factorize a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Lu.factorize: not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: largest magnitude entry in column k at/below row k. *)
+    let pivot_row = ref k in
+    let pivot_val = ref (Float.abs (Mat.get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs (Mat.get lu i k) in
+      if v > !pivot_val then begin
+        pivot_val := v;
+        pivot_row := i
+      end
+    done;
+    if !pivot_val < 1e-300 then raise (Singular k);
+    if !pivot_row <> k then begin
+      sign := -. !sign;
+      let r = !pivot_row in
+      for j = 0 to n - 1 do
+        let tmp = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu r j);
+        Mat.set lu r j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(r);
+      perm.(r) <- tmp
+    end;
+    let pivot = Mat.get lu k k in
+    for i = k + 1 to n - 1 do
+      let factor = Mat.get lu i k /. pivot in
+      Mat.set lu i k factor;
+      if factor <> 0. then
+        for j = k + 1 to n - 1 do
+          Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve_vec { lu; perm; _ } b =
+  let n = Mat.rows lu in
+  if Array.length b <> n then invalid_arg "Lu.solve_vec: dim mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward substitution with unit-diagonal L. *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* Back substitution with U. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Mat.get lu i i
+  done;
+  x
+
+let solve_mat f b =
+  let n = Mat.rows f.lu in
+  if Mat.rows b <> n then invalid_arg "Lu.solve_mat: dim mismatch";
+  let cols = Mat.cols b in
+  let out = Mat.create ~rows:n ~cols in
+  for j = 0 to cols - 1 do
+    let x = solve_vec f (Mat.col b j) in
+    for i = 0 to n - 1 do
+      Mat.set out i j x.(i)
+    done
+  done;
+  out
+
+let determinant f =
+  let n = Mat.rows f.lu in
+  let d = ref f.sign in
+  for i = 0 to n - 1 do
+    d := !d *. Mat.get f.lu i i
+  done;
+  !d
+
+let solve a b = solve_vec (factorize a) b
+let inverse a = solve_mat (factorize a) (Mat.identity (Mat.rows a))

@@ -1,0 +1,31 @@
+(** LU factorization with partial pivoting, and the linear solves built on
+    it (general solve, inverse, determinant).
+
+    Used for the small dense systems of the MAP layer (embedded chains,
+    moment formulas, [(-D0)^{-1}]) and by tests as an oracle for the
+    iterative sparse solvers. *)
+
+type t
+(** Factorization [P A = L U] of a square matrix. *)
+
+exception Singular of int
+(** Raised (with the offending pivot column) when no usable pivot exists. *)
+
+val factorize : Mat.t -> t
+(** Factor a square matrix. Raises {!Singular} on (numerically) singular
+    input and [Invalid_argument] on non-square input. *)
+
+val solve_vec : t -> Vec.t -> Vec.t
+(** Solve [A x = b]. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+(** Solve [A X = B] column by column. *)
+
+val determinant : t -> float
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** One-shot [factorize] + [solve_vec]. *)
+
+val inverse : Mat.t -> Mat.t
+(** One-shot inverse; prefer keeping the factorization when solving with
+    many right-hand sides. *)

@@ -1,0 +1,139 @@
+type t = { nrows : int; ncols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Mat.create: non-positive dims";
+  { nrows = rows; ncols = cols; data = Array.make (rows * cols) 0. }
+
+let init ~rows ~cols f =
+  let m = create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let of_arrays a =
+  let rows = Array.length a in
+  if rows = 0 then invalid_arg "Mat.of_arrays: empty";
+  let cols = Array.length a.(0) in
+  Array.iter
+    (fun r -> if Array.length r <> cols then invalid_arg "Mat.of_arrays: ragged")
+    a;
+  init ~rows ~cols (fun i j -> a.(i).(j))
+
+let rows m = m.nrows
+let cols m = m.ncols
+
+let to_arrays m =
+  Array.init m.nrows (fun i -> Array.sub m.data (i * m.ncols) m.ncols)
+
+let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1. else 0.)
+let copy m = { m with data = Array.copy m.data }
+
+let get m i j = m.data.((i * m.ncols) + j)
+let set m i j x = m.data.((i * m.ncols) + j) <- x
+let update m i j f = set m i j (f (get m i j))
+
+let row m i = Array.sub m.data (i * m.ncols) m.ncols
+let col m j = Array.init m.nrows (fun i -> get m i j)
+
+let transpose m = init ~rows:m.ncols ~cols:m.nrows (fun i j -> get m j i)
+
+let check_same name a b =
+  if a.nrows <> b.nrows || a.ncols <> b.ncols then
+    invalid_arg (name ^ ": shape mismatch")
+
+let add a b =
+  check_same "Mat.add" a b;
+  { a with data = Array.mapi (fun k x -> x +. b.data.(k)) a.data }
+
+let sub a b =
+  check_same "Mat.sub" a b;
+  { a with data = Array.mapi (fun k x -> x -. b.data.(k)) a.data }
+
+let scale alpha a = { a with data = Array.map (fun x -> alpha *. x) a.data }
+
+let mul a b =
+  if a.ncols <> b.nrows then invalid_arg "Mat.mul: inner dim mismatch";
+  let c = create ~rows:a.nrows ~cols:b.ncols in
+  for i = 0 to a.nrows - 1 do
+    for k = 0 to a.ncols - 1 do
+      let aik = get a i k in
+      if aik <> 0. then
+        for j = 0 to b.ncols - 1 do
+          c.data.((i * c.ncols) + j) <-
+            c.data.((i * c.ncols) + j) +. (aik *. get b k j)
+        done
+    done
+  done;
+  c
+
+let mat_vec m x =
+  if m.ncols <> Array.length x then invalid_arg "Mat.mat_vec: dim mismatch";
+  Array.init m.nrows (fun i ->
+      let acc = Mapqn_util.Ksum.create () in
+      for j = 0 to m.ncols - 1 do
+        Mapqn_util.Ksum.add acc (get m i j *. x.(j))
+      done;
+      Mapqn_util.Ksum.total acc)
+
+let vec_mat x m =
+  if m.nrows <> Array.length x then invalid_arg "Mat.vec_mat: dim mismatch";
+  Array.init m.ncols (fun j ->
+      let acc = Mapqn_util.Ksum.create () in
+      for i = 0 to m.nrows - 1 do
+        Mapqn_util.Ksum.add acc (x.(i) *. get m i j)
+      done;
+      Mapqn_util.Ksum.total acc)
+
+let row_sums m = Array.init m.nrows (fun i -> Mapqn_util.Ksum.sum (row m i))
+
+let diag m =
+  let n = min m.nrows m.ncols in
+  Array.init n (fun i -> get m i i)
+
+let of_diag v =
+  let n = Array.length v in
+  init ~rows:n ~cols:n (fun i j -> if i = j then v.(i) else 0.)
+
+let map f m = { m with data = Array.map f m.data }
+
+let equal ?rel ?abs a b =
+  a.nrows = b.nrows && a.ncols = b.ncols
+  && Mapqn_util.Tol.close_arrays ?rel ?abs a.data b.data
+
+let pow m k =
+  if m.nrows <> m.ncols then invalid_arg "Mat.pow: not square";
+  if k < 0 then invalid_arg "Mat.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else
+      let acc = if k land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (k lsr 1)
+  in
+  go (identity m.nrows) m k
+
+let norm_inf m =
+  let worst = ref 0. in
+  for i = 0 to m.nrows - 1 do
+    let acc = ref 0. in
+    for j = 0 to m.ncols - 1 do
+      acc := !acc +. Float.abs (get m i j)
+    done;
+    worst := Float.max !worst !acc
+  done;
+  !worst
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.nrows - 1 do
+    Format.fprintf fmt "@[<h>[";
+    for j = 0 to m.ncols - 1 do
+      if j > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%10.6g" (get m i j)
+    done;
+    Format.fprintf fmt "]@]";
+    if i < m.nrows - 1 then Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

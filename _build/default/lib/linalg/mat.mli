@@ -1,0 +1,52 @@
+(** Dense row-major matrices. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero-filled matrix. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val of_arrays : float array array -> t
+(** Copies; rows must be rectangular and nonempty. *)
+
+val to_arrays : t -> float array array
+val identity : int -> t
+val copy : t -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val update : t -> int -> int -> (float -> float) -> unit
+
+val row : t -> int -> Vec.t
+(** Copy of a row. *)
+
+val col : t -> int -> Vec.t
+(** Copy of a column. *)
+
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+(** Matrix product; dimension-checked. *)
+
+val mat_vec : t -> Vec.t -> Vec.t
+(** [A x]. *)
+
+val vec_mat : Vec.t -> t -> Vec.t
+(** [xᵀ A] as a vector — the natural operation on stationary row vectors. *)
+
+val row_sums : t -> Vec.t
+val diag : t -> Vec.t
+val of_diag : Vec.t -> t
+val map : (float -> float) -> t -> t
+val equal : ?rel:float -> ?abs:float -> t -> t -> bool
+val pow : t -> int -> t
+(** Matrix power by repeated squaring; exponent must be nonnegative. *)
+
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val pp : Format.formatter -> t -> unit

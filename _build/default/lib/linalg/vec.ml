@@ -1,0 +1,54 @@
+type t = float array
+
+let make n x = Array.make n x
+let zeros n = Array.make n 0.
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+
+let check_same_dim name a b =
+  if Array.length a <> Array.length b then invalid_arg (name ^ ": dim mismatch")
+
+let add a b =
+  check_same_dim "Vec.add" a b;
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_same_dim "Vec.sub" a b;
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale alpha a = Array.map (fun x -> alpha *. x) a
+
+let axpy ~alpha ~x ~y =
+  check_same_dim "Vec.axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let dot = Mapqn_util.Ksum.dot
+let sum = Mapqn_util.Ksum.sum
+let norm1 a = Mapqn_util.Ksum.sum (Array.map Float.abs a)
+let norm2 a = sqrt (dot a a)
+let norm_inf a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a
+
+let normalize1 a =
+  let s = sum a in
+  if s <= 0. then invalid_arg "Vec.normalize1: non-positive sum";
+  scale (1. /. s) a
+
+let max_abs_diff a b =
+  check_same_dim "Vec.max_abs_diff" a b;
+  let m = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    m := Float.max !m (Float.abs (a.(i) -. b.(i)))
+  done;
+  !m
+
+let pp fmt a =
+  Format.fprintf fmt "[|";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%g" x)
+    a;
+  Format.fprintf fmt "|]"

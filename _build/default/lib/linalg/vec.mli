@@ -1,0 +1,34 @@
+(** Dense vectors as plain [float array] with total-allocation helpers. *)
+
+type t = float array
+
+val make : int -> float -> t
+val zeros : int -> t
+val init : int -> (int -> float) -> t
+val copy : t -> t
+val dim : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** In-place [y := alpha * x + y]. *)
+
+val dot : t -> t -> float
+(** Compensated dot product. *)
+
+val sum : t -> float
+(** Compensated sum. *)
+
+val norm1 : t -> float
+val norm2 : t -> float
+val norm_inf : t -> float
+
+val normalize1 : t -> t
+(** Scale so entries sum to 1. Raises [Invalid_argument] when the sum is not
+    positive. Intended for probability vectors. *)
+
+val max_abs_diff : t -> t -> float
+(** [norm_inf (a - b)] without allocating the difference. *)
+
+val pp : Format.formatter -> t -> unit

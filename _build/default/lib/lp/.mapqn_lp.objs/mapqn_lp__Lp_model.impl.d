@@ -1,0 +1,1 @@
+lib/lp/lp_model.ml: Array Float Format List Mapqn_util Printf

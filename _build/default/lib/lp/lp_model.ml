@@ -1,0 +1,152 @@
+type var = int
+type sense = Le | Ge | Eq
+
+type row = { terms : (var * float) list; sense : sense; rhs : float; rname : string }
+
+type t = {
+  mutable nvars : int;
+  mutable names : string list; (* reversed *)
+  mutable lbs : float list; (* reversed *)
+  mutable ubs : float list; (* reversed *)
+  mutable row_list : row list; (* reversed *)
+  mutable nrows : int;
+  mutable frozen_names : string array option;
+  mutable frozen_lbs : float array option;
+  mutable frozen_ubs : float array option;
+}
+
+let create () =
+  {
+    nvars = 0;
+    names = [];
+    lbs = [];
+    ubs = [];
+    row_list = [];
+    nrows = 0;
+    frozen_names = None;
+    frozen_lbs = None;
+    frozen_ubs = None;
+  }
+
+let invalidate t =
+  t.frozen_names <- None;
+  t.frozen_lbs <- None;
+  t.frozen_ubs <- None
+
+let add_var ?name ?(lb = 0.) ?(ub = infinity) t =
+  if lb > ub then invalid_arg "Lp_model.add_var: lb > ub";
+  let id = t.nvars in
+  let name = match name with Some n -> n | None -> Printf.sprintf "x%d" id in
+  t.nvars <- id + 1;
+  t.names <- name :: t.names;
+  t.lbs <- lb :: t.lbs;
+  t.ubs <- ub :: t.ubs;
+  invalidate t;
+  id
+
+let add_row ?name t terms sense rhs =
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= t.nvars then invalid_arg "Lp_model.add_row: unknown var")
+    terms;
+  let rname = match name with Some n -> n | None -> Printf.sprintf "r%d" t.nrows in
+  t.row_list <- { terms; sense; rhs; rname } :: t.row_list;
+  t.nrows <- t.nrows + 1
+
+let num_vars t = t.nvars
+let num_rows t = t.nrows
+
+let frozen get set of_list t =
+  match get t with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list (List.rev (of_list t)) in
+    set t a;
+    a
+
+let names_array t =
+  frozen (fun t -> t.frozen_names) (fun t a -> t.frozen_names <- Some a) (fun t -> t.names) t
+
+let lbs_array t =
+  frozen (fun t -> t.frozen_lbs) (fun t a -> t.frozen_lbs <- Some a) (fun t -> t.lbs) t
+
+let ubs_array t =
+  frozen (fun t -> t.frozen_ubs) (fun t a -> t.frozen_ubs <- Some a) (fun t -> t.ubs) t
+
+let var_name t v =
+  if v < 0 || v >= t.nvars then invalid_arg "Lp_model.var_name";
+  (names_array t).(v)
+
+let var_bounds t v =
+  if v < 0 || v >= t.nvars then invalid_arg "Lp_model.var_bounds";
+  ((lbs_array t).(v), (ubs_array t).(v))
+
+let var_of_int t i =
+  if i < 0 || i >= t.nvars then invalid_arg "Lp_model.var_of_int";
+  i
+
+let rows t =
+  List.rev_map (fun r -> (r.terms, r.sense, r.rhs, r.rname)) t.row_list
+
+let eval_row terms x =
+  let acc = Mapqn_util.Ksum.create () in
+  List.iter (fun (v, c) -> Mapqn_util.Ksum.add acc (c *. x.(v))) terms;
+  Mapqn_util.Ksum.total acc
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>lp model: %d variables, %d rows@," t.nvars t.nrows;
+  let lbs = lbs_array t and ubs = ubs_array t in
+  for v = 0 to t.nvars - 1 do
+    if lbs.(v) <> 0. || ubs.(v) <> infinity then
+      Format.fprintf fmt "  %g <= %s <= %g@," lbs.(v) (var_name t v) ubs.(v)
+  done;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %s: " r.rname;
+      List.iteri
+        (fun i (v, c) ->
+          if i > 0 then Format.fprintf fmt " + ";
+          Format.fprintf fmt "%g %s" c (var_name t v))
+        r.terms;
+      let op = match r.sense with Le -> "<=" | Ge -> ">=" | Eq -> "=" in
+      Format.fprintf fmt " %s %g@," op r.rhs)
+    (List.rev t.row_list);
+  Format.fprintf fmt "@]"
+
+let check_feasible ?(tol = 1e-7) t x =
+  if Array.length x <> t.nvars then Error "point dimension mismatch"
+  else begin
+    let lbs = lbs_array t and ubs = ubs_array t in
+    let violation = ref None in
+    Array.iteri
+      (fun i xi ->
+        if !violation = None && (xi < lbs.(i) -. tol || xi > ubs.(i) +. tol) then
+          violation :=
+            Some
+              (Printf.sprintf "variable %s = %g outside [%g, %g]" (var_name t i) xi
+                 lbs.(i) ubs.(i)))
+      x;
+    List.iter
+      (fun r ->
+        if !violation = None then begin
+          let lhs = eval_row r.terms x in
+          (* Scale the tolerance with the row magnitude so that rows with
+             large coefficients (e.g. population constraints at big N) are
+             not spuriously flagged. *)
+          let scale =
+            List.fold_left (fun acc (_, c) -> Float.max acc (Float.abs c)) 1. r.terms
+          in
+          let tol = tol *. scale in
+          let bad =
+            match r.sense with
+            | Le -> lhs > r.rhs +. tol
+            | Ge -> lhs < r.rhs -. tol
+            | Eq -> Float.abs (lhs -. r.rhs) > tol
+          in
+          if bad then
+            violation :=
+              Some (Printf.sprintf "row %s: lhs = %.12g, rhs = %.12g" r.rname lhs r.rhs)
+        end)
+      (List.rev t.row_list);
+    match !violation with None -> Ok () | Some msg -> Error msg
+  end

@@ -1,0 +1,51 @@
+(** Linear-program builder.
+
+    A thin mutable builder for problems of the form
+
+    {v  optimize  c'x   subject to   a_r x {<=,=,>=} b_r,   l <= x <= u  v}
+
+    The bound-analysis layer builds one model per (network, population) and
+    then optimizes many objectives over it, so the builder is separate from
+    the solver ({!Simplex}). *)
+
+type t
+
+type var = private int
+(** Variable handle; also the index into solution arrays. *)
+
+type sense = Le | Ge | Eq
+
+val create : unit -> t
+
+val add_var : ?name:string -> ?lb:float -> ?ub:float -> t -> var
+(** New variable with bounds [lb <= x <= ub]; defaults [lb = 0.],
+    [ub = infinity]. [lb = neg_infinity] makes the variable free.
+    Raises [Invalid_argument] when [lb > ub]. *)
+
+val add_row : ?name:string -> t -> (var * float) list -> sense -> float -> unit
+(** Add the constraint [sum coeff_i * x_i  sense  rhs]. Terms on the same
+    variable are summed. *)
+
+val num_vars : t -> int
+val num_rows : t -> int
+val var_name : t -> var -> string
+val var_bounds : t -> var -> float * float
+val var_of_int : t -> int -> var
+(** Recover a handle from an index (bounds-checked). *)
+
+val rows : t -> ((var * float) list * sense * float * string) list
+(** All rows, in insertion order. *)
+
+val eval_row : (var * float) list -> float array -> float
+(** Evaluate a linear form at a point (indexed by variable). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the model in a human-readable LP-like format (variables with
+    non-default bounds, then one line per row) — a debugging aid for
+    inspecting generated constraint systems. *)
+
+val check_feasible : ?tol:float -> t -> float array -> (unit, string) result
+(** Verify a candidate point satisfies all rows and bounds within [tol]
+    (default 1e-7). Returns a description of the first violated
+    constraint. Used by tests to validate that exact aggregated
+    distributions are feasible for the bound LPs. *)

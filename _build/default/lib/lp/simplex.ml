@@ -1,0 +1,600 @@
+let log_src = Logs.Src.create "mapqn.simplex" ~doc:"simplex pivoting"
+
+module Log = (val Logs.src_log log_src)
+
+type direction = Minimize | Maximize
+
+type solution = {
+  objective : float;
+  values : float array;
+  duals : float array;
+  iterations : int;
+}
+type outcome = Optimal of solution | Infeasible | Unbounded | Iteration_limit
+
+let eps_pivot = 1e-9
+
+(* Entering threshold for reduced costs. Deliberately loose: after many
+   pivots on a dense tableau the reduced costs carry O(1e-8) noise, and a
+   tighter threshold makes the method chase that noise forever around a
+   degenerate optimum. The resulting objective error is of the same
+   magnitude and far below the tolerances used by the bound analysis. *)
+let eps_cost = 3e-8
+
+(* How a standard-form column maps back to a model variable. *)
+type col_origin =
+  | Shifted of { var : int; lb : float } (* x = lb + y *)
+  | Negative_part of { var : int } (* free vars: x = y⁺ - y⁻; this is y⁻ *)
+  | Slack
+
+type std_form = {
+  ncols : int; (* structural standard-form columns (no artificials) *)
+  origins : col_origin array;
+  rows : (int * float) list array; (* per-row terms over std columns *)
+  rhs : float array; (* after sign normalization, all >= 0 *)
+  row_signs : float array; (* -1 where the row was negated to make rhs >= 0 *)
+  nvars_model : int;
+  nrows_model : int; (* the first nrows_model std rows map 1:1 to model rows *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Standard-form conversion                                            *)
+(* ------------------------------------------------------------------ *)
+
+let build_std_form model =
+  let nvars = Lp_model.num_vars model in
+  let origins = ref [] in
+  let ncols = ref 0 in
+  let add_col origin =
+    origins := origin :: !origins;
+    incr ncols;
+    !ncols - 1
+  in
+  (* plus.(v) is the main column of model var v; minus.(v) the negative part
+     for free variables (-1 otherwise). shift.(v) is the lower bound folded
+     into the column. *)
+  let plus = Array.make nvars (-1) in
+  let minus = Array.make nvars (-1) in
+  let shift = Array.make nvars 0. in
+  let extra_rows = ref [] in
+  for v = 0 to nvars - 1 do
+    let lb, ub = Lp_model.var_bounds model (Lp_model.var_of_int model v) in
+    if lb = neg_infinity then begin
+      plus.(v) <- add_col (Shifted { var = v; lb = 0. });
+      minus.(v) <- add_col (Negative_part { var = v });
+      if ub < infinity then
+        extra_rows := ([ (plus.(v), 1.); (minus.(v), -1.) ], Lp_model.Le, ub) :: !extra_rows
+    end
+    else begin
+      plus.(v) <- add_col (Shifted { var = v; lb });
+      shift.(v) <- lb;
+      if ub < infinity then
+        extra_rows := ([ (plus.(v), 1.) ], Lp_model.Le, ub -. lb) :: !extra_rows
+    end
+  done;
+  (* Translate model rows into std columns, folding lower-bound shifts into
+     the right-hand side. *)
+  let translate terms rhs =
+    let tbl = Hashtbl.create 16 in
+    let rhs = ref rhs in
+    List.iter
+      (fun (v, c) ->
+        let v = (v : Lp_model.var :> int) in
+        rhs := !rhs -. (c *. shift.(v));
+        let upd col coef =
+          let cur = try Hashtbl.find tbl col with Not_found -> 0. in
+          Hashtbl.replace tbl col (cur +. coef)
+        in
+        upd plus.(v) c;
+        if minus.(v) >= 0 then upd minus.(v) (-.c))
+      terms;
+    let out = Hashtbl.fold (fun col c acc -> if c <> 0. then (col, c) :: acc else acc) tbl [] in
+    (out, !rhs)
+  in
+  let model_rows =
+    List.map (fun (terms, sense, rhs, _) -> (terms, sense, rhs)) (Lp_model.rows model)
+  in
+  let all_rows =
+    List.map (fun (terms, sense, rhs) ->
+        let std_terms, rhs = translate terms rhs in
+        (std_terms, sense, rhs))
+      model_rows
+    @ List.rev !extra_rows
+  in
+  (* Attach slack/surplus columns and normalize signs so rhs >= 0. *)
+  let rows_acc = ref [] and rhs_acc = ref [] and sign_acc = ref [] in
+  List.iter
+    (fun (terms, sense, rhs) ->
+      let terms =
+        match sense with
+        | Lp_model.Eq -> terms
+        | Lp_model.Le -> (add_col Slack, 1.) :: terms
+        | Lp_model.Ge -> (add_col Slack, -1.) :: terms
+      in
+      let terms, rhs, sign =
+        if rhs < 0. then (List.map (fun (c, v) -> (c, -.v)) terms, -.rhs, -1.)
+        else (terms, rhs, 1.)
+      in
+      rows_acc := terms :: !rows_acc;
+      rhs_acc := rhs :: !rhs_acc;
+      sign_acc := sign :: !sign_acc)
+    all_rows;
+  {
+    ncols = !ncols;
+    origins = Array.of_list (List.rev !origins);
+    rows = Array.of_list (List.rev !rows_acc);
+    rhs = Array.of_list (List.rev !rhs_acc);
+    row_signs = Array.of_list (List.rev !sign_acc);
+    nvars_model = nvars;
+    nrows_model = List.length model_rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tableau                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type tableau = {
+  m : int; (* constraint rows *)
+  n : int; (* columns excluding RHS *)
+  a : float array array; (* m rows of length n+1; slot n is the RHS *)
+  basis : int array; (* basic column of each row *)
+  allowed : bool array; (* columns permitted to enter (artificials barred) *)
+  lex_cols : int array;
+      (* The columns of the basis at phase start, in row order: they formed
+         an identity block then, which makes every row lexicographically
+         positive over [rhs; lex_cols] — the invariant behind the
+         lexicographic anti-cycling ratio test. *)
+  binv_cols : int array;
+      (* The initial identity columns (slack or artificial) of each row:
+         at any later point, tableau column binv_cols.(i) is the i-th
+         column of B⁻¹, used to recompute exact right-hand sides and to
+         extract dual values. *)
+}
+
+type prepared = {
+  tab : tableau;
+  std : std_form;
+}
+
+let copy_tableau t =
+  {
+    t with
+    a = Array.map Array.copy t.a;
+    basis = Array.copy t.basis;
+    lex_cols = Array.copy t.lex_cols;
+  }
+
+let pivot t obj r c =
+  let arow = t.a.(r) in
+  let p = arow.(c) in
+  let inv = 1. /. p in
+  for j = 0 to t.n do
+    arow.(j) <- arow.(j) *. inv
+  done;
+  arow.(c) <- 1.;
+  let eliminate row =
+    let f = row.(c) in
+    if f <> 0. then begin
+      for j = 0 to t.n do
+        row.(j) <- row.(j) -. (f *. arow.(j))
+      done;
+      row.(c) <- 0.
+    end
+  in
+  for i = 0 to t.m - 1 do
+    if i <> r then begin
+      eliminate t.a.(i);
+      (* Feasibility guard: cancellation can leave a tiny negative RHS;
+         clamp it before it can seed drift in later ratio tests. *)
+      let b = t.a.(i).(t.n) in
+      if b < 0. && b > -1e-7 then t.a.(i).(t.n) <- 0.
+    end
+  done;
+  eliminate obj;
+  t.basis.(r) <- c
+
+(* Lexicographic comparison of two candidate leaving rows for entering
+   column [c]: compare the vectors (row_i / a_ic) over the column sequence
+   [rhs; lex_cols.(0); lex_cols.(1); ...]. Because the lex_cols formed an
+   identity at phase start, every row is lexicographically positive and the
+   lexicographic minimum is unique — the classic anti-cycling rule
+   (Dantzig–Orden–Wolfe), which massively degenerate marginal-balance LPs
+   require (plain Bland stalls for millions of pivots on them). *)
+let lex_less t c i1 i2 =
+  let a1 = t.a.(i1).(c) and a2 = t.a.(i2).(c) in
+  let rec go idx =
+    if idx > t.m then false
+    else begin
+      let col = if idx = 0 then t.n else t.lex_cols.(idx - 1) in
+      let v1 = t.a.(i1).(col) /. a1 and v2 = t.a.(i2).(col) /. a2 in
+      let tol = 1e-11 *. Float.max 1. (Float.max (Float.abs v1) (Float.abs v2)) in
+      if v1 < v2 -. tol then true else if v1 > v2 +. tol then false else go (idx + 1)
+    end
+  in
+  go 0
+
+(* Ratio test: the lexicographic minimum among rows with a positive pivot
+   entry. Returns -1 when the column is unbounded. A quick first pass on
+   the plain ratio narrows the field before the O(m) lexicographic
+   comparisons. *)
+let ratio_test t c =
+  let best_row = ref (-1) in
+  let best_ratio = ref infinity in
+  (* The tie window must be essentially exact: a loose window lets the
+     lexicographic tie-break pick a row whose true ratio is slightly
+     larger, which pushes other basic variables slightly negative — the
+     drift compounds over thousands of pivots until the iterate leaves the
+     polytope entirely. Genuine degenerate ties are exact zeros, which
+     this window still catches. *)
+  let tie_tol ratio = 1e-13 *. Float.max 1. (Float.abs ratio) in
+  for i = 0 to t.m - 1 do
+    let aic = t.a.(i).(c) in
+    if aic > eps_pivot then begin
+      let ratio = Float.max 0. (t.a.(i).(t.n) /. aic) in
+      if !best_row < 0 || ratio < !best_ratio -. tie_tol !best_ratio then begin
+        best_row := i;
+        best_ratio := ratio
+      end
+      else if ratio <= !best_ratio +. tie_tol !best_ratio && lex_less t c i !best_row
+      then begin
+        best_row := i;
+        best_ratio := ratio
+      end
+    end
+  done;
+  !best_row
+
+(* Entering column: most negative reduced cost within a rotating window,
+   falling back to a full scan when the window is clean. *)
+let price t obj ~cursor =
+  let window = max 256 (t.n / 8) in
+  let best = ref (-1) in
+  let best_cost = ref (-.eps_cost) in
+  let scan j =
+    if t.allowed.(j) && obj.(j) < !best_cost then begin
+      best := j;
+      best_cost := obj.(j)
+    end
+  in
+  let start = !cursor mod t.n in
+  let scanned = ref 0 in
+  let j = ref start in
+  while !scanned < window && !j < t.n do
+    scan !j;
+    incr j;
+    incr scanned
+  done;
+  if !best < 0 then begin
+    (* Window clean: full scan to be sure. *)
+    for j = 0 to t.n - 1 do
+      scan j
+    done;
+    cursor := 0
+  end
+  else cursor := !j;
+  !best
+
+type phase_result = P_optimal | P_unbounded | P_iteration_limit
+
+let run_phase ?stop_below ?(stall_limit = max_int) t obj ~max_iter =
+  let cursor = ref 0 in
+  let iter = ref 0 in
+  let result = ref None in
+  (* Degenerate-cycle detector: pivots that fail to improve the objective
+     for [stall_limit] consecutive iterations indicate that the
+     anti-degeneracy perturbation did not break some symmetry; give up
+     early so the caller can retry with a fresh perturbation instead of
+     burning the whole iteration budget. *)
+  let best_obj = ref obj.(t.n) in
+  let stalled = ref 0 in
+  let seen_bases = Hashtbl.create 1024 in
+  let cycle_check_enabled = Logs.Src.level log_src = Some Logs.Debug in
+  while !result = None do
+    (* Early exit for phase 1: once the artificial mass is (numerically)
+       zero the basis is feasible, no need to polish reduced costs. *)
+    (match stop_below with
+    | Some threshold when -.obj.(t.n) <= threshold -> result := Some (P_optimal, !iter)
+    | Some _ | None -> ());
+    if !result <> None then ()
+    else if !iter >= max_iter then result := Some (P_iteration_limit, !iter)
+    else begin
+      let c = price t obj ~cursor in
+      if c < 0 then result := Some (P_optimal, !iter)
+      else begin
+        let r = ratio_test t c in
+        if r < 0 then result := Some (P_unbounded, !iter)
+        else begin
+          pivot t obj r c;
+          incr iter;
+          if obj.(t.n) > !best_obj +. (1e-12 *. (1. +. Float.abs !best_obj)) then begin
+            best_obj := obj.(t.n);
+            stalled := 0
+          end
+          else begin
+            incr stalled;
+            if !stalled >= stall_limit then result := Some (P_iteration_limit, !iter)
+          end;
+          if cycle_check_enabled then begin
+            (* The full sorted array is the key: structural equality makes
+               collisions harmless (Hashtbl.hash alone samples only a few
+               elements and would report false revisits). *)
+            let key =
+              let b = Array.copy t.basis in
+              Array.sort compare b;
+              Array.to_seq b |> Seq.map string_of_int |> List.of_seq
+              |> String.concat ","
+            in
+            (match Hashtbl.find_opt seen_bases key with
+            | Some prev ->
+              Log.debug (fun m -> m "BASIS REVISIT iter=%d (first at %d)" !iter prev)
+            | None -> ());
+            Hashtbl.replace seen_bases key !iter
+          end;
+          if !iter mod 1000 = 0 then
+            Log.debug (fun m ->
+                m "iter=%d obj=%.12g entering=%d leaving_row=%d" !iter
+                  (-.obj.(t.n)) c r)
+        end
+      end
+    end
+  done;
+  match !result with
+  | Some (st, it) -> (st, it)
+  | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let prepare ?max_iter model =
+  let std = build_std_form model in
+  let m = Array.length std.rows in
+  let max_iter =
+    match max_iter with Some k -> k | None -> 50_000 + (50 * (m + std.ncols))
+  in
+  (* Artificial columns are allocated only for rows whose initial basic
+     variable cannot be a +1 slack. They are kept in the tableau forever:
+     together with those slack columns they form the initial identity
+     block, i.e. the columns [binv_cols] always hold B⁻¹ — which lets us
+     recompute the exact right-hand side after solving a perturbed
+     problem. *)
+  let slack_basic_of_row i =
+    List.find_opt
+      (fun (j, v) ->
+        (match std.origins.(j) with Slack -> true | Shifted _ | Negative_part _ -> false)
+        && Float.abs (v -. 1.) < 1e-12)
+      std.rows.(i)
+  in
+  let n_artificial = ref 0 in
+  let art_col = Array.make m (-1) in
+  for i = 0 to m - 1 do
+    if slack_basic_of_row i = None then begin
+      art_col.(i) <- std.ncols + !n_artificial;
+      incr n_artificial
+    end
+  done;
+  let n_total = std.ncols + !n_artificial in
+  (* One phase-1 attempt with a given anti-degeneracy perturbation seed.
+     The marginal-balance LPs have hundreds of zero right-hand sides, and
+     on such problems every tie-breaking rule we tried (Bland,
+     floating-point lexicographic) eventually cycles; a tiny deterministic
+     random perturbation of the right-hand side makes the polytope simple
+     with probability ~1, so plain Dantzig pivoting terminates. Exact
+     quantities are recovered afterwards through B⁻¹ and validated against
+     the true right-hand side. Highly symmetric models (e.g. exactly equal
+     routing branches) can still produce coincidental ties under one
+     perturbation draw, so a stall triggers retries with fresh draws. *)
+  let attempt salt =
+    let a = Array.init m (fun _ -> Array.make (n_total + 1) 0.) in
+    let basis = Array.make m (-1) in
+    let allowed = Array.make n_total true in
+    let artificial = Array.make n_total false in
+    for i = 0 to m - 1 do
+      List.iter (fun (j, v) -> a.(i).(j) <- v) std.rows.(i);
+      a.(i).(n_total) <- std.rhs.(i);
+      match slack_basic_of_row i with
+      | Some (j, _) -> basis.(i) <- j
+      | None ->
+        let art = art_col.(i) in
+        a.(i).(art) <- 1.;
+        basis.(i) <- art;
+        artificial.(art) <- true
+    done;
+    let perturbation i =
+      (* Cheap deterministic hash of (row index, salt) into (0.5, 1.5). *)
+      let h = (((i + (salt * 7919)) * 2654435761) lxor (salt * 40503)) land 0xFFFFFF in
+      let u = float_of_int h /. float_of_int 0x1000000 in
+      1e-8 *. (1. +. Float.abs std.rhs.(i)) *. (0.5 +. u)
+    in
+    for i = 0 to m - 1 do
+      a.(i).(n_total) <- a.(i).(n_total) +. perturbation i
+    done;
+    let t =
+      {
+        m;
+        n = n_total;
+        a;
+        basis;
+        allowed;
+        lex_cols = Array.copy basis;
+        binv_cols = Array.copy basis;
+      }
+    in
+    (* Phase-1 reduced costs: cost 1 on artificials, priced out against the
+       initial basis. *)
+    let obj = Array.make (n_total + 1) 0. in
+    Array.iteri (fun j is_art -> if is_art then obj.(j) <- 1.) artificial;
+    for i = 0 to m - 1 do
+      if artificial.(basis.(i)) then
+        for j = 0 to n_total do
+          obj.(j) <- obj.(j) -. t.a.(i).(j)
+        done
+    done;
+    let stall_limit = max 5_000 (20 * m) in
+    let status, _ = run_phase ~stall_limit t obj ~max_iter in
+    (status, t, artificial)
+  in
+  let rec try_attempts salt =
+    match attempt salt with
+    | P_iteration_limit, _, _ ->
+      if salt < 3 then begin
+        Log.debug (fun f ->
+            f "phase-1 stall with perturbation salt %d; retrying" salt);
+        try_attempts (salt + 1)
+      end
+      else Error `Iteration_limit
+    | P_unbounded, _, _ ->
+      (* Phase 1 minimizes a sum of nonnegative variables: never unbounded. *)
+      assert false
+    | P_optimal, t, artificial ->
+      (* The exact artificial mass, judged against the true (unperturbed)
+         right-hand side: rhs_true = B⁻¹ b with B⁻¹ read off [binv_cols]. *)
+      let rhs_true i =
+        let acc = Mapqn_util.Ksum.create () in
+        for j = 0 to m - 1 do
+          Mapqn_util.Ksum.add acc (t.a.(i).(t.binv_cols.(j)) *. std.rhs.(j))
+        done;
+        Mapqn_util.Ksum.total acc
+      in
+      let mass = ref 0. in
+      for i = 0 to m - 1 do
+        if artificial.(t.basis.(i)) then mass := !mass +. Float.abs (rhs_true i)
+      done;
+      if !mass > 1e-6 then Error `Infeasible
+      else begin
+        (* Artificials must never re-enter in phase 2. Residual basic
+           artificials correspond to linearly dependent rows; they stay at
+           their O(perturbation) values and carry zero cost. *)
+        Array.iteri (fun j is_art -> if is_art then t.allowed.(j) <- false) artificial;
+        Ok { tab = t; std }
+      end
+  in
+  try_attempts 0
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let std_costs std direction objective =
+  let sign = match direction with Minimize -> 1. | Maximize -> -1. in
+  let c = Array.make std.ncols 0. in
+  let const = ref 0. in
+  List.iter
+    (fun (v, coef) ->
+      let v = (v : Lp_model.var :> int) in
+      let coef = sign *. coef in
+      Array.iteri
+        (fun j origin ->
+          match origin with
+          | Shifted { var; lb } ->
+            if var = v then begin
+              c.(j) <- c.(j) +. coef;
+              const := !const +. (coef *. lb)
+            end
+          | Negative_part { var } -> if var = v then c.(j) <- c.(j) -. coef
+          | Slack -> ())
+        std.origins)
+    objective;
+  (c, !const, sign)
+
+let extract_solution std tab =
+  let x_std = Array.make std.ncols 0. in
+  for i = 0 to tab.m - 1 do
+    (* Basic artificials (linearly dependent rows) carry no structural
+       value. *)
+    if tab.basis.(i) < std.ncols then x_std.(tab.basis.(i)) <- tab.a.(i).(tab.n)
+  done;
+  let x = Array.make std.nvars_model 0. in
+  Array.iteri
+    (fun j origin ->
+      match origin with
+      | Shifted { var; lb } -> x.(var) <- x.(var) +. lb +. x_std.(j)
+      | Negative_part { var } -> x.(var) <- x.(var) -. x_std.(j)
+      | Slack -> ())
+    std.origins;
+  x
+
+let optimize ?max_iter prepared direction objective =
+  let std = prepared.std in
+  let max_iter =
+    match max_iter with
+    | Some k -> k
+    | None -> 50_000 + (50 * (prepared.tab.m + prepared.tab.n))
+  in
+  let c, _const, sign = std_costs std direction objective in
+  let cost_of col = if col < std.ncols then c.(col) else 0. in
+  (* One phase-2 attempt; [salt > 0] re-perturbs the right-hand side in the
+     current basis frame (equivalent to perturbing b by B·δ, so primal
+     feasibility is preserved) to break symmetric degeneracy — same story
+     as phase 1. *)
+  let attempt salt =
+    let tab = copy_tableau prepared.tab in
+    (* The current basis columns form an identity block: re-anchor the
+       lexicographic ordering to them for this phase. *)
+    Array.blit tab.basis 0 tab.lex_cols 0 tab.m;
+    if salt > 0 then
+      for i = 0 to tab.m - 1 do
+        let h = (((i + (salt * 104729)) * 2654435761) lxor (salt * 92821)) land 0xFFFFFF in
+        let u = float_of_int h /. float_of_int 0x1000000 in
+        tab.a.(i).(tab.n) <-
+          tab.a.(i).(tab.n) +. (1e-9 *. (1. +. tab.a.(i).(tab.n)) *. (0.5 +. u))
+      done;
+    (* Reduced costs priced out against the prepared basis; slot n
+       accumulates -(objective of the current basic solution). *)
+    let obj = Array.make (tab.n + 1) 0. in
+    Array.blit c 0 obj 0 std.ncols;
+    for i = 0 to tab.m - 1 do
+      let cb = cost_of tab.basis.(i) in
+      if cb <> 0. then
+        for j = 0 to tab.n do
+          obj.(j) <- obj.(j) -. (cb *. tab.a.(i).(j))
+        done
+    done;
+    let stall_limit = max 5_000 (20 * tab.m) in
+    let status, iterations = run_phase ~stall_limit tab obj ~max_iter in
+    (status, iterations, tab)
+  in
+  let rec try_attempts salt =
+    match attempt salt with
+    | P_iteration_limit, _, _ when salt < 3 ->
+      Log.debug (fun f -> f "phase-2 stall with salt %d; retrying" salt);
+      try_attempts (salt + 1)
+    | result -> result
+  in
+  let status, iterations, tab = try_attempts 0 in
+  match status with
+  | P_iteration_limit -> Iteration_limit
+  | P_unbounded -> Unbounded
+  | P_optimal ->
+    (* Report the objective evaluated at the extracted point rather than
+       the tableau accumulator: the right-hand side was perturbed, and the
+       direct evaluation keeps objective and reported point consistent. *)
+    let values = extract_solution std tab in
+    let objective_value =
+      let acc = Mapqn_util.Ksum.create () in
+      List.iter
+        (fun (v, coef) ->
+          Mapqn_util.Ksum.add acc (coef *. values.((v : Lp_model.var :> int))))
+        objective;
+      Mapqn_util.Ksum.total acc
+    in
+    (* Dual values y = c_B B⁻¹ for the model rows, read through the
+       initial-identity columns; signs restore the original row
+       orientation and the original optimization direction. *)
+    let duals =
+      Array.init std.nrows_model (fun i ->
+          let acc = Mapqn_util.Ksum.create () in
+          for r = 0 to tab.m - 1 do
+            let cb = cost_of tab.basis.(r) in
+            if cb <> 0. then
+              Mapqn_util.Ksum.add acc (cb *. tab.a.(r).(tab.binv_cols.(i)))
+          done;
+          sign *. std.row_signs.(i) *. Mapqn_util.Ksum.total acc)
+    in
+    Optimal { objective = objective_value; values; duals; iterations }
+
+let solve ?max_iter model direction objective =
+  match prepare ?max_iter model with
+  | Error `Infeasible -> Infeasible
+  | Error `Iteration_limit -> Iteration_limit
+  | Ok prepared -> optimize ?max_iter prepared direction objective

@@ -1,0 +1,48 @@
+(** Two-phase primal simplex over a dense tableau.
+
+    Implemented from scratch (no external LP dependency): Dantzig pricing
+    with a rotating partial-pricing window for speed, automatic switch to
+    Bland's rule after a stall to guarantee termination on degenerate
+    problems (the marginal-balance LPs are highly degenerate), and
+    explicit removal of redundant rows discovered in phase 1 (the
+    balance-equation families are rank-deficient by construction).
+
+    The bound layer solves min and max of many objectives over one
+    feasible region, so the expensive phase 1 is exposed separately:
+    {!prepare} once, then {!optimize} per objective. *)
+
+type direction = Minimize | Maximize
+
+type solution = {
+  objective : float;
+  values : float array;  (** optimal point, indexed by {!Lp_model.var} *)
+  duals : float array;
+      (** dual values (shadow prices) of the model rows, in insertion
+          order, oriented for the requested direction: the objective's
+          sensitivity to the row's right-hand side. Strong duality
+          ([objective = Σ duals·rhs + contribution of active variable
+          bounds]) holds up to the solver's numerical margin. *)
+  iterations : int;  (** phase-2 simplex pivots *)
+}
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+type prepared
+(** A feasible basis for a model (output of phase 1). *)
+
+val prepare :
+  ?max_iter:int -> Lp_model.t -> (prepared, [ `Infeasible | `Iteration_limit ]) result
+(** Run phase 1. Default [max_iter] is [50_000 + 50 * (rows + vars)]. *)
+
+val optimize :
+  ?max_iter:int -> prepared -> direction -> (Lp_model.var * float) list -> outcome
+(** Run phase 2 for one objective from the prepared basis. The prepared
+    value is not consumed: repeated calls are independent. *)
+
+val solve :
+  ?max_iter:int -> Lp_model.t -> direction -> (Lp_model.var * float) list -> outcome
+(** One-shot [prepare] + [optimize]. *)

@@ -1,0 +1,1 @@
+lib/map_process/builders.ml: Array Mapqn_linalg Mapqn_util Process

@@ -1,0 +1,1 @@
+lib/map_process/builders.mli: Process

@@ -1,0 +1,1 @@
+lib/map_process/counting.ml: Array Float Mapqn_linalg Mapqn_util Process

@@ -1,0 +1,1 @@
+lib/map_process/counting.mli: Process

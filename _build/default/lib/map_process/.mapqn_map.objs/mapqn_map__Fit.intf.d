@@ -1,0 +1,1 @@
+lib/map_process/fit.mli: Process

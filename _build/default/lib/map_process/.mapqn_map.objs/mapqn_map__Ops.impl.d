@@ -1,0 +1,1 @@
+lib/map_process/ops.ml: Mapqn_linalg Process

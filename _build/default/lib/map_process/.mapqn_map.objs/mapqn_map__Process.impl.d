@@ -1,0 +1,1 @@
+lib/map_process/process.ml: Array Format Mapqn_linalg Mapqn_util Printf

@@ -1,0 +1,1 @@
+lib/map_process/process.mli: Format Mapqn_linalg

@@ -1,0 +1,1 @@
+lib/map_process/trace.ml: Array Builders Fit Float Mapqn_linalg Mapqn_prng Mapqn_util Process Result

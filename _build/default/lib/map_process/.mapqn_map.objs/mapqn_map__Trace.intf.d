@@ -1,0 +1,1 @@
+lib/map_process/trace.mli: Mapqn_prng Process

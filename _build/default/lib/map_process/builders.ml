@@ -1,0 +1,75 @@
+module Mat = Mapqn_linalg.Mat
+
+let exponential ~rate =
+  if rate <= 0. then invalid_arg "Builders.exponential: rate <= 0";
+  Process.make_exn
+    ~d0:(Mat.of_arrays [| [| -.rate |] |])
+    ~d1:(Mat.of_arrays [| [| rate |] |])
+
+let erlang ~k ~rate =
+  if k < 1 then invalid_arg "Builders.erlang: k < 1";
+  if rate <= 0. then invalid_arg "Builders.erlang: rate <= 0";
+  let d0 =
+    Mat.init ~rows:k ~cols:k (fun i j ->
+        if i = j then -.rate else if j = i + 1 then rate else 0.)
+  in
+  let d1 =
+    Mat.init ~rows:k ~cols:k (fun i j ->
+        if i = k - 1 && j = 0 then rate else 0.)
+  in
+  Process.make_exn ~d0 ~d1
+
+let hyperexponential ~probs ~rates =
+  let n = Array.length probs in
+  if n = 0 || Array.length rates <> n then
+    invalid_arg "Builders.hyperexponential: bad arity";
+  Array.iter
+    (fun p -> if p < 0. || p > 1. then invalid_arg "Builders.hyperexponential: prob")
+    probs;
+  Array.iter
+    (fun r -> if r <= 0. then invalid_arg "Builders.hyperexponential: rate <= 0")
+    rates;
+  if not (Mapqn_util.Tol.close ~rel:1e-9 ~abs:1e-9 (Mapqn_util.Ksum.sum probs) 1.) then
+    invalid_arg "Builders.hyperexponential: probs must sum to 1";
+  let d0 = Mat.of_diag (Array.map (fun r -> -.r) rates) in
+  (* After an event the next branch is drawn independently: D1[i,j] =
+     rate_i * p_j. *)
+  let d1 = Mat.init ~rows:n ~cols:n (fun i j -> rates.(i) *. probs.(j)) in
+  Process.make_exn ~d0 ~d1
+
+let mmpp2 ~r01 ~r10 ~rate0 ~rate1 =
+  if r01 <= 0. || r10 <= 0. then invalid_arg "Builders.mmpp2: switching rate <= 0";
+  if rate0 < 0. || rate1 < 0. || rate0 +. rate1 <= 0. then
+    invalid_arg "Builders.mmpp2: bad arrival rates";
+  let d0 =
+    Mat.of_arrays
+      [| [| -.(r01 +. rate0); r01 |]; [| r10; -.(r10 +. rate1) |] |]
+  in
+  let d1 = Mat.of_arrays [| [| rate0; 0. |]; [| 0.; rate1 |] |] in
+  Process.make_exn ~d0 ~d1
+
+let switched_exponential ~pi1 ~rate1 ~rate2 ~gamma2 =
+  if pi1 <= 0. || pi1 >= 1. then invalid_arg "Builders.switched_exponential: pi1";
+  if rate1 <= 0. || rate2 <= 0. then
+    invalid_arg "Builders.switched_exponential: rate <= 0";
+  if gamma2 < 0. || gamma2 >= 1. then
+    invalid_arg "Builders.switched_exponential: gamma2 not in [0,1)";
+  (* Phase DTMC R = [[1-a, a]; [b, 1-b]] with stationary (pi1, 1-pi1) and
+     eigenvalues {1, 1-a-b}: choosing a = (1-γ₂)(1-π₁), b = (1-γ₂)π₁ gives
+     second eigenvalue exactly γ₂. *)
+  let a = (1. -. gamma2) *. (1. -. pi1) in
+  let b = (1. -. gamma2) *. pi1 in
+  let d0 = Mat.of_diag [| -.rate1; -.rate2 |] in
+  let d1 =
+    Mat.of_arrays
+      [|
+        [| rate1 *. (1. -. a); rate1 *. a |];
+        [| rate2 *. b; rate2 *. (1. -. b) |];
+      |]
+  in
+  Process.make_exn ~d0 ~d1
+
+let map2 ~d0 ~d1 =
+  if Array.length d0 <> 2 || Array.length d1 <> 2 then
+    invalid_arg "Builders.map2: need 2x2 arrays";
+  Process.make_exn ~d0:(Mat.of_arrays d0) ~d1:(Mat.of_arrays d1)

@@ -1,0 +1,39 @@
+(** Standard MAP constructors.
+
+    Every constructor returns a validated {!Process.t}; parameters are
+    checked and [Invalid_argument] is raised on nonsense (non-positive
+    rates, probabilities outside [0,1], ...). *)
+
+val exponential : rate:float -> Process.t
+(** Order-1 MAP: Poisson process / exponential service at [rate]. *)
+
+val erlang : k:int -> rate:float -> Process.t
+(** Erlang-[k] renewal process with total mean [k/rate] per event — each
+    event is the completion of [k] exponential stages of rate [rate].
+    SCV is [1/k]. *)
+
+val hyperexponential : probs:float array -> rates:float array -> Process.t
+(** Renewal process with hyperexponential marginals: each inter-event time
+    samples branch [i] with probability [probs.(i)], exponential at
+    [rates.(i)]. SCV >= 1. *)
+
+val mmpp2 :
+  r01:float -> r10:float -> rate0:float -> rate1:float -> Process.t
+(** 2-state Markov-Modulated Poisson Process: hidden switching at rates
+    [r01] (state 0 → 1) and [r10], events at Poisson rate [rate0]/[rate1]
+    in each state. The classic bursty process: exercises MAPs with hidden
+    ([D0]) phase transitions. *)
+
+val switched_exponential :
+  pi1:float -> rate1:float -> rate2:float -> gamma2:float -> Process.t
+(** Markov-switched exponential ("MSH2"): every inter-event time is
+    exponential at the rate of the current phase; after each event the
+    phase follows a 2-state DTMC with stationary distribution
+    [(pi1, 1 - pi1)] and second eigenvalue [gamma2]. The inter-event ACF is
+    exactly geometric with decay rate [gamma2]; the marginal distribution
+    is the 2-phase hyperexponential [(pi1 @ rate1, 1 - pi1 @ rate2)].
+    Requires [pi1 ∈ (0,1)], positive rates, [gamma2 ∈ \[0, 1)]. *)
+
+val map2 :
+  d0:float array array -> d1:float array array -> Process.t
+(** General MAP(2) from raw 2×2 arrays (validated). *)

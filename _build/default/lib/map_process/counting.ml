@@ -1,0 +1,103 @@
+module Mat = Mapqn_linalg.Mat
+
+let mean_count p ~t =
+  if t < 0. then invalid_arg "Counting.mean_count: negative t";
+  Process.rate p *. t
+
+(* Var N(t) by uniformization on the joint chain (phase, N(t)) with the
+   count dimension grown on demand: we track the vector of probabilities
+   f(c, a) = P{N(t) = c, phase = a} starting from the stationary phase
+   distribution, and step the uniformized kernel. *)
+let variance_count ?(precision = 1e-10) p ~t =
+  if t < 0. then invalid_arg "Counting.variance_count: negative t";
+  if t = 0. then 0.
+  else begin
+    let order = Process.order p in
+    let d0 = Process.d0 p and d1 = Process.d1 p in
+    let lambda =
+      let worst = ref 0. in
+      for a = 0 to order - 1 do
+        worst := Float.max !worst (-.Mat.get d0 a a)
+      done;
+      (!worst *. 1.05) +. 1e-12
+    in
+    let lt = lambda *. t in
+    (* Expected number of uniformized steps is lt; cap the count dimension
+       generously (mean events <= rate t <= lt). *)
+    let steps_budget =
+      int_of_float (lt +. (12. *. sqrt (lt +. 10.)) +. 50.)
+    in
+    let cap = steps_budget + 2 in
+    (* f.(c).(a); uniformized kernel: with prob rate/lambda the embedded
+       jump matrices apply. P_step = I + D0/lambda (count same) and
+       D1/lambda (count + 1). *)
+    let f = Array.make_matrix cap order 0. in
+    let theta = Process.phase_stationary p in
+    Array.iteri (fun a x -> f.(0).(a) <- x) theta;
+    let g = Array.make_matrix cap order 0. in
+    let log_pk = ref (-.lt) in
+    let covered = ref 0. in
+    let mean_acc = ref 0. and m2_acc = ref 0. in
+    let max_c = ref 0 in
+    let k = ref 0 in
+    while 1. -. !covered > precision && !k <= steps_budget do
+      let pk = exp !log_pk in
+      if pk > 0. then begin
+        covered := !covered +. pk;
+        for c = 0 to !max_c do
+          let mass = Mapqn_util.Ksum.sum f.(c) in
+          let cf = float_of_int c in
+          mean_acc := !mean_acc +. (pk *. cf *. mass);
+          m2_acc := !m2_acc +. (pk *. cf *. cf *. mass)
+        done
+      end;
+      (* One uniformized step: g = f (I + D0/lambda) shifted by D1/lambda. *)
+      let hi = min (cap - 1) (!max_c + 1) in
+      for c = 0 to hi do
+        for a = 0 to order - 1 do
+          g.(c).(a) <- 0.
+        done
+      done;
+      for c = 0 to !max_c do
+        for a = 0 to order - 1 do
+          let fa = f.(c).(a) in
+          if fa <> 0. then begin
+            g.(c).(a) <- g.(c).(a) +. fa;
+            for b = 0 to order - 1 do
+              g.(c).(b) <- g.(c).(b) +. (fa *. Mat.get d0 a b /. lambda);
+              if c + 1 < cap then
+                g.(c + 1).(b) <- g.(c + 1).(b) +. (fa *. Mat.get d1 a b /. lambda)
+            done
+          end
+        done
+      done;
+      max_c := hi;
+      for c = 0 to !max_c do
+        Array.blit g.(c) 0 f.(c) 0 order
+      done;
+      incr k;
+      log_pk := !log_pk +. log lt -. log (float_of_int !k)
+    done;
+    let mean = !mean_acc and m2 = !m2_acc in
+    Float.max 0. (m2 -. (mean *. mean))
+  end
+
+let idc ?precision p ~t =
+  let m = mean_count p ~t in
+  if m <= 0. then 1. else variance_count ?precision p ~t /. m
+
+let idc_limit p =
+  (* IDC(inf) = scv * (1 + 2 Σ_{k>=1} rho_k) for stationary point
+     processes with summable correlations (Cox & Lewis); our MAPs have
+     geometrically decaying ACF so the series converges fast. *)
+  let scv = Process.scv p in
+  let acc = ref 0. in
+  let k = ref 1 in
+  let continue = ref true in
+  while !continue && !k < 100_000 do
+    let r = Process.acf p !k in
+    acc := !acc +. r;
+    if Float.abs r < 1e-12 then continue := false;
+    incr k
+  done;
+  scv *. (1. +. (2. *. !acc))

@@ -1,0 +1,27 @@
+(** Counting-process view of a MAP: statistics of [N(t)], the number of
+    events in [(0, t]].
+
+    The index of dispersion for counts, [IDC(t) = Var N(t) / E N(t)], is
+    the standard burstiness fingerprint used in workload characterization
+    (IDC ≡ 1 for Poisson; a growing IDC that saturates at a level ≫ 1 is
+    the signature of the short-range-dependent MAPs this repository
+    models). Computed by uniformization of the bivariate process
+    [(phase, count)] with the count truncated adaptively. *)
+
+val mean_count : Process.t -> t:float -> float
+(** [E N(t)] for the stationary MAP ([= rate · t], computed directly). *)
+
+val variance_count : ?precision:float -> Process.t -> t:float -> float
+(** [Var N(t)] for the stationary (time-stationary) version of the MAP.
+    Uniformization with truncated Poisson tail [precision]
+    (default 1e-10). Cost grows with [rate · t]; intended for
+    [rate · t ≲ 1e4]. *)
+
+val idc : ?precision:float -> Process.t -> t:float -> float
+(** [Var N(t) / E N(t)]. *)
+
+val idc_limit : Process.t -> float
+(** The [t → ∞] limit of IDC, from the closed form
+    [IDC(∞) = scv + 2 Σ_{k≥1} ρ_k] (scv and ACF of inter-event times);
+    for the geometric-ACF MAP(2)s built by {!Fit.map2} the series sums in
+    closed form. Evaluated by summing the ACF until it is negligible. *)

@@ -1,0 +1,87 @@
+type h2 = { p1 : float; rate1 : float; rate2 : float }
+
+let h2_balanced ~mean ~scv =
+  if mean <= 0. then Error "mean must be positive"
+  else if scv < 1. -. 1e-9 then Error "H2 requires scv >= 1"
+  else if scv <= 1. +. 1e-9 then
+    (* Degenerate: exponential. *)
+    Ok { p1 = 1.; rate1 = 1. /. mean; rate2 = 1. /. mean }
+  else begin
+    (* Balanced means: p1/rate1 = p2/rate2 = mean/2. Standard closed form
+       (Allen / Lazowska): p1 = (1 + sqrt((c²-1)/(c²+1))) / 2. *)
+    let p1 = 0.5 *. (1. +. sqrt ((scv -. 1.) /. (scv +. 1.))) in
+    let rate1 = 2. *. p1 /. mean in
+    let rate2 = 2. *. (1. -. p1) /. mean in
+    Ok { p1; rate1; rate2 }
+  end
+
+let h2_three_moments ~m1 ~m2 ~m3 =
+  if m1 <= 0. || m2 <= 0. || m3 <= 0. then Error "moments must be positive"
+  else begin
+    (* Normalized power sums of the branch means v_i = 1/rate_i:
+       u1 = E[v] = m1, u2 = E[v²] = m2/2, u3 = E[v³] = m3/6.
+       Both atoms satisfy v² = A v - B where A, B solve the moment
+       recurrence; then p1 follows from the first moment. *)
+    let u1 = m1 and u2 = m2 /. 2. and u3 = m3 /. 6. in
+    let denom = u2 -. (u1 *. u1) in
+    if denom <= 1e-15 then Error "scv <= 1: not an H2"
+    else begin
+      let a = (u3 -. (u1 *. u2)) /. denom in
+      let b = (a *. u1) -. u2 in
+      let disc = (a *. a) -. (4. *. b) in
+      if disc <= 0. then Error "complex branch means: m3 infeasible for H2"
+      else begin
+        let s = sqrt disc in
+        let v1 = (a +. s) /. 2. and v2 = (a -. s) /. 2. in
+        if v2 <= 0. then Error "negative branch mean: m3 infeasible for H2"
+        else begin
+          let p1 = (u1 -. v2) /. (v1 -. v2) in
+          if p1 < 0. || p1 > 1. then Error "branch probability outside [0,1]"
+          else Ok { p1; rate1 = 1. /. v1; rate2 = 1. /. v2 }
+        end
+      end
+    end
+  end
+
+let m3_feasible_range ~m1 ~m2 =
+  let u1 = m1 and u2 = m2 /. 2. in
+  if u2 -. (u1 *. u1) <= 1e-15 then None
+  else begin
+    (* The infimum of u3 over valid H2s with fixed (u1, u2) is attained in
+       the limit v2 → 0 (exponential branch collapsing): u3 → u2²/u1.
+       There is no finite supremum. The m3 scale restores the 6 factor. *)
+    let u3_min = u2 *. u2 /. u1 in
+    Some (6. *. u3_min, infinity)
+  end
+
+let skewness_to_m3 ~m1 ~m2 ~skewness =
+  let var = m2 -. (m1 *. m1) in
+  let sigma = sqrt var in
+  (skewness *. sigma *. sigma *. sigma) +. (3. *. m1 *. var) +. (m1 *. m1 *. m1)
+
+let map2 ~mean ~scv ~gamma2 ?skewness () =
+  if gamma2 < 0. || gamma2 >= 1. then Error "gamma2 must be in [0,1)"
+  else begin
+    let h2_result =
+      match skewness with
+      | None -> h2_balanced ~mean ~scv
+      | Some sk ->
+        let m2 = (scv +. 1.) *. mean *. mean in
+        let m3 = skewness_to_m3 ~m1:mean ~m2 ~skewness:sk in
+        h2_three_moments ~m1:mean ~m2 ~m3
+    in
+    match h2_result with
+    | Error _ as e -> e
+    | Ok { p1; rate1; rate2 } ->
+      if p1 >= 1. -. 1e-12 || p1 <= 1e-12 || Float.abs (rate1 -. rate2) < 1e-12 then
+        (* Degenerate marginal: a single exponential branch. Correlation
+           cannot be expressed; require gamma2 = 0. *)
+        if gamma2 = 0. then Ok (Builders.exponential ~rate:(1. /. mean))
+        else Error "scv = 1 admits no MAP(2) autocorrelation in this family"
+      else Ok (Builders.switched_exponential ~pi1:p1 ~rate1 ~rate2 ~gamma2)
+  end
+
+let map2_exn ~mean ~scv ~gamma2 ?skewness () =
+  match map2 ~mean ~scv ~gamma2 ?skewness () with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Fit.map2: " ^ msg)

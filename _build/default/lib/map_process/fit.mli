@@ -1,0 +1,46 @@
+(** Fitting MAPs to target statistics.
+
+    The paper parameterizes MAP(2) service processes by mean, coefficient
+    of variation, skewness, and geometric ACF decay rate γ₂ (§3.1/§3.2).
+    These fitters go the other way: from the statistics to a concrete
+    MAP(2). *)
+
+type h2 = { p1 : float; rate1 : float; rate2 : float }
+(** A two-branch hyperexponential: branch 1 with probability [p1]. *)
+
+val h2_balanced : mean:float -> scv:float -> (h2, string) result
+(** Balanced-means H2 ([p1/rate1 = p2/rate2]) matching mean and SCV.
+    Requires [scv >= 1] (returns the degenerate single-branch fit when
+    [scv = 1]). *)
+
+val h2_three_moments : m1:float -> m2:float -> m3:float -> (h2, string) result
+(** Exact H2 fit to the first three power moments when one exists: the
+    branch means are the roots of the quadratic induced by the moment
+    recurrence; fails when the moment set is infeasible for an H2
+    (e.g. [scv < 1] or [m3] outside the admissible interval). *)
+
+val m3_feasible_range : m1:float -> m2:float -> (float * float) option
+(** Open interval of third moments reachable by an H2 with the given first
+    two moments ([None] when [scv <= 1]). The lower endpoint is the
+    balanced limit; the upper endpoint is infinite, encoded as
+    [infinity]. *)
+
+val skewness_to_m3 : m1:float -> m2:float -> skewness:float -> float
+(** Convert a skewness target into the corresponding third moment. *)
+
+val map2 :
+  mean:float ->
+  scv:float ->
+  gamma2:float ->
+  ?skewness:float ->
+  unit ->
+  (Process.t, string) result
+(** MAP(2) with the given mean, SCV and geometric ACF decay rate, built as
+    a Markov-switched hyperexponential ({!Builders.switched_exponential}).
+    With [?skewness] the marginal H2 is fitted to three moments (when
+    feasible); otherwise balanced means are used. [scv = 1, gamma2 = 0]
+    degenerates to the exponential. The lag-1 ACF magnitude implied by the
+    construction can be read back with {!Process.acf}. *)
+
+val map2_exn :
+  mean:float -> scv:float -> gamma2:float -> ?skewness:float -> unit -> Process.t

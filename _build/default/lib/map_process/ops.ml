@@ -1,0 +1,14 @@
+module Kron = Mapqn_linalg.Kron
+module Mat = Mapqn_linalg.Mat
+
+let superpose a b =
+  Process.make_exn
+    ~d0:(Kron.sum (Process.d0 a) (Process.d0 b))
+    ~d1:(Kron.sum (Process.d1 a) (Process.d1 b))
+
+let thin ~prob p =
+  if prob <= 0. || prob > 1. then invalid_arg "Ops.thin: prob not in (0, 1]";
+  let d1 = Process.d1 p in
+  Process.make_exn
+    ~d0:(Mat.add (Process.d0 p) (Mat.scale (1. -. prob) d1))
+    ~d1:(Mat.scale prob d1)

@@ -1,0 +1,16 @@
+(** Algebraic operations on MAPs.
+
+    MAPs are closed under superposition and Bernoulli thinning; both are
+    classic tools for composing workload models (e.g. merging two request
+    flows into one station, or splitting a flow probabilistically). *)
+
+val superpose : Process.t -> Process.t -> Process.t
+(** Superposition (merge) of two independent MAPs: the event stream of
+    both processes together. Kronecker construction
+    [D0 = D0_a ⊕ D0_b, D1 = D1_a ⊕ D1_b] (⊕ = Kronecker sum); the order is
+    the product of the orders, and the fundamental rates add. *)
+
+val thin : prob:float -> Process.t -> Process.t
+(** Bernoulli thinning: each event is kept independently with probability
+    [prob]; dropped events become hidden transitions
+    ([D1' = p·D1], [D0' = D0 + (1-p)·D1]). Requires [0 < prob <= 1]. *)

@@ -1,0 +1,173 @@
+module Mat = Mapqn_linalg.Mat
+module Vec = Mapqn_linalg.Vec
+module Lu = Mapqn_linalg.Lu
+module Gth = Mapqn_linalg.Gth
+module Tol = Mapqn_util.Tol
+
+type t = {
+  d0 : Mat.t;
+  d1 : Mat.t;
+  theta : Vec.t; (* stationary phase distribution of D0 + D1 *)
+  lambda : float; (* fundamental rate *)
+  minus_d0_inv : Mat.t; (* (-D0)^{-1}, the workhorse of all moment formulas *)
+  embedded : Mat.t; (* P = (-D0)^{-1} D1 *)
+  pi_e : Vec.t; (* embedded stationary distribution *)
+}
+
+let order t = Mat.rows t.d0
+let d0 t = t.d0
+let d1 t = t.d1
+let generator t = Mat.add t.d0 t.d1
+let phase_stationary t = Vec.copy t.theta
+let rate t = t.lambda
+let completion_rates t = Mat.row_sums t.d1
+let embedded t = Mat.copy t.embedded
+let embedded_stationary t = Vec.copy t.pi_e
+
+(* Reachability check on the union graph of D0/D1 off-diagonal positives. *)
+let irreducible q =
+  let n = Mat.rows q in
+  let reaches_all start =
+    let seen = Array.make n false in
+    let rec visit i =
+      if not seen.(i) then begin
+        seen.(i) <- true;
+        for j = 0 to n - 1 do
+          if j <> i && Mat.get q i j > 0. then visit j
+        done
+      end
+    in
+    visit start;
+    Array.for_all (fun b -> b) seen
+  in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if not (reaches_all i) then ok := false
+  done;
+  !ok
+
+let validate ~d0:m0 ~d1:m1 =
+  let n = Mat.rows m0 in
+  if Mat.cols m0 <> n then Error "D0 is not square"
+  else if Mat.rows m1 <> n || Mat.cols m1 <> n then Error "D1 shape differs from D0"
+  else begin
+    let bad = ref None in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if Mat.get m1 i j < 0. then
+          bad := Some (Printf.sprintf "D1[%d,%d] < 0" i j);
+        if i <> j && Mat.get m0 i j < 0. then
+          bad := Some (Printf.sprintf "D0[%d,%d] < 0 off-diagonal" i j)
+      done;
+      if Mat.get m0 i i >= 0. then
+        bad := Some (Printf.sprintf "D0[%d,%d] must be negative" i i)
+    done;
+    match !bad with
+    | Some msg -> Error msg
+    | None ->
+      let q = Mat.add m0 m1 in
+      let sums = Mat.row_sums q in
+      if not (Array.for_all (fun s -> Tol.close ~rel:1e-8 ~abs:1e-8 s 0.) sums) then
+        Error "rows of D0 + D1 do not sum to 0"
+      else if not (irreducible q) then Error "D0 + D1 is reducible"
+      else Ok q
+  end
+
+let make ~d0:m0 ~d1:m1 =
+  match validate ~d0:m0 ~d1:m1 with
+  | Error _ as e -> e
+  | Ok q -> (
+    let theta = Gth.ctmc q in
+    let lambda = Vec.dot theta (Mat.row_sums m1) in
+    if lambda <= 0. then Error "fundamental rate is zero (D1 = 0)"
+    else
+      try
+        let minus_d0_inv = Lu.inverse (Mat.scale (-1.) m0) in
+        let embedded = Mat.mul minus_d0_inv m1 in
+        let pi_e = Vec.scale (1. /. lambda) (Mat.vec_mat theta m1) in
+        Ok { d0 = Mat.copy m0; d1 = Mat.copy m1; theta; lambda; minus_d0_inv; embedded; pi_e }
+      with Lu.Singular _ -> Error "D0 is singular")
+
+let make_exn ~d0 ~d1 =
+  match make ~d0 ~d1 with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Process.make: " ^ msg)
+
+let ones n = Vec.make n 1.
+
+let moment t k =
+  if k < 1 then invalid_arg "Process.moment: k < 1";
+  let n = order t in
+  (* E[X^k] = k! π_e (-D0)^{-k} 1 *)
+  let v = ref (ones n) in
+  let fact = ref 1. in
+  for i = 1 to k do
+    v := Mat.mat_vec t.minus_d0_inv !v;
+    fact := !fact *. float_of_int i
+  done;
+  !fact *. Vec.dot t.pi_e !v
+
+let mean t = moment t 1
+let variance t =
+  let m1 = mean t in
+  moment t 2 -. (m1 *. m1)
+
+let scv t =
+  let m1 = mean t in
+  variance t /. (m1 *. m1)
+
+let cv t = sqrt (scv t)
+
+let skewness t =
+  let m1 = mean t and m2 = moment t 2 and m3 = moment t 3 in
+  let var = m2 -. (m1 *. m1) in
+  let sigma = sqrt var in
+  (m3 -. (3. *. m1 *. var) -. (m1 *. m1 *. m1)) /. (sigma *. sigma *. sigma)
+
+let acf t k =
+  if k < 0 then invalid_arg "Process.acf: negative lag";
+  if k = 0 then 1.
+  else begin
+    let n = order t in
+    let m1 = mean t in
+    let var = variance t in
+    if var <= 0. then 0.
+    else begin
+      (* E[X_0 X_k] = π_e M P^k M 1 with M = (-D0)^{-1}. *)
+      let v = ref (Mat.mat_vec t.minus_d0_inv (ones n)) in
+      for _ = 1 to k do
+        v := Mat.mat_vec t.embedded !v
+      done;
+      let joint = Vec.dot t.pi_e (Mat.mat_vec t.minus_d0_inv !v) in
+      (joint -. (m1 *. m1)) /. var
+    end
+  end
+
+let is_renewal t =
+  let n = order t in
+  n = 1
+  ||
+  let first = Mat.row t.embedded 0 in
+  let same = ref true in
+  for i = 1 to n - 1 do
+    if not (Tol.close_arrays ~rel:1e-9 ~abs:1e-10 first (Mat.row t.embedded i)) then
+      same := false
+  done;
+  !same
+
+let acf_decay t =
+  if is_renewal t then Some 0.
+  else Mapqn_linalg.Eig.subdominant_stochastic t.embedded
+
+let rescale t ~mean:target =
+  if target <= 0. then invalid_arg "Process.rescale: non-positive mean";
+  let factor = mean t /. target in
+  (* Speeding time up by [factor] multiplies both matrices by it. *)
+  make_exn ~d0:(Mat.scale factor t.d0) ~d1:(Mat.scale factor t.d1)
+
+let equal ?(tol = 1e-9) a b =
+  Mat.equal ~rel:tol ~abs:tol a.d0 b.d0 && Mat.equal ~rel:tol ~abs:tol a.d1 b.d1
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>MAP(%d) rate=%g scv=%g@,D0:@,%a@,D1:@,%a@]" (order t)
+    t.lambda (scv t) Mat.pp t.d0 Mat.pp t.d1

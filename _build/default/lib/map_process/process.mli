@@ -1,0 +1,80 @@
+(** Markovian Arrival Processes (MAPs).
+
+    A MAP of order [m] is a point process driven by an [m]-state CTMC whose
+    generator splits as [D0 + D1]: [D0] holds the phase transitions without
+    an event ("hidden" transitions, negative diagonal), [D1] the transitions
+    that fire an event. Used here to model service processes: an event is a
+    service completion, and the phase encodes the service-time correlation
+    state. MAPs subsume the exponential distribution (order 1),
+    hyperexponential, Erlang, and MMPPs.
+
+    All statistics refer to the stationary sequence of inter-event times
+    [X_0, X_1, ...]. *)
+
+type t
+(** Immutable, validated MAP. *)
+
+val make : d0:Mapqn_linalg.Mat.t -> d1:Mapqn_linalg.Mat.t -> (t, string) result
+(** Validate and build. Requirements: square same-order matrices, [D1 >= 0],
+    [D0] nonnegative off-diagonal and negative diagonal, rows of [D0 + D1]
+    sum to 0, the generator [D0 + D1] is irreducible, and [D0] is
+    nonsingular (every phase eventually produces an event). *)
+
+val make_exn : d0:Mapqn_linalg.Mat.t -> d1:Mapqn_linalg.Mat.t -> t
+(** Like {!make}; raises [Invalid_argument] with the validation message. *)
+
+val order : t -> int
+val d0 : t -> Mapqn_linalg.Mat.t
+val d1 : t -> Mapqn_linalg.Mat.t
+val generator : t -> Mapqn_linalg.Mat.t
+(** [D0 + D1]. *)
+
+val phase_stationary : t -> Mapqn_linalg.Vec.t
+(** Stationary distribution [θ] of the phase CTMC [D0 + D1]. *)
+
+val rate : t -> float
+(** Fundamental rate [λ = θ D1 1]: mean events per unit time. *)
+
+val completion_rates : t -> Mapqn_linalg.Vec.t
+(** Row sums of [D1]: event rate from each phase. *)
+
+val embedded : t -> Mapqn_linalg.Mat.t
+(** [P = (-D0)^{-1} D1]: phase-transition probabilities observed at event
+    instants. Stochastic. *)
+
+val embedded_stationary : t -> Mapqn_linalg.Vec.t
+(** Stationary distribution [π_e] of {!embedded}; equals [θ D1 / λ]. *)
+
+val moment : t -> int -> float
+(** [moment t k] is [E[X^k] = k! π_e (-D0)^{-k} 1] for [k >= 1]. *)
+
+val mean : t -> float
+val variance : t -> float
+val scv : t -> float
+(** Squared coefficient of variation [variance / mean²]. *)
+
+val cv : t -> float
+val skewness : t -> float
+(** [E[(X - m)³] / σ³]. *)
+
+val acf : t -> int -> float
+(** [acf t k]: lag-[k] autocorrelation of the stationary inter-event
+    sequence, [ (E[X_0 X_k] - m²) / σ² ] with
+    [E[X_0 X_k] = π_e (-D0)^{-1} P^k (-D0)^{-1} 1]. Lag 0 returns 1. *)
+
+val acf_decay : t -> float option
+(** Geometric decay rate [γ₂] of the ACF: the subdominant eigenvalue of the
+    embedded chain [P]. [None] when the eigenvalue is complex or power
+    iteration fails; [Some 0.] for renewal processes (order 1 or rank-1
+    [P]). *)
+
+val is_renewal : t -> bool
+(** True when inter-event times are independent: all rows of {!embedded}
+    equal (in particular every order-1 MAP). *)
+
+val rescale : t -> mean:float -> t
+(** Rescale time so the mean inter-event time equals [mean]; preserves SCV,
+    skewness and the whole ACF. *)
+
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

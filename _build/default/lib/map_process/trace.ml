@@ -1,0 +1,119 @@
+module Stats = Mapqn_util.Stats
+
+let sample rng p ~count =
+  if count <= 0 then invalid_arg "Trace.sample: count <= 0";
+  let d0 = Process.d0 p and d1 = Process.d1 p in
+  let order = Process.order p in
+  let m = Mapqn_linalg.Mat.get in
+  let phase = ref 0 in
+  let out = Array.make count 0. in
+  let filled = ref 0 in
+  let elapsed = ref 0. in
+  let weights = Array.make (2 * order) 0. in
+  while !filled < count do
+    let a = !phase in
+    let rate = -.m d0 a a in
+    elapsed := !elapsed +. Mapqn_prng.Dist.exponential rng ~rate;
+    for b = 0 to order - 1 do
+      weights.(b) <- (if b <> a then m d0 a b else 0.);
+      weights.(order + b) <- m d1 a b
+    done;
+    let choice = Mapqn_prng.Dist.categorical rng weights in
+    if choice < order then phase := choice
+    else begin
+      phase := choice - order;
+      out.(!filled) <- !elapsed;
+      incr filled;
+      elapsed := 0.
+    end
+  done;
+  out
+
+type statistics = {
+  samples : int;
+  mean : float;
+  scv : float;
+  skewness : float;
+  acf1 : float;
+  gamma2 : float;
+  gamma2_lags_used : int;
+}
+
+(* Log-linear least squares on the significantly-positive ACF prefix:
+   log rho_k = log c + k log gamma2. Returns (gamma2, lags_used). *)
+let estimate_gamma2 acf ~significance =
+  (* Use the maximal prefix of lags with rho_k above the significance
+     cutoff; require at least 3 points for a slope. *)
+  let usable = ref 0 in
+  (try
+     Array.iter
+       (fun r -> if r > significance then incr usable else raise Exit)
+       acf
+   with Exit -> ());
+  let k = !usable in
+  if k < 3 then (0., 0)
+  else begin
+    let xs = Array.init k (fun i -> float_of_int (i + 1)) in
+    let ys = Array.init k (fun i -> log acf.(i)) in
+    let xbar = Stats.mean xs and ybar = Stats.mean ys in
+    let num = ref 0. and den = ref 0. in
+    for i = 0 to k - 1 do
+      num := !num +. ((xs.(i) -. xbar) *. (ys.(i) -. ybar));
+      den := !den +. ((xs.(i) -. xbar) *. (xs.(i) -. xbar))
+    done;
+    let slope = !num /. !den in
+    (Mapqn_util.Tol.clamp ~lo:0. ~hi:0.9999 (exp slope), k)
+  end
+
+let estimate ?(max_lag = 50) trace =
+  let n = Array.length trace in
+  if n < 100 then Error "Trace.estimate: need at least 100 samples"
+  else if Array.exists (fun x -> x <= 0. || not (Float.is_finite x)) trace then
+    Error "Trace.estimate: trace must contain positive finite times"
+  else begin
+    let mean = Stats.mean trace in
+    let var = Stats.variance trace in
+    if var <= 0. then Error "Trace.estimate: degenerate (constant) trace"
+    else begin
+      let scv = var /. (mean *. mean) in
+      let m3 = Stats.mean (Array.map (fun x -> (x -. mean) ** 3.) trace) in
+      let skewness = m3 /. (var ** 1.5) in
+      let max_lag = min max_lag (n / 4) in
+      let acf = Stats.autocorrelation_function trace ~max_lag in
+      let significance = 2. /. sqrt (float_of_int n) in
+      let gamma2, lags = estimate_gamma2 acf ~significance in
+      Ok
+        {
+          samples = n;
+          mean;
+          scv;
+          skewness;
+          acf1 = acf.(0);
+          gamma2;
+          gamma2_lags_used = lags;
+        }
+    end
+  end
+
+let fit_map2 ?max_lag ?(match_skewness = true) trace =
+  match estimate ?max_lag trace with
+  | Error msg -> Error msg
+  | Ok stats ->
+    let fitted =
+      if stats.scv <= 1. +. 1e-9 then
+        (* Below the family's variability floor: exponential fallback. *)
+        Ok (Builders.exponential ~rate:(1. /. stats.mean))
+      else begin
+        let third =
+          if match_skewness then
+            Fit.map2 ~mean:stats.mean ~scv:stats.scv ~gamma2:stats.gamma2
+              ~skewness:stats.skewness ()
+          else Error "skewness matching disabled"
+        in
+        match third with
+        | Ok p -> Ok p
+        | Error _ ->
+          Fit.map2 ~mean:stats.mean ~scv:stats.scv ~gamma2:stats.gamma2 ()
+      end
+    in
+    Result.map (fun p -> (p, stats)) fitted

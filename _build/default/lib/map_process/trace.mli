@@ -1,0 +1,43 @@
+(** MAP parameterization from measured traces — the paper's third
+    future-work item ("a fundamental research to be carried out is the
+    parameterization of MAP service processes from measurements").
+
+    Takes a trace of service (or inter-event) times, estimates the summary
+    statistics the fitting layer needs — mean, SCV, skewness, and the
+    geometric ACF decay rate γ₂ — and produces a fitted MAP(2). γ₂ is
+    estimated by log-linear regression of the empirical ACF over the lags
+    where it is significantly positive (for a MAP(2), ρ_k = c·γ₂^k, so the
+    log-ACF is linear in the lag). *)
+
+val sample : Mapqn_prng.Rng.t -> Process.t -> count:int -> float array
+(** Draw [count] consecutive stationary-ish inter-event times from the
+    MAP (starting from phase 0; the first events wash out any phase
+    transient for the trace lengths used in fitting). The synthetic
+    "measured trace" of this module's test/validation pipelines. *)
+
+type statistics = {
+  samples : int;
+  mean : float;
+  scv : float;
+  skewness : float;
+  acf1 : float;  (** empirical lag-1 autocorrelation *)
+  gamma2 : float;  (** estimated geometric decay rate, in [0, 1) *)
+  gamma2_lags_used : int;  (** lags that entered the regression *)
+}
+
+val estimate : ?max_lag:int -> float array -> (statistics, string) result
+(** Estimate from a trace. [max_lag] (default 50) caps the ACF horizon.
+    Requires at least 100 samples and positive values; γ₂ is reported as 0
+    when the trace shows no significant positive autocorrelation (the
+    significance cutoff is [2/√n]). *)
+
+val fit_map2 :
+  ?max_lag:int ->
+  ?match_skewness:bool ->
+  float array ->
+  (Process.t * statistics, string) result
+(** [estimate] followed by {!Fit.map2}. When [match_skewness] (default
+    true) the third moment is matched if it is H2-feasible, otherwise the
+    fit silently falls back to the balanced-means second-order fit.
+    An estimated SCV below 1 falls back to an exponential (with a γ₂ of 0):
+    the MSH2 family cannot express it. *)

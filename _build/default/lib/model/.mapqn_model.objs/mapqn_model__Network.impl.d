@@ -1,0 +1,1 @@
+lib/model/network.ml: Array Format Mapqn_linalg Mapqn_util Printf Station

@@ -1,0 +1,1 @@
+lib/model/network.mli: Format Mapqn_linalg Station

@@ -1,0 +1,1 @@
+lib/model/station.ml: Format Mapqn_map

@@ -1,0 +1,1 @@
+lib/model/station.mli: Format Mapqn_map

@@ -1,0 +1,115 @@
+module Mat = Mapqn_linalg.Mat
+module Vec = Mapqn_linalg.Vec
+module Tol = Mapqn_util.Tol
+
+type t = {
+  stations : Station.t array;
+  routing : Mat.t;
+  population : int;
+}
+
+let irreducible p =
+  let n = Mat.rows p in
+  let reaches_all start =
+    let seen = Array.make n false in
+    let rec visit i =
+      if not seen.(i) then begin
+        seen.(i) <- true;
+        for j = 0 to n - 1 do
+          if Mat.get p i j > 0. && j <> i then visit j
+        done
+      end
+    in
+    visit start;
+    Array.for_all (fun b -> b) seen
+  in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if not (reaches_all i) then ok := false
+  done;
+  !ok
+
+let make ~stations ~routing ~population =
+  let m = Array.length stations in
+  if m = 0 then Error "need at least one station"
+  else if population < 0 then Error "negative population"
+  else if Array.length routing <> m then Error "routing row count mismatch"
+  else if Array.exists (fun r -> Array.length r <> m) routing then
+    Error "routing is not square"
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun j p ->
+            if p < 0. || p > 1. then
+              bad := Some (Printf.sprintf "routing[%d][%d] = %g not a probability" i j p))
+          row;
+        let s = Mapqn_util.Ksum.sum row in
+        if not (Tol.close ~rel:1e-9 ~abs:1e-9 s 1.) then
+          bad := Some (Printf.sprintf "routing row %d sums to %g" i s))
+      routing;
+    match !bad with
+    | Some msg -> Error msg
+    | None ->
+      let p = Mat.of_arrays routing in
+      if m > 1 && not (irreducible p) then Error "routing chain is reducible"
+      else Ok { stations = Array.copy stations; routing = p; population }
+  end
+
+let make_exn ~stations ~routing ~population =
+  match make ~stations ~routing ~population with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Network.make: " ^ msg)
+
+let num_stations t = Array.length t.stations
+let population t = t.population
+let station t k = t.stations.(k)
+let stations t = Array.copy t.stations
+let routing t = Mat.copy t.routing
+let routing_prob t i j = Mat.get t.routing i j
+
+let phase_dims t = Array.map Station.phases t.stations
+let total_phases t = Array.fold_left (fun acc d -> acc * d) 1 (phase_dims t)
+
+let visit_ratios t =
+  let m = num_stations t in
+  if m = 1 then [| 1. |]
+  else begin
+    (* v = v P with v.(0) = 1: the stationary vector of the routing chain,
+       rescaled. GTH is exact and cancellation-free. *)
+    let pi = Mapqn_linalg.Gth.dtmc t.routing in
+    (* Divide (rather than multiply by the reciprocal) so that the
+       reference entry is exactly 1. *)
+    Array.map (fun x -> x /. pi.(0)) pi
+  end
+
+let demands t =
+  let v = visit_ratios t in
+  Array.mapi (fun k vk -> vk *. Station.mean_service_time t.stations.(k)) v
+
+let with_population t population =
+  if population < 0 then invalid_arg "Network.with_population: negative";
+  { t with population }
+
+let exponentialize t =
+  { t with stations = Array.map Station.exponentialize t.stations }
+
+let is_product_form t =
+  Array.for_all (fun s -> Station.is_exponential s || Station.is_delay s) t.stations
+
+let has_delay t = Array.exists Station.is_delay t.stations
+
+let tandem stations ~population =
+  let m = Array.length stations in
+  let routing =
+    Array.init m (fun i -> Array.init m (fun j -> if j = (i + 1) mod m then 1. else 0.))
+  in
+  (* A single station routes to itself: valid (self-loop). *)
+  make_exn ~stations ~routing ~population
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>closed network: %d stations, population %d@,"
+    (num_stations t) t.population;
+  Array.iteri (fun k s -> Format.fprintf fmt "  [%d] %a@," k Station.pp s) t.stations;
+  Format.fprintf fmt "routing:@,%a@]" Mat.pp t.routing

@@ -1,0 +1,63 @@
+(** Closed, single-class MAP queueing networks.
+
+    A network is a set of single-server FCFS stations, a stochastic routing
+    matrix (entry [(i, j)] is the probability a job completing service at
+    station [i] moves to station [j]) and a fixed population [n] of
+    circulating jobs — the model class of the paper (Figure 5 and
+    generalizations). *)
+
+type t
+
+val make :
+  stations:Station.t array ->
+  routing:float array array ->
+  population:int ->
+  (t, string) result
+(** Validate and build: at least one station, routing square of matching
+    size with stochastic rows, routing chain irreducible, population
+    nonnegative. *)
+
+val make_exn :
+  stations:Station.t array ->
+  routing:float array array ->
+  population:int ->
+  t
+
+val num_stations : t -> int
+val population : t -> int
+val station : t -> int -> Station.t
+val stations : t -> Station.t array
+val routing : t -> Mapqn_linalg.Mat.t
+val routing_prob : t -> int -> int -> float
+
+val phase_dims : t -> int array
+(** Per-station MAP order (1 for exponential stations). *)
+
+val total_phases : t -> int
+(** Product of {!phase_dims}: size of the joint phase space. *)
+
+val visit_ratios : t -> Mapqn_linalg.Vec.t
+(** Solution of the traffic equations [v = v P] normalized so that
+    [v.(0) = 1] (station 0 is the reference). *)
+
+val demands : t -> Mapqn_linalg.Vec.t
+(** Per-station service demand [D_k = v_k * mean service time at k]. *)
+
+val with_population : t -> int -> t
+(** Same network, different population. *)
+
+val exponentialize : t -> t
+(** Every station replaced by an exponential one with the same mean — the
+    product-form "no burstiness" approximation of the paper's Figure 3
+    second row. *)
+
+val is_product_form : t -> bool
+(** True when every station is exponential FCFS or a delay station. *)
+
+val has_delay : t -> bool
+(** True when the network contains an infinite-server station. *)
+
+val tandem : Station.t array -> population:int -> t
+(** Convenience: cyclic routing 0 → 1 → ... → M-1 → 0. *)
+
+val pp : Format.formatter -> t -> unit

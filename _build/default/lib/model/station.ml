@@ -1,0 +1,50 @@
+type service = Exp of float | Map of Mapqn_map.Process.t | Delay of float
+
+type t = { name : string; service : service }
+
+let exp ?(name = "exp") ~rate () =
+  if rate <= 0. then invalid_arg "Station.exp: rate <= 0";
+  { name; service = Exp rate }
+
+let map ?(name = "map") process = { name; service = Map process }
+
+let delay ?(name = "delay") ~rate () =
+  if rate <= 0. then invalid_arg "Station.delay: rate <= 0";
+  { name; service = Delay rate }
+
+let service_process t =
+  match t.service with
+  | Exp rate | Delay rate -> Mapqn_map.Builders.exponential ~rate
+  | Map p -> p
+
+let phases t =
+  match t.service with Exp _ | Delay _ -> 1 | Map p -> Mapqn_map.Process.order p
+
+let mean_service_time t =
+  match t.service with
+  | Exp rate | Delay rate -> 1. /. rate
+  | Map p -> Mapqn_map.Process.mean p
+
+let mean_service_rate t = 1. /. mean_service_time t
+
+let is_exponential t =
+  match t.service with
+  | Exp _ -> true
+  | Delay _ -> false
+  | Map p -> Mapqn_map.Process.order p = 1
+
+let is_delay t = match t.service with Delay _ -> true | Exp _ | Map _ -> false
+
+let exponentialize t =
+  match t.service with
+  | Delay _ -> t
+  | Exp _ | Map _ -> { t with service = Exp (mean_service_rate t) }
+
+let pp fmt t =
+  match t.service with
+  | Exp rate -> Format.fprintf fmt "%s: Exp(rate=%g)" t.name rate
+  | Delay rate -> Format.fprintf fmt "%s: Delay(rate=%g)" t.name rate
+  | Map p ->
+    Format.fprintf fmt "%s: MAP(%d) mean=%g scv=%g" t.name
+      (Mapqn_map.Process.order p) (Mapqn_map.Process.mean p)
+      (Mapqn_map.Process.scv p)

@@ -1,0 +1,40 @@
+(** A service station of a closed network. *)
+
+type service =
+  | Exp of float  (** single-server FCFS, exponential service at the given rate *)
+  | Map of Mapqn_map.Process.t  (** single-server FCFS, general MAP service *)
+  | Delay of float
+      (** infinite-server (pure delay) station with exponential service at
+          the given per-job rate — models client think times in the TPC-W
+          topology (paper Figure 2). *)
+
+type t = { name : string; service : service }
+
+val exp : ?name:string -> rate:float -> unit -> t
+val map : ?name:string -> Mapqn_map.Process.t -> t
+val delay : ?name:string -> rate:float -> unit -> t
+
+val service_process : t -> Mapqn_map.Process.t
+(** Uniform MAP view of the per-job service process (exponential and delay
+    become the order-1 MAP). Note that for delay stations the {e station}
+    completion rate additionally scales with the number of resident jobs. *)
+
+val phases : t -> int
+(** Order of the service MAP; 1 for exponential and delay stations. *)
+
+val mean_service_time : t -> float
+val mean_service_rate : t -> float
+
+val is_exponential : t -> bool
+(** True when the station is a single-server station with exponential
+    service (order-1 MAP counts); false for delay stations. *)
+
+val is_delay : t -> bool
+
+val exponentialize : t -> t
+(** Same mean service time, exponential distribution — the "no ACF / no
+    variability" projection used by the paper's unsuccessful model. Delay
+    stations are kept as delay stations (they are already exponential and
+    product-form). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/prng/dist.ml: Array Mapqn_util Queue Rng

@@ -1,0 +1,1 @@
+lib/prng/reservoir.ml: Array Mapqn_util Rng

@@ -1,0 +1,1 @@
+lib/prng/reservoir.mli: Rng

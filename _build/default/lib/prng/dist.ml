@@ -1,0 +1,72 @@
+let uniform rng ~lo ~hi =
+  if lo >= hi then invalid_arg "Dist.uniform: lo >= hi";
+  lo +. ((hi -. lo) *. Rng.float rng)
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate <= 0";
+  -.log (Rng.float_pos rng) /. rate
+
+let erlang rng ~k ~rate =
+  if k < 1 then invalid_arg "Dist.erlang: k < 1";
+  (* Product of uniforms needs a single log: X = -ln(prod u_i)/rate. *)
+  let prod = ref 1. in
+  for _ = 1 to k do
+    prod := !prod *. Rng.float_pos rng
+  done;
+  -.log !prod /. rate
+
+let categorical rng weights =
+  let total = Mapqn_util.Ksum.sum weights in
+  if total <= 0. then invalid_arg "Dist.categorical: zero total weight";
+  let u = Rng.float rng *. total in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if u < acc then i else go (i + 1) acc
+  in
+  go 0 0.
+
+let hyperexponential rng ~probs ~rates =
+  if Array.length probs <> Array.length rates then
+    invalid_arg "Dist.hyperexponential: length mismatch";
+  let i = categorical rng probs in
+  exponential rng ~rate:rates.(i)
+
+module Alias = struct
+  type t = { prob : float array; alias : int array }
+
+  let create weights =
+    let n = Array.length weights in
+    if n = 0 then invalid_arg "Dist.Alias.create: empty";
+    Array.iter
+      (fun w -> if w < 0. then invalid_arg "Dist.Alias.create: negative weight")
+      weights;
+    let total = Mapqn_util.Ksum.sum weights in
+    if total <= 0. then invalid_arg "Dist.Alias.create: zero total weight";
+    let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+    let prob = Array.make n 1. and alias = Array.init n (fun i -> i) in
+    let small = Queue.create () and large = Queue.create () in
+    Array.iteri
+      (fun i p -> Queue.push i (if p < 1. then small else large))
+      scaled;
+    while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+      let s = Queue.pop small and l = Queue.pop large in
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+      Queue.push l (if scaled.(l) < 1. then small else large)
+    done;
+    (* Leftovers are 1 up to rounding. *)
+    Queue.iter (fun i -> prob.(i) <- 1.) small;
+    Queue.iter (fun i -> prob.(i) <- 1.) large;
+    { prob; alias }
+
+  let sample t rng =
+    let n = Array.length t.prob in
+    let i = Rng.int rng n in
+    if Rng.float rng < t.prob.(i) then i else t.alias.(i)
+
+  let support t = Array.length t.prob
+end

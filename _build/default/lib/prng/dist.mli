@@ -1,0 +1,35 @@
+(** Random variate generation on top of {!Rng}. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** Uniform on [\[lo, hi)]. Requires [lo < hi]. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential with the given rate (mean [1/rate]). Requires [rate > 0]. *)
+
+val erlang : Rng.t -> k:int -> rate:float -> float
+(** Sum of [k] iid exponentials of the given rate. Requires [k >= 1]. *)
+
+val hyperexponential : Rng.t -> probs:float array -> rates:float array -> float
+(** Mixture of exponentials: branch [i] chosen with probability [probs.(i)],
+    then exponential with [rates.(i)]. Probabilities must sum to 1. *)
+
+val categorical : Rng.t -> float array -> int
+(** Index drawn according to the (nonnegative, not necessarily normalized)
+    weight vector, by cumulative inversion. Raises [Invalid_argument] if all
+    weights are zero. *)
+
+module Alias : sig
+  (** Walker's alias method: O(n) preprocessing, O(1) sampling. Preferred
+      for repeated draws from the same discrete distribution (e.g. routing
+      decisions in long simulations). *)
+
+  type t
+
+  val create : float array -> t
+  (** Build a sampler from nonnegative weights (need not be normalized). *)
+
+  val sample : t -> Rng.t -> int
+
+  val support : t -> int
+  (** Number of categories. *)
+end

@@ -1,0 +1,28 @@
+type t = {
+  data : float array;
+  mutable seen : int;
+  rng : Rng.t;
+}
+
+let create ~capacity rng =
+  if capacity <= 0 then invalid_arg "Reservoir.create: capacity <= 0";
+  { data = Array.make capacity 0.; seen = 0; rng }
+
+let add t x =
+  let cap = Array.length t.data in
+  if t.seen < cap then t.data.(t.seen) <- x
+  else begin
+    (* Replace a random slot with probability cap / (seen + 1). *)
+    let j = Rng.int t.rng (t.seen + 1) in
+    if j < cap then t.data.(j) <- x
+  end;
+  t.seen <- t.seen + 1
+
+let count t = t.seen
+
+let sample t = Array.sub t.data 0 (min t.seen (Array.length t.data))
+
+let quantile t q =
+  let s = sample t in
+  if Array.length s = 0 then invalid_arg "Reservoir.quantile: empty";
+  Mapqn_util.Stats.quantile s q

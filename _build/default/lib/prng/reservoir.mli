@@ -1,0 +1,21 @@
+(** Reservoir sampling (Vitter's algorithm R): a fixed-size uniform random
+    sample of an unbounded stream. Used by the simulator to keep sojourn-
+    time samples for quantile estimation without unbounded memory. *)
+
+type t
+
+val create : capacity:int -> Rng.t -> t
+(** Reservoir holding at most [capacity] items ([capacity > 0]). The
+    generator is used (and advanced) by {!add}. *)
+
+val add : t -> float -> unit
+val count : t -> int
+(** Number of items offered so far (not the sample size). *)
+
+val sample : t -> float array
+(** Copy of the current sample (size [min count capacity]); a uniform
+    random subset of everything offered. *)
+
+val quantile : t -> float -> float
+(** Quantile of the current sample ({!Mapqn_util.Stats.quantile}); raises
+    [Invalid_argument] when empty. *)

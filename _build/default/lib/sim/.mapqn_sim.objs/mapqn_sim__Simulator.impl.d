@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Event_heap Float Int64 List Mapqn_linalg Mapqn_map Mapqn_model Mapqn_prng Mapqn_util Queue

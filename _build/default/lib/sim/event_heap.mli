@@ -1,0 +1,18 @@
+(** Binary min-heap of timestamped events — the discrete-event engine's
+    future event list. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an event. Times must be finite; raises [Invalid_argument]
+    otherwise. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. Ties are broken by insertion
+    order (FIFO among equal timestamps), keeping runs deterministic. *)
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,343 @@
+module Network = Mapqn_model.Network
+module Station = Mapqn_model.Station
+module Process = Mapqn_map.Process
+module Mat = Mapqn_linalg.Mat
+module Rng = Mapqn_prng.Rng
+module Dist = Mapqn_prng.Dist
+
+type probe = Arrivals of int | Departures of int
+
+type options = {
+  seed : int;
+  warmup : float;
+  horizon : float;
+  probes : probe list;
+  batches : int;
+  sojourn_sample_cap : int;
+}
+
+let default_options =
+  {
+    seed = 1;
+    warmup = 1_000.;
+    horizon = 100_000.;
+    probes = [];
+    batches = 20;
+    sojourn_sample_cap = 50_000;
+  }
+
+type station_stats = {
+  utilization : float;
+  throughput : float;
+  mean_queue_length : float;
+  mean_sojourn : float;
+  completions : int;
+}
+
+type result = {
+  stations : station_stats array;
+  system_response_time : float;
+  probe_series : (probe * float array) list;
+  total_events : int;
+  batch_throughput : float array array;
+      (* per station: completions/time in each of options.batches windows *)
+  sojourn_samples : float array array;
+      (* per station: uniform reservoir sample of measured sojourn times *)
+}
+
+(* Growable float buffer for probe recording. *)
+module Buf = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create () = { data = Array.make 1024 0.; len = 0 }
+
+  let push t x =
+    if t.len = Array.length t.data then begin
+      let data = Array.make (2 * t.len) 0. in
+      Array.blit t.data 0 data 0 t.len;
+      t.data <- data
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let contents t = Array.sub t.data 0 t.len
+end
+
+(* Per-station mutable simulation state. *)
+type station_state = {
+  d0 : Mat.t;
+  d1 : Mat.t;
+  order : int;
+  exit_rate : float array; (* phase -> total event rate -D0[a,a] *)
+  delay : bool;
+  route_sampler : Mapqn_prng.Dist.Alias.t;
+  mutable queue : int;
+  mutable phase : int;
+  (* FIFO of arrival timestamps of resident jobs (head = in service). *)
+  arrivals_fifo : float Queue.t;
+  (* accumulators (measurement window only) *)
+  mutable busy_time : float;
+  mutable qlen_integral : float;
+  mutable completions : int;
+  mutable sojourn_sum : float;
+  mutable sojourn_count : int;
+  arrival_probe : Buf.t option;
+  departure_probe : Buf.t option;
+  batch_counts : int array;
+  sojourns : Mapqn_prng.Reservoir.t;
+}
+
+type event = Service of int (* station id: one service-process event *)
+
+let run ?(options = default_options) network =
+  let m = Network.num_stations network in
+  let n = Network.population network in
+  let rng = Rng.create ~seed:options.seed in
+  let heap : event Event_heap.t = Event_heap.create () in
+  let wants tag =
+    List.exists (fun p -> p = tag) options.probes
+  in
+  let stations =
+    Array.init m (fun k ->
+        let st = Network.station network k in
+        let p = Station.service_process st in
+        let d0 = Process.d0 p and d1 = Process.d1 p in
+        let order = Process.order p in
+        let exit_rate = Array.init order (fun a -> -.Mat.get d0 a a) in
+        let routing_row =
+          Array.init m (fun j -> Network.routing_prob network k j)
+        in
+        {
+          d0;
+          d1;
+          order;
+          exit_rate;
+          delay = Station.is_delay st;
+          route_sampler = Dist.Alias.create routing_row;
+          queue = 0;
+          phase = 0;
+          arrivals_fifo = Queue.create ();
+          busy_time = 0.;
+          qlen_integral = 0.;
+          completions = 0;
+          sojourn_sum = 0.;
+          sojourn_count = 0;
+          arrival_probe = (if wants (Arrivals k) then Some (Buf.create ()) else None);
+          departure_probe =
+            (if wants (Departures k) then Some (Buf.create ()) else None);
+          batch_counts = Array.make (max 1 options.batches) 0;
+          sojourns =
+            Mapqn_prng.Reservoir.create
+              ~capacity:(max 1 options.sojourn_sample_cap)
+              (Rng.split rng);
+        })
+  in
+  let now = ref 0. in
+  let measuring = ref false in
+  let events = ref 0 in
+  (* Time-integral bookkeeping: call before any state change at time [t]. *)
+  let last_update = ref 0. in
+  let advance_integrals t =
+    if !measuring then begin
+      let dt = t -. !last_update in
+      Array.iter
+        (fun s ->
+          s.qlen_integral <- s.qlen_integral +. (dt *. float_of_int s.queue);
+          if s.queue > 0 then s.busy_time <- s.busy_time +. dt)
+        stations
+    end;
+    last_update := t
+  in
+  (* Schedule the next service-process event of station k. For FCFS
+     stations: one event at the phase exit rate. For delay stations: each
+     arriving job schedules its own completion, so this is called once per
+     arrival with rate = per-job rate. *)
+  let schedule k =
+    let s = stations.(k) in
+    let rate = s.exit_rate.(s.phase) in
+    Event_heap.push heap ~time:(!now +. Dist.exponential rng ~rate) (Service k)
+  in
+  let schedule_delay_job k =
+    let s = stations.(k) in
+    (* Delay stations have exponential (order-1) service. *)
+    let rate = s.exit_rate.(0) in
+    Event_heap.push heap ~time:(!now +. Dist.exponential rng ~rate) (Service k)
+  in
+  let record_probe buf =
+    match buf with
+    | Some b when !measuring -> Buf.push b !now
+    | Some _ | None -> ()
+  in
+  let nbatches = max 1 options.batches in
+  let batch_width = options.horizon /. float_of_int nbatches in
+  let record_batch s t =
+    let idx = int_of_float ((t -. options.warmup) /. batch_width) in
+    let idx = min (nbatches - 1) (max 0 idx) in
+    s.batch_counts.(idx) <- s.batch_counts.(idx) + 1
+  in
+  let arrive k =
+    let s = stations.(k) in
+    record_probe s.arrival_probe;
+    s.queue <- s.queue + 1;
+    Queue.push !now s.arrivals_fifo;
+    if s.delay then schedule_delay_job k
+    else if s.queue = 1 then schedule k
+  in
+  (* Initial placement: all jobs at station 0 (the stationary measurement
+     window forgets the start state; warmup handles the transient). *)
+  for _ = 1 to n do
+    let s = stations.(0) in
+    s.queue <- s.queue + 1;
+    Queue.push 0. s.arrivals_fifo;
+    if s.delay then schedule_delay_job 0
+  done;
+  if n > 0 && not stations.(0).delay then schedule 0;
+  let stop_time = options.warmup +. options.horizon in
+  let running = ref true in
+  while !running do
+    match Event_heap.pop heap with
+    | None -> running := false (* empty network *)
+    | Some (t, Service k) ->
+      if t >= stop_time then begin
+        advance_integrals stop_time;
+        running := false
+      end
+      else begin
+        if (not !measuring) && t >= options.warmup then begin
+          advance_integrals options.warmup;
+          (* Reset per-station accumulators at the measurement boundary. *)
+          Array.iter
+            (fun s ->
+              s.busy_time <- 0.;
+              s.qlen_integral <- 0.;
+              s.completions <- 0;
+              s.sojourn_sum <- 0.;
+              s.sojourn_count <- 0)
+            stations;
+          measuring := true
+        end;
+        advance_integrals t;
+        now := t;
+        incr events;
+        let s = stations.(k) in
+        if s.delay then begin
+          (* One delay job completes. *)
+          s.phase <- 0;
+          s.queue <- s.queue - 1;
+          let arrived = Queue.pop s.arrivals_fifo in
+          if !measuring then begin
+            s.completions <- s.completions + 1;
+            record_batch s t;
+            if arrived >= options.warmup then begin
+              s.sojourn_sum <- s.sojourn_sum +. (t -. arrived);
+              s.sojourn_count <- s.sojourn_count + 1;
+              Mapqn_prng.Reservoir.add s.sojourns (t -. arrived)
+            end
+          end;
+          record_probe s.departure_probe;
+          let j = Dist.Alias.sample s.route_sampler rng in
+          arrive j
+        end
+        else begin
+          (* MAP event: hidden transition or completion, chosen by rate. *)
+          let a = s.phase in
+          let weights = Array.make (2 * s.order) 0. in
+          for b = 0 to s.order - 1 do
+            if b <> a then weights.(b) <- Mat.get s.d0 a b;
+            weights.(s.order + b) <- Mat.get s.d1 a b
+          done;
+          let choice = Dist.categorical rng weights in
+          if choice < s.order then begin
+            (* Hidden phase change. *)
+            s.phase <- choice;
+            schedule k
+          end
+          else begin
+            let b = choice - s.order in
+            s.phase <- b;
+            s.queue <- s.queue - 1;
+            let arrived = Queue.pop s.arrivals_fifo in
+            if !measuring then begin
+              s.completions <- s.completions + 1;
+              record_batch s t;
+              if arrived >= options.warmup then begin
+                s.sojourn_sum <- s.sojourn_sum +. (t -. arrived);
+                s.sojourn_count <- s.sojourn_count + 1;
+                Mapqn_prng.Reservoir.add s.sojourns (t -. arrived)
+              end
+            end;
+            record_probe s.departure_probe;
+            if s.queue > 0 then schedule k;
+            let j = Dist.Alias.sample s.route_sampler rng in
+            arrive j
+          end
+        end
+      end
+  done;
+  let horizon = options.horizon in
+  let station_stats =
+    Array.map
+      (fun s ->
+        {
+          utilization = s.busy_time /. horizon;
+          throughput = float_of_int s.completions /. horizon;
+          mean_queue_length = s.qlen_integral /. horizon;
+          mean_sojourn =
+            (if s.sojourn_count = 0 then 0.
+             else s.sojourn_sum /. float_of_int s.sojourn_count);
+          completions = s.completions;
+        })
+      stations
+  in
+  let x0 = station_stats.(0).throughput in
+  let probe_series =
+    List.filter_map
+      (fun p ->
+        let buf =
+          match p with
+          | Arrivals k -> stations.(k).arrival_probe
+          | Departures k -> stations.(k).departure_probe
+        in
+        match buf with Some b -> Some (p, Buf.contents b) | None -> None)
+      options.probes
+  in
+  {
+    stations = station_stats;
+    system_response_time =
+      (if x0 > 0. then float_of_int n /. x0 else if n = 0 then 0. else infinity);
+    probe_series;
+    total_events = !events;
+    batch_throughput =
+      Array.map
+        (fun s ->
+          Array.map (fun c -> float_of_int c /. batch_width) s.batch_counts)
+        stations;
+    sojourn_samples =
+      Array.map (fun s -> Mapqn_prng.Reservoir.sample s.sojourns) stations;
+  }
+
+let run_replicas ?(options = default_options) ~replicas network =
+  if replicas < 1 then invalid_arg "Simulator.run_replicas: replicas < 1";
+  let master = Rng.create ~seed:options.seed in
+  Array.init replicas (fun _ ->
+      let seed = Int64.to_int (Rng.uint64 master) land 0x3FFFFFFF in
+      run ~options:{ options with seed } network)
+
+let inter_event_times ts =
+  if Array.length ts < 2 then [||]
+  else Array.init (Array.length ts - 1) (fun i -> ts.(i + 1) -. ts.(i))
+
+module Summary = struct
+  type t = { mean : float; half_width : float }
+
+  let of_samples xs =
+    let mean = Mapqn_util.Stats.mean xs in
+    if Array.length xs < 2 then { mean; half_width = infinity }
+    else begin
+      let sd = Mapqn_util.Stats.std_dev xs in
+      let half_width = 1.96 *. sd /. sqrt (float_of_int (Array.length xs)) in
+      { mean; half_width }
+    end
+
+  let contains t x = Float.abs (x -. t.mean) <= t.half_width
+end

@@ -1,0 +1,76 @@
+(** Discrete-event simulation of closed MAP queueing networks.
+
+    The simulator is the repo's stand-in for the paper's TPC-W testbed: it
+    generates the flows whose autocorrelation the paper measures (Figure 1)
+    and the "measurement" bars of Figure 3, and validates the analytic
+    solvers on models too large for exact solution.
+
+    Semantics match the CTMC exactly: single-server FCFS stations run
+    their MAP while busy and freeze the phase while idle; the service
+    process of a busy station fires hidden transitions and completions at
+    the [D0]/[D1] rates; delay stations give every resident job its own
+    exponential timer. Routing is probabilistic per the network matrix. *)
+
+type probe =
+  | Arrivals of int  (** timestamps of job arrivals at a station *)
+  | Departures of int  (** timestamps of service completions at a station *)
+
+type options = {
+  seed : int;
+  warmup : float;  (** simulated time discarded before measuring *)
+  horizon : float;  (** measured simulated time (after warmup) *)
+  probes : probe list;  (** event streams to record *)
+  batches : int;  (** windows for batch-means output (>= 1) *)
+  sojourn_sample_cap : int;  (** reservoir size for sojourn quantiles *)
+}
+
+val default_options : options
+(** seed 1, warmup 1_000, horizon 100_000, no probes, 20 batches, 50k
+    sojourn samples. *)
+
+type station_stats = {
+  utilization : float;  (** fraction of measured time busy (delay: P\{n>=1\}) *)
+  throughput : float;  (** completions per unit time *)
+  mean_queue_length : float;  (** time-average of n_k *)
+  mean_sojourn : float;  (** average arrival-to-departure time per visit *)
+  completions : int;
+}
+
+type result = {
+  stations : station_stats array;
+  system_response_time : float;  (** N / X_0 (Little's law at station 0) *)
+  probe_series : (probe * float array) list;
+      (** recorded event timestamps, measurement window only *)
+  total_events : int;
+  batch_throughput : float array array;
+      (** [batch_throughput.(k)]: station [k]'s completion rate in each of
+          [options.batches] equal windows of the measurement period — feed
+          to {!Summary.of_samples} for a batch-means confidence interval *)
+  sojourn_samples : float array array;
+      (** [sojourn_samples.(k)]: uniform reservoir sample of station [k]'s
+          measured per-visit sojourn times, for quantile estimates
+          ({!Mapqn_util.Stats.quantile}) *)
+}
+
+val run : ?options:options -> Mapqn_model.Network.t -> result
+(** Simulate one replication. *)
+
+val run_replicas :
+  ?options:options ->
+  replicas:int ->
+  Mapqn_model.Network.t ->
+  result array
+(** Independent replications (seeds derived from [options.seed] by
+    splitting); use with {!Summary} to get confidence intervals. *)
+
+val inter_event_times : float array -> float array
+(** Differences of a timestamp series — the inter-arrival/inter-departure
+    series whose ACF the paper's Figure 1 plots. *)
+
+module Summary : sig
+  type t = { mean : float; half_width : float }
+  (** Normal-approximation 95% confidence interval. *)
+
+  val of_samples : float array -> t
+  val contains : t -> float -> bool
+end

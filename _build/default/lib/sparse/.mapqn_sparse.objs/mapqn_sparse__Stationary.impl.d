@@ -1,0 +1,1 @@
+lib/sparse/stationary.ml: Array Csr Float Mapqn_linalg Mapqn_util Printf

@@ -1,0 +1,44 @@
+(** Compressed sparse row matrices.
+
+    The exact CTMC generators of MAP networks have O(M·H) nonzeros per row
+    but up to tens of thousands of rows; CSR keeps assembly and
+    matrix-vector products linear in the nonzero count. *)
+
+type t
+
+val nrows : t -> int
+val ncols : t -> int
+val nnz : t -> int
+
+val of_coo : rows:int -> cols:int -> (int * int * float) list -> t
+(** Build from coordinate triplets [(i, j, v)]. Duplicate coordinates are
+    summed; explicit zeros are dropped. *)
+
+val of_coo_array : rows:int -> cols:int -> (int * int * float) array -> t
+(** Same as {!of_coo} from an array (avoids list overhead for large
+    assemblies). The array is not modified. *)
+
+val of_dense : Mapqn_linalg.Mat.t -> t
+val to_dense : t -> Mapqn_linalg.Mat.t
+
+val get : t -> int -> int -> float
+(** O(log nnz-per-row) lookup; absent entries read as [0.]. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** Iterate the nonzeros [(col, value)] of one row. *)
+
+val iter : t -> (int -> int -> float -> unit) -> unit
+(** Iterate all nonzeros in row-major order. *)
+
+val mat_vec : t -> float array -> float array
+(** [A x]. *)
+
+val vec_mat : float array -> t -> float array
+(** [xᵀ A] — the row-vector product used by stationary iterations. *)
+
+val transpose : t -> t
+val row_sums : t -> float array
+val scale : float -> t -> t
+val map_values : (float -> float) -> t -> t
+(** Pointwise transform of stored values (structure unchanged; resulting
+    zeros are kept as explicit entries). *)

@@ -1,0 +1,124 @@
+type method_ = Gth | Power | Gauss_seidel | Auto
+
+let gth_threshold = 500
+
+type options = {
+  method_ : method_;
+  tol : float;
+  max_iter : int;
+  check_residual : bool;
+}
+
+let default_options =
+  { method_ = Auto; tol = 1e-12; max_iter = 1_000_000; check_residual = true }
+
+exception No_convergence of { method_name : string; iterations : int; residual : float }
+
+let residual q pi = Mapqn_linalg.Vec.norm_inf (Csr.vec_mat pi q)
+
+let check_generator q =
+  if Csr.nrows q <> Csr.ncols q then invalid_arg "Stationary.solve: not square";
+  Array.iteri
+    (fun i s ->
+      if not (Mapqn_util.Tol.close ~rel:1e-6 ~abs:1e-7 s 0.) then
+        invalid_arg (Printf.sprintf "Stationary.solve: row %d sums to %g" i s))
+    (Csr.row_sums q)
+
+let uniformization_rate q =
+  let worst = ref 0. in
+  for i = 0 to Csr.nrows q - 1 do
+    let d = Csr.get q i i in
+    worst := Float.max !worst (Float.abs d)
+  done;
+  (* Strictly larger than every exit rate so the DTMC is aperiodic. *)
+  !worst *. 1.05 +. 1e-12
+
+let normalize_inplace pi =
+  let s = Mapqn_util.Ksum.sum pi in
+  if s <= 0. then failwith "Stationary: iterate collapsed to zero";
+  for i = 0 to Array.length pi - 1 do
+    pi.(i) <- pi.(i) /. s
+  done
+
+(* Power method on the uniformized chain P = I + Q/Λ. *)
+let solve_power ~tol ~max_iter q =
+  let n = Csr.nrows q in
+  let lambda = uniformization_rate q in
+  let p = Csr.scale (1. /. lambda) q in
+  let pi = ref (Array.make n (1. /. float_of_int n)) in
+  let iter = ref 0 in
+  let delta = ref infinity in
+  while !delta > tol && !iter < max_iter do
+    incr iter;
+    let qpart = Csr.vec_mat !pi p in
+    let next = Array.mapi (fun i v -> !pi.(i) +. v) qpart in
+    normalize_inplace next;
+    delta := Mapqn_linalg.Vec.max_abs_diff next !pi;
+    pi := next
+  done;
+  (!pi, !iter, !delta <= tol)
+
+(* Gauss–Seidel on π Q = 0: using columns of Q (rows of Qᵀ),
+   π_i = (Σ_{j≠i} π_j q_{j,i}) / (-q_{i,i}), swept in place. *)
+let solve_gauss_seidel ~tol ~max_iter q =
+  let n = Csr.nrows q in
+  let qt = Csr.transpose q in
+  let diag = Array.init n (fun i -> Csr.get q i i) in
+  Array.iteri
+    (fun i d ->
+      if d >= 0. then
+        invalid_arg (Printf.sprintf "Stationary: state %d has no outflow" i))
+    diag;
+  let pi = Array.make n (1. /. float_of_int n) in
+  let iter = ref 0 in
+  let delta = ref infinity in
+  while !delta > tol && !iter < max_iter do
+    incr iter;
+    let worst = ref 0. in
+    for i = 0 to n - 1 do
+      let acc = ref 0. in
+      Csr.iter_row qt i (fun j v -> if j <> i then acc := !acc +. (pi.(j) *. v));
+      let next = !acc /. -.diag.(i) in
+      worst := Float.max !worst (Float.abs (next -. pi.(i)));
+      pi.(i) <- next
+    done;
+    normalize_inplace pi;
+    delta := !worst
+  done;
+  (pi, !iter, !delta <= tol)
+
+let solve ?(options = default_options) q =
+  check_generator q;
+  let n = Csr.nrows q in
+  let method_ =
+    match options.method_ with
+    | Auto -> if n <= gth_threshold then Gth else Gauss_seidel
+    | m -> m
+  in
+  let pi, name =
+    match method_ with
+    | Gth | Auto -> (Mapqn_linalg.Gth.ctmc (Csr.to_dense q), "gth")
+    | Power ->
+      let pi, iters, converged = solve_power ~tol:options.tol ~max_iter:options.max_iter q in
+      if not converged then
+        raise (No_convergence { method_name = "power"; iterations = iters; residual = residual q pi });
+      (pi, "power")
+    | Gauss_seidel ->
+      let pi, iters, converged =
+        solve_gauss_seidel ~tol:options.tol ~max_iter:options.max_iter q
+      in
+      if not converged then
+        raise
+          (No_convergence
+             { method_name = "gauss-seidel"; iterations = iters; residual = residual q pi });
+      (pi, "gauss-seidel")
+  in
+  if options.check_residual then begin
+    let r = residual q pi in
+    (* The residual scales with the rates in Q; normalize by the largest
+       diagonal rate. *)
+    let scale = Float.max 1. (uniformization_rate q) in
+    if r /. scale > 100. *. Float.max options.tol 1e-12 then
+      raise (No_convergence { method_name = name; iterations = 0; residual = r })
+  end;
+  pi

@@ -1,0 +1,33 @@
+(** Stationary distributions of large sparse CTMCs.
+
+    The exact solver for MAP queueing networks needs [π Q = 0, π 1 = 1] on
+    generators with 10³–10⁵ states. GTH is O(n³) and dense, so beyond a
+    threshold we switch to iterative methods that only touch nonzeros. *)
+
+type method_ = Gth | Power | Gauss_seidel | Auto
+(** [Auto] picks GTH below {!val:gth_threshold} states, Gauss–Seidel above. *)
+
+val gth_threshold : int
+(** State-count threshold (500) below which [Auto] uses dense GTH. *)
+
+type options = {
+  method_ : method_;
+  tol : float;  (** convergence tolerance on successive iterates (L∞) *)
+  max_iter : int;
+  check_residual : bool;
+      (** verify [‖π Q‖∞ <= 100·tol] after convergence and fail otherwise *)
+}
+
+val default_options : options
+(** [Auto], tol [1e-12], max_iter [1_000_000], residual check on. *)
+
+exception No_convergence of { method_name : string; iterations : int; residual : float }
+
+val solve : ?options:options -> Csr.t -> float array
+(** Stationary row vector of an irreducible CTMC generator given as a
+    sparse matrix (rows must sum to ~0). Raises [Invalid_argument] on a
+    non-square matrix or bad row sums, {!No_convergence} if the chosen
+    iterative method stalls. *)
+
+val residual : Csr.t -> float array -> float
+(** [‖π Q‖∞] — how far [π] is from stationarity. *)

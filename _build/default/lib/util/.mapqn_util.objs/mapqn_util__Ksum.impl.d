@@ -1,0 +1,1 @@
+lib/util/ksum.ml: Array Float Seq

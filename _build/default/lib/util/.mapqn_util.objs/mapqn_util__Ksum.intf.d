@@ -1,0 +1,1 @@
+lib/util/ksum.mli: Seq

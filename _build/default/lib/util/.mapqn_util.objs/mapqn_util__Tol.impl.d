@@ -1,0 +1,1 @@
+lib/util/tol.ml: Array Float Printf

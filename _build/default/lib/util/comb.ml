@@ -1,0 +1,94 @@
+let binomial n k =
+  if n < 0 then invalid_arg "Comb.binomial: negative n";
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      (* acc * (n - k + i) may overflow before the division; detect it. *)
+      let num = n - k + i in
+      if !acc > max_int / num then invalid_arg "Comb.binomial: overflow";
+      acc := !acc * num / i
+    done;
+    !acc
+  end
+
+let compositions_count ~total ~parts =
+  if parts <= 0 then invalid_arg "Comb.compositions_count: parts <= 0";
+  binomial (total + parts - 1) (parts - 1)
+
+let iter_compositions ~total ~parts f =
+  if parts <= 0 then invalid_arg "Comb.iter_compositions: parts <= 0";
+  if total < 0 then invalid_arg "Comb.iter_compositions: negative total";
+  let t = Array.make parts 0 in
+  (* Fill positions [i..] with [rest] jobs, recursing lexicographically. *)
+  let rec fill i rest =
+    if i = parts - 1 then begin
+      t.(i) <- rest;
+      f t
+    end
+    else
+      for v = 0 to rest do
+        t.(i) <- v;
+        fill (i + 1) (rest - v)
+      done
+  in
+  fill 0 total
+
+let compositions ~total ~parts =
+  let acc = ref [] in
+  iter_compositions ~total ~parts (fun t -> acc := Array.copy t :: !acc);
+  List.rev !acc
+
+let rank_composition ~total t =
+  let parts = Array.length t in
+  if parts = 0 then invalid_arg "Comb.rank_composition: empty";
+  (* Count compositions that precede [t] lexicographically: for each prefix
+     position i and each value v < t.(i), the remaining positions hold the
+     leftover jobs freely. *)
+  let rank = ref 0 in
+  let rest = ref total in
+  for i = 0 to parts - 2 do
+    for v = 0 to t.(i) - 1 do
+      rank := !rank + compositions_count ~total:(!rest - v) ~parts:(parts - 1 - i)
+    done;
+    rest := !rest - t.(i)
+  done;
+  !rank
+
+let ranges_count dims = Array.fold_left (fun acc d -> acc * d) 1 dims
+
+let iter_ranges dims f =
+  let n = Array.length dims in
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Comb.iter_ranges: dim <= 0") dims;
+  let t = Array.make n 0 in
+  let rec go i =
+    if i = n then f t
+    else
+      for v = 0 to dims.(i) - 1 do
+        t.(i) <- v;
+        go (i + 1)
+      done
+  in
+  if n = 0 then f t else go 0
+
+let rank_range dims t =
+  let n = Array.length dims in
+  if Array.length t <> n then invalid_arg "Comb.rank_range: length mismatch";
+  let rank = ref 0 in
+  for i = 0 to n - 1 do
+    if t.(i) < 0 || t.(i) >= dims.(i) then invalid_arg "Comb.rank_range: out of range";
+    rank := (!rank * dims.(i)) + t.(i)
+  done;
+  !rank
+
+let unrank_range dims rank =
+  let n = Array.length dims in
+  let t = Array.make n 0 in
+  let r = ref rank in
+  for i = n - 1 downto 0 do
+    t.(i) <- !r mod dims.(i);
+    r := !r / dims.(i)
+  done;
+  if !r <> 0 then invalid_arg "Comb.unrank_range: rank out of range";
+  t

@@ -1,0 +1,41 @@
+(** Combinatorics helpers for state-space enumeration.
+
+    The CTMC underlying a closed network with [m] stations and population
+    [n] has one queue-length coordinate per station; the queue-length part
+    of the state space is the set of weak compositions of [n] into [m]
+    parts. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] is the exact binomial coefficient [C(n, k)]; [0] when
+    [k < 0 || k > n]. Raises [Invalid_argument] on [n < 0] and on overflow
+    beyond [max_int]. *)
+
+val compositions_count : total:int -> parts:int -> int
+(** Number of weak compositions of [total] into [parts] nonnegative parts,
+    i.e. [C(total + parts - 1, parts - 1)]. *)
+
+val iter_compositions : total:int -> parts:int -> (int array -> unit) -> unit
+(** Enumerate all weak compositions in lexicographic order. The same array
+    is reused across calls; callers must copy if they retain it. *)
+
+val compositions : total:int -> parts:int -> int array list
+(** Materialized list of weak compositions in lexicographic order. *)
+
+val rank_composition : total:int -> int array -> int
+(** Rank (0-based, lexicographic) of a composition among all weak
+    compositions of [total] with the same number of parts. Inverse of the
+    enumeration order of [iter_compositions]. *)
+
+val iter_ranges : int array -> (int array -> unit) -> unit
+(** [iter_ranges dims f] enumerates all tuples [t] with
+    [0 <= t.(i) < dims.(i)] in row-major (last index fastest) order. The
+    tuple array is reused. Used to enumerate phase vectors. *)
+
+val ranges_count : int array -> int
+(** Product of the dimensions (number of tuples [iter_ranges] yields). *)
+
+val rank_range : int array -> int array -> int
+(** [rank_range dims t] is the row-major rank of tuple [t]. *)
+
+val unrank_range : int array -> int -> int array
+(** Inverse of [rank_range]. *)

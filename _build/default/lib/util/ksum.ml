@@ -1,0 +1,29 @@
+type t = { mutable s : float; mutable c : float }
+
+let create () = { s = 0.; c = 0. }
+
+(* Neumaier's variant: the compensation also captures the case where the
+   incoming term is larger in magnitude than the running sum. *)
+let add acc x =
+  let t = acc.s +. x in
+  if Float.abs acc.s >= Float.abs x then acc.c <- acc.c +. ((acc.s -. t) +. x)
+  else acc.c <- acc.c +. ((x -. t) +. acc.s);
+  acc.s <- t
+
+let total acc = acc.s +. acc.c
+
+let sum a =
+  let acc = create () in
+  Array.iter (add acc) a;
+  total acc
+
+let sum_seq xs =
+  let acc = create () in
+  Seq.iter (add acc) xs;
+  total acc
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Ksum.dot: length mismatch";
+  let acc = create () in
+  Array.iteri (fun i x -> add acc (x *. b.(i))) a;
+  total acc

@@ -1,0 +1,27 @@
+(** Compensated (Kahan–Babuška–Neumaier) summation.
+
+    Long probability sums (normalization over tens of thousands of states,
+    LP residuals) accumulate cancellation error with naive summation; the
+    compensated accumulator keeps the error independent of the number of
+    terms. *)
+
+type t
+(** Mutable compensated accumulator. *)
+
+val create : unit -> t
+(** Fresh accumulator holding [0.]. *)
+
+val add : t -> float -> unit
+(** Accumulate one term. *)
+
+val total : t -> float
+(** Current compensated total. *)
+
+val sum : float array -> float
+(** Compensated sum of a whole array. *)
+
+val sum_seq : float Seq.t -> float
+(** Compensated sum of a sequence. *)
+
+val dot : float array -> float array -> float
+(** Compensated dot product. Raises [Invalid_argument] on length mismatch. *)

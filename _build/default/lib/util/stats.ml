@@ -1,0 +1,56 @@
+let require_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty sample")
+
+let mean xs =
+  require_nonempty "Stats.mean" xs;
+  Ksum.sum xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  if Array.length xs < 2 then invalid_arg "Stats.variance: need >= 2 samples";
+  let m = mean xs in
+  let acc = Ksum.create () in
+  Array.iter (fun x -> Ksum.add acc ((x -. m) *. (x -. m))) xs;
+  Ksum.total acc /. float_of_int (Array.length xs - 1)
+
+let std_dev xs = sqrt (variance xs)
+
+let quantile xs q =
+  require_nonempty "Stats.quantile" xs;
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q not in [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = min (lo + 1) (n - 1) in
+  let frac = pos -. float_of_int lo in
+  ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median xs = quantile xs 0.5
+
+let minimum xs =
+  require_nonempty "Stats.minimum" xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let maximum xs =
+  require_nonempty "Stats.maximum" xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let autocorrelation xs k =
+  let n = Array.length xs in
+  if k < 0 || k >= n then invalid_arg "Stats.autocorrelation: bad lag";
+  let m = mean xs in
+  let num = Ksum.create () and den = Ksum.create () in
+  for i = 0 to n - 1 - k do
+    Ksum.add num ((xs.(i) -. m) *. (xs.(i + k) -. m))
+  done;
+  for i = 0 to n - 1 do
+    Ksum.add den ((xs.(i) -. m) *. (xs.(i) -. m))
+  done;
+  let d = Ksum.total den in
+  if d = 0. then 0. else Ksum.total num /. d
+
+let autocorrelation_function xs ~max_lag =
+  Array.init max_lag (fun i -> autocorrelation xs (i + 1))
+
+let summary xs = (mean xs, std_dev xs, median xs, maximum xs)

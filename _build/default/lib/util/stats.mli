@@ -1,0 +1,35 @@
+(** Descriptive statistics over float samples.
+
+    Used by the random-model experiment (Table 1 reports mean / std dev /
+    median / max of error samples) and by the simulator's output analysis. *)
+
+val mean : float array -> float
+(** Arithmetic mean; raises [Invalid_argument] on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased (n-1) sample variance; raises on fewer than two samples. *)
+
+val std_dev : float array -> float
+(** Square root of [variance]. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with [q] in [\[0,1\]]: linear interpolation between order
+    statistics (type-7, the common default). Does not mutate its input. *)
+
+val median : float array -> float
+(** [quantile xs 0.5]. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val autocorrelation : float array -> int -> float
+(** [autocorrelation xs k] is the lag-[k] sample autocorrelation
+    (covariance normalized by sample variance, biased estimator as standard
+    in time-series practice). Requires [0 <= k < length xs]. *)
+
+val autocorrelation_function : float array -> max_lag:int -> float array
+(** ACF at lags [1..max_lag] (index 0 of the result is lag 1). *)
+
+val summary : float array -> float * float * float * float
+(** [(mean, std_dev, median, max)] — the four columns of the paper's
+    Table 1. *)

@@ -1,0 +1,54 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~header rows =
+  let arity = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then invalid_arg "Table.render: ragged row")
+    rows;
+  let aligns =
+    match align with
+    | None -> List.init arity (fun _ -> Right)
+    | Some a ->
+      if List.length a <> arity then invalid_arg "Table.render: align arity";
+      a
+  in
+  let widths = Array.make arity 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth aligns i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Array.iter
+    (fun w -> Buffer.add_string buf (String.make w '-'); Buffer.add_string buf "  ")
+    widths;
+  (* Trim the trailing spacer after the last dash group. *)
+  let sep_len = Buffer.length buf in
+  Buffer.truncate buf (sep_len - 2);
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?align ~header rows =
+  print_string (render ?align ~header rows);
+  flush stdout
+
+let float_cell ?(decimals = 4) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" decimals x

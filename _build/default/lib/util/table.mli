@@ -1,0 +1,27 @@
+(** Plain-text table rendering for experiment output.
+
+    Experiments print the same rows/series the paper reports; this module
+    renders them with aligned columns so the harness output is readable in
+    a terminal and diffable in [bench_output.txt]. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays the table out with a separator line under the
+    header. Every row must have the same arity as the header. Default
+    alignment is [Right] for every column. *)
+
+val print :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  unit
+(** [render] followed by [print_string] and a flush. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Format a float for a table cell, default 4 decimals; NaN renders as
+    ["-"]. *)

@@ -1,0 +1,25 @@
+let default_rel = 1e-9
+let default_abs = 1e-12
+
+let close ?(rel = default_rel) ?(abs = default_abs) a b =
+  let scale = Float.max (Float.abs a) (Float.abs b) in
+  Float.abs (a -. b) <= abs +. (rel *. scale)
+
+let close_arrays ?rel ?abs a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> close ?rel ?abs x y) a b
+
+let is_zero ?(abs = default_abs) x = Float.abs x <= abs
+let is_finite x = Float.is_finite x
+
+let clamp ~lo ~hi x =
+  if lo > hi then invalid_arg "Tol.clamp: lo > hi";
+  Float.min hi (Float.max lo x)
+
+let clamp_probability x =
+  if x < -1e-6 || x > 1. +. 1e-6 then
+    invalid_arg (Printf.sprintf "Tol.clamp_probability: %g not in [0,1]" x);
+  clamp ~lo:0. ~hi:1. x
+
+let relative_error ~exact x =
+  Float.abs (x -. exact) /. Float.max (Float.abs exact) epsilon_float

@@ -1,0 +1,33 @@
+(** Floating-point tolerances and approximate comparisons.
+
+    All numerical code in [mapqn] funnels its float comparisons through this
+    module so that tolerance policy lives in one place. *)
+
+val default_rel : float
+(** Default relative tolerance, [1e-9]. *)
+
+val default_abs : float
+(** Default absolute tolerance, [1e-12]. *)
+
+val close : ?rel:float -> ?abs:float -> float -> float -> bool
+(** [close a b] is [true] when [|a - b| <= abs + rel * max |a| |b|]. *)
+
+val close_arrays : ?rel:float -> ?abs:float -> float array -> float array -> bool
+(** Pointwise [close] on arrays of equal length; [false] if lengths differ. *)
+
+val is_zero : ?abs:float -> float -> bool
+(** [is_zero x] is [close x 0.] with relative part disabled. *)
+
+val is_finite : float -> bool
+(** True for normal, subnormal and zero values; false for nan/inf. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] bounds [x] into [\[lo, hi\]]. Requires [lo <= hi]. *)
+
+val clamp_probability : float -> float
+(** Clamp into [\[0, 1\]]; raises [Invalid_argument] if the value is further
+    than [1e-6] outside the interval (a genuine numerical bug). *)
+
+val relative_error : exact:float -> float -> float
+(** [relative_error ~exact x] is [|x - exact| / max |exact| eps]; the
+    denominator guard avoids division by zero for exact values near 0. *)

@@ -1,0 +1,1 @@
+lib/workloads/case_study.ml: Mapqn_map Mapqn_model

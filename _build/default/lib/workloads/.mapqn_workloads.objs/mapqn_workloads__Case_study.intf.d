@@ -1,0 +1,1 @@
+lib/workloads/case_study.mli: Mapqn_model

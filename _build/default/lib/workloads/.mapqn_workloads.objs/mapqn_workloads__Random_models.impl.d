@@ -1,0 +1,1 @@
+lib/workloads/random_models.ml: Array List Mapqn_map Mapqn_model Mapqn_prng Mapqn_util Printf

@@ -1,0 +1,1 @@
+lib/workloads/random_models.mli: Mapqn_model Mapqn_prng

@@ -1,0 +1,1 @@
+lib/workloads/tandem.ml: Mapqn_map Mapqn_model

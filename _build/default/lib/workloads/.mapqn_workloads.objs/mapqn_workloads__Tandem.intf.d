@@ -1,0 +1,1 @@
+lib/workloads/tandem.mli: Mapqn_model

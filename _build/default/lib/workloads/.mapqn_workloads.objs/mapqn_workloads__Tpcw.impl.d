@@ -1,0 +1,1 @@
+lib/workloads/tpcw.ml: Float Mapqn_map Mapqn_model

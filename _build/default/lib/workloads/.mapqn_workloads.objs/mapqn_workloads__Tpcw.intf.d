@@ -1,0 +1,1 @@
+lib/workloads/tpcw.mli: Mapqn_model

@@ -1,0 +1,47 @@
+type params = {
+  p11 : float;
+  p12 : float;
+  demand : float;
+  bottleneck_demand : float;
+  scv : float;
+  gamma2 : float;
+}
+
+let default_params =
+  { p11 = 0.2; p12 = 0.7; demand = 1.0; bottleneck_demand = 1.25; scv = 16.; gamma2 = 0.5 }
+
+let bottleneck = 2
+
+let network ?(params = default_params) ~population () =
+  let p13 = 1. -. params.p11 -. params.p12 in
+  if p13 <= 0. then invalid_arg "Case_study: p11 + p12 >= 1";
+  (* Visit ratios with queue 1 as reference: v1 = 1, v2 = p12, v3 = p13.
+     Service times follow from the target demands. *)
+  let s1 = params.demand in
+  let s2 = params.demand /. params.p12 in
+  let s3 = params.bottleneck_demand /. p13 in
+  let map_service =
+    Mapqn_map.Fit.map2_exn ~mean:s3 ~scv:params.scv ~gamma2:params.gamma2 ()
+  in
+  Mapqn_model.Network.make_exn
+    ~stations:
+      [|
+        Mapqn_model.Station.exp ~name:"queue1" ~rate:(1. /. s1) ();
+        Mapqn_model.Station.exp ~name:"queue2" ~rate:(1. /. s2) ();
+        Mapqn_model.Station.map ~name:"queue3-map" map_service;
+      |]
+    ~routing:
+      [| [| params.p11; params.p12; p13 |]; [| 1.; 0.; 0. |]; [| 1.; 0.; 0. |] |]
+    ~population
+
+let fig6_network ~population =
+  let mmpp = Mapqn_map.Builders.mmpp2 ~r01:0.2 ~r10:0.1 ~rate0:3. ~rate1:0.3 in
+  Mapqn_model.Network.make_exn
+    ~stations:
+      [|
+        Mapqn_model.Station.exp ~name:"queue1" ~rate:2. ();
+        Mapqn_model.Station.exp ~name:"queue2" ~rate:1. ();
+        Mapqn_model.Station.map ~name:"queue3-mmpp" mmpp;
+      |]
+    ~routing:[| [| 0.2; 0.7; 0.1 |]; [| 1.; 0.; 0. |]; [| 1.; 0.; 0. |] |]
+    ~population

@@ -1,0 +1,32 @@
+(** The paper's running example and case study (Figures 5–8).
+
+    Three single-server queues: queue 1 (exponential) feeds queues 2
+    (exponential) and 3 (MAP) with routing probabilities
+    [p11 = 0.2, p12 = 0.7, p13 = 0.1]; both return to queue 1. The MAP
+    queue has CV = 4 (SCV 16) and geometric ACF decay rate γ₂ = 0.5
+    (§3.2). Figure 8 is titled "Balanced Routing" and labels queue 3 the
+    bottleneck, so the default service rates balance the service demands
+    with a slight tilt toward queue 3. *)
+
+type params = {
+  p11 : float;
+  p12 : float;
+  demand : float;  (** common service demand of queues 1 and 2 *)
+  bottleneck_demand : float;  (** service demand of the MAP queue 3 *)
+  scv : float;
+  gamma2 : float;
+}
+
+val default_params : params
+(** [p11 = 0.2], [p12 = 0.7], [demand = 1.0], [bottleneck_demand = 1.25],
+    [scv = 16.], [gamma2 = 0.5]. *)
+
+val network : ?params:params -> population:int -> unit -> Mapqn_model.Network.t
+
+val bottleneck : int
+(** Index of queue 3 (= 2), whose utilization Figure 8(a) plots. *)
+
+val fig6_network : population:int -> Mapqn_model.Network.t
+(** The small MMPP(2) instance drawn in the paper's Figure 6 (the Markov
+    process picture); with [population = 2] its CTMC has exactly the 12
+    states of the figure. *)

@@ -1,0 +1,33 @@
+(** Random model generation for the paper's Table 1 experiment (§3.1):
+    three-queue closed networks with random routing and MAP(2) service
+    whose mean, coefficient of variation, skewness and geometric ACF decay
+    rate are drawn randomly. *)
+
+type spec = {
+  stations : int;  (** number of queues (paper: 3) *)
+  map_stations : int;  (** how many queues get MAP(2) service (>= 1) *)
+  mean_range : float * float;  (** service-time mean, log-uniform *)
+  scv_range : float * float;  (** SCV of MAP stations, uniform, >= 1 *)
+  gamma2_range : float * float;  (** ACF decay, uniform in [0, 1) *)
+  skewness : bool;
+      (** also randomize the third moment within the H2-feasible range *)
+}
+
+val default_spec : spec
+(** 3 stations, 1 MAP station, means in [0.25, 4], SCV in [1.5, 20],
+    γ₂ in [0, 0.9], skewness randomized. *)
+
+type model = {
+  network : Mapqn_model.Network.t;  (** population 0; set it per experiment *)
+  map_indices : int list;
+  drawn_scv : float;
+  drawn_gamma2 : float;
+}
+
+val generate : ?spec:spec -> Mapqn_prng.Rng.t -> model
+(** Draw one random model: a random irreducible stochastic routing matrix
+    (entries bounded away from 0), exponential stations with random rates,
+    and MAP(2) stations fitted to the drawn statistics (falling back to a
+    balanced-means fit when the drawn third moment is H2-infeasible). *)
+
+val generate_many : ?spec:spec -> seed:int -> int -> model list

@@ -1,0 +1,17 @@
+type params = { rate1 : float; mean2 : float; scv2 : float; gamma2 : float }
+
+let default_params = { rate1 = 1.; mean2 = 0.95; scv2 = 16.; gamma2 = 0.9 }
+
+let observed_queue = 0
+
+let network ?(params = default_params) ~population () =
+  let map_service =
+    Mapqn_map.Fit.map2_exn ~mean:params.mean2 ~scv:params.scv2 ~gamma2:params.gamma2
+      ()
+  in
+  Mapqn_model.Network.tandem
+    [|
+      Mapqn_model.Station.exp ~name:"queue1" ~rate:params.rate1 ();
+      Mapqn_model.Station.map ~name:"queue2-map" map_service;
+    |]
+    ~population

@@ -1,0 +1,23 @@
+(** The two-queue tandem of the paper's Figure 4: the model on which
+    Markov-chain decomposition and ABA bounds fail under autocorrelated
+    service. Queue 1 is exponential; queue 2 has bursty MAP(2) service
+    with a slightly smaller capacity, so queue 1's utilization creeps
+    toward its asymptote very slowly as burstiness holds jobs at
+    queue 2. *)
+
+type params = {
+  rate1 : float;  (** exponential rate of queue 1 *)
+  mean2 : float;  (** mean service time of the MAP queue 2 *)
+  scv2 : float;
+  gamma2 : float;
+}
+
+val default_params : params
+(** [rate1 = 1.], [mean2 = 0.95], [scv2 = 16.], [gamma2 = 0.9]: queue 1 is
+    the nominal bottleneck (demand 1.0 vs 0.95) but the bursty queue 2
+    dominates transient queueing, which is what defeats decomposition. *)
+
+val network : ?params:params -> population:int -> unit -> Mapqn_model.Network.t
+
+val observed_queue : int
+(** Queue 1 (index 0), whose utilization Figure 4 plots. *)

@@ -1,0 +1,55 @@
+type params = {
+  think_time : float;
+  front_mean : float;
+  front_scv : float;
+  front_gamma2 : float;
+  db_mean : float;
+  p_reply : float;
+}
+
+let default_params =
+  {
+    think_time = 7.;
+    front_mean = 0.010;
+    front_scv = 16.;
+    front_gamma2 = 0.95;
+    db_mean = 0.006;
+    p_reply = 0.3;
+  }
+
+let client = 0
+let front = 1
+let db = 2
+
+let routing p =
+  [|
+    [| 0.; 1.; 0. |];
+    [| p.p_reply; 0.; 1. -. p.p_reply |];
+    [| 0.; 1.; 0. |];
+  |]
+
+let validate p =
+  if p.p_reply <= 0. || p.p_reply > 1. then invalid_arg "Tpcw: p_reply";
+  if p.think_time <= 0. || p.front_mean <= 0. || p.db_mean <= 0. then
+    invalid_arg "Tpcw: non-positive time"
+
+let network ?(params = default_params) ~browsers () =
+  validate params;
+  let front_service =
+    Mapqn_map.Fit.map2_exn ~mean:params.front_mean ~scv:params.front_scv
+      ~gamma2:params.front_gamma2 ()
+  in
+  Mapqn_model.Network.make_exn
+    ~stations:
+      [|
+        Mapqn_model.Station.delay ~name:"clients" ~rate:(1. /. params.think_time) ();
+        Mapqn_model.Station.map ~name:"front" front_service;
+        Mapqn_model.Station.exp ~name:"db" ~rate:(1. /. params.db_mean) ();
+      |]
+    ~routing:(routing params) ~population:browsers
+
+let network_no_acf ?(params = default_params) ~browsers () =
+  Mapqn_model.Network.exponentialize (network ~params ~browsers ())
+
+let user_response_time ~network_response ~params =
+  Float.max 0. (network_response -. params.think_time)

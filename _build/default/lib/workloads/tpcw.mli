@@ -1,0 +1,46 @@
+(** The TPC-W closed model of the paper's Figure 2.
+
+    Three stations: clients (infinite-server think station), front/web
+    server, database server. A client request always hits the front
+    server; the front server replies directly with probability [p_reply]
+    (cache hit / static content) or issues a database call with
+    probability [1 - p_reply]; database replies return to the front
+    server. The population is the number of emulated browsers.
+
+    The paper observes that burstiness originates in the front server's
+    service process (caching/memory pressure) and propagates around the
+    closed loop; [network] therefore gives the front server a MAP(2)
+    fitted to a configurable SCV and ACF decay, and [network_no_acf] is
+    the same model with the burstiness projected away (the paper's
+    "unsuccessful" parameterization). *)
+
+type params = {
+  think_time : float;  (** mean client think time (TPC-W default 7 s) *)
+  front_mean : float;  (** mean front-server service time per visit *)
+  front_scv : float;  (** SCV of the front-server service process *)
+  front_gamma2 : float;  (** geometric ACF decay of front-server service *)
+  db_mean : float;  (** mean database service time per visit *)
+  p_reply : float;  (** P(front server replies without a DB call) *)
+}
+
+val default_params : params
+(** [think_time = 7.], [front_mean = 0.010], [front_scv = 16.],
+    [front_gamma2 = 0.95], [db_mean = 0.006], [p_reply = 0.3] — calibrated
+    so that 128–512 browsers span the paper's Figure 3 operating range
+    (light load through front-server saturation). *)
+
+val client : int
+val front : int
+val db : int
+(** Station indices (0, 1, 2). *)
+
+val network : ?params:params -> browsers:int -> unit -> Mapqn_model.Network.t
+(** The bursty ("ACF") model. *)
+
+val network_no_acf : ?params:params -> browsers:int -> unit -> Mapqn_model.Network.t
+(** Identical means, exponential front server — what a classic
+    capacity-planning model would use. *)
+
+val user_response_time : network_response:float -> params:params -> float
+(** Convert the closed-loop round-trip [N / X_client] into the
+    user-perceived response time by removing the think time. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bounds Constraints Hashtbl List Mapqn_core Mapqn_ctmc Mapqn_lp Mapqn_map Mapqn_model Mapqn_prng Mapqn_util Marginal_space Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ctmc.ml: Alcotest Array Float Generator Mapqn_baselines Mapqn_ctmc Mapqn_linalg Mapqn_map Mapqn_model Mapqn_prng Mapqn_sparse Mapqn_util Printf QCheck QCheck_alcotest Solution State_space

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Fig1 Fig3 Fig4 Fig8 Float List Mapqn_core Mapqn_experiments Mapqn_map Mapqn_workloads Printf Table1 Trace_pipeline

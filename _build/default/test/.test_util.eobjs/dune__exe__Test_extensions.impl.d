@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array List Mapqn_baselines Mapqn_ctmc Mapqn_experiments Mapqn_linalg Mapqn_map Mapqn_model Mapqn_prng Mapqn_sparse Mapqn_util Printf

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Eig Format Gth Kron Lu Mapqn_linalg Mapqn_prng Mapqn_util Mat QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Format List Lp_model Mapqn_lp Mapqn_prng Mapqn_util QCheck QCheck_alcotest Simplex String

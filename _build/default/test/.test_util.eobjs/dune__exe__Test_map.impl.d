@@ -1,0 +1,1 @@
+test/test_map.ml: Alcotest Array Builders Fit Float List Mapqn_linalg Mapqn_map Printf Process QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Mapqn_linalg Mapqn_map Mapqn_model Mapqn_prng Mapqn_util Network QCheck QCheck_alcotest Station

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Dist Float Gen Int64 List Mapqn_prng Mapqn_util Printf QCheck QCheck_alcotest Reservoir Rng

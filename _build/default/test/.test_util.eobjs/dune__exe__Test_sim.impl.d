@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Event_heap Float Gen List Mapqn_baselines Mapqn_ctmc Mapqn_map Mapqn_model Mapqn_sim Mapqn_util QCheck QCheck_alcotest Simulator

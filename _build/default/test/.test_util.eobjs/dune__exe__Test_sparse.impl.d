@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Csr Format List Mapqn_linalg Mapqn_prng Mapqn_sparse Mapqn_util QCheck QCheck_alcotest Stationary

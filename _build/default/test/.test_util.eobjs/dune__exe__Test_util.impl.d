@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Comb Float Gen Ksum List Mapqn_util QCheck QCheck_alcotest Stats String Table Tol

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Case_study List Mapqn_ctmc Mapqn_linalg Mapqn_map Mapqn_model Mapqn_prng Mapqn_util Mapqn_workloads Random_models Tandem Tpcw

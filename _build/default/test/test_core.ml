@@ -1,0 +1,383 @@
+open Mapqn_core
+module Network = Mapqn_model.Network
+module Station = Mapqn_model.Station
+module Solution = Mapqn_ctmc.Solution
+
+let exp_station rate = Station.exp ~rate ()
+
+let bursty_station ?(mean = 1.) ?(scv = 16.) ?(gamma2 = 0.5) () =
+  Station.map (Mapqn_map.Fit.map2_exn ~mean ~scv ~gamma2 ())
+
+let mmpp_station () =
+  Station.map (Mapqn_map.Builders.mmpp2 ~r01:0.15 ~r10:0.1 ~rate0:3. ~rate1:0.4)
+
+(* The paper's Figure 5 network. *)
+let fig5 ?(population = 4) ?(map_station = bursty_station ()) () =
+  Network.make_exn
+    ~stations:[| exp_station 2.; exp_station 1.; map_station |]
+    ~routing:[| [| 0.2; 0.7; 0.1 |]; [| 1.; 0.; 0. |]; [| 1.; 0.; 0. |] |]
+    ~population
+
+let tandem_map population =
+  Network.tandem [| exp_station 1.5; mmpp_station () |] ~population
+
+let all_configs =
+  [ ("minimal", Constraints.minimal); ("standard", Constraints.standard);
+    ("full", Constraints.full) ]
+
+(* ---------------- Marginal_space ---------------- *)
+
+let test_space_dimensions () =
+  let net = fig5 () in
+  let ms = Marginal_space.create net in
+  (* M=3, N=4, H=2: v = 3*5*2 = 30, w = 6*5*2 = 60. *)
+  Alcotest.(check int) "vars without level2" 90 (Marginal_space.num_vars ms);
+  let ms2 = Marginal_space.create ~level2:true net in
+  Alcotest.(check int) "vars with level2" 150 (Marginal_space.num_vars ms2)
+
+let test_space_scales_polynomially () =
+  (* The paper's tractability claim: marginal variables grow like
+     M²(N+1)H even when the exact state space explodes. *)
+  let net = fig5 ~population:100 () in
+  let ms = Marginal_space.create net in
+  Alcotest.(check int) "M^2 (N+1) H" (9 * 101 * 2) (Marginal_space.num_vars ms)
+
+let test_phase_subst () =
+  let net = fig5 () in
+  let ms = Marginal_space.create net in
+  (* Station 2 is the only one with 2 phases; H = 2. *)
+  Alcotest.(check int) "subst to phase 1" 1 (Marginal_space.phase_subst ms 0 2 1);
+  Alcotest.(check int) "subst to phase 0" 0 (Marginal_space.phase_subst ms 1 2 0);
+  Alcotest.(check int) "component" 1 (Marginal_space.phase_component ms 1 2);
+  Alcotest.(check int) "exp station component" 0 (Marginal_space.phase_component ms 1 0)
+
+let test_var_indices_distinct () =
+  let net = fig5 () in
+  let ms = Marginal_space.create ~level2:true net in
+  let seen = Hashtbl.create 256 in
+  let record i =
+    if Hashtbl.mem seen i then Alcotest.failf "duplicate index %d" i;
+    Hashtbl.add seen i ()
+  in
+  for k = 0 to 2 do
+    for n = 0 to 4 do
+      for h = 0 to 1 do
+        record (Marginal_space.v ms ~station:k ~level:n ~phase:h);
+        for j = 0 to 2 do
+          if j <> k then begin
+            record (Marginal_space.w ms ~busy:j ~station:k ~level:n ~phase:h);
+            record (Marginal_space.z ms ~counted:j ~station:k ~level:n ~phase:h)
+          end
+        done
+      done
+    done
+  done;
+  Alcotest.(check int) "covers all vars" (Marginal_space.num_vars ms)
+    (Hashtbl.length seen)
+
+let test_describe () =
+  let net = fig5 () in
+  let ms = Marginal_space.create net in
+  let idx = Marginal_space.v ms ~station:1 ~level:3 ~phase:1 in
+  Alcotest.(check string) "v name" "v[1](n=3,h=1)" (Marginal_space.describe ms idx);
+  let idx = Marginal_space.w ms ~busy:2 ~station:0 ~level:1 ~phase:0 in
+  Alcotest.(check string) "w name" "w[2,0](n=1,h=0)" (Marginal_space.describe ms idx)
+
+(* ---------------- exact feasibility (the key correctness theorem) ------- *)
+
+(* Every constraint family must be satisfied by the aggregated exact
+   solution: the constraints are exact consequences of global balance. *)
+let exact_point_feasible net () =
+  let sol = Solution.solve net in
+  List.iter
+    (fun (name, config) ->
+      let ms, model = Constraints.build config net in
+      let point = Marginal_space.aggregate_exact ms sol in
+      match Mapqn_lp.Lp_model.check_feasible ~tol:1e-7 model point with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "[%s] exact point infeasible: %s" name e)
+    all_configs
+
+let test_cut_balance_residual_zero () =
+  let net = fig5 ~population:3 () in
+  let sol = Solution.solve net in
+  let ms = Marginal_space.create net in
+  let point = Marginal_space.aggregate_exact ms sol in
+  let r = Constraints.cut_balance_residual ms point in
+  Alcotest.(check bool) "paper eq (1) residual ~ 0" true (r < 1e-10)
+
+let test_aggregate_normalized () =
+  let net = fig5 ~population:3 () in
+  let sol = Solution.solve net in
+  let ms = Marginal_space.create net in
+  let point = Marginal_space.aggregate_exact ms sol in
+  for k = 0 to 2 do
+    let acc = ref 0. in
+    for n = 0 to 3 do
+      for h = 0 to 1 do
+        acc := !acc +. point.(Marginal_space.v ms ~station:k ~level:n ~phase:h)
+      done
+    done;
+    Alcotest.(check (float 1e-9)) (Printf.sprintf "station %d sums to 1" k) 1. !acc
+  done
+
+(* ---------------- bracketing ---------------- *)
+
+let check_brackets ?(config = Constraints.standard) net =
+  let sol = Solution.solve net in
+  let b = Bounds.create_exn ~config net in
+  let m = Network.num_stations net in
+  for k = 0 to m - 1 do
+    let check name interval exact =
+      if not (Bounds.contains interval exact) then
+        Alcotest.failf "%s[%d]: exact %.8f outside [%.8f, %.8f]" name k exact
+          interval.Bounds.lower interval.Bounds.upper
+    in
+    check "utilization" (Bounds.utilization b k) (Solution.utilization sol k);
+    check "throughput" (Bounds.throughput b k) (Solution.throughput sol k);
+    check "queue length" (Bounds.mean_queue_length b k) (Solution.mean_queue_length sol k);
+    check "2nd moment" (Bounds.queue_length_moment b k 2) (Solution.queue_length_moment sol k 2)
+  done;
+  let r = Bounds.response_time b in
+  let exact_r = Solution.system_response_time sol in
+  if not (Bounds.contains r exact_r) then
+    Alcotest.failf "response time: exact %.8f outside [%.8f, %.8f]" exact_r
+      r.Bounds.lower r.Bounds.upper
+
+let test_brackets_fig5 () = check_brackets (fig5 ~population:5 ())
+let test_brackets_tandem_mmpp () = check_brackets (tandem_map 6)
+let test_brackets_full_config () =
+  check_brackets ~config:Constraints.full (fig5 ~population:4 ())
+let test_brackets_minimal_config () =
+  check_brackets ~config:Constraints.minimal (fig5 ~population:4 ())
+
+let test_brackets_two_map_stations () =
+  (* Two MAP stations: exercises joint phase vectors with H = 4. *)
+  let net =
+    Network.make_exn
+      ~stations:[| exp_station 2.; mmpp_station (); bursty_station ~scv:4. () |]
+      ~routing:[| [| 0.; 0.5; 0.5 |]; [| 1.; 0.; 0. |]; [| 1.; 0.; 0. |] |]
+      ~population:3
+  in
+  check_brackets net
+
+let test_brackets_product_form () =
+  (* On an exponential network the LP bounds must bracket (and be close to)
+     the product-form solution. *)
+  let net = Network.exponentialize (fig5 ~population:5 ()) in
+  check_brackets net
+
+let test_exponential_network_bounds_tight () =
+  (* For a 2-station exponential tandem the marginal space essentially
+     captures the full birth-death chain, so the bounds collapse. *)
+  let net = Network.tandem [| exp_station 2.; exp_station 1. |] ~population:5 in
+  let sol = Solution.solve net in
+  let b = Bounds.create_exn net in
+  let u = Bounds.utilization b 0 in
+  (* Width is dominated by the solver's conservative validity margin. *)
+  Alcotest.(check bool) "tight" true (Bounds.width u < 1e-4);
+  Alcotest.(check (float 1e-4)) "equals exact" (Solution.utilization sol 0)
+    (Bounds.midpoint u)
+
+let test_tightness_improves_with_config () =
+  let net = fig5 ~population:4 () in
+  let width config =
+    let b = Bounds.create_exn ~config net in
+    Bounds.width (Bounds.response_time b)
+  in
+  let wmin = width Constraints.minimal in
+  let wstd = width Constraints.standard in
+  let wfull = width Constraints.full in
+  Alcotest.(check bool)
+    (Printf.sprintf "standard (%.4f) <= minimal (%.4f)" wstd wmin)
+    true (wstd <= wmin +. 1e-9);
+  Alcotest.(check bool)
+    (Printf.sprintf "full (%.4f) <= standard (%.4f)" wfull wstd)
+    true (wfull <= wstd +. 1e-9)
+
+let test_interval_helpers () =
+  let i = { Bounds.lower = 1.; upper = 3. } in
+  Alcotest.(check (float 1e-12)) "width" 2. (Bounds.width i);
+  Alcotest.(check (float 1e-12)) "midpoint" 2. (Bounds.midpoint i);
+  Alcotest.(check bool) "contains inside" true (Bounds.contains i 2.);
+  Alcotest.(check bool) "contains edge" true (Bounds.contains i 3.);
+  Alcotest.(check bool) "excludes outside" false (Bounds.contains i 3.5)
+
+let test_population_zero_bounds () =
+  let b = Bounds.create_exn (fig5 ~population:0 ()) in
+  let u = Bounds.utilization b 0 in
+  Alcotest.(check (float 1e-12)) "zero util lower" 0. u.Bounds.lower;
+  Alcotest.(check (float 1e-12)) "zero util upper" 0. u.Bounds.upper;
+  let r = Bounds.response_time b in
+  Alcotest.(check (float 1e-12)) "zero response" 0. r.Bounds.upper
+
+let test_custom_objective () =
+  let net = fig5 ~population:3 () in
+  let sol = Solution.solve net in
+  let b = Bounds.create_exn net in
+  let ms = Bounds.space b in
+  (* P{n_2 = 0, phase = 1} as a custom objective. *)
+  let obj = [ (Marginal_space.v ms ~station:2 ~level:0 ~phase:1, 1.) ] in
+  let interval = Bounds.custom b obj in
+  let point = Marginal_space.aggregate_exact ms sol in
+  let exact = point.(Marginal_space.v ms ~station:2 ~level:0 ~phase:1) in
+  Alcotest.(check bool) "custom brackets" true (Bounds.contains interval exact)
+
+let test_marginal_probability_bounds () =
+  let net = fig5 ~population:3 () in
+  let sol = Solution.solve net in
+  let b = Bounds.create_exn net in
+  let exact = (Solution.queue_length_marginal sol 1).(2) in
+  let interval = Bounds.marginal_probability b ~station:1 ~level:2 in
+  Alcotest.(check bool) "marginal brackets" true (Bounds.contains interval exact)
+
+let test_lp_size_reported () =
+  let b = Bounds.create_exn (fig5 ~population:4 ()) in
+  let vars, rows = Bounds.lp_size b in
+  Alcotest.(check int) "vars" 90 vars;
+  Alcotest.(check bool) "rows positive" true (rows > 0)
+
+let test_flow_balance_implied () =
+  (* DESIGN.md claims the traffic equations X_k = Σ_j p_jk X_j follow from
+     the balance + busy-mass families: verify them at an arbitrary vertex
+     of the feasible region (an LP optimum of an unrelated objective). *)
+  let net = fig5 ~population:4 () in
+  let ms, model = Constraints.build Constraints.minimal net in
+  let prepared =
+    match Mapqn_lp.Simplex.prepare model with
+    | Ok p -> p
+    | Error _ -> Alcotest.fail "prepare failed"
+  in
+  let objective =
+    [ (Mapqn_lp.Lp_model.var_of_int model (Marginal_space.v ms ~station:1 ~level:2 ~phase:0), 1.) ]
+  in
+  let values =
+    match Mapqn_lp.Simplex.optimize prepared Mapqn_lp.Simplex.Maximize objective with
+    | Mapqn_lp.Simplex.Optimal s -> s.Mapqn_lp.Simplex.values
+    | _ -> Alcotest.fail "optimize failed"
+  in
+  let throughput k =
+    let rates =
+      Mapqn_map.Process.completion_rates
+        (Station.service_process (Network.station net k))
+    in
+    let acc = ref 0. in
+    for n = 1 to 4 do
+      for h = 0 to 1 do
+        acc :=
+          !acc
+          +. rates.(Marginal_space.phase_component ms h k)
+             *. values.(Marginal_space.v ms ~station:k ~level:n ~phase:h)
+      done
+    done;
+    !acc
+  in
+  let xs = Array.init 3 throughput in
+  for k = 0 to 2 do
+    let arrivals = ref 0. in
+    for j = 0 to 2 do
+      arrivals := !arrivals +. (xs.(j) *. Network.routing_prob net j k)
+    done;
+    Alcotest.(check (float 1e-5))
+      (Printf.sprintf "traffic equation at %d" k)
+      xs.(k) !arrivals
+  done
+
+(* ---------------- properties ---------------- *)
+
+let arb_random_network =
+  QCheck.make
+    QCheck.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let* population = int_range 1 4 in
+      return (seed, population))
+
+let random_network (seed, population) =
+  let rng = Mapqn_prng.Rng.create ~seed in
+  let m = 3 in
+  let routing =
+    Array.init m (fun _ ->
+        let row = Array.init m (fun _ -> Mapqn_prng.Rng.float rng +. 0.05) in
+        let s = Mapqn_util.Ksum.sum row in
+        Array.map (fun x -> x /. s) row)
+  in
+  let scv = Mapqn_prng.Dist.uniform rng ~lo:1.5 ~hi:20. in
+  let gamma2 = Mapqn_prng.Dist.uniform rng ~lo:0. ~hi:0.9 in
+  let mean = Mapqn_prng.Dist.uniform rng ~lo:0.3 ~hi:3. in
+  let stations =
+    [|
+      exp_station (Mapqn_prng.Dist.uniform rng ~lo:0.5 ~hi:3.);
+      exp_station (Mapqn_prng.Dist.uniform rng ~lo:0.5 ~hi:3.);
+      Station.map (Mapqn_map.Fit.map2_exn ~mean ~scv ~gamma2 ());
+    |]
+  in
+  Network.make_exn ~stations ~routing ~population
+
+let prop_exact_point_always_feasible =
+  QCheck.Test.make ~name:"exact aggregation feasible on random networks" ~count:20
+    arb_random_network (fun params ->
+      let net = random_network params in
+      let sol = Solution.solve net in
+      let ms, model = Constraints.build Constraints.standard net in
+      let point = Marginal_space.aggregate_exact ms sol in
+      match Mapqn_lp.Lp_model.check_feasible ~tol:1e-7 model point with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_bounds_bracket_random =
+  QCheck.Test.make ~name:"bounds bracket exact on random networks" ~count:15
+    arb_random_network (fun params ->
+      let net = random_network params in
+      let sol = Solution.solve net in
+      let b = Bounds.create_exn net in
+      let ok = ref true in
+      for k = 0 to 2 do
+        if not (Bounds.contains (Bounds.throughput b k) (Solution.throughput sol k))
+        then ok := false;
+        if not (Bounds.contains (Bounds.utilization b k) (Solution.utilization sol k))
+        then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "marginal_space",
+        [
+          Alcotest.test_case "dimensions" `Quick test_space_dimensions;
+          Alcotest.test_case "polynomial scaling" `Quick test_space_scales_polynomially;
+          Alcotest.test_case "phase subst" `Quick test_phase_subst;
+          Alcotest.test_case "distinct indices" `Quick test_var_indices_distinct;
+          Alcotest.test_case "describe" `Quick test_describe;
+        ] );
+      ( "exactness",
+        [
+          Alcotest.test_case "fig5 exact point feasible" `Quick
+            (exact_point_feasible (fig5 ()));
+          Alcotest.test_case "mmpp tandem exact point feasible" `Quick
+            (exact_point_feasible (tandem_map 4));
+          Alcotest.test_case "cut balance residual" `Quick test_cut_balance_residual_zero;
+          Alcotest.test_case "aggregate normalized" `Quick test_aggregate_normalized;
+          QCheck_alcotest.to_alcotest prop_exact_point_always_feasible;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "brackets fig5" `Quick test_brackets_fig5;
+          Alcotest.test_case "brackets mmpp tandem" `Quick test_brackets_tandem_mmpp;
+          Alcotest.test_case "brackets full config" `Quick test_brackets_full_config;
+          Alcotest.test_case "brackets minimal config" `Quick test_brackets_minimal_config;
+          Alcotest.test_case "brackets two MAP stations" `Quick
+            test_brackets_two_map_stations;
+          Alcotest.test_case "brackets product form" `Quick test_brackets_product_form;
+          Alcotest.test_case "exponential tandem tight" `Quick
+            test_exponential_network_bounds_tight;
+          Alcotest.test_case "tightness ordering" `Quick test_tightness_improves_with_config;
+          Alcotest.test_case "interval helpers" `Quick test_interval_helpers;
+          Alcotest.test_case "population zero" `Quick test_population_zero_bounds;
+          Alcotest.test_case "custom objective" `Quick test_custom_objective;
+          Alcotest.test_case "marginal probability" `Quick test_marginal_probability_bounds;
+          Alcotest.test_case "lp size" `Quick test_lp_size_reported;
+          Alcotest.test_case "flow balance implied" `Quick test_flow_balance_implied;
+          QCheck_alcotest.to_alcotest prop_bounds_bracket_random;
+        ] );
+    ]

@@ -1,0 +1,387 @@
+open Mapqn_ctmc
+module Network = Mapqn_model.Network
+module Station = Mapqn_model.Station
+
+let check_float ?(tol = 1e-9) = Alcotest.(check (float tol))
+
+let exp_station rate = Station.exp ~rate ()
+
+let mmpp_station () =
+  Station.map (Mapqn_map.Builders.mmpp2 ~r01:0.2 ~r10:0.1 ~rate0:3. ~rate1:0.3)
+
+(* The paper's Figure 6 example: 3 queues (two exponential, one MMPP(2)),
+   N = 2 -> 12 states. *)
+let fig6_network population =
+  Network.make_exn
+    ~stations:[| exp_station 2.; exp_station 1.; mmpp_station () |]
+    ~routing:[| [| 0.2; 0.7; 0.1 |]; [| 1.; 0.; 0. |]; [| 1.; 0.; 0. |] |]
+    ~population
+
+(* ---------------- State_space ---------------- *)
+
+let test_state_count_matches_paper_fig6 () =
+  let space = State_space.create (fig6_network 2) in
+  (* C(2+3-1, 3-1) = 6 compositions x 2 phases = 12 states, the exact state
+     count of the paper's Figure 6 diagram. *)
+  Alcotest.(check int) "compositions" 6 (State_space.num_compositions space);
+  Alcotest.(check int) "phases" 2 (State_space.num_phase_vectors space);
+  Alcotest.(check int) "states" 12 (State_space.num_states space)
+
+let test_index_decode_roundtrip () =
+  let space = State_space.create (fig6_network 3) in
+  for idx = 0 to State_space.num_states space - 1 do
+    let qlen, phases = State_space.decode space idx in
+    Alcotest.(check int) "roundtrip" idx
+      (State_space.index space ~queue_lengths:qlen ~phases)
+  done
+
+let test_iter_covers_all_states () =
+  let space = State_space.create (fig6_network 4) in
+  let seen = Array.make (State_space.num_states space) false in
+  State_space.iter space (fun idx qlen _ ->
+      Alcotest.(check int) "population conserved"
+        (Network.population (fig6_network 4))
+        (Array.fold_left ( + ) 0 qlen);
+      seen.(idx) <- true);
+  Alcotest.(check bool) "all states visited" true (Array.for_all (fun b -> b) seen)
+
+let test_max_states_guard () =
+  (try
+     ignore (State_space.create ~max_states:5 (fig6_network 2));
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* ---------------- Generator ---------------- *)
+
+let test_generator_rows_sum_zero () =
+  let space = State_space.create (fig6_network 3) in
+  let q = Generator.build space in
+  Array.iteri
+    (fun i s ->
+      if not (Mapqn_util.Tol.close ~rel:1e-9 ~abs:1e-9 s 0.) then
+        Alcotest.failf "row %d sums to %g" i s)
+    (Mapqn_sparse.Csr.row_sums q)
+
+let test_generator_off_diagonal_nonneg () =
+  let space = State_space.create (fig6_network 3) in
+  let q = Generator.build space in
+  Mapqn_sparse.Csr.iter q (fun i j v ->
+      if i <> j && v < 0. then Alcotest.failf "negative rate at (%d,%d)" i j;
+      if i = j && v > 0. then Alcotest.failf "positive diagonal at %d" i)
+
+let test_generator_empty_queue_frozen () =
+  (* From a state where station 2 (the MAP) is empty, no transition may
+     change its phase. *)
+  let net = fig6_network 2 in
+  let space = State_space.create net in
+  let q = Generator.build space in
+  let src = State_space.index space ~queue_lengths:[| 1; 1; 0 |] ~phases:[| 0; 0; 1 |] in
+  Mapqn_sparse.Csr.iter_row q src (fun j v ->
+      if j <> src && v > 0. then begin
+        let qlen, phases = State_space.decode space j in
+        (* If the MAP queue is still empty in the target, its phase must be
+           unchanged (frozen-on-idle semantics). *)
+        if qlen.(2) = 0 && phases.(2) <> 1 then
+          Alcotest.fail "idle MAP phase changed"
+      end)
+
+(* ---------------- Solution vs closed forms ---------------- *)
+
+(* Two-station cyclic exponential network: a birth-death chain with
+   pi(n1) ∝ rho^n1, rho = mu2/mu1. *)
+let test_two_station_closed_form () =
+  let mu1 = 2. and mu2 = 3. in
+  let n = 6 in
+  let net = Network.tandem [| exp_station mu1; exp_station mu2 |] ~population:n in
+  let sol = Solution.solve net in
+  let rho = mu2 /. mu1 in
+  let weights = Array.init (n + 1) (fun i -> rho ** float_of_int i) in
+  let z = Mapqn_util.Ksum.sum weights in
+  let marginal = Solution.queue_length_marginal sol 0 in
+  for i = 0 to n do
+    check_float ~tol:1e-10 (Printf.sprintf "pi(n1=%d)" i) (weights.(i) /. z) marginal.(i)
+  done
+
+let test_distribution_normalized () =
+  let sol = Solution.solve (fig6_network 4) in
+  check_float ~tol:1e-9 "sums to 1" 1. (Mapqn_util.Ksum.sum (Solution.distribution sol))
+
+let test_flow_balance () =
+  (* Throughputs are proportional to visit ratios: X_k = X_0 v_k. *)
+  let net = fig6_network 5 in
+  let sol = Solution.solve net in
+  let v = Network.visit_ratios net in
+  let x0 = Solution.throughput sol 0 in
+  for k = 1 to 2 do
+    check_float ~tol:1e-8
+      (Printf.sprintf "X_%d = X_0 v_%d" k k)
+      (x0 *. v.(k)) (Solution.throughput sol k)
+  done
+
+let test_mva_cross_check_product_form () =
+  (* On a purely exponential network the exact CTMC solution must agree
+     with exact MVA on every metric. *)
+  let net =
+    Network.make_exn
+      ~stations:[| exp_station 2.; exp_station 1.5; exp_station 0.8 |]
+      ~routing:[| [| 0.1; 0.6; 0.3 |]; [| 0.7; 0.; 0.3 |]; [| 1.; 0.; 0. |] |]
+      ~population:6
+  in
+  let sol = Solution.solve net in
+  let mva = Mapqn_baselines.Mva.solve net in
+  Alcotest.(check bool) "MVA exact here" true (Mapqn_baselines.Mva.is_exact_for net);
+  for k = 0 to 2 do
+    check_float ~tol:1e-8
+      (Printf.sprintf "utilization %d" k)
+      mva.Mapqn_baselines.Mva.utilization.(k)
+      (Solution.utilization sol k);
+    check_float ~tol:1e-8
+      (Printf.sprintf "throughput %d" k)
+      mva.Mapqn_baselines.Mva.throughput.(k)
+      (Solution.throughput sol k);
+    check_float ~tol:1e-7
+      (Printf.sprintf "queue length %d" k)
+      mva.Mapqn_baselines.Mva.mean_queue_length.(k)
+      (Solution.mean_queue_length sol k)
+  done;
+  check_float ~tol:1e-7 "response time" mva.Mapqn_baselines.Mva.system_response_time
+    (Solution.system_response_time sol)
+
+let test_map1_station_equals_exp_station () =
+  (* An order-1 MAP station must behave exactly like an Exp station. *)
+  let routing = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let net_exp =
+    Network.make_exn ~stations:[| exp_station 2.; exp_station 1. |] ~routing ~population:4
+  in
+  let net_map =
+    Network.make_exn
+      ~stations:
+        [| Station.map (Mapqn_map.Builders.exponential ~rate:2.); exp_station 1. |]
+      ~routing ~population:4
+  in
+  let a = Solution.solve net_exp and b = Solution.solve net_map in
+  check_float "same utilization" (Solution.utilization a 0) (Solution.utilization b 0);
+  check_float "same throughput" (Solution.throughput a 0) (Solution.throughput b 0)
+
+let test_queue_length_moments () =
+  let sol = Solution.solve (fig6_network 3) in
+  let m1 = Solution.mean_queue_length sol 2 in
+  let var = Solution.queue_length_variance sol 2 in
+  let m2 = Solution.queue_length_moment sol 2 2 in
+  check_float ~tol:1e-9 "variance identity" var (m2 -. (m1 *. m1));
+  Alcotest.(check bool) "variance nonnegative" true (var >= 0.)
+
+let test_mean_queue_lengths_sum_to_population () =
+  let n = 5 in
+  let sol = Solution.solve (fig6_network n) in
+  let total =
+    Solution.mean_queue_length sol 0 +. Solution.mean_queue_length sol 1
+    +. Solution.mean_queue_length sol 2
+  in
+  check_float ~tol:1e-8 "sum = N" (float_of_int n) total
+
+let test_phase_marginal () =
+  let sol = Solution.solve (fig6_network 3) in
+  let pm = Solution.phase_marginal sol 2 in
+  Alcotest.(check int) "two phases" 2 (Array.length pm);
+  check_float ~tol:1e-9 "normalized" 1. (Mapqn_util.Ksum.sum pm)
+
+let test_joint_queue_length () =
+  let net = fig6_network 4 in
+  let sol = Solution.solve net in
+  let joint = Solution.joint_queue_length sol 0 1 in
+  (* Joint distribution sums to 1 and its marginals match. *)
+  let total = ref 0. in
+  for a = 0 to 4 do
+    for b = 0 to 4 do
+      total := !total +. Mapqn_linalg.Mat.get joint a b
+    done
+  done;
+  check_float ~tol:1e-9 "normalized" 1. !total;
+  let marginal0 = Solution.queue_length_marginal sol 0 in
+  for a = 0 to 4 do
+    let row = ref 0. in
+    for b = 0 to 4 do
+      row := !row +. Mapqn_linalg.Mat.get joint a b
+    done;
+    check_float ~tol:1e-9 (Printf.sprintf "marginal at %d" a) marginal0.(a) !row
+  done;
+  (* Population constraint: P{n_0 = a, n_1 = b} = 0 when a + b > N. *)
+  check_float "impossible cell" 0. (Mapqn_linalg.Mat.get joint 4 4)
+
+let test_queue_length_correlation () =
+  let net = fig6_network 5 in
+  let sol = Solution.solve net in
+  let c01 = Solution.queue_length_correlation sol 0 1 in
+  let c10 = Solution.queue_length_correlation sol 1 0 in
+  check_float ~tol:1e-9 "symmetric" c01 c10;
+  Alcotest.(check bool) "in [-1,1]" true (c01 >= -1. && c01 <= 1.);
+  (* Fixed population: queues compete for jobs, so the two busiest
+     stations' lengths are negatively correlated. *)
+  Alcotest.(check bool) (Printf.sprintf "negative (%.3f)" c01) true (c01 < 0.)
+
+let test_population_zero () =
+  let sol = Solution.solve (fig6_network 0) in
+  check_float "zero response" 0. (Solution.system_response_time sol);
+  check_float "zero utilization" 0. (Solution.utilization sol 0)
+
+(* ---------------- Baselines ---------------- *)
+
+let test_mva_balanced_closed_form () =
+  (* Balanced M-station cyclic network, demand D each:
+     X(n) = n / (D (M + n - 1)). *)
+  let d = 0.5 and m = 3 and n = 7 in
+  let net =
+    Network.tandem (Array.init m (fun _ -> exp_station (1. /. d))) ~population:n
+  in
+  let mva = Mapqn_baselines.Mva.solve net in
+  let expected = float_of_int n /. (d *. float_of_int (m + n - 1)) in
+  check_float ~tol:1e-10 "balanced closed form" expected
+    mva.Mapqn_baselines.Mva.system_throughput
+
+let test_mva_sweep_monotone () =
+  let net = fig6_network 1 in
+  let sweep = Mapqn_baselines.Mva.solve_sweep (Network.exponentialize net) 20 in
+  for n = 1 to 20 do
+    if
+      sweep.(n).Mapqn_baselines.Mva.system_throughput
+      < sweep.(n - 1).Mapqn_baselines.Mva.system_throughput -. 1e-12
+    then Alcotest.failf "throughput decreased at n=%d" n
+  done
+
+let test_aba_brackets_mva () =
+  let net = Network.exponentialize (fig6_network 8) in
+  let mva = Mapqn_baselines.Mva.solve net in
+  let aba = Mapqn_baselines.Aba.aba net in
+  let bal = Mapqn_baselines.Aba.balanced net in
+  let x = mva.Mapqn_baselines.Mva.system_throughput in
+  Alcotest.(check bool) "aba lower" true (aba.Mapqn_baselines.Aba.x_lower <= x +. 1e-9);
+  Alcotest.(check bool) "aba upper" true (x <= aba.Mapqn_baselines.Aba.x_upper +. 1e-9);
+  Alcotest.(check bool) "bjb lower" true (bal.Mapqn_baselines.Aba.x_lower <= x +. 1e-9);
+  Alcotest.(check bool) "bjb upper" true (x <= bal.Mapqn_baselines.Aba.x_upper +. 1e-9);
+  (* Balanced bounds are at least as tight. *)
+  Alcotest.(check bool) "bjb tighter lower" true
+    (bal.Mapqn_baselines.Aba.x_lower >= aba.Mapqn_baselines.Aba.x_lower -. 1e-9);
+  Alcotest.(check bool) "bjb tighter upper" true
+    (bal.Mapqn_baselines.Aba.x_upper <= aba.Mapqn_baselines.Aba.x_upper +. 1e-9)
+
+let test_aba_brackets_exact_map_network () =
+  (* ABA bounds remain valid for MAP networks (they only use means). *)
+  let net = fig6_network 6 in
+  let sol = Solution.solve net in
+  let aba = Mapqn_baselines.Aba.aba net in
+  let x = Solution.throughput sol 0 in
+  Alcotest.(check bool) "lower" true (aba.Mapqn_baselines.Aba.x_lower <= x +. 1e-9);
+  Alcotest.(check bool) "upper" true (x <= aba.Mapqn_baselines.Aba.x_upper +. 1e-9)
+
+let test_decomposition_close_on_product_form () =
+  let net = Network.exponentialize (fig6_network 6) in
+  let exact = Solution.solve net in
+  let dec = Mapqn_baselines.Decomposition.solve net in
+  let x_exact = Solution.throughput exact 0 in
+  let x_dec = dec.Mapqn_baselines.Decomposition.system_throughput in
+  (* Poisson-arrival decomposition is approximate: accept 15%. *)
+  Alcotest.(check bool) "within 15%" true
+    (Mapqn_util.Tol.relative_error ~exact:x_exact x_dec < 0.15)
+
+let test_decomposition_isolated_queue () =
+  (* M/M/1/cap closed form check: rho < 1, cap = 3. *)
+  let lambda = 1. and mu = 2. in
+  let qlen, tput, util =
+    Mapqn_baselines.Decomposition.isolated_queue_metrics ~arrival_rate:lambda
+      ~capacity:3
+      (Mapqn_map.Builders.exponential ~rate:mu)
+  in
+  let rho = lambda /. mu in
+  let z = 1. +. rho +. (rho ** 2.) +. (rho ** 3.) in
+  let p n = (rho ** float_of_int n) /. z in
+  check_float ~tol:1e-10 "queue length" (p 1 +. (2. *. p 2) +. (3. *. p 3)) qlen;
+  check_float ~tol:1e-10 "utilization" (1. -. p 0) util;
+  check_float ~tol:1e-10 "throughput" (mu *. (1. -. p 0)) tput
+
+let test_decomposition_fills_population () =
+  let net = fig6_network 5 in
+  let dec = Mapqn_baselines.Decomposition.solve net in
+  let total = Mapqn_util.Ksum.sum dec.Mapqn_baselines.Decomposition.mean_queue_length in
+  check_float ~tol:1e-3 "population recovered" 5. total
+
+(* ---------------- property: CTMC = MVA on random product-form ---------- *)
+
+let prop_product_form_matches_mva =
+  QCheck.Test.make ~name:"exact CTMC equals MVA on random exponential networks"
+    ~count:25
+    QCheck.(triple (int_range 2 4) (int_range 1 6) (int_range 0 1_000_000))
+    (fun (m, n, seed) ->
+      let rng = Mapqn_prng.Rng.create ~seed in
+      let routing =
+        Array.init m (fun _ ->
+            let row = Array.init m (fun _ -> Mapqn_prng.Rng.float rng +. 0.05) in
+            let s = Mapqn_util.Ksum.sum row in
+            Array.map (fun x -> x /. s) row)
+      in
+      let stations =
+        Array.init m (fun _ ->
+            exp_station (Mapqn_prng.Dist.uniform rng ~lo:0.5 ~hi:4.))
+      in
+      let net = Network.make_exn ~stations ~routing ~population:n in
+      let sol = Solution.solve net in
+      let mva = Mapqn_baselines.Mva.solve net in
+      let ok = ref true in
+      for k = 0 to m - 1 do
+        if
+          Float.abs (Solution.utilization sol k -. mva.Mapqn_baselines.Mva.utilization.(k))
+          > 1e-7
+          || Float.abs
+               (Solution.mean_queue_length sol k
+               -. mva.Mapqn_baselines.Mva.mean_queue_length.(k))
+             > 1e-6
+        then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "ctmc"
+    [
+      ( "state_space",
+        [
+          Alcotest.test_case "fig6 count" `Quick test_state_count_matches_paper_fig6;
+          Alcotest.test_case "index/decode roundtrip" `Quick test_index_decode_roundtrip;
+          Alcotest.test_case "iter covers all" `Quick test_iter_covers_all_states;
+          Alcotest.test_case "max_states guard" `Quick test_max_states_guard;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "rows sum zero" `Quick test_generator_rows_sum_zero;
+          Alcotest.test_case "off-diagonal sign" `Quick test_generator_off_diagonal_nonneg;
+          Alcotest.test_case "idle phase frozen" `Quick test_generator_empty_queue_frozen;
+        ] );
+      ( "solution",
+        [
+          Alcotest.test_case "two-station closed form" `Quick test_two_station_closed_form;
+          Alcotest.test_case "normalized" `Quick test_distribution_normalized;
+          Alcotest.test_case "flow balance" `Quick test_flow_balance;
+          Alcotest.test_case "MVA cross-check" `Quick test_mva_cross_check_product_form;
+          Alcotest.test_case "MAP(1) = Exp" `Quick test_map1_station_equals_exp_station;
+          Alcotest.test_case "queue length moments" `Quick test_queue_length_moments;
+          Alcotest.test_case "queue lengths sum to N" `Quick
+            test_mean_queue_lengths_sum_to_population;
+          Alcotest.test_case "phase marginal" `Quick test_phase_marginal;
+          Alcotest.test_case "joint queue length" `Quick test_joint_queue_length;
+          Alcotest.test_case "queue correlation" `Quick test_queue_length_correlation;
+          Alcotest.test_case "population zero" `Quick test_population_zero;
+          QCheck_alcotest.to_alcotest prop_product_form_matches_mva;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "mva balanced closed form" `Quick test_mva_balanced_closed_form;
+          Alcotest.test_case "mva sweep monotone" `Quick test_mva_sweep_monotone;
+          Alcotest.test_case "aba brackets mva" `Quick test_aba_brackets_mva;
+          Alcotest.test_case "aba brackets exact MAP" `Quick
+            test_aba_brackets_exact_map_network;
+          Alcotest.test_case "decomposition near product form" `Quick
+            test_decomposition_close_on_product_form;
+          Alcotest.test_case "isolated M/M/1/cap" `Quick test_decomposition_isolated_queue;
+          Alcotest.test_case "decomposition population" `Quick
+            test_decomposition_fills_population;
+        ] );
+    ]

@@ -1,0 +1,338 @@
+(* Tests for the extension modules: Schweitzer AMVA, MAP algebra (Ops),
+   transient analysis, and the moment-order experiment. *)
+
+module Network = Mapqn_model.Network
+module Station = Mapqn_model.Station
+module Process = Mapqn_map.Process
+
+let check_float ?(tol = 1e-9) = Alcotest.(check (float tol))
+
+let exp_station rate = Station.exp ~rate ()
+
+(* ---------------- Schweitzer ---------------- *)
+
+let product_form_network population =
+  Network.make_exn
+    ~stations:[| exp_station 2.; exp_station 1.5; exp_station 0.9 |]
+    ~routing:[| [| 0.1; 0.5; 0.4 |]; [| 0.8; 0.; 0.2 |]; [| 1.; 0.; 0. |] |]
+    ~population
+
+let test_schweitzer_close_to_mva () =
+  let net = product_form_network 12 in
+  let mva = Mapqn_baselines.Mva.solve net in
+  let sch = Mapqn_baselines.Schweitzer.solve net in
+  (* Schweitzer is an approximation: a few percent of exact MVA. *)
+  let err =
+    Mapqn_util.Tol.relative_error ~exact:mva.Mapqn_baselines.Mva.system_throughput
+      sch.Mapqn_baselines.Schweitzer.system_throughput
+  in
+  Alcotest.(check bool) (Printf.sprintf "within 5%% (err %.4f)" err) true (err < 0.05)
+
+let test_schweitzer_converges_large_population () =
+  let net = product_form_network 500 in
+  let sch = Mapqn_baselines.Schweitzer.solve net in
+  let mva = Mapqn_baselines.Mva.solve net in
+  Alcotest.(check bool) "iterations bounded" true
+    (sch.Mapqn_baselines.Schweitzer.iterations < 100_000);
+  check_float ~tol:0.02 "asymptotic throughput"
+    mva.Mapqn_baselines.Mva.system_throughput
+    sch.Mapqn_baselines.Schweitzer.system_throughput
+
+let test_schweitzer_population_conserved () =
+  let net = product_form_network 9 in
+  let sch = Mapqn_baselines.Schweitzer.solve net in
+  check_float ~tol:1e-6 "queue lengths sum to N" 9.
+    (Mapqn_util.Ksum.sum sch.Mapqn_baselines.Schweitzer.mean_queue_length)
+
+let test_schweitzer_zero_population () =
+  let sch = Mapqn_baselines.Schweitzer.solve (product_form_network 0) in
+  check_float "zero throughput" 0. sch.Mapqn_baselines.Schweitzer.system_throughput
+
+let test_schweitzer_with_delay () =
+  let net =
+    Network.make_exn
+      ~stations:[| Station.delay ~rate:0.25 (); exp_station 2. |]
+      ~routing:[| [| 0.; 1. |]; [| 1.; 0. |] |]
+      ~population:6
+  in
+  let mva = Mapqn_baselines.Mva.solve net in
+  let sch = Mapqn_baselines.Schweitzer.solve net in
+  check_float ~tol:0.05 "delay handled"
+    mva.Mapqn_baselines.Mva.system_throughput
+    sch.Mapqn_baselines.Schweitzer.system_throughput
+
+(* ---------------- Ops ---------------- *)
+
+let test_superpose_poisson () =
+  (* Superposing two Poisson streams is a Poisson stream with summed rate. *)
+  let a = Mapqn_map.Builders.exponential ~rate:2. in
+  let b = Mapqn_map.Builders.exponential ~rate:3. in
+  let s = Mapqn_map.Ops.superpose a b in
+  check_float ~tol:1e-9 "rate adds" 5. (Process.rate s);
+  check_float ~tol:1e-9 "scv 1" 1. (Process.scv s);
+  check_float ~tol:1e-9 "uncorrelated" 0. (Process.acf s 1)
+
+let test_superpose_rates_add () =
+  let a = Mapqn_map.Builders.mmpp2 ~r01:0.2 ~r10:0.1 ~rate0:3. ~rate1:0.3 in
+  let b = Mapqn_map.Builders.exponential ~rate:1.5 in
+  let s = Mapqn_map.Ops.superpose a b in
+  Alcotest.(check int) "order multiplies" 2 (Process.order s);
+  check_float ~tol:1e-9 "rate adds" (Process.rate a +. 1.5) (Process.rate s);
+  (* Mixing in independent Poisson noise reduces autocorrelation. *)
+  Alcotest.(check bool) "acf diluted" true
+    (Process.acf s 1 < Process.acf a 1 && Process.acf s 1 > 0.)
+
+let test_thin_exponential () =
+  let p = Mapqn_map.Builders.exponential ~rate:4. in
+  let t = Mapqn_map.Ops.thin ~prob:0.25 p in
+  check_float ~tol:1e-9 "thinned rate" 1. (Process.rate t);
+  check_float ~tol:1e-9 "still exponential" 1. (Process.scv t)
+
+let test_thin_preserves_rate_scaling () =
+  let p = Mapqn_map.Builders.mmpp2 ~r01:0.2 ~r10:0.1 ~rate0:3. ~rate1:0.3 in
+  let t = Mapqn_map.Ops.thin ~prob:0.5 p in
+  check_float ~tol:1e-9 "half rate" (Process.rate p /. 2.) (Process.rate t);
+  (try
+     ignore (Mapqn_map.Ops.thin ~prob:0. p);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_thin_full_identity () =
+  let p = Mapqn_map.Builders.mmpp2 ~r01:0.2 ~r10:0.1 ~rate0:3. ~rate1:0.3 in
+  let t = Mapqn_map.Ops.thin ~prob:1. p in
+  Alcotest.(check bool) "prob 1 is identity" true (Process.equal p t)
+
+(* ---------------- Transient ---------------- *)
+
+let two_state_generator a b =
+  Mapqn_sparse.Csr.of_coo ~rows:2 ~cols:2
+    [ (0, 0, -.a); (0, 1, a); (1, 0, b); (1, 1, -.b) ]
+
+let test_transient_two_state_closed_form () =
+  (* For Q = [[-a a];[b -b]], p_00(t) = b/(a+b) + a/(a+b) e^{-(a+b)t}. *)
+  let a = 1.5 and b = 0.7 in
+  let q = two_state_generator a b in
+  List.iter
+    (fun t ->
+      let pi = Mapqn_ctmc.Transient.distribution_at q ~initial:[| 1.; 0. |] ~t in
+      let expected = (b /. (a +. b)) +. (a /. (a +. b)) *. exp (-.(a +. b) *. t) in
+      check_float ~tol:1e-9 (Printf.sprintf "p00(%.2f)" t) expected pi.(0))
+    [ 0.; 0.1; 0.5; 1.; 3.; 10. ]
+
+let test_transient_converges_to_stationary () =
+  let q = two_state_generator 2. 1. in
+  let pi = Mapqn_ctmc.Transient.distribution_at q ~initial:[| 0.; 1. |] ~t:80. in
+  check_float ~tol:1e-8 "stationary p0" (1. /. 3.) pi.(0)
+
+let test_transient_zero_time () =
+  let q = two_state_generator 1. 1. in
+  let pi = Mapqn_ctmc.Transient.distribution_at q ~initial:[| 0.3; 0.7 |] ~t:0. in
+  check_float "identity at t=0" 0.3 pi.(0)
+
+let test_transient_network () =
+  (* The transient distribution of a real network CTMC stays normalized
+     and converges to the stationary solution. *)
+  let net =
+    Network.tandem [| exp_station 2.; exp_station 1. |] ~population:3
+  in
+  let space = Mapqn_ctmc.State_space.create net in
+  let q = Mapqn_ctmc.Generator.build space in
+  let n = Mapqn_ctmc.State_space.num_states space in
+  let initial = Array.make n 0. in
+  initial.(0) <- 1.;
+  let pi_t = Mapqn_ctmc.Transient.distribution_at q ~initial ~t:2. in
+  check_float ~tol:1e-9 "normalized" 1. (Mapqn_util.Ksum.sum pi_t);
+  let sol = Mapqn_ctmc.Solution.solve net in
+  let pi_inf = Mapqn_ctmc.Transient.distribution_at q ~initial ~t:200. in
+  Alcotest.(check bool) "converged to stationary" true
+    (Mapqn_linalg.Vec.max_abs_diff pi_inf (Mapqn_ctmc.Solution.distribution sol)
+     < 1e-6)
+
+let test_transient_expected_metric () =
+  let q = two_state_generator 1. 1. in
+  let v =
+    Mapqn_ctmc.Transient.expected_metric_at q ~initial:[| 1.; 0. |]
+      ~metric:[| 0.; 10. |] ~t:50.
+  in
+  check_float ~tol:1e-8 "expected metric at equilibrium" 5. v
+
+let test_relaxation_time_monotone_in_rates () =
+  (* Faster chains relax faster. *)
+  let slow =
+    Mapqn_ctmc.Transient.relaxation_time (two_state_generator 0.1 0.1)
+      ~initial:[| 1.; 0. |]
+      ~stationary:[| 0.5; 0.5 |]
+  in
+  let fast =
+    Mapqn_ctmc.Transient.relaxation_time (two_state_generator 10. 10.)
+      ~initial:[| 1.; 0. |]
+      ~stationary:[| 0.5; 0.5 |]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "slow %.2f > fast %.2f" slow fast)
+    true (slow > 10. *. fast)
+
+let test_transient_rejects_bad_input () =
+  let q = two_state_generator 1. 1. in
+  (try
+     ignore (Mapqn_ctmc.Transient.distribution_at q ~initial:[| 0.4; 0.4 |] ~t:1.);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Mapqn_ctmc.Transient.distribution_at q ~initial:[| 1.; 0. |] ~t:(-1.));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* ---------------- Trace ---------------- *)
+
+let sample_map_trace map ~count ~seed =
+  Mapqn_map.Trace.sample (Mapqn_prng.Rng.create ~seed) map ~count
+
+let test_trace_estimate_recovers_statistics () =
+  let map = Mapqn_map.Fit.map2_exn ~mean:2. ~scv:9. ~gamma2:0.6 () in
+  let trace = sample_map_trace map ~count:200_000 ~seed:3 in
+  match Mapqn_map.Trace.estimate trace with
+  | Error e -> Alcotest.fail e
+  | Ok stats ->
+    check_float ~tol:0.05 "mean" 2. stats.Mapqn_map.Trace.mean;
+    check_float ~tol:0.6 "scv" 9. stats.Mapqn_map.Trace.scv;
+    check_float ~tol:0.08 "gamma2" 0.6 stats.Mapqn_map.Trace.gamma2;
+    Alcotest.(check bool) "used several lags" true
+      (stats.Mapqn_map.Trace.gamma2_lags_used >= 3)
+
+let test_trace_fit_roundtrip () =
+  let truth = Mapqn_map.Fit.map2_exn ~mean:1. ~scv:12. ~gamma2:0.5 () in
+  let trace = sample_map_trace truth ~count:300_000 ~seed:11 in
+  match Mapqn_map.Trace.fit_map2 trace with
+  | Error e -> Alcotest.fail e
+  | Ok (fitted, _) ->
+    check_float ~tol:0.03 "mean" (Process.mean truth) (Process.mean fitted);
+    check_float ~tol:1.2 "scv" (Process.scv truth) (Process.scv fitted);
+    check_float ~tol:0.06 "lag-1 acf" (Process.acf truth 1) (Process.acf fitted 1)
+
+let test_trace_poisson_gives_exponential () =
+  (* A Poisson trace has no significant autocorrelation: the fit must come
+     back (nearly) exponential with gamma2 = 0. *)
+  let rng = Mapqn_prng.Rng.create ~seed:21 in
+  let trace = Array.init 50_000 (fun _ -> Mapqn_prng.Dist.exponential rng ~rate:3.) in
+  match Mapqn_map.Trace.fit_map2 trace with
+  | Error e -> Alcotest.fail e
+  | Ok (fitted, stats) ->
+    check_float ~tol:0.02 "mean" (1. /. 3.) (Process.mean fitted);
+    check_float ~tol:0.05 "gamma2 ~ 0" 0. stats.Mapqn_map.Trace.gamma2
+
+let test_trace_rejects_bad_input () =
+  (match Mapqn_map.Trace.estimate [| 1.; 2. |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "too-short trace accepted");
+  match Mapqn_map.Trace.estimate (Array.make 200 (-1.)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative values accepted"
+
+(* ---------------- Counting ---------------- *)
+
+let test_counting_poisson () =
+  let p = Mapqn_map.Builders.exponential ~rate:2. in
+  check_float ~tol:1e-9 "mean count" 10. (Mapqn_map.Counting.mean_count p ~t:5.);
+  (* Poisson: Var N(t) = E N(t), IDC = 1 at every t. *)
+  check_float ~tol:1e-6 "variance = mean" 10.
+    (Mapqn_map.Counting.variance_count p ~t:5.);
+  check_float ~tol:1e-6 "idc 1" 1. (Mapqn_map.Counting.idc p ~t:5.);
+  check_float ~tol:1e-9 "idc limit 1" 1. (Mapqn_map.Counting.idc_limit p)
+
+let test_counting_erlang_limit () =
+  (* Erlang-2 renewal process: IDC(inf) = scv = 1/2. *)
+  let p = Mapqn_map.Builders.erlang ~k:2 ~rate:2. in
+  check_float ~tol:1e-9 "idc limit = scv" 0.5 (Mapqn_map.Counting.idc_limit p)
+
+let test_counting_bursty_idc_grows () =
+  let p = Mapqn_map.Fit.map2_exn ~mean:1. ~scv:8. ~gamma2:0.6 () in
+  let idc1 = Mapqn_map.Counting.idc p ~t:1. in
+  let idc20 = Mapqn_map.Counting.idc p ~t:20. in
+  let limit = Mapqn_map.Counting.idc_limit p in
+  Alcotest.(check bool)
+    (Printf.sprintf "idc grows: %.2f < %.2f <= limit %.2f" idc1 idc20 limit)
+    true
+    (idc1 < idc20 && idc20 < limit +. 0.5);
+  Alcotest.(check bool) "bursty limit >> 1" true (limit > 5.)
+
+let test_counting_idc_approaches_limit () =
+  let p = Mapqn_map.Fit.map2_exn ~mean:1. ~scv:4. ~gamma2:0.3 () in
+  let limit = Mapqn_map.Counting.idc_limit p in
+  let idc200 = Mapqn_map.Counting.idc p ~t:200. in
+  check_float ~tol:(0.05 *. limit) "t=200 near limit" limit idc200
+
+(* ---------------- Moment_order experiment ---------------- *)
+
+let test_moment_order_third_beats_second () =
+  let t =
+    Mapqn_experiments.Moment_order.run
+      ~options:{ Mapqn_experiments.Moment_order.instances = 6; population = 10; seed = 5 }
+      ()
+  in
+  Alcotest.(check int) "six instances" 6
+    (List.length t.Mapqn_experiments.Moment_order.rows);
+  (* Third-order fitting of a MAP(2) is exact (a MAP(2) is characterized by
+     three moments plus the ACF decay), so its error must be ~0 and below
+     the second-order error. *)
+  Alcotest.(check bool) "third order ~exact" true
+    (t.Mapqn_experiments.Moment_order.max_err3 < 1e-5);
+  Alcotest.(check bool) "second order worse" true
+    (t.Mapqn_experiments.Moment_order.mean_err2
+    >= t.Mapqn_experiments.Moment_order.mean_err3)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "schweitzer",
+        [
+          Alcotest.test_case "close to MVA" `Quick test_schweitzer_close_to_mva;
+          Alcotest.test_case "large population" `Quick
+            test_schweitzer_converges_large_population;
+          Alcotest.test_case "population conserved" `Quick
+            test_schweitzer_population_conserved;
+          Alcotest.test_case "zero population" `Quick test_schweitzer_zero_population;
+          Alcotest.test_case "delay station" `Quick test_schweitzer_with_delay;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "superpose poisson" `Quick test_superpose_poisson;
+          Alcotest.test_case "superpose rates add" `Quick test_superpose_rates_add;
+          Alcotest.test_case "thin exponential" `Quick test_thin_exponential;
+          Alcotest.test_case "thin rate scaling" `Quick test_thin_preserves_rate_scaling;
+          Alcotest.test_case "thin identity" `Quick test_thin_full_identity;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "two-state closed form" `Quick
+            test_transient_two_state_closed_form;
+          Alcotest.test_case "converges" `Quick test_transient_converges_to_stationary;
+          Alcotest.test_case "zero time" `Quick test_transient_zero_time;
+          Alcotest.test_case "network CTMC" `Quick test_transient_network;
+          Alcotest.test_case "expected metric" `Quick test_transient_expected_metric;
+          Alcotest.test_case "relaxation monotone" `Quick
+            test_relaxation_time_monotone_in_rates;
+          Alcotest.test_case "rejects bad input" `Quick test_transient_rejects_bad_input;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "estimate recovers statistics" `Slow
+            test_trace_estimate_recovers_statistics;
+          Alcotest.test_case "fit roundtrip" `Slow test_trace_fit_roundtrip;
+          Alcotest.test_case "poisson trace" `Quick test_trace_poisson_gives_exponential;
+          Alcotest.test_case "rejects bad input" `Quick test_trace_rejects_bad_input;
+        ] );
+      ( "counting",
+        [
+          Alcotest.test_case "poisson" `Quick test_counting_poisson;
+          Alcotest.test_case "erlang limit" `Quick test_counting_erlang_limit;
+          Alcotest.test_case "bursty idc grows" `Quick test_counting_bursty_idc_grows;
+          Alcotest.test_case "idc approaches limit" `Slow
+            test_counting_idc_approaches_limit;
+        ] );
+      ( "moment_order",
+        [
+          Alcotest.test_case "third beats second" `Slow
+            test_moment_order_third_beats_second;
+        ] );
+    ]

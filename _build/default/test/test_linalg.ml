@@ -1,0 +1,330 @@
+open Mapqn_linalg
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_vec ?(tol = 1e-9) msg expected got =
+  if not (Mapqn_util.Tol.close_arrays ~rel:tol ~abs:tol expected got) then
+    Alcotest.failf "%s: expected %s got %s" msg
+      (Format.asprintf "%a" Vec.pp expected)
+      (Format.asprintf "%a" Vec.pp got)
+
+(* ---------------- Vec ---------------- *)
+
+let test_vec_ops () =
+  let a = [| 1.; 2.; 3. |] and b = [| 4.; 5.; 6. |] in
+  check_vec "add" [| 5.; 7.; 9. |] (Vec.add a b);
+  check_vec "sub" [| -3.; -3.; -3. |] (Vec.sub a b);
+  check_vec "scale" [| 2.; 4.; 6. |] (Vec.scale 2. a);
+  check_float "dot" 32. (Vec.dot a b);
+  check_float "norm1" 6. (Vec.norm1 a);
+  check_float "norm2" (sqrt 14.) (Vec.norm2 a);
+  check_float "norm_inf" 3. (Vec.norm_inf a)
+
+let test_vec_axpy () =
+  let y = [| 1.; 1. |] in
+  Vec.axpy ~alpha:2. ~x:[| 3.; 4. |] ~y;
+  check_vec "axpy" [| 7.; 9. |] y
+
+let test_vec_normalize1 () =
+  check_vec "normalize" [| 0.25; 0.75 |] (Vec.normalize1 [| 1.; 3. |]);
+  Alcotest.check_raises "zero sum" (Invalid_argument "Vec.normalize1: non-positive sum")
+    (fun () -> ignore (Vec.normalize1 [| 0.; 0. |]))
+
+let test_vec_max_abs_diff () =
+  check_float "diff" 2. (Vec.max_abs_diff [| 1.; 5. |] [| 1.; 3. |])
+
+(* ---------------- Mat ---------------- *)
+
+let test_mat_mul () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let c = Mat.mul a b in
+  Alcotest.(check bool) "product" true
+    (Mat.equal c (Mat.of_arrays [| [| 19.; 22. |]; [| 43.; 50. |] |]))
+
+let test_mat_identity_neutral () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.(check bool) "I*A = A" true (Mat.equal (Mat.mul (Mat.identity 2) a) a);
+  Alcotest.(check bool) "A*I = A" true (Mat.equal (Mat.mul a (Mat.identity 2)) a)
+
+let test_mat_transpose () =
+  let a = Mat.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let t = Mat.transpose a in
+  Alcotest.(check int) "rows" 3 (Mat.rows t);
+  Alcotest.(check int) "cols" 2 (Mat.cols t);
+  check_float "entry" 6. (Mat.get t 2 1)
+
+let test_mat_vec_products () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  check_vec "A x" [| 5.; 11. |] (Mat.mat_vec a [| 1.; 2. |]);
+  check_vec "x A" [| 7.; 10. |] (Mat.vec_mat [| 1.; 2. |] a)
+
+let test_mat_pow () =
+  let a = Mat.of_arrays [| [| 1.; 1. |]; [| 0.; 1. |] |] in
+  let a5 = Mat.pow a 5 in
+  check_float "upper entry is 5" 5. (Mat.get a5 0 1);
+  Alcotest.(check bool) "pow 0 = I" true (Mat.equal (Mat.pow a 0) (Mat.identity 2))
+
+let test_mat_row_sums_diag () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  check_vec "row sums" [| 3.; 7. |] (Mat.row_sums a);
+  check_vec "diag" [| 1.; 4. |] (Mat.diag a)
+
+let test_mat_shape_mismatch () =
+  let a = Mat.of_arrays [| [| 1.; 2. |] |] in
+  Alcotest.check_raises "mul mismatch" (Invalid_argument "Mat.mul: inner dim mismatch")
+    (fun () -> ignore (Mat.mul a a))
+
+(* ---------------- Lu ---------------- *)
+
+let test_lu_solve () =
+  let a = Mat.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Lu.solve a [| 5.; 10. |] in
+  check_vec "solution" [| 1.; 3. |] x
+
+let test_lu_needs_pivoting () =
+  (* Zero pivot in the (0,0) position: fails without row exchanges. *)
+  let a = Mat.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let x = Lu.solve a [| 2.; 3. |] in
+  check_vec "pivoted solution" [| 3.; 2. |] x
+
+let test_lu_inverse () =
+  let a = Mat.of_arrays [| [| 4.; 7. |]; [| 2.; 6. |] |] in
+  let inv = Lu.inverse a in
+  Alcotest.(check bool) "A * A^-1 = I" true
+    (Mat.equal ~rel:1e-9 ~abs:1e-9 (Mat.mul a inv) (Mat.identity 2))
+
+let test_lu_determinant () =
+  let a = Mat.of_arrays [| [| 4.; 7. |]; [| 2.; 6. |] |] in
+  check_float "det" 10. (Lu.determinant (Lu.factorize a));
+  let swapped = Mat.of_arrays [| [| 2.; 6. |]; [| 4.; 7. |] |] in
+  check_float "det sign flips" (-10.) (Lu.determinant (Lu.factorize swapped))
+
+let test_lu_singular () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  (try
+     ignore (Lu.factorize a);
+     Alcotest.fail "expected Singular"
+   with Lu.Singular _ -> ())
+
+let test_lu_solve_mat () =
+  let a = Mat.of_arrays [| [| 2.; 0. |]; [| 0.; 4. |] |] in
+  let b = Mat.of_arrays [| [| 2.; 4. |]; [| 8.; 12. |] |] in
+  let x = Lu.solve_mat (Lu.factorize a) b in
+  Alcotest.(check bool) "columns solved" true
+    (Mat.equal x (Mat.of_arrays [| [| 1.; 2. |]; [| 2.; 3. |] |]))
+
+(* ---------------- Gth ---------------- *)
+
+let test_gth_dtmc_two_state () =
+  (* P = [[0.9 0.1];[0.2 0.8]] has stationary (2/3, 1/3). *)
+  let p = Mat.of_arrays [| [| 0.9; 0.1 |]; [| 0.2; 0.8 |] |] in
+  check_vec "stationary" [| 2. /. 3.; 1. /. 3. |] (Gth.dtmc p)
+
+let test_gth_ctmc_birth_death () =
+  (* Birth-death with birth 1, death 2: pi_i ∝ (1/2)^i on 4 states. *)
+  let q =
+    Mat.of_arrays
+      [|
+        [| -1.; 1.; 0.; 0. |];
+        [| 2.; -3.; 1.; 0. |];
+        [| 0.; 2.; -3.; 1. |];
+        [| 0.; 0.; 2.; -2. |];
+      |]
+  in
+  let pi = Gth.ctmc q in
+  let z = 1. +. 0.5 +. 0.25 +. 0.125 in
+  check_vec "geometric stationary"
+    [| 1. /. z; 0.5 /. z; 0.25 /. z; 0.125 /. z |]
+    pi
+
+let test_gth_stationarity_property () =
+  (* pi Q = 0 for a random-ish generator. *)
+  let q =
+    Mat.of_arrays
+      [|
+        [| -3.; 1.; 2. |];
+        [| 4.; -5.; 1. |];
+        [| 0.5; 0.5; -1. |];
+      |]
+  in
+  let pi = Gth.ctmc q in
+  check_float "sums to one" 1. (Vec.sum pi);
+  let r = Mat.vec_mat pi q in
+  Alcotest.(check bool) "residual small" true (Vec.norm_inf r < 1e-12)
+
+let test_gth_rejects_bad_rows () =
+  let p = Mat.of_arrays [| [| 0.5; 0.4 |]; [| 0.2; 0.8 |] |] in
+  (try
+     ignore (Gth.dtmc p);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_gth_single_state () =
+  check_vec "singleton" [| 1. |] (Gth.ctmc (Mat.of_arrays [| [| 0. |] |]))
+
+(* ---------------- Kron ---------------- *)
+
+let test_kron_product () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_arrays [| [| 0.; 5. |]; [| 6.; 7. |] |] in
+  let k = Kron.product a b in
+  Alcotest.(check int) "rows" 4 (Mat.rows k);
+  check_float "(0,1)" 5. (Mat.get k 0 1);
+  check_float "(0,3)" 10. (Mat.get k 0 3);
+  check_float "(3,2)" 24. (Mat.get k 3 2)
+
+let test_kron_sum_dim () =
+  let a = Mat.of_arrays [| [| -1.; 1. |]; [| 1.; -1. |] |] in
+  let s = Kron.sum a a in
+  Alcotest.(check int) "dim 4" 4 (Mat.rows s);
+  (* Kronecker sum of generators is a generator: rows sum to 0. *)
+  check_vec "rows sum 0" [| 0.; 0.; 0.; 0. |] (Mat.row_sums s)
+
+let test_kron_mixed_product_identity () =
+  (* (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD) *)
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 0.; 1. |] |] in
+  let b = Mat.of_arrays [| [| 2.; 0. |]; [| 1.; 1. |] |] in
+  let c = Mat.of_arrays [| [| 1.; 1. |]; [| 1.; 0. |] |] in
+  let d = Mat.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let lhs = Mat.mul (Kron.product a b) (Kron.product c d) in
+  let rhs = Kron.product (Mat.mul a c) (Mat.mul b d) in
+  Alcotest.(check bool) "identity holds" true (Mat.equal lhs rhs)
+
+(* ---------------- Eig ---------------- *)
+
+let test_eig_2x2 () =
+  let m = Mat.of_arrays [| [| 2.; 0. |]; [| 0.; -3. |] |] in
+  (match Eig.eigenvalues_2x2 m with
+  | Ok (l1, l2) ->
+    check_float "dominant" (-3.) l1;
+    check_float "other" 2. l2
+  | Error _ -> Alcotest.fail "expected real eigenvalues");
+  let rot = Mat.of_arrays [| [| 0.; -1. |]; [| 1.; 0. |] |] in
+  (match Eig.eigenvalues_2x2 rot with
+  | Ok _ -> Alcotest.fail "rotation has complex eigenvalues"
+  | Error _ -> ())
+
+let test_power_iteration () =
+  let m = Mat.of_arrays [| [| 3.; 1. |]; [| 1.; 3. |] |] in
+  match Eig.power_iteration m with
+  | Some (l, v) ->
+    Alcotest.(check (float 1e-6)) "dominant eigenvalue" 4. l;
+    (* Eigenvector proportional to (1,1). *)
+    Alcotest.(check (float 1e-5)) "eigenvector ratio" 1. (v.(0) /. v.(1))
+  | None -> Alcotest.fail "no convergence"
+
+let test_subdominant_stochastic_2x2 () =
+  let p = Mat.of_arrays [| [| 0.9; 0.1 |]; [| 0.2; 0.8 |] |] in
+  match Eig.subdominant_stochastic p with
+  | Some g -> Alcotest.(check (float 1e-9)) "gamma2 = 1 - 0.1 - 0.2" 0.7 g
+  | None -> Alcotest.fail "expected eigenvalue"
+
+let test_subdominant_stochastic_3x3 () =
+  (* Reversible 3-state chain: subdominant eigenvalue is real. *)
+  let p =
+    Mat.of_arrays
+      [|
+        [| 0.5; 0.5; 0. |];
+        [| 0.25; 0.5; 0.25 |];
+        [| 0.; 0.5; 0.5 |];
+      |]
+  in
+  match Eig.subdominant_stochastic p with
+  | Some g -> Alcotest.(check (float 1e-6)) "second eigenvalue" 0.5 g
+  | None -> Alcotest.fail "expected convergence"
+
+(* ---------------- Properties ---------------- *)
+
+let gen_generator =
+  (* Random small irreducible CTMC generator with strictly positive
+     off-diagonal rates. *)
+  QCheck.Gen.(
+    let* n = int_range 2 6 in
+    let* rates = array_size (return (n * n)) (float_range 0.05 5.) in
+    return
+      (Mat.init ~rows:n ~cols:n (fun i j ->
+           if i = j then 0. else rates.((i * n) + j))
+      |> fun off ->
+      Mat.init ~rows:n ~cols:n (fun i j ->
+          if i = j then -.Mapqn_util.Ksum.sum (Mat.row off i) else Mat.get off i j)))
+
+let arb_generator = QCheck.make gen_generator
+
+let prop_gth_stationary =
+  QCheck.Test.make ~name:"gth ctmc: pi Q = 0 and pi sums to 1" ~count:100
+    arb_generator (fun q ->
+      let pi = Gth.ctmc q in
+      let ok_sum = Mapqn_util.Tol.close (Vec.sum pi) 1. in
+      let ok_res = Vec.norm_inf (Mat.vec_mat pi q) < 1e-9 in
+      let ok_pos = Array.for_all (fun x -> x > 0.) pi in
+      ok_sum && ok_res && ok_pos)
+
+let prop_lu_solve_residual =
+  QCheck.Test.make ~name:"lu solve: A x = b residual small" ~count:100
+    QCheck.(
+      pair (int_range 1 8) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Mapqn_prng.Rng.create ~seed in
+      let a =
+        Mat.init ~rows:n ~cols:n (fun i j ->
+            Mapqn_prng.Dist.uniform rng ~lo:(-1.) ~hi:1.
+            +. if i = j then 4. else 0.)
+      in
+      let b = Array.init n (fun _ -> Mapqn_prng.Dist.uniform rng ~lo:(-5.) ~hi:5.) in
+      let x = Lu.solve a b in
+      Vec.max_abs_diff (Mat.mat_vec a x) b < 1e-8)
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "ops" `Quick test_vec_ops;
+          Alcotest.test_case "axpy" `Quick test_vec_axpy;
+          Alcotest.test_case "normalize1" `Quick test_vec_normalize1;
+          Alcotest.test_case "max_abs_diff" `Quick test_vec_max_abs_diff;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "mul" `Quick test_mat_mul;
+          Alcotest.test_case "identity" `Quick test_mat_identity_neutral;
+          Alcotest.test_case "transpose" `Quick test_mat_transpose;
+          Alcotest.test_case "mat/vec products" `Quick test_mat_vec_products;
+          Alcotest.test_case "pow" `Quick test_mat_pow;
+          Alcotest.test_case "row sums & diag" `Quick test_mat_row_sums_diag;
+          Alcotest.test_case "shape mismatch" `Quick test_mat_shape_mismatch;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "solve" `Quick test_lu_solve;
+          Alcotest.test_case "pivoting" `Quick test_lu_needs_pivoting;
+          Alcotest.test_case "inverse" `Quick test_lu_inverse;
+          Alcotest.test_case "determinant" `Quick test_lu_determinant;
+          Alcotest.test_case "singular" `Quick test_lu_singular;
+          Alcotest.test_case "solve_mat" `Quick test_lu_solve_mat;
+          QCheck_alcotest.to_alcotest prop_lu_solve_residual;
+        ] );
+      ( "gth",
+        [
+          Alcotest.test_case "dtmc two-state" `Quick test_gth_dtmc_two_state;
+          Alcotest.test_case "ctmc birth-death" `Quick test_gth_ctmc_birth_death;
+          Alcotest.test_case "stationarity" `Quick test_gth_stationarity_property;
+          Alcotest.test_case "rejects bad rows" `Quick test_gth_rejects_bad_rows;
+          Alcotest.test_case "single state" `Quick test_gth_single_state;
+          QCheck_alcotest.to_alcotest prop_gth_stationary;
+        ] );
+      ( "kron",
+        [
+          Alcotest.test_case "product" `Quick test_kron_product;
+          Alcotest.test_case "sum dims" `Quick test_kron_sum_dim;
+          Alcotest.test_case "mixed product" `Quick test_kron_mixed_product_identity;
+        ] );
+      ( "eig",
+        [
+          Alcotest.test_case "2x2" `Quick test_eig_2x2;
+          Alcotest.test_case "power iteration" `Quick test_power_iteration;
+          Alcotest.test_case "subdominant 2x2" `Quick test_subdominant_stochastic_2x2;
+          Alcotest.test_case "subdominant 3x3" `Quick test_subdominant_stochastic_3x3;
+        ] );
+    ]

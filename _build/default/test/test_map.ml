@@ -1,0 +1,319 @@
+open Mapqn_map
+module Mat = Mapqn_linalg.Mat
+
+let check_float ?(tol = 1e-9) = Alcotest.(check (float tol))
+
+(* ---------------- exponential ---------------- *)
+
+let test_exponential_stats () =
+  let p = Builders.exponential ~rate:2. in
+  Alcotest.(check int) "order" 1 (Process.order p);
+  check_float "mean" 0.5 (Process.mean p);
+  check_float "rate" 2. (Process.rate p);
+  check_float "scv" 1. (Process.scv p);
+  check_float "skewness" 2. (Process.skewness p);
+  check_float "second moment" 0.5 (Process.moment p 2);
+  check_float "third moment" (6. /. 8.) (Process.moment p 3);
+  check_float "acf lag 1" 0. (Process.acf p 1);
+  check_float "acf lag 0" 1. (Process.acf p 0);
+  Alcotest.(check bool) "renewal" true (Process.is_renewal p);
+  (match Process.acf_decay p with
+  | Some g -> check_float "decay 0" 0. g
+  | None -> Alcotest.fail "expected decay")
+
+(* ---------------- erlang ---------------- *)
+
+let test_erlang_stats () =
+  let k = 4 in
+  let p = Builders.erlang ~k ~rate:2. in
+  Alcotest.(check int) "order" k (Process.order p);
+  check_float "mean" 2. (Process.mean p);
+  check_float "scv" 0.25 (Process.scv p);
+  Alcotest.(check bool) "renewal" true (Process.is_renewal p);
+  check_float "acf" 0. (Process.acf p 3)
+
+(* ---------------- hyperexponential ---------------- *)
+
+let test_hyperexponential_stats () =
+  let probs = [| 0.4; 0.6 |] and rates = [| 1.; 5. |] in
+  let p = Builders.hyperexponential ~probs ~rates in
+  let mean = (0.4 /. 1.) +. (0.6 /. 5.) in
+  let m2 = 2. *. ((0.4 /. 1.) +. (0.6 /. 25.)) in
+  check_float "mean" mean (Process.mean p);
+  check_float "m2" m2 (Process.moment p 2);
+  Alcotest.(check bool) "scv > 1" true (Process.scv p > 1.);
+  Alcotest.(check bool) "renewal" true (Process.is_renewal p);
+  check_float "acf" 0. (Process.acf p 1)
+
+let test_hyperexponential_validation () =
+  (try
+     ignore (Builders.hyperexponential ~probs:[| 0.5; 0.6 |] ~rates:[| 1.; 2. |]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* ---------------- mmpp2 ---------------- *)
+
+let test_mmpp2_basic () =
+  let p = Builders.mmpp2 ~r01:0.1 ~r10:0.05 ~rate0:5. ~rate1:0.5 in
+  Alcotest.(check int) "order" 2 (Process.order p);
+  (* Phase stationary: (r10, r01)/(r10+r01) = (1/3, 2/3). *)
+  let theta = Process.phase_stationary p in
+  check_float "theta0" (1. /. 3.) theta.(0);
+  check_float "rate" ((1. /. 3.) *. 5. +. (2. /. 3.) *. 0.5) (Process.rate p);
+  Alcotest.(check bool) "positively correlated" true (Process.acf p 1 > 0.05);
+  Alcotest.(check bool) "scv > 1" true (Process.scv p > 1.);
+  Alcotest.(check bool) "not renewal" true (not (Process.is_renewal p))
+
+let test_mmpp2_acf_decays () =
+  let p = Builders.mmpp2 ~r01:0.2 ~r10:0.1 ~rate0:4. ~rate1:0.4 in
+  let a1 = Process.acf p 1 and a5 = Process.acf p 5 and a20 = Process.acf p 20 in
+  Alcotest.(check bool) "monotone decay" true (a1 > a5 && a5 > a20 && a20 > 0.)
+
+(* ---------------- switched exponential ---------------- *)
+
+let test_switched_exponential_geometry () =
+  let gamma2 = 0.5 in
+  let p =
+    Builders.switched_exponential ~pi1:0.7 ~rate1:4. ~rate2:0.4 ~gamma2
+  in
+  (* ACF decays geometrically with rate exactly gamma2. *)
+  let a1 = Process.acf p 1 in
+  Alcotest.(check bool) "positive lag-1" true (a1 > 0.);
+  for k = 2 to 6 do
+    let expected = a1 *. (gamma2 ** float_of_int (k - 1)) in
+    check_float ~tol:1e-9
+      (Printf.sprintf "acf lag %d geometric" k)
+      expected (Process.acf p k)
+  done;
+  match Process.acf_decay p with
+  | Some g -> check_float "decay = gamma2" gamma2 g
+  | None -> Alcotest.fail "expected decay"
+
+let test_switched_exponential_marginal () =
+  (* Marginal inter-event distribution is the H2 (pi1@rate1, pi2@rate2). *)
+  let pi1 = 0.7 and rate1 = 4. and rate2 = 0.4 in
+  let p = Builders.switched_exponential ~pi1 ~rate1 ~rate2 ~gamma2:0.6 in
+  let h2 = Builders.hyperexponential ~probs:[| pi1; 1. -. pi1 |] ~rates:[| rate1; rate2 |] in
+  check_float "mean matches H2" (Process.mean h2) (Process.mean p);
+  check_float "m2 matches H2" (Process.moment h2 2) (Process.moment p 2);
+  check_float "m3 matches H2" (Process.moment h2 3) (Process.moment p 3)
+
+let test_switched_exponential_embedded_stationary () =
+  let p = Builders.switched_exponential ~pi1:0.3 ~rate1:1. ~rate2:10. ~gamma2:0.2 in
+  let pi_e = Process.embedded_stationary p in
+  check_float "embedded pi1" 0.3 pi_e.(0);
+  check_float "embedded pi2" 0.7 pi_e.(1)
+
+(* ---------------- validation ---------------- *)
+
+let test_validation_rejects () =
+  let reject d0 d1 =
+    match Process.make ~d0:(Mat.of_arrays d0) ~d1:(Mat.of_arrays d1) with
+    | Ok _ -> Alcotest.fail "expected validation error"
+    | Error _ -> ()
+  in
+  (* Rows don't sum to zero. *)
+  reject [| [| -1.; 0. |]; [| 0.; -1. |] |] [| [| 0.5; 0. |]; [| 0.; 0.5 |] |];
+  (* Negative D1 entry. *)
+  reject [| [| -1.; 0.5 |]; [| 0.5; -1. |] |] [| [| 1.; -0.5 |]; [| 0.; 0.5 |] |];
+  (* Reducible: no flow to phase 1. *)
+  reject [| [| -1.; 0. |]; [| 1.; -2. |] |] [| [| 1.; 0. |]; [| 1.; 0. |] |];
+  (* D1 = 0: no events. *)
+  reject [| [| -1.; 1. |]; [| 1.; -1. |] |] [| [| 0.; 0. |]; [| 0.; 0. |] |]
+
+let test_generator_rows_zero () =
+  let p = Builders.mmpp2 ~r01:0.3 ~r10:0.2 ~rate0:2. ~rate1:0.1 in
+  let sums = Mat.row_sums (Process.generator p) in
+  Array.iter (fun s -> check_float "row sum" 0. s) sums
+
+let test_embedded_stochastic () =
+  let p = Builders.mmpp2 ~r01:0.3 ~r10:0.2 ~rate0:2. ~rate1:0.1 in
+  let e = Process.embedded p in
+  Array.iter (fun s -> check_float "embedded row sum" 1. s) (Mat.row_sums e)
+
+(* ---------------- rescale ---------------- *)
+
+let test_rescale_preserves_shape () =
+  let p = Builders.switched_exponential ~pi1:0.6 ~rate1:3. ~rate2:0.3 ~gamma2:0.4 in
+  let q = Process.rescale p ~mean:5. in
+  check_float "new mean" 5. (Process.mean q);
+  check_float "scv preserved" (Process.scv p) (Process.scv q);
+  check_float "skewness preserved" (Process.skewness p) (Process.skewness q);
+  check_float "acf preserved" (Process.acf p 3) (Process.acf q 3)
+
+(* ---------------- fitting ---------------- *)
+
+let test_h2_balanced_roundtrip () =
+  match Fit.h2_balanced ~mean:2. ~scv:16. with
+  | Error e -> Alcotest.fail e
+  | Ok { p1; rate1; rate2 } ->
+    let p = Builders.hyperexponential ~probs:[| p1; 1. -. p1 |] ~rates:[| rate1; rate2 |] in
+    check_float "mean" 2. (Process.mean p);
+    check_float ~tol:1e-8 "scv" 16. (Process.scv p);
+    (* Balanced means: p1/rate1 = p2/rate2. *)
+    check_float "balanced" (p1 /. rate1) ((1. -. p1) /. rate2)
+
+let test_h2_balanced_rejects_low_scv () =
+  match Fit.h2_balanced ~mean:1. ~scv:0.5 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected scv >= 1 failure"
+
+let test_h2_three_moments_roundtrip () =
+  (* Take a known H2, compute its moments, fit back. *)
+  let probs = [| 0.8; 0.2 |] and rates = [| 4.; 0.25 |] in
+  let src = Builders.hyperexponential ~probs ~rates in
+  let m1 = Process.moment src 1 and m2 = Process.moment src 2 and m3 = Process.moment src 3 in
+  match Fit.h2_three_moments ~m1 ~m2 ~m3 with
+  | Error e -> Alcotest.fail e
+  | Ok { p1; rate1; rate2 } ->
+    let fitted =
+      Builders.hyperexponential ~probs:[| p1; 1. -. p1 |] ~rates:[| rate1; rate2 |]
+    in
+    check_float ~tol:1e-7 "m1" m1 (Process.moment fitted 1);
+    check_float ~tol:1e-7 "m2" m2 (Process.moment fitted 2);
+    check_float ~tol:1e-6 "m3" m3 (Process.moment fitted 3)
+
+let test_h2_three_moments_infeasible () =
+  (* scv < 1 has no H2. *)
+  match Fit.h2_three_moments ~m1:1. ~m2:1.5 ~m3:3. with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected infeasible"
+
+let test_m3_feasible_range () =
+  let m1 = 1. and m2 = 6. in
+  (match Fit.m3_feasible_range ~m1 ~m2 with
+  | None -> Alcotest.fail "expected a range"
+  | Some (lo, hi) ->
+    Alcotest.(check bool) "hi infinite" true (hi = infinity);
+    (* A moment just above the low endpoint must be feasible. *)
+    (match Fit.h2_three_moments ~m1 ~m2 ~m3:(lo *. 1.05) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "feasible point rejected: %s" e);
+    (* A moment below the low endpoint must be rejected. *)
+    match Fit.h2_three_moments ~m1 ~m2 ~m3:(lo *. 0.8) with
+    | Ok _ -> Alcotest.fail "expected rejection below range"
+    | Error _ -> ());
+  (* No range when scv <= 1 (m2 = 2 m1² is scv = 1). *)
+  match Fit.m3_feasible_range ~m1:1. ~m2:1.5 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected None for scv < 1"
+
+let test_fit_map2_targets () =
+  (* The paper's case-study service: CV = 4 (scv = 16), gamma2 = 0.5. *)
+  let p = Fit.map2_exn ~mean:1. ~scv:16. ~gamma2:0.5 () in
+  check_float ~tol:1e-8 "mean" 1. (Process.mean p);
+  check_float ~tol:1e-7 "scv" 16. (Process.scv p);
+  (match Process.acf_decay p with
+  | Some g -> check_float ~tol:1e-8 "gamma2" 0.5 g
+  | None -> Alcotest.fail "expected decay");
+  Alcotest.(check bool) "acf positive" true (Process.acf p 1 > 0.)
+
+let test_fit_map2_with_skewness () =
+  let skewness = 6. in
+  let p = Fit.map2_exn ~mean:2. ~scv:9. ~gamma2:0.3 ~skewness () in
+  check_float ~tol:1e-7 "mean" 2. (Process.mean p);
+  check_float ~tol:1e-6 "scv" 9. (Process.scv p);
+  check_float ~tol:1e-5 "skewness" skewness (Process.skewness p)
+
+let test_fit_map2_degenerate_exponential () =
+  let p = Fit.map2_exn ~mean:3. ~scv:1. ~gamma2:0. () in
+  Alcotest.(check int) "order 1" 1 (Process.order p);
+  check_float "mean" 3. (Process.mean p)
+
+let test_fit_map2_rejects_correlated_exponential () =
+  match Fit.map2 ~mean:1. ~scv:1. ~gamma2:0.5 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "scv=1 with gamma2>0 must be rejected"
+
+(* ---------------- properties ---------------- *)
+
+let arb_fit_params =
+  QCheck.make
+    QCheck.Gen.(
+      let* scv = float_range 1.5 30. in
+      let* gamma2 = float_range 0. 0.9 in
+      let* mean = float_range 0.1 10. in
+      return (mean, scv, gamma2))
+
+let prop_fit_map2_roundtrip =
+  QCheck.Test.make ~name:"map2 fit reproduces mean/scv/gamma2" ~count:100
+    arb_fit_params (fun (mean, scv, gamma2) ->
+      match Fit.map2 ~mean ~scv ~gamma2 () with
+      | Error _ -> false
+      | Ok p ->
+        let ok v target tol = Float.abs (v -. target) <= tol *. Float.max 1. (Float.abs target) in
+        ok (Process.mean p) mean 1e-7
+        && ok (Process.scv p) scv 1e-6
+        &&
+        (match Process.acf_decay p with
+        | Some g -> ok g gamma2 1e-6
+        | None -> false))
+
+let prop_moments_increasing_order =
+  (* For positive random variables with mean >= 1, higher power moments
+     dominate: E[X^2] >= E[X]^2 (always), and consistency of our moment
+     formula with variance. *)
+  QCheck.Test.make ~name:"moment formulas consistent" ~count:100 arb_fit_params
+    (fun (mean, scv, gamma2) ->
+      match Fit.map2 ~mean ~scv ~gamma2 () with
+      | Error _ -> false
+      | Ok p ->
+        let m1 = Process.moment p 1 and m2 = Process.moment p 2 in
+        let var = Process.variance p in
+        Float.abs (var -. (m2 -. (m1 *. m1))) < 1e-9 *. m2 && var >= 0.)
+
+let prop_acf_bounded =
+  QCheck.Test.make ~name:"acf magnitude bounded by 1" ~count:100 arb_fit_params
+    (fun (mean, scv, gamma2) ->
+      match Fit.map2 ~mean ~scv ~gamma2 () with
+      | Error _ -> false
+      | Ok p ->
+        List.for_all (fun k -> Float.abs (Process.acf p k) <= 1. +. 1e-9) [ 1; 2; 5; 10 ])
+
+let () =
+  Alcotest.run "map_process"
+    [
+      ( "builders",
+        [
+          Alcotest.test_case "exponential" `Quick test_exponential_stats;
+          Alcotest.test_case "erlang" `Quick test_erlang_stats;
+          Alcotest.test_case "hyperexponential" `Quick test_hyperexponential_stats;
+          Alcotest.test_case "hyperexponential validation" `Quick
+            test_hyperexponential_validation;
+          Alcotest.test_case "mmpp2" `Quick test_mmpp2_basic;
+          Alcotest.test_case "mmpp2 acf decay" `Quick test_mmpp2_acf_decays;
+          Alcotest.test_case "switched exp geometry" `Quick
+            test_switched_exponential_geometry;
+          Alcotest.test_case "switched exp marginal" `Quick
+            test_switched_exponential_marginal;
+          Alcotest.test_case "switched exp embedded" `Quick
+            test_switched_exponential_embedded_stationary;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "validation rejects" `Quick test_validation_rejects;
+          Alcotest.test_case "generator rows zero" `Quick test_generator_rows_zero;
+          Alcotest.test_case "embedded stochastic" `Quick test_embedded_stochastic;
+          Alcotest.test_case "rescale" `Quick test_rescale_preserves_shape;
+          QCheck_alcotest.to_alcotest prop_moments_increasing_order;
+          QCheck_alcotest.to_alcotest prop_acf_bounded;
+        ] );
+      ( "fit",
+        [
+          Alcotest.test_case "h2 balanced roundtrip" `Quick test_h2_balanced_roundtrip;
+          Alcotest.test_case "h2 balanced rejects low scv" `Quick
+            test_h2_balanced_rejects_low_scv;
+          Alcotest.test_case "h2 three moments roundtrip" `Quick
+            test_h2_three_moments_roundtrip;
+          Alcotest.test_case "h2 three moments infeasible" `Quick
+            test_h2_three_moments_infeasible;
+          Alcotest.test_case "m3 feasible range" `Quick test_m3_feasible_range;
+          Alcotest.test_case "map2 case-study targets" `Quick test_fit_map2_targets;
+          Alcotest.test_case "map2 with skewness" `Quick test_fit_map2_with_skewness;
+          Alcotest.test_case "map2 degenerate exponential" `Quick
+            test_fit_map2_degenerate_exponential;
+          Alcotest.test_case "map2 rejects scv=1 correlation" `Quick
+            test_fit_map2_rejects_correlated_exponential;
+          QCheck_alcotest.to_alcotest prop_fit_map2_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+open Mapqn_model
+
+let check_float ?(tol = 1e-9) = Alcotest.(check (float tol))
+
+let exp_station rate = Station.exp ~rate ()
+
+let bursty_map () =
+  Mapqn_map.Fit.map2_exn ~mean:1. ~scv:16. ~gamma2:0.5 ()
+
+(* ---------------- Station ---------------- *)
+
+let test_station_exp () =
+  let s = Station.exp ~name:"cpu" ~rate:4. () in
+  check_float "mean service" 0.25 (Station.mean_service_time s);
+  check_float "rate" 4. (Station.mean_service_rate s);
+  Alcotest.(check int) "phases" 1 (Station.phases s);
+  Alcotest.(check bool) "exponential" true (Station.is_exponential s)
+
+let test_station_map () =
+  let s = Station.map ~name:"disk" (bursty_map ()) in
+  Alcotest.(check int) "phases" 2 (Station.phases s);
+  Alcotest.(check bool) "not exponential" true (not (Station.is_exponential s));
+  check_float ~tol:1e-8 "mean" 1. (Station.mean_service_time s)
+
+let test_station_exponentialize () =
+  let s = Station.map (bursty_map ()) in
+  let e = Station.exponentialize s in
+  Alcotest.(check bool) "now exponential" true (Station.is_exponential e);
+  check_float ~tol:1e-8 "mean preserved" (Station.mean_service_time s)
+    (Station.mean_service_time e)
+
+let test_station_service_process_exp () =
+  let s = Station.exp ~rate:3. () in
+  let p = Station.service_process s in
+  Alcotest.(check int) "order 1" 1 (Mapqn_map.Process.order p);
+  check_float "rate" 3. (Mapqn_map.Process.rate p)
+
+let test_station_rejects_bad_rate () =
+  (try
+     ignore (Station.exp ~rate:0. ());
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* ---------------- Network ---------------- *)
+
+(* Figure 5 of the paper: queue 1 routes to itself (p11), to queue 2 (p12),
+   to queue 3 (p13); queues 2 and 3 route back to queue 1. *)
+let fig5_routing = [| [| 0.2; 0.7; 0.1 |]; [| 1.; 0.; 0. |]; [| 1.; 0.; 0. |] |]
+
+let fig5_network ?(population = 5) () =
+  Network.make_exn
+    ~stations:[| exp_station 2.; exp_station 1.; Station.map (bursty_map ()) |]
+    ~routing:fig5_routing ~population
+
+let test_network_accessors () =
+  let net = fig5_network () in
+  Alcotest.(check int) "stations" 3 (Network.num_stations net);
+  Alcotest.(check int) "population" 5 (Network.population net);
+  check_float "routing prob" 0.7 (Network.routing_prob net 0 1);
+  Alcotest.(check (array int)) "phase dims" [| 1; 1; 2 |] (Network.phase_dims net);
+  Alcotest.(check int) "total phases" 2 (Network.total_phases net)
+
+let test_network_validation () =
+  let reject ~stations ~routing ~population =
+    match Network.make ~stations ~routing ~population with
+    | Ok _ -> Alcotest.fail "expected validation error"
+    | Error _ -> ()
+  in
+  let s = [| exp_station 1.; exp_station 1. |] in
+  reject ~stations:s ~routing:[| [| 0.5; 0.4 |]; [| 1.; 0. |] |] ~population:2;
+  reject ~stations:s ~routing:[| [| 1.; 0. |]; [| 0.; 1. |] |] ~population:2;
+  (* reducible *)
+  reject ~stations:s ~routing:[| [| 0.; 1. |] |] ~population:2;
+  (* not square *)
+  reject ~stations:[||] ~routing:[||] ~population:1;
+  reject ~stations:s ~routing:[| [| 0.; 1. |]; [| 1.; 0. |] |] ~population:(-1)
+
+let test_visit_ratios_fig5 () =
+  (* v1 = 1 (reference); v2 = p12 = 0.7; v3 = p13 = 0.1. *)
+  let v = Network.visit_ratios (fig5_network ()) in
+  check_float "v1" 1. v.(0);
+  check_float "v2" 0.7 v.(1);
+  check_float "v3" 0.1 v.(2)
+
+let test_visit_ratios_tandem () =
+  let net = Network.tandem [| exp_station 1.; exp_station 2.; exp_station 3. |] ~population:4 in
+  let v = Network.visit_ratios net in
+  Array.iter (fun vk -> check_float "all 1" 1. vk) v
+
+let test_demands () =
+  let net = fig5_network () in
+  let d = Network.demands net in
+  check_float "d1 = v1 / rate1" 0.5 d.(0);
+  check_float "d2" 0.7 d.(1);
+  check_float ~tol:1e-8 "d3 = 0.1 * 1.0" 0.1 d.(2)
+
+let test_with_population () =
+  let net = fig5_network ~population:3 () in
+  let net10 = Network.with_population net 10 in
+  Alcotest.(check int) "new population" 10 (Network.population net10);
+  Alcotest.(check int) "original untouched" 3 (Network.population net)
+
+let test_exponentialize_network () =
+  let net = fig5_network () in
+  Alcotest.(check bool) "not product form" true (not (Network.is_product_form net));
+  let e = Network.exponentialize net in
+  Alcotest.(check bool) "product form" true (Network.is_product_form e);
+  (* Demands are preserved by exponentialization. *)
+  let d0 = Network.demands net and d1 = Network.demands e in
+  Alcotest.(check bool) "demands equal" true
+    (Mapqn_util.Tol.close_arrays ~rel:1e-8 ~abs:1e-9 d0 d1)
+
+let test_single_station_self_loop () =
+  let net = Network.tandem [| exp_station 1. |] ~population:3 in
+  let v = Network.visit_ratios net in
+  check_float "trivial visit" 1. v.(0)
+
+let prop_visit_ratios_solve_traffic_equations =
+  (* v P = v for random irreducible routing matrices. *)
+  QCheck.Test.make ~name:"visit ratios satisfy v P = v" ~count:100
+    QCheck.(pair (int_range 2 6) (int_range 0 1_000_000))
+    (fun (m, seed) ->
+      let rng = Mapqn_prng.Rng.create ~seed in
+      let routing =
+        Array.init m (fun _ ->
+            let row = Array.init m (fun _ -> Mapqn_prng.Rng.float rng +. 0.05) in
+            let s = Mapqn_util.Ksum.sum row in
+            Array.map (fun x -> x /. s) row)
+      in
+      let stations = Array.init m (fun _ -> exp_station 1.) in
+      let net = Network.make_exn ~stations ~routing ~population:1 in
+      let v = Network.visit_ratios net in
+      let vp = Mapqn_linalg.Mat.vec_mat v (Network.routing net) in
+      Mapqn_util.Tol.close_arrays ~rel:1e-8 ~abs:1e-9 v vp && v.(0) = 1.)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "station",
+        [
+          Alcotest.test_case "exp" `Quick test_station_exp;
+          Alcotest.test_case "map" `Quick test_station_map;
+          Alcotest.test_case "exponentialize" `Quick test_station_exponentialize;
+          Alcotest.test_case "service process" `Quick test_station_service_process_exp;
+          Alcotest.test_case "rejects bad rate" `Quick test_station_rejects_bad_rate;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "accessors" `Quick test_network_accessors;
+          Alcotest.test_case "validation" `Quick test_network_validation;
+          Alcotest.test_case "fig5 visit ratios" `Quick test_visit_ratios_fig5;
+          Alcotest.test_case "tandem visit ratios" `Quick test_visit_ratios_tandem;
+          Alcotest.test_case "demands" `Quick test_demands;
+          Alcotest.test_case "with_population" `Quick test_with_population;
+          Alcotest.test_case "exponentialize" `Quick test_exponentialize_network;
+          Alcotest.test_case "single station" `Quick test_single_station_self_loop;
+          QCheck_alcotest.to_alcotest prop_visit_ratios_solve_traffic_equations;
+        ] );
+    ]

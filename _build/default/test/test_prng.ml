@@ -1,0 +1,238 @@
+open Mapqn_prng
+
+let test_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.uint64 a) (Rng.uint64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.uint64 a) (Rng.uint64 b) then incr same
+  done;
+  Alcotest.(check int) "nearby seeds decorrelated" 0 !same
+
+let test_copy_snapshots () =
+  let a = Rng.create ~seed:7 in
+  ignore (Rng.uint64 a);
+  let b = Rng.copy a in
+  let xa = Rng.uint64 a in
+  let xb = Rng.uint64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb
+
+let test_split_independence () =
+  let a = Rng.create ~seed:7 in
+  let child = Rng.split a in
+  (* Parent and child streams should not coincide. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.uint64 a) (Rng.uint64 child) then incr same
+  done;
+  Alcotest.(check int) "no collisions" 0 !same
+
+let test_float_range () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if x < 0. || x >= 1. then Alcotest.failf "float out of [0,1): %g" x
+  done
+
+let test_float_pos () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    if Rng.float_pos rng <= 0. then Alcotest.fail "float_pos returned <= 0"
+  done
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 7 in
+    if x < 0 || x >= 7 then Alcotest.failf "int out of [0,7): %d" x
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound <= 0")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_uniformity () =
+  let rng = Rng.create ~seed:11 in
+  let counts = Array.make 5 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 5 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = float_of_int n /. 5. in
+      let dev = Float.abs (float_of_int c -. expected) /. expected in
+      if dev > 0.05 then Alcotest.failf "bucket %d deviates %.3f" i dev)
+    counts
+
+let test_uniform_mean () =
+  let rng = Rng.create ~seed:13 in
+  let n = 100_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Dist.uniform rng ~lo:2. ~hi:4.
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check (float 0.02)) "mean ~3" 3. mean
+
+let test_exponential_moments () =
+  let rng = Rng.create ~seed:17 in
+  let n = 200_000 in
+  let xs = Array.init n (fun _ -> Dist.exponential rng ~rate:2.) in
+  let mean = Mapqn_util.Stats.mean xs in
+  let var = Mapqn_util.Stats.variance xs in
+  Alcotest.(check (float 0.01)) "mean 1/2" 0.5 mean;
+  Alcotest.(check (float 0.01)) "variance 1/4" 0.25 var
+
+let test_erlang_moments () =
+  let rng = Rng.create ~seed:19 in
+  let n = 200_000 in
+  let k = 4 and rate = 2. in
+  let xs = Array.init n (fun _ -> Dist.erlang rng ~k ~rate) in
+  Alcotest.(check (float 0.02)) "mean k/rate" 2. (Mapqn_util.Stats.mean xs);
+  Alcotest.(check (float 0.03)) "variance k/rate^2" 1. (Mapqn_util.Stats.variance xs)
+
+let test_hyperexponential_mean () =
+  let rng = Rng.create ~seed:23 in
+  let probs = [| 0.3; 0.7 |] and rates = [| 1.; 4. |] in
+  let n = 200_000 in
+  let xs = Array.init n (fun _ -> Dist.hyperexponential rng ~probs ~rates) in
+  let expected = (0.3 /. 1.) +. (0.7 /. 4.) in
+  Alcotest.(check (float 0.01)) "mean" expected (Mapqn_util.Stats.mean xs)
+
+let test_categorical () =
+  let rng = Rng.create ~seed:29 in
+  let weights = [| 1.; 0.; 3. |] in
+  let counts = Array.make 3 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let i = Dist.categorical rng weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero weight never drawn" 0 counts.(1);
+  let frac0 = float_of_int counts.(0) /. float_of_int n in
+  Alcotest.(check (float 0.02)) "weight-1 fraction" 0.25 frac0
+
+let test_categorical_all_zero () =
+  let rng = Rng.create ~seed:29 in
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Dist.categorical: zero total weight") (fun () ->
+      ignore (Dist.categorical rng [| 0.; 0. |]))
+
+let test_alias_matches_weights () =
+  let rng = Rng.create ~seed:31 in
+  let weights = [| 2.; 5.; 1.; 2. |] in
+  let sampler = Dist.Alias.create weights in
+  Alcotest.(check int) "support" 4 (Dist.Alias.support sampler);
+  let counts = Array.make 4 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Dist.Alias.sample sampler rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let total = Mapqn_util.Ksum.sum weights in
+  Array.iteri
+    (fun i c ->
+      let expected = weights.(i) /. total in
+      let got = float_of_int c /. float_of_int n in
+      if Float.abs (got -. expected) > 0.01 then
+        Alcotest.failf "category %d: got %.4f expected %.4f" i got expected)
+    counts
+
+let test_alias_rejects_negative () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Dist.Alias.create: negative weight") (fun () ->
+      ignore (Dist.Alias.create [| 1.; -1. |]))
+
+(* ---------------- Reservoir ---------------- *)
+
+let test_reservoir_small_stream () =
+  let rng = Rng.create ~seed:3 in
+  let r = Reservoir.create ~capacity:10 rng in
+  List.iter (Reservoir.add r) [ 3.; 1.; 2. ];
+  Alcotest.(check int) "count" 3 (Reservoir.count r);
+  let s = Array.copy (Reservoir.sample r) in
+  Array.sort compare s;
+  Alcotest.(check (array (float 0.))) "keeps everything below capacity"
+    [| 1.; 2.; 3. |] s;
+  Alcotest.(check (float 1e-9)) "median" 2. (Reservoir.quantile r 0.5)
+
+let test_reservoir_uniformity () =
+  (* Stream 0..999 into capacity 100: the kept sample's mean should be
+     close to the stream mean (uniform sampling). Averaged over several
+     reservoirs to reduce variance. *)
+  let rng = Rng.create ~seed:9 in
+  let total = ref 0. in
+  let reps = 40 in
+  for _ = 1 to reps do
+    let r = Reservoir.create ~capacity:100 rng in
+    for i = 0 to 999 do
+      Reservoir.add r (float_of_int i)
+    done;
+    total := !total +. Mapqn_util.Stats.mean (Reservoir.sample r)
+  done;
+  let mean = !total /. float_of_int reps in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.1f within 25 of 499.5" mean)
+    true
+    (Float.abs (mean -. 499.5) < 25.)
+
+let test_reservoir_capacity_bound () =
+  let rng = Rng.create ~seed:4 in
+  let r = Reservoir.create ~capacity:5 rng in
+  for i = 1 to 1000 do
+    Reservoir.add r (float_of_int i)
+  done;
+  Alcotest.(check int) "sample size capped" 5 (Array.length (Reservoir.sample r));
+  Alcotest.(check int) "count tracks stream" 1000 (Reservoir.count r)
+
+let prop_exponential_positive =
+  QCheck.Test.make ~name:"exponential variates are positive" ~count:500
+    QCheck.(pair (int_range 0 10_000) (float_range 0.01 50.))
+    (fun (seed, rate) ->
+      let rng = Rng.create ~seed in
+      Dist.exponential rng ~rate > 0.)
+
+let prop_categorical_in_support =
+  QCheck.Test.make ~name:"categorical index within support" ~count:500
+    QCheck.(pair (int_range 0 10_000) (array_of_size Gen.(int_range 1 8) (float_range 0.1 5.)))
+    (fun (seed, weights) ->
+      let rng = Rng.create ~seed in
+      let i = Dist.categorical rng weights in
+      i >= 0 && i < Array.length weights)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_snapshots;
+          Alcotest.test_case "split" `Quick test_split_independence;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float_pos" `Quick test_float_pos;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int uniformity" `Slow test_int_uniformity;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "uniform mean" `Slow test_uniform_mean;
+          Alcotest.test_case "exponential moments" `Slow test_exponential_moments;
+          Alcotest.test_case "erlang moments" `Slow test_erlang_moments;
+          Alcotest.test_case "hyperexponential mean" `Slow test_hyperexponential_mean;
+          Alcotest.test_case "categorical" `Quick test_categorical;
+          Alcotest.test_case "categorical all zero" `Quick test_categorical_all_zero;
+          Alcotest.test_case "alias matches weights" `Slow test_alias_matches_weights;
+          Alcotest.test_case "alias rejects negative" `Quick test_alias_rejects_negative;
+          QCheck_alcotest.to_alcotest prop_exponential_positive;
+          Alcotest.test_case "reservoir small" `Quick test_reservoir_small_stream;
+          Alcotest.test_case "reservoir uniform" `Quick test_reservoir_uniformity;
+          Alcotest.test_case "reservoir capped" `Quick test_reservoir_capacity_bound;
+          QCheck_alcotest.to_alcotest prop_categorical_in_support;
+        ] );
+    ]

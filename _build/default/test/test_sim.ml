@@ -1,0 +1,292 @@
+open Mapqn_sim
+module Network = Mapqn_model.Network
+module Station = Mapqn_model.Station
+
+let check_float ?(tol = 1e-9) = Alcotest.(check (float tol))
+
+(* ---------------- Event_heap ---------------- *)
+
+let test_heap_ordering () =
+  let h = Event_heap.create () in
+  List.iter (fun t -> Event_heap.push h ~time:t (int_of_float t)) [ 5.; 1.; 3.; 2.; 4. ];
+  Alcotest.(check int) "size" 5 (Event_heap.size h);
+  let order = ref [] in
+  let rec drain () =
+    match Event_heap.pop h with
+    | Some (_, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (List.rev !order);
+  Alcotest.(check bool) "empty" true (Event_heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Event_heap.create () in
+  List.iter (fun v -> Event_heap.push h ~time:1. v) [ 10; 20; 30 ];
+  let v1 = match Event_heap.pop h with Some (_, v) -> v | None -> -1 in
+  let v2 = match Event_heap.pop h with Some (_, v) -> v | None -> -1 in
+  let v3 = match Event_heap.pop h with Some (_, v) -> v | None -> -1 in
+  Alcotest.(check (list int)) "insertion order on ties" [ 10; 20; 30 ] [ v1; v2; v3 ]
+
+let test_heap_rejects_nan () =
+  let h = Event_heap.create () in
+  (try
+     Event_heap.push h ~time:Float.nan 0;
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_heap_peek () =
+  let h = Event_heap.create () in
+  Alcotest.(check (option (float 0.))) "empty peek" None (Event_heap.peek_time h);
+  Event_heap.push h ~time:2. 0;
+  Event_heap.push h ~time:1. 1;
+  Alcotest.(check (option (float 0.))) "min" (Some 1.) (Event_heap.peek_time h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in nondecreasing time order" ~count:100
+    QCheck.(array_of_size Gen.(int_range 0 100) (float_range 0. 1000.))
+    (fun times ->
+      let h = Event_heap.create () in
+      Array.iteri (fun i t -> Event_heap.push h ~time:t i) times;
+      let rec drain last =
+        match Event_heap.pop h with
+        | None -> true
+        | Some (t, _) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+(* ---------------- Simulator vs exact ---------------- *)
+
+let exp_station rate = Station.exp ~rate ()
+
+let fig5_network population =
+  Network.make_exn
+    ~stations:
+      [|
+        exp_station 2.;
+        exp_station 1.;
+        Station.map (Mapqn_map.Fit.map2_exn ~mean:1. ~scv:16. ~gamma2:0.5 ());
+      |]
+    ~routing:[| [| 0.2; 0.7; 0.1 |]; [| 1.; 0.; 0. |]; [| 1.; 0.; 0. |] |]
+    ~population
+
+let sim_options = { Simulator.default_options with horizon = 80_000.; warmup = 2_000. }
+
+let test_sim_matches_exact_map_network () =
+  let net = fig5_network 4 in
+  let sol = Mapqn_ctmc.Solution.solve net in
+  let r = Simulator.run ~options:sim_options net in
+  for k = 0 to 2 do
+    let exact = Mapqn_ctmc.Solution.utilization sol k in
+    let got = r.Simulator.stations.(k).Simulator.utilization in
+    if Float.abs (got -. exact) > 0.02 then
+      Alcotest.failf "utilization %d: sim %.4f exact %.4f" k got exact;
+    let exact_x = Mapqn_ctmc.Solution.throughput sol k in
+    let got_x = r.Simulator.stations.(k).Simulator.throughput in
+    if Float.abs (got_x -. exact_x) > 0.03 *. Float.max 1. exact_x then
+      Alcotest.failf "throughput %d: sim %.4f exact %.4f" k got_x exact_x
+  done;
+  let exact_r = Mapqn_ctmc.Solution.system_response_time sol in
+  if
+    Float.abs (r.Simulator.system_response_time -. exact_r) > 0.05 *. exact_r
+  then
+    Alcotest.failf "response: sim %.4f exact %.4f" r.Simulator.system_response_time
+      exact_r
+
+let test_sim_delay_station () =
+  let net =
+    Network.make_exn
+      ~stations:[| Station.delay ~rate:0.5 (); exp_station 2. |]
+      ~routing:[| [| 0.; 1. |]; [| 1.; 0. |] |]
+      ~population:5
+  in
+  let sol = Mapqn_ctmc.Solution.solve net in
+  let r = Simulator.run ~options:sim_options net in
+  check_float ~tol:0.05 "think queue length"
+    (Mapqn_ctmc.Solution.mean_queue_length sol 0)
+    r.Simulator.stations.(0).Simulator.mean_queue_length;
+  check_float ~tol:0.03 "server throughput"
+    (Mapqn_ctmc.Solution.throughput sol 1)
+    r.Simulator.stations.(1).Simulator.throughput
+
+let test_sim_deterministic () =
+  let net = fig5_network 3 in
+  let o = { sim_options with horizon = 5_000. } in
+  let a = Simulator.run ~options:o net and b = Simulator.run ~options:o net in
+  Alcotest.(check int) "same events" a.Simulator.total_events b.Simulator.total_events;
+  check_float "same response" a.Simulator.system_response_time
+    b.Simulator.system_response_time
+
+let test_sim_seed_sensitivity () =
+  let net = fig5_network 3 in
+  let o = { sim_options with horizon = 5_000. } in
+  let a = Simulator.run ~options:o net in
+  let b = Simulator.run ~options:{ o with seed = o.seed + 1 } net in
+  Alcotest.(check bool) "different streams" true
+    (a.Simulator.total_events <> b.Simulator.total_events)
+
+let test_sim_probes () =
+  let net = fig5_network 3 in
+  let o =
+    {
+      sim_options with
+      horizon = 5_000.;
+      probes = [ Simulator.Arrivals 1; Simulator.Departures 1 ];
+    }
+  in
+  let r = Simulator.run ~options:o net in
+  Alcotest.(check int) "two probe series" 2 (List.length r.Simulator.probe_series);
+  let departures =
+    List.assoc (Simulator.Departures 1) r.Simulator.probe_series
+  in
+  (* Departure count at station 1 matches its completion counter. *)
+  Alcotest.(check int) "departures = completions"
+    r.Simulator.stations.(1).Simulator.completions
+    (Array.length departures);
+  (* Timestamps are increasing. *)
+  for i = 1 to Array.length departures - 1 do
+    if departures.(i) < departures.(i - 1) then Alcotest.fail "non-monotone probe"
+  done
+
+let test_sim_zero_population () =
+  let r = Simulator.run (fig5_network 0) in
+  check_float "no response" 0. r.Simulator.system_response_time;
+  Alcotest.(check int) "no events" 0 r.Simulator.total_events
+
+let test_sim_map_stream_acf () =
+  (* A single always-busy MAP station: the departure stream is the MAP
+     itself, so its sampled inter-event statistics must match theory. *)
+  let map = Mapqn_map.Fit.map2_exn ~mean:1. ~scv:8. ~gamma2:0.6 () in
+  let net = Network.tandem [| Station.map map |] ~population:1 in
+  let o =
+    { sim_options with horizon = 200_000.; probes = [ Simulator.Departures 0 ] }
+  in
+  let r = Simulator.run ~options:o net in
+  let times = List.assoc (Simulator.Departures 0) r.Simulator.probe_series in
+  let xs = Simulator.inter_event_times times in
+  Alcotest.(check bool) "many samples" true (Array.length xs > 100_000);
+  check_float ~tol:0.02 "mean" (Mapqn_map.Process.mean map) (Mapqn_util.Stats.mean xs);
+  let sample_scv =
+    Mapqn_util.Stats.variance xs /. (Mapqn_util.Stats.mean xs ** 2.)
+  in
+  check_float ~tol:0.5 "scv" (Mapqn_map.Process.scv map) sample_scv;
+  check_float ~tol:0.05 "lag-1 acf" (Mapqn_map.Process.acf map 1)
+    (Mapqn_util.Stats.autocorrelation xs 1);
+  check_float ~tol:0.05 "lag-3 acf" (Mapqn_map.Process.acf map 3)
+    (Mapqn_util.Stats.autocorrelation xs 3)
+
+let test_replicas () =
+  let net = fig5_network 3 in
+  let o = { sim_options with horizon = 3_000. } in
+  let rs = Simulator.run_replicas ~options:o ~replicas:4 net in
+  Alcotest.(check int) "four results" 4 (Array.length rs);
+  let responses = Array.map (fun r -> r.Simulator.system_response_time) rs in
+  (* Replicas must not be identical (independent seeds). *)
+  Alcotest.(check bool) "independent" true
+    (Array.exists (fun x -> x <> responses.(0)) responses)
+
+let test_inter_event_times () =
+  Alcotest.(check (array (float 1e-12)))
+    "differences" [| 1.; 2.; 0.5 |]
+    (Simulator.inter_event_times [| 0.; 1.; 3.; 3.5 |]);
+  Alcotest.(check (array (float 1e-12))) "short" [||] (Simulator.inter_event_times [| 1. |])
+
+let test_summary () =
+  let s = Simulator.Summary.of_samples [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "mean" 3. s.Simulator.Summary.mean;
+  Alcotest.(check bool) "contains mean" true (Simulator.Summary.contains s 3.);
+  Alcotest.(check bool) "excludes far value" false (Simulator.Summary.contains s 100.)
+
+let test_batch_throughput_consistent () =
+  let net = fig5_network 4 in
+  let o = { sim_options with horizon = 20_000.; batches = 10 } in
+  let r = Simulator.run ~options:o net in
+  Alcotest.(check int) "ten batches" 10 (Array.length r.Simulator.batch_throughput.(0));
+  (* Batch means average back to the overall throughput. *)
+  for k = 0 to 2 do
+    check_float ~tol:1e-6 "batch mean equals overall"
+      r.Simulator.stations.(k).Simulator.throughput
+      (Mapqn_util.Stats.mean r.Simulator.batch_throughput.(k))
+  done;
+  (* Batch-means CI contains the long-run value most of the time. *)
+  let summary = Simulator.Summary.of_samples r.Simulator.batch_throughput.(0) in
+  Alcotest.(check bool) "CI sane" true (summary.Simulator.Summary.half_width > 0.)
+
+let test_sojourn_samples_quantiles () =
+  let net = fig5_network 4 in
+  let o = { sim_options with horizon = 20_000. } in
+  let r = Simulator.run ~options:o net in
+  let samples = r.Simulator.sojourn_samples.(1) in
+  Alcotest.(check bool) "collected samples" true (Array.length samples > 1000);
+  let p50 = Mapqn_util.Stats.quantile samples 0.5 in
+  let p95 = Mapqn_util.Stats.quantile samples 0.95 in
+  Alcotest.(check bool) "quantiles ordered" true (0. < p50 && p50 < p95);
+  (* The sample mean must agree with the exact streaming mean sojourn. *)
+  check_float ~tol:0.1 "sample mean vs streaming mean"
+    r.Simulator.stations.(1).Simulator.mean_sojourn
+    (Mapqn_util.Stats.mean samples)
+
+let test_sojourn_little_law () =
+  (* L = lambda W per station: time-average queue length equals throughput
+     times mean sojourn. *)
+  let net = fig5_network 5 in
+  let r = Simulator.run ~options:{ sim_options with horizon = 60_000. } net in
+  for k = 0 to 2 do
+    let s = r.Simulator.stations.(k) in
+    let lw = s.Simulator.throughput *. s.Simulator.mean_sojourn in
+    if
+      Float.abs (lw -. s.Simulator.mean_queue_length)
+      > 0.05 *. Float.max 1. s.Simulator.mean_queue_length
+    then
+      Alcotest.failf "Little violated at %d: L=%.4f lambda W=%.4f" k
+        s.Simulator.mean_queue_length lw
+  done
+
+let test_sim_product_form_matches_mva () =
+  let net =
+    Network.make_exn
+      ~stations:[| exp_station 2.; exp_station 1.5; exp_station 1. |]
+      ~routing:[| [| 0.; 0.5; 0.5 |]; [| 1.; 0.; 0. |]; [| 1.; 0.; 0. |] |]
+      ~population:5
+  in
+  let mva = Mapqn_baselines.Mva.solve net in
+  let r = Simulator.run ~options:sim_options net in
+  for k = 0 to 2 do
+    check_float ~tol:0.02 "utilization"
+      mva.Mapqn_baselines.Mva.utilization.(k)
+      r.Simulator.stations.(k).Simulator.utilization
+  done
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "event_heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "rejects nan" `Quick test_heap_rejects_nan;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "matches exact MAP network" `Slow
+            test_sim_matches_exact_map_network;
+          Alcotest.test_case "delay station" `Slow test_sim_delay_station;
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_sim_seed_sensitivity;
+          Alcotest.test_case "probes" `Quick test_sim_probes;
+          Alcotest.test_case "zero population" `Quick test_sim_zero_population;
+          Alcotest.test_case "MAP stream statistics" `Slow test_sim_map_stream_acf;
+          Alcotest.test_case "replicas" `Quick test_replicas;
+          Alcotest.test_case "inter-event times" `Quick test_inter_event_times;
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "product form matches MVA" `Slow
+            test_sim_product_form_matches_mva;
+          Alcotest.test_case "batch throughput" `Quick test_batch_throughput_consistent;
+          Alcotest.test_case "sojourn quantiles" `Quick test_sojourn_samples_quantiles;
+          Alcotest.test_case "little's law per station" `Slow test_sojourn_little_law;
+        ] );
+    ]

@@ -1,0 +1,225 @@
+open Mapqn_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------- Tol ---------------- *)
+
+let test_close () =
+  Alcotest.(check bool) "equal" true (Tol.close 1.0 1.0);
+  Alcotest.(check bool) "near" true (Tol.close 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "far" false (Tol.close 1.0 1.1);
+  Alcotest.(check bool) "rel scales" true (Tol.close 1e12 (1e12 +. 1.));
+  Alcotest.(check bool) "abs near zero" true (Tol.close 0. 1e-13)
+
+let test_clamp () =
+  check_float "inside" 0.5 (Tol.clamp ~lo:0. ~hi:1. 0.5);
+  check_float "below" 0. (Tol.clamp ~lo:0. ~hi:1. (-3.));
+  check_float "above" 1. (Tol.clamp ~lo:0. ~hi:1. 2.);
+  Alcotest.check_raises "bad interval" (Invalid_argument "Tol.clamp: lo > hi")
+    (fun () -> ignore (Tol.clamp ~lo:1. ~hi:0. 0.5))
+
+let test_clamp_probability () =
+  check_float "tiny negative" 0. (Tol.clamp_probability (-1e-9));
+  check_float "tiny above one" 1. (Tol.clamp_probability (1. +. 1e-9));
+  (try
+     ignore (Tol.clamp_probability 1.5);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_relative_error () =
+  check_float "basic" 0.1 (Tol.relative_error ~exact:10. 11.)
+
+(* ---------------- Ksum ---------------- *)
+
+let test_ksum_cancellation () =
+  let xs = [| 1.; 1e16; -1e16 |] in
+  check_float "compensated" 1. (Ksum.sum xs)
+
+let test_ksum_many_small () =
+  let n = 1_000_000 in
+  let xs = Array.make n 0.1 in
+  let err = Float.abs (Ksum.sum xs -. (0.1 *. float_of_int n)) in
+  Alcotest.(check bool) "error below 1e-7" true (err < 1e-7)
+
+let test_ksum_dot () =
+  check_float "dot" 32. (Ksum.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  Alcotest.check_raises "mismatch" (Invalid_argument "Ksum.dot: length mismatch")
+    (fun () -> ignore (Ksum.dot [| 1. |] [| 1.; 2. |]))
+
+let test_ksum_seq () =
+  check_float "seq" 6. (Ksum.sum_seq (List.to_seq [ 1.; 2.; 3. ]))
+
+(* ---------------- Comb ---------------- *)
+
+let test_binomial () =
+  Alcotest.(check int) "C(5,2)" 10 (Comb.binomial 5 2);
+  Alcotest.(check int) "C(0,0)" 1 (Comb.binomial 0 0);
+  Alcotest.(check int) "C(10,0)" 1 (Comb.binomial 10 0);
+  Alcotest.(check int) "C(10,10)" 1 (Comb.binomial 10 10);
+  Alcotest.(check int) "out of range" 0 (Comb.binomial 5 7);
+  Alcotest.(check int) "negative k" 0 (Comb.binomial 5 (-1));
+  Alcotest.(check int) "C(52,5)" 2598960 (Comb.binomial 52 5)
+
+let test_compositions_count () =
+  Alcotest.(check int) "3 into 2" 4 (Comb.compositions_count ~total:3 ~parts:2);
+  Alcotest.(check int) "0 into 3" 1 (Comb.compositions_count ~total:0 ~parts:3);
+  Alcotest.(check int) "5 into 3" 21 (Comb.compositions_count ~total:5 ~parts:3)
+
+let test_compositions_enumeration () =
+  let cs = Comb.compositions ~total:2 ~parts:3 in
+  Alcotest.(check int) "count matches"
+    (Comb.compositions_count ~total:2 ~parts:3)
+    (List.length cs);
+  List.iter
+    (fun c -> Alcotest.(check int) "sums" 2 (Array.fold_left ( + ) 0 c))
+    cs;
+  let first = List.hd cs and last = List.nth cs (List.length cs - 1) in
+  Alcotest.(check (array int)) "first" [| 0; 0; 2 |] first;
+  Alcotest.(check (array int)) "last" [| 2; 0; 0 |] last
+
+let test_rank_composition_roundtrip () =
+  let total = 5 and parts = 4 in
+  let idx = ref 0 in
+  Comb.iter_compositions ~total ~parts (fun c ->
+      Alcotest.(check int) "rank matches enumeration order" !idx
+        (Comb.rank_composition ~total c);
+      incr idx);
+  Alcotest.(check int) "enumerated all" (Comb.compositions_count ~total ~parts) !idx
+
+let test_ranges () =
+  let dims = [| 2; 3; 2 |] in
+  Alcotest.(check int) "count" 12 (Comb.ranges_count dims);
+  let idx = ref 0 in
+  Comb.iter_ranges dims (fun t ->
+      Alcotest.(check int) "rank" !idx (Comb.rank_range dims t);
+      Alcotest.(check (array int)) "unrank" t (Comb.unrank_range dims !idx);
+      incr idx);
+  Alcotest.(check int) "total" 12 !idx
+
+let test_ranges_empty_dims () =
+  let count = ref 0 in
+  Comb.iter_ranges [||] (fun _ -> incr count);
+  Alcotest.(check int) "one empty tuple" 1 !count;
+  Alcotest.(check int) "ranges_count" 1 (Comb.ranges_count [||])
+
+(* ---------------- Stats ---------------- *)
+
+let test_stats_basic () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_float "mean" 2.5 (Stats.mean xs);
+  check_float "variance" (5. /. 3.) (Stats.variance xs);
+  check_float "median" 2.5 (Stats.median xs);
+  check_float "min" 1. (Stats.minimum xs);
+  check_float "max" 4. (Stats.maximum xs)
+
+let test_quantile () =
+  let xs = [| 3.; 1.; 2. |] in
+  check_float "q0" 1. (Stats.quantile xs 0.);
+  check_float "q1" 3. (Stats.quantile xs 1.);
+  check_float "median unsorted input" 2. (Stats.median xs);
+  Alcotest.(check (array (float 0.))) "input intact" [| 3.; 1.; 2. |] xs
+
+let test_acf_periodic_series () =
+  let xs = Array.init 1000 (fun i -> if i mod 2 = 0 then 1. else -1.) in
+  Alcotest.(check bool) "lag 1 strongly negative" true (Stats.autocorrelation xs 1 < -0.99);
+  Alcotest.(check bool) "lag 2 strongly positive" true (Stats.autocorrelation xs 2 > 0.99)
+
+let test_acf_zero_lag () =
+  check_float "lag 0 is 1" 1. (Stats.autocorrelation [| 1.; 5.; 2.; 8. |] 0)
+
+let test_summary () =
+  let m, s, med, mx = Stats.summary [| 1.; 2.; 3. |] in
+  check_float "mean" 2. m;
+  check_float "std" 1. s;
+  check_float "median" 2. med;
+  check_float "max" 3. mx
+
+(* ---------------- Table ---------------- *)
+
+let test_table_render () =
+  let out = Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "30"; "4" ] ] in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "4 lines + trailing" 5 (List.length lines);
+  Alcotest.(check string) "header right aligned" " a  bb" (List.nth lines 0)
+
+let test_table_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Table.render: ragged row")
+    (fun () -> ignore (Table.render ~header:[ "a" ] [ [ "1"; "2" ] ]))
+
+let test_float_cell () =
+  Alcotest.(check string) "default" "1.5000" (Table.float_cell 1.5);
+  Alcotest.(check string) "decimals" "1.50" (Table.float_cell ~decimals:2 1.5);
+  Alcotest.(check string) "nan" "-" (Table.float_cell Float.nan)
+
+(* ---------------- Properties ---------------- *)
+
+let prop_ksum_matches_naive_small =
+  QCheck.Test.make ~name:"ksum matches naive sum on benign arrays" ~count:200
+    QCheck.(array_of_size Gen.(int_range 0 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let naive = Array.fold_left ( +. ) 0. xs in
+      Tol.close ~rel:1e-9 ~abs:1e-9 naive (Ksum.sum xs))
+
+let prop_compositions_sum =
+  QCheck.Test.make ~name:"compositions all sum to total" ~count:50
+    QCheck.(pair (int_range 0 6) (int_range 1 4))
+    (fun (total, parts) ->
+      List.for_all
+        (fun c -> Array.fold_left ( + ) 0 c = total)
+        (Comb.compositions ~total ~parts))
+
+let prop_quantile_bounds =
+  QCheck.Test.make ~name:"quantile stays within min/max" ~count:200
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 1 30) (float_range (-50.) 50.))
+        (float_range 0. 1.))
+    (fun (xs, q) ->
+      let v = Stats.quantile xs q in
+      v >= Stats.minimum xs -. 1e-12 && v <= Stats.maximum xs +. 1e-12)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "tol",
+        [
+          Alcotest.test_case "close" `Quick test_close;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "clamp_probability" `Quick test_clamp_probability;
+          Alcotest.test_case "relative_error" `Quick test_relative_error;
+        ] );
+      ( "ksum",
+        [
+          Alcotest.test_case "cancellation" `Quick test_ksum_cancellation;
+          Alcotest.test_case "many small terms" `Quick test_ksum_many_small;
+          Alcotest.test_case "dot" `Quick test_ksum_dot;
+          Alcotest.test_case "seq" `Quick test_ksum_seq;
+          QCheck_alcotest.to_alcotest prop_ksum_matches_naive_small;
+        ] );
+      ( "comb",
+        [
+          Alcotest.test_case "binomial" `Quick test_binomial;
+          Alcotest.test_case "compositions count" `Quick test_compositions_count;
+          Alcotest.test_case "compositions enumeration" `Quick
+            test_compositions_enumeration;
+          Alcotest.test_case "rank roundtrip" `Quick test_rank_composition_roundtrip;
+          Alcotest.test_case "ranges" `Quick test_ranges;
+          Alcotest.test_case "empty dims" `Quick test_ranges_empty_dims;
+          QCheck_alcotest.to_alcotest prop_compositions_sum;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "acf periodic" `Quick test_acf_periodic_series;
+          Alcotest.test_case "acf lag zero" `Quick test_acf_zero_lag;
+          Alcotest.test_case "summary" `Quick test_summary;
+          QCheck_alcotest.to_alcotest prop_quantile_bounds;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "ragged" `Quick test_table_ragged;
+          Alcotest.test_case "float_cell" `Quick test_float_cell;
+        ] );
+    ]
