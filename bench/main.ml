@@ -15,17 +15,27 @@
       ablation across constraint-family configurations).
 
    Pass section names as arguments to run a subset, e.g.
-   [dune exec bench/main.exe -- fig4 micro]. *)
+   [dune exec bench/main.exe -- fig4 micro]. Pass [--verbose] to enable
+   debug logging in the solver layers (simplex pivot traces etc.).
 
-let wanted =
-  let args = List.tl (Array.to_list Sys.argv) in
-  fun name -> args = [] || List.mem name args
+   Every run also dumps the solver telemetry collected by Mapqn_obs
+   (metric registry + timing spans, each section under a [bench.<name>]
+   root span) to [BENCH_obs.json] in the working directory. *)
+
+let args = List.tl (Array.to_list Sys.argv)
+let verbose = List.mem "--verbose" args
+let sections = List.filter (fun a -> a <> "--verbose") args
+let wanted name = sections = [] || List.mem name sections
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
 
 let section name thunk =
   if wanted name then begin
     Printf.printf "==== %s ====\n%!" name;
     let t0 = Unix.gettimeofday () in
-    thunk ();
+    Mapqn_obs.Span.with_ ("bench." ^ name) thunk;
     Printf.printf "(%s finished in %.1fs)\n\n%!" name (Unix.gettimeofday () -. t0)
   end
 
@@ -226,4 +236,13 @@ let () =
   section "trace-pipeline" trace_pipeline;
   section "ablation" ablation;
   section "micro" micro;
+  let telemetry =
+    Mapqn_obs.Export.render Mapqn_obs.Export.Json
+      ~metrics:(Mapqn_obs.Metrics.snapshot ())
+      ~spans:(Mapqn_obs.Span.snapshot ())
+  in
+  (try
+     Mapqn_obs.Export.write_file "BENCH_obs.json" telemetry;
+     print_endline "bench: telemetry written to BENCH_obs.json"
+   with Sys_error msg -> Printf.eprintf "bench: cannot write telemetry: %s\n" msg);
   print_endline "bench: done"

@@ -13,6 +13,54 @@ let verbose_arg =
   Arg.(value & flag & info [ "verbose" ] ~doc)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry (Mapqn_obs): --metrics-out / --metrics-format              *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_format_conv = Arg.enum Mapqn_obs.Export.format_names
+
+let metrics_out_arg =
+  let doc =
+    "Write solver telemetry (metrics and timing spans) to $(docv) after the \
+     run; $(b,-) writes to standard output."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let metrics_format_arg =
+  let doc =
+    "Telemetry format: $(b,table) (human-readable), $(b,json) (one document), \
+     $(b,jsonl) (one object per line) or $(b,prometheus) (text exposition)."
+  in
+  Arg.(
+    value
+    & opt metrics_format_conv Mapqn_obs.Export.Table
+    & info [ "metrics-format" ] ~doc)
+
+let obs_args =
+  Term.(const (fun out fmt -> (out, fmt)) $ metrics_out_arg $ metrics_format_arg)
+
+let render_telemetry fmt =
+  Mapqn_obs.Export.render fmt
+    ~metrics:(Mapqn_obs.Metrics.snapshot ())
+    ~spans:(Mapqn_obs.Span.snapshot ())
+
+let write_metrics path contents =
+  try Mapqn_obs.Export.write_file path contents
+  with Sys_error msg ->
+    Printf.eprintf "mapqn: cannot write metrics: %s\n" msg;
+    exit 1
+
+(* Every subcommand runs inside [with_telemetry]: the whole run is timed
+   under a root span named after the subcommand, and the registry is
+   dumped to --metrics-out (if given) even when the command fails. *)
+let with_telemetry name (out, fmt) f =
+  Fun.protect
+    (fun () -> Mapqn_obs.Span.with_ name f)
+    ~finally:(fun () ->
+      match out with
+      | None -> ()
+      | Some path -> write_metrics path (render_telemetry fmt))
+
+(* ------------------------------------------------------------------ *)
 (* Shared model arguments                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -84,8 +132,9 @@ let print_metrics_table rows =
        rows)
 
 let exact_cmd =
-  let run verbose model population scv gamma2 =
+  let run verbose model population scv gamma2 obs =
     setup_logs verbose;
+    with_telemetry "exact" obs @@ fun () ->
     let net = build_model model ~population ~scv ~gamma2 in
     let sol = Mapqn_ctmc.Solution.solve ~max_states:3_000_000 net in
     print_metrics_table (Mapqn_ctmc.Solution.metrics_table sol);
@@ -93,7 +142,9 @@ let exact_cmd =
       (Mapqn_ctmc.Solution.system_response_time sol)
   in
   let term =
-    Term.(const run $ verbose_arg $ model_arg $ population_arg $ scv_arg $ gamma2_arg)
+    Term.(
+      const run $ verbose_arg $ model_arg $ population_arg $ scv_arg $ gamma2_arg
+      $ obs_args)
   in
   Cmd.v
     (Cmd.info "exact" ~doc:"Exact CTMC solution of a built-in MAP network")
@@ -108,8 +159,9 @@ let bounds_cmd =
     let doc = "Also print the binding constraints (largest |dual|) of the upper response-time bound." in
     Arg.(value & flag & info [ "sensitivity" ] ~doc)
   in
-  let run verbose model population scv gamma2 config sensitivity =
+  let run verbose model population scv gamma2 config sensitivity obs =
     setup_logs verbose;
+    with_telemetry "bounds" obs @@ fun () ->
     let net = build_model model ~population ~scv ~gamma2 in
     match Mapqn_core.Bounds.create ~config net with
     | Error msg -> prerr_endline ("bounds: " ^ msg)
@@ -160,7 +212,7 @@ let bounds_cmd =
   let term =
     Term.(
       const run $ verbose_arg $ model_arg $ population_arg $ scv_arg $ gamma2_arg
-      $ config_arg $ sensitivity_arg)
+      $ config_arg $ sensitivity_arg $ obs_args)
   in
   Cmd.v
     (Cmd.info "bounds"
@@ -172,8 +224,9 @@ let bounds_cmd =
 (* ------------------------------------------------------------------ *)
 
 let mva_cmd =
-  let run verbose model population scv gamma2 =
+  let run verbose model population scv gamma2 obs =
     setup_logs verbose;
+    with_telemetry "mva" obs @@ fun () ->
     let net =
       Mapqn_model.Network.exponentialize (build_model model ~population ~scv ~gamma2)
     in
@@ -188,7 +241,9 @@ let mva_cmd =
       mva.Mapqn_baselines.Mva.system_response_time
   in
   let term =
-    Term.(const run $ verbose_arg $ model_arg $ population_arg $ scv_arg $ gamma2_arg)
+    Term.(
+      const run $ verbose_arg $ model_arg $ population_arg $ scv_arg $ gamma2_arg
+      $ obs_args)
   in
   Cmd.v
     (Cmd.info "mva"
@@ -204,8 +259,9 @@ let simulate_cmd =
     Arg.(value & opt float 100_000. & info [ "horizon" ] ~doc:"Measured simulated time.")
   in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let run verbose model population scv gamma2 horizon seed =
+  let run verbose model population scv gamma2 horizon seed obs =
     setup_logs verbose;
+    with_telemetry "simulate" obs @@ fun () ->
     let net = build_model model ~population ~scv ~gamma2 in
     let options = { Mapqn_sim.Simulator.default_options with horizon; seed } in
     let r = Mapqn_sim.Simulator.run ~options net in
@@ -222,7 +278,7 @@ let simulate_cmd =
   let term =
     Term.(
       const run $ verbose_arg $ model_arg $ population_arg $ scv_arg $ gamma2_arg
-      $ horizon_arg $ seed_arg)
+      $ horizon_arg $ seed_arg $ obs_args)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Discrete-event simulation of a built-in model") term
 
@@ -235,8 +291,9 @@ let fit_cmd =
   let skewness_arg =
     Arg.(value & opt (some float) None & info [ "skewness" ] ~doc:"Target skewness.")
   in
-  let run verbose mean scv gamma2 skewness =
+  let run verbose mean scv gamma2 skewness obs =
     setup_logs verbose;
+    with_telemetry "fit" obs @@ fun () ->
     match Mapqn_map.Fit.map2 ~mean ~scv ~gamma2 ?skewness () with
     | Error msg -> prerr_endline ("fit: " ^ msg)
     | Ok p ->
@@ -252,7 +309,9 @@ let fit_cmd =
       Printf.printf "IDC limit: %.4f (Poisson = 1)\n" (Mapqn_map.Counting.idc_limit p)
   in
   let term =
-    Term.(const run $ verbose_arg $ mean_arg $ scv_arg $ gamma2_arg $ skewness_arg)
+    Term.(
+      const run $ verbose_arg $ mean_arg $ scv_arg $ gamma2_arg $ skewness_arg
+      $ obs_args)
   in
   Cmd.v
     (Cmd.info "fit" ~doc:"Fit a MAP(2) to mean/SCV/gamma2 (and optional skewness)")
@@ -267,8 +326,9 @@ let scale_arg =
   Arg.(value & flag & info [ "paper-scale" ] ~doc)
 
 let fig1_cmd =
-  let run verbose paper_scale =
+  let run verbose paper_scale obs =
     setup_logs verbose;
+    with_telemetry "fig1" obs @@ fun () ->
     let options =
       if paper_scale then Mapqn_experiments.Fig1.default_options
       else
@@ -278,11 +338,12 @@ let fig1_cmd =
   in
   Cmd.v
     (Cmd.info "fig1" ~doc:"Figure 1: ACF of the six TPC-W flows")
-    Term.(const run $ verbose_arg $ scale_arg)
+    Term.(const run $ verbose_arg $ scale_arg $ obs_args)
 
 let fig3_cmd =
-  let run verbose paper_scale =
+  let run verbose paper_scale obs =
     setup_logs verbose;
+    with_telemetry "fig3" obs @@ fun () ->
     let options =
       if paper_scale then Mapqn_experiments.Fig3.default_options
       else Mapqn_experiments.Fig3.bench_options
@@ -291,11 +352,12 @@ let fig3_cmd =
   in
   Cmd.v
     (Cmd.info "fig3" ~doc:"Figure 3: TPC-W model vs measurement bars")
-    Term.(const run $ verbose_arg $ scale_arg)
+    Term.(const run $ verbose_arg $ scale_arg $ obs_args)
 
 let fig4_cmd =
-  let run verbose paper_scale =
+  let run verbose paper_scale obs =
     setup_logs verbose;
+    with_telemetry "fig4" obs @@ fun () ->
     let options =
       if paper_scale then Mapqn_experiments.Fig4.default_options
       else Mapqn_experiments.Fig4.bench_options
@@ -304,11 +366,12 @@ let fig4_cmd =
   in
   Cmd.v
     (Cmd.info "fig4" ~doc:"Figure 4: decomposition and ABA failure on the tandem")
-    Term.(const run $ verbose_arg $ scale_arg)
+    Term.(const run $ verbose_arg $ scale_arg $ obs_args)
 
 let fig8_cmd =
-  let run verbose paper_scale =
+  let run verbose paper_scale obs =
     setup_logs verbose;
+    with_telemetry "fig8" obs @@ fun () ->
     let options =
       if paper_scale then Mapqn_experiments.Fig8.default_options
       else Mapqn_experiments.Fig8.bench_options
@@ -320,14 +383,15 @@ let fig8_cmd =
   in
   Cmd.v
     (Cmd.info "fig8" ~doc:"Figure 8: case-study bounds vs exact")
-    Term.(const run $ verbose_arg $ scale_arg)
+    Term.(const run $ verbose_arg $ scale_arg $ obs_args)
 
 let table1_cmd =
   let models_arg =
     Arg.(value & opt (some int) None & info [ "models" ] ~doc:"Number of random models.")
   in
-  let run verbose paper_scale models =
+  let run verbose paper_scale models obs =
     setup_logs verbose;
+    with_telemetry "table1" obs @@ fun () ->
     let options =
       if paper_scale then Mapqn_experiments.Table1.default_options
       else Mapqn_experiments.Table1.bench_options
@@ -341,11 +405,12 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Table 1: bound accuracy on random models")
-    Term.(const run $ verbose_arg $ scale_arg $ models_arg)
+    Term.(const run $ verbose_arg $ scale_arg $ models_arg $ obs_args)
 
 let pipeline_cmd =
-  let run verbose paper_scale =
+  let run verbose paper_scale obs =
     setup_logs verbose;
+    with_telemetry "pipeline" obs @@ fun () ->
     let options =
       if paper_scale then Mapqn_experiments.Trace_pipeline.default_options
       else
@@ -361,11 +426,12 @@ let pipeline_cmd =
   Cmd.v
     (Cmd.info "pipeline"
        ~doc:"Measurement pipeline: fit the front server from a service trace and predict")
-    Term.(const run $ verbose_arg $ scale_arg)
+    Term.(const run $ verbose_arg $ scale_arg $ obs_args)
 
 let moment_order_cmd =
-  let run verbose paper_scale =
+  let run verbose paper_scale obs =
     setup_logs verbose;
+    with_telemetry "moment-order" obs @@ fun () ->
     let options =
       if paper_scale then Mapqn_experiments.Moment_order.default_options
       else Mapqn_experiments.Moment_order.bench_options
@@ -376,7 +442,64 @@ let moment_order_cmd =
   Cmd.v
     (Cmd.info "moment-order"
        ~doc:"Extension: second- vs third-order MAP parameterization accuracy")
-    Term.(const run $ verbose_arg $ scale_arg)
+    Term.(const run $ verbose_arg $ scale_arg $ obs_args)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run verbose model population scv gamma2 config (out, fmt) =
+    setup_logs verbose;
+    (* Solve the model through both pipelines (LP bounds and exact CTMC)
+       so the telemetry covers the simplex, the constraint generator and
+       the state-space layers in a single report. *)
+    Mapqn_obs.Metrics.reset ();
+    Mapqn_obs.Span.reset ();
+    let net = build_model model ~population ~scv ~gamma2 in
+    let summary =
+      Mapqn_obs.Span.with_ "stats.solve" @@ fun () ->
+      let bound =
+        match Mapqn_core.Bounds.create ~config net with
+        | Error msg ->
+          Printf.sprintf "bounds: %s" msg
+        | Ok b ->
+          let r = Mapqn_core.Bounds.response_time b in
+          let vars, rows = Mapqn_core.Bounds.lp_size b in
+          Printf.sprintf "bounds: LP %d vars x %d rows, response time in [%.6f, %.6f]"
+            vars rows r.Mapqn_core.Bounds.lower r.Mapqn_core.Bounds.upper
+      in
+      let sol = Mapqn_ctmc.Solution.solve ~max_states:3_000_000 net in
+      Printf.sprintf "%s\nexact: response time %.6f" bound
+        (Mapqn_ctmc.Solution.system_response_time sol)
+    in
+    let telemetry = render_telemetry fmt in
+    match out with
+    | Some path ->
+      (* Telemetry goes to the file; the human summary to stdout. *)
+      write_metrics path telemetry;
+      print_endline summary
+    | None ->
+      (* No file: telemetry is the stdout payload. Keep machine-readable
+         formats clean — only the table format gets the summary header. *)
+      if fmt = Mapqn_obs.Export.Table then begin
+        print_endline summary;
+        print_newline ()
+      end;
+      print_string telemetry
+  in
+  let term =
+    Term.(
+      const run $ verbose_arg $ model_arg $ population_arg $ scv_arg $ gamma2_arg
+      $ config_arg $ obs_args)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Solve a built-in model (LP bounds + exact CTMC) and print the full \
+          solver telemetry: simplex pivots, constraint rows, CTMC size, \
+          timing spans")
+    term
 
 let () =
   let doc = "MAP queueing networks: exact solution, LP bounds, baselines, simulation" in
@@ -398,4 +521,5 @@ let () =
             table1_cmd;
             pipeline_cmd;
             moment_order_cmd;
+            stats_cmd;
           ]))

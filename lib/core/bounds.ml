@@ -21,6 +21,7 @@ let contains i x =
   x >= i.lower -. tol && x <= i.upper +. tol
 
 let create ?(config = Constraints.standard) ?max_iter network =
+  Mapqn_obs.Span.with_ "bounds.create" @@ fun () ->
   if Mapqn_model.Network.has_delay network then
     Error "delay (infinite-server) stations are not supported by the bound analysis"
   else
@@ -43,7 +44,13 @@ let space t = t.ms
 let config t = t.config
 let lp_size t = (Lp.num_vars t.model, Lp.num_rows t.model)
 
+let m_objectives =
+  Mapqn_obs.Metrics.counter ~help:"Bound objectives optimized over the prepared LP."
+    "bounds_objectives_total"
+
 let optimize t direction objective =
+  Mapqn_obs.Metrics.inc m_objectives;
+  Mapqn_obs.Span.with_ "bounds.optimize" @@ fun () ->
   let objective =
     List.map (fun (i, c) -> (Lp.var_of_int t.model i, c)) objective
   in

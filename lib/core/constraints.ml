@@ -388,7 +388,22 @@ let add_level2 ctx =
 
 (* ------------------------------------------------------------------ *)
 
+let m_family_rows name =
+  Mapqn_obs.Metrics.gauge
+    ~help:"LP rows emitted per constraint family by the last build."
+    ~labels:[ ("family", name) ]
+    "lp_constraint_rows"
+
+let m_lp_rows =
+  Mapqn_obs.Metrics.gauge ~help:"Total LP rows of the last constraint build."
+    "lp_rows"
+
+let m_lp_vars =
+  Mapqn_obs.Metrics.gauge ~help:"LP variables (columns) of the last constraint build."
+    "lp_vars"
+
 let build config network =
+  Mapqn_obs.Span.with_ "constraints.build" @@ fun () ->
   if Mapqn_model.Network.has_delay network then
     invalid_arg
       "Constraints.build: delay (infinite-server) stations are outside the \
@@ -396,19 +411,28 @@ let build config network =
        or use MVA/simulation";
   let ms = Ms.create ~level2:config.level2 network in
   let ctx = make_ctx ms in
-  add_balance ctx;
-  add_normalization ctx;
-  add_phase_consistency ctx;
-  add_busy_mass ctx;
-  add_busy_symmetry ctx;
-  add_population ctx;
-  add_boundary_zeros ctx;
-  if config.dominance then add_dominance ctx;
-  if config.busy_count then add_busy_count ctx;
-  if config.level2 then begin
-    add_level2 ctx;
-    add_product_symmetry ctx
-  end;
+  (* Every family reports the rows it contributed, so telemetry shows
+     which families dominate the LP (and bound-quality regressions can be
+     correlated with constraint-set changes). *)
+  let family name enabled add =
+    let before = Lp.num_rows ctx.model in
+    if enabled then add ctx;
+    Mapqn_obs.Metrics.set (m_family_rows name)
+      (float_of_int (Lp.num_rows ctx.model - before))
+  in
+  family "balance" true add_balance;
+  family "normalization" true add_normalization;
+  family "phase-consistency" true add_phase_consistency;
+  family "busy-mass" true add_busy_mass;
+  family "busy-symmetry" true add_busy_symmetry;
+  family "population" true add_population;
+  family "boundary-zeros" true add_boundary_zeros;
+  family "dominance" config.dominance add_dominance;
+  family "busy-count" config.busy_count add_busy_count;
+  family "level2" config.level2 add_level2;
+  family "product-symmetry" config.level2 add_product_symmetry;
+  Mapqn_obs.Metrics.set m_lp_rows (float_of_int (Lp.num_rows ctx.model));
+  Mapqn_obs.Metrics.set m_lp_vars (float_of_int (Lp.num_vars ctx.model));
   (ms, ctx.model)
 
 let cut_balance_residual ms point =

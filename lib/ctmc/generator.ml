@@ -38,7 +38,12 @@ let station_data network k =
   in
   { hidden; completions; routes; is_delay = Mapqn_model.Station.is_delay st }
 
+let m_nnz =
+  Mapqn_obs.Metrics.gauge ~help:"Nonzeros of the last CTMC generator built."
+    "ctmc_generator_nnz"
+
 let build space =
+  Mapqn_obs.Span.with_ "ctmc.generator" @@ fun () ->
   let network = State_space.network space in
   let m = Mapqn_model.Network.num_stations network in
   let per_station = Array.init m (station_data network) in
@@ -98,5 +103,6 @@ let build space =
         end
       done;
       if !diag > 0. then push idx idx (-. !diag));
+  Mapqn_obs.Metrics.set m_nnz (float_of_int !count);
   Mapqn_sparse.Csr.of_coo_array ~rows:n_states ~cols:n_states
     (Array.of_list !triplets)

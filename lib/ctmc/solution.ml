@@ -9,6 +9,7 @@ type t = {
 }
 
 let solve ?max_states ?options network =
+  Mapqn_obs.Span.with_ "ctmc.solve" @@ fun () ->
   let space = State_space.create ?max_states network in
   let pi =
     if Mapqn_model.Network.population network = 0 then

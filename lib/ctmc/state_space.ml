@@ -9,7 +9,21 @@ type t = {
   comp_table : (int array, int) Hashtbl.t;
 }
 
+let m_states =
+  Mapqn_obs.Metrics.gauge
+    ~help:"CTMC states (compositions x phase vectors) of the last state space."
+    "ctmc_states"
+
+let m_compositions =
+  Mapqn_obs.Metrics.gauge ~help:"Queue-length compositions of the last state space."
+    "ctmc_compositions"
+
+let m_phase_vectors =
+  Mapqn_obs.Metrics.gauge ~help:"Joint phase vectors of the last state space."
+    "ctmc_phase_vectors"
+
 let create ?(max_states = 2_000_000) network =
+  Mapqn_obs.Span.with_ "ctmc.state-space" @@ fun () ->
   let m = Mapqn_model.Network.num_stations network in
   let n = Mapqn_model.Network.population network in
   let phase_dims = Mapqn_model.Network.phase_dims network in
@@ -27,6 +41,9 @@ let create ?(max_states = 2_000_000) network =
       comps.(!rank) <- c;
       Hashtbl.add comp_table c !rank;
       incr rank);
+  Mapqn_obs.Metrics.set m_compositions (float_of_int num_comps);
+  Mapqn_obs.Metrics.set m_phase_vectors (float_of_int num_phases);
+  Mapqn_obs.Metrics.set m_states (float_of_int (num_comps * num_phases));
   { network; phase_dims; num_comps; num_phases; comps; comp_table }
 
 let network t = t.network

@@ -11,6 +11,31 @@ let eigenvalues_2x2 m =
     if Float.abs l1 >= Float.abs l2 then Ok (l1, l2) else Ok (l2, l1)
   end
 
+type convergence_failure = { iterations : int; residual : float }
+
+exception Convergence_failure of convergence_failure
+
+let m_iterations =
+  Mapqn_obs.Metrics.counter ~help:"Power-iteration steps performed."
+    "eig_power_iterations_total"
+
+let m_failures =
+  Mapqn_obs.Metrics.counter ~help:"Power iterations that failed to converge."
+    "eig_power_failures_total"
+
+let m_residual =
+  Mapqn_obs.Metrics.gauge
+    ~help:"Eigen-residual of the last (possibly failed) power iteration."
+    "eig_power_residual"
+
+(* ‖M x - λ x‖∞ for a normalized iterate — the certificate attached to a
+   convergence failure. *)
+let eigen_residual m lambda x =
+  let y = Mat.mat_vec m x in
+  let worst = ref 0. in
+  Array.iteri (fun i v -> worst := Float.max !worst (Float.abs (v -. (lambda *. x.(i))))) y;
+  !worst
+
 let power_iteration ?(max_iter = 10_000) ?(tol = 1e-12) m =
   let n = Mat.rows m in
   if Mat.cols m <> n then invalid_arg "Eig.power_iteration: not square";
@@ -48,7 +73,19 @@ let power_iteration ?(max_iter = 10_000) ?(tol = 1e-12) m =
       x := y
     end
   done;
-  if !converged then Some (!lambda, !x) else None
+  Mapqn_obs.Metrics.inc ~by:(float_of_int !iter) m_iterations;
+  let residual = eigen_residual m !lambda !x in
+  Mapqn_obs.Metrics.set m_residual residual;
+  if !converged then Ok (!lambda, !x)
+  else begin
+    Mapqn_obs.Metrics.inc m_failures;
+    Error { iterations = !iter; residual }
+  end
+
+let power_iteration_exn ?max_iter ?tol m =
+  match power_iteration ?max_iter ?tol m with
+  | Ok pair -> pair
+  | Error failure -> raise (Convergence_failure failure)
 
 let subdominant_stochastic p =
   let n = Mat.rows p in
@@ -65,6 +102,6 @@ let subdominant_stochastic p =
        other eigenpair intact (π is the left Perron vector, π·e = 1). *)
     let b = Mat.init ~rows:n ~cols:n (fun i j -> Mat.get p i j -. pi.(j)) in
     match power_iteration b with
-    | Some (l, _) -> Some l
-    | None -> None
+    | Ok (l, _) -> Some l
+    | Error _ -> None
   end

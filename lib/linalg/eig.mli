@@ -5,14 +5,27 @@ val eigenvalues_2x2 : Mat.t -> (float * float, float) result
     real; [Error discriminant] when they are complex (negative
     discriminant). *)
 
+type convergence_failure = {
+  iterations : int;  (** iterations spent before giving up *)
+  residual : float;  (** [‖M x - λ x‖∞] at the last iterate *)
+}
+(** Typed certificate of a failed power iteration. Failures are also
+    recorded in the {!Mapqn_obs.Metrics} registry
+    ([eig_power_failures_total], [eig_power_residual]). *)
+
+exception Convergence_failure of convergence_failure
+
 val power_iteration :
   ?max_iter:int ->
   ?tol:float ->
   Mat.t ->
-  (float * Vec.t) option
+  (float * Vec.t, convergence_failure) result
 (** Dominant eigenvalue (by magnitude, assumed real and simple) and
-    eigenvector of a square matrix, or [None] if the iteration does not
-    converge within [max_iter] (default 10_000). *)
+    eigenvector of a square matrix, or [Error failure] if the iteration
+    does not converge within [max_iter] (default 10_000). *)
+
+val power_iteration_exn : ?max_iter:int -> ?tol:float -> Mat.t -> float * Vec.t
+(** Like {!power_iteration} but raises {!Convergence_failure}. *)
 
 val subdominant_stochastic : Mat.t -> float option
 (** Second-largest-modulus eigenvalue of an irreducible stochastic matrix,

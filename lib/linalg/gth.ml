@@ -2,9 +2,23 @@
    (or probabilities); the diagonal is never used, which is what removes the
    cancellation. We therefore share one core over DTMCs and CTMCs. *)
 
+let m_eliminations =
+  Mapqn_obs.Metrics.counter ~help:"States censored by GTH elimination."
+    "gth_eliminations_total"
+
+let m_fill_ins =
+  Mapqn_obs.Metrics.counter
+    ~help:"Matrix entries that became nonzero during GTH elimination."
+    "gth_fill_ins_total"
+
+let m_dimension =
+  Mapqn_obs.Metrics.gauge ~help:"Dimension of the last GTH solve."
+    "gth_last_dimension"
+
 let gth_core rates =
   let n = Mat.rows rates in
   let a = Mat.copy rates in
+  let fill_ins = ref 0 in
   (* Censor states n-1, n-2, ..., 1 in turn. *)
   for k = n - 1 downto 1 do
     let out = ref 0. in
@@ -16,10 +30,18 @@ let gth_core rates =
       let aik = Mat.get a i k /. !out in
       if aik <> 0. then
         for j = 0 to k - 1 do
-          if j <> i then Mat.set a i j (Mat.get a i j +. (aik *. Mat.get a k j))
+          if j <> i then begin
+            let old = Mat.get a i j in
+            let contribution = aik *. Mat.get a k j in
+            if old = 0. && contribution <> 0. then incr fill_ins;
+            Mat.set a i j (old +. contribution)
+          end
         done
     done
   done;
+  Mapqn_obs.Metrics.inc ~by:(float_of_int (max 0 (n - 1))) m_eliminations;
+  Mapqn_obs.Metrics.inc ~by:(float_of_int !fill_ins) m_fill_ins;
+  Mapqn_obs.Metrics.set m_dimension (float_of_int n);
   (* Back-substitution: unnormalized stationary weights. *)
   let pi = Array.make n 0. in
   pi.(0) <- 1.;
@@ -48,7 +70,8 @@ let dtmc p =
       if not (Mapqn_util.Tol.close ~rel:1e-8 ~abs:1e-8 s 1.) then
         invalid_arg (Printf.sprintf "Gth.dtmc: row %d sums to %g, not 1" i s))
     (Mat.row_sums p);
-  if n = 1 then [| 1. |] else gth_core (off_diagonal p)
+  if n = 1 then [| 1. |]
+  else Mapqn_obs.Span.with_ "gth" (fun () -> gth_core (off_diagonal p))
 
 let ctmc q =
   let n = Mat.rows q in
@@ -58,4 +81,5 @@ let ctmc q =
       if not (Mapqn_util.Tol.close ~rel:1e-6 ~abs:1e-8 s 0.) then
         invalid_arg (Printf.sprintf "Gth.ctmc: row %d sums to %g, not 0" i s))
     (Mat.row_sums q);
-  if n = 1 then [| 1. |] else gth_core (off_diagonal q)
+  if n = 1 then [| 1. |]
+  else Mapqn_obs.Span.with_ "gth" (fun () -> gth_core (off_diagonal q))

@@ -1,6 +1,41 @@
 let log_src = Logs.Src.create "mapqn.simplex" ~doc:"simplex pivoting"
 
 module Log = (val Logs.src_log log_src)
+module Metrics = Mapqn_obs.Metrics
+module Span = Mapqn_obs.Span
+
+(* Solver telemetry (recorded into the process-global registry; see
+   Mapqn_obs). Counters are bumped once per phase run — only the objective
+   trajectory histogram is touched per (improving) pivot, which is noise
+   next to the O(mn) row work of the pivot itself. *)
+let m_pivots =
+  Metrics.counter ~help:"Simplex pivots performed." "simplex_pivots_total"
+
+let m_degenerate =
+  Metrics.counter ~help:"Pivots that did not improve the objective."
+    "simplex_degenerate_pivots_total"
+
+let m_retries =
+  Metrics.counter
+    ~help:"Anti-cycling restarts with a fresh RHS perturbation (phase 1 and 2)."
+    "simplex_anticycling_retries_total"
+
+let m_solves =
+  Metrics.counter ~help:"Phase-2 optimizations performed." "simplex_solves_total"
+
+let m_phase_iterations =
+  Metrics.histogram
+    ~help:"Pivots per simplex phase run."
+    ~buckets:[| 10.; 30.; 100.; 300.; 1_000.; 3_000.; 10_000.; 30_000.; 100_000. |]
+    "simplex_phase_iterations"
+
+let m_objective = Metrics.gauge ~help:"Objective of the last optimal phase-2 solve."
+    "simplex_last_objective"
+
+let m_improvement =
+  Metrics.histogram
+    ~help:"Per-pivot objective improvements (the objective trajectory)."
+    "simplex_objective_improvement"
 
 type direction = Minimize | Maximize
 
@@ -287,6 +322,7 @@ let run_phase ?stop_below ?(stall_limit = max_int) t obj ~max_iter =
      burning the whole iteration budget. *)
   let best_obj = ref obj.(t.n) in
   let stalled = ref 0 in
+  let degenerate = ref 0 in
   let seen_bases = Hashtbl.create 1024 in
   let cycle_check_enabled = Logs.Src.level log_src = Some Logs.Debug in
   while !result = None do
@@ -307,11 +343,13 @@ let run_phase ?stop_below ?(stall_limit = max_int) t obj ~max_iter =
           pivot t obj r c;
           incr iter;
           if obj.(t.n) > !best_obj +. (1e-12 *. (1. +. Float.abs !best_obj)) then begin
+            Metrics.observe m_improvement (obj.(t.n) -. !best_obj);
             best_obj := obj.(t.n);
             stalled := 0
           end
           else begin
             incr stalled;
+            incr degenerate;
             if !stalled >= stall_limit then result := Some (P_iteration_limit, !iter)
           end;
           if cycle_check_enabled then begin
@@ -338,6 +376,9 @@ let run_phase ?stop_below ?(stall_limit = max_int) t obj ~max_iter =
       end
     end
   done;
+  Metrics.inc ~by:(float_of_int !iter) m_pivots;
+  Metrics.inc ~by:(float_of_int !degenerate) m_degenerate;
+  Metrics.observe m_phase_iterations (float_of_int !iter);
   match !result with
   | Some (st, it) -> (st, it)
   | None -> assert false
@@ -346,7 +387,7 @@ let run_phase ?stop_below ?(stall_limit = max_int) t obj ~max_iter =
 (* Phase 1                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let prepare ?max_iter model =
+let prepare_unspanned ?max_iter model =
   let std = build_std_form model in
   let m = Array.length std.rows in
   let max_iter =
@@ -438,6 +479,7 @@ let prepare ?max_iter model =
     match attempt salt with
     | P_iteration_limit, _, _ ->
       if salt < 3 then begin
+        Metrics.inc m_retries;
         Log.debug (fun f ->
             f "phase-1 stall with perturbation salt %d; retrying" salt);
         try_attempts (salt + 1)
@@ -470,6 +512,9 @@ let prepare ?max_iter model =
       end
   in
   try_attempts 0
+
+let prepare ?max_iter model =
+  Span.with_ "simplex.phase1" (fun () -> prepare_unspanned ?max_iter model)
 
 (* ------------------------------------------------------------------ *)
 (* Phase 2                                                             *)
@@ -514,7 +559,8 @@ let extract_solution std tab =
     std.origins;
   x
 
-let optimize ?max_iter prepared direction objective =
+let optimize_unspanned ?max_iter prepared direction objective =
+  Metrics.inc m_solves;
   let std = prepared.std in
   let max_iter =
     match max_iter with
@@ -557,6 +603,7 @@ let optimize ?max_iter prepared direction objective =
   let rec try_attempts salt =
     match attempt salt with
     | P_iteration_limit, _, _ when salt < 3 ->
+      Metrics.inc m_retries;
       Log.debug (fun f -> f "phase-2 stall with salt %d; retrying" salt);
       try_attempts (salt + 1)
     | result -> result
@@ -591,7 +638,12 @@ let optimize ?max_iter prepared direction objective =
           done;
           sign *. std.row_signs.(i) *. Mapqn_util.Ksum.total acc)
     in
+    Metrics.set m_objective objective_value;
     Optimal { objective = objective_value; values; duals; iterations }
+
+let optimize ?max_iter prepared direction objective =
+  Span.with_ "simplex.phase2" (fun () ->
+      optimize_unspanned ?max_iter prepared direction objective)
 
 let solve ?max_iter model direction objective =
   match prepare ?max_iter model with

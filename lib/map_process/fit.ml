@@ -59,27 +59,64 @@ let skewness_to_m3 ~m1 ~m2 ~skewness =
   let sigma = sqrt var in
   (skewness *. sigma *. sigma *. sigma) +. (3. *. m1 *. var) +. (m1 *. m1 *. m1)
 
+let m_fits =
+  Mapqn_obs.Metrics.counter ~help:"MAP(2) fits attempted." "map_fit_total"
+
+let m_fit_failures =
+  Mapqn_obs.Metrics.counter ~help:"MAP(2) fits rejected as infeasible."
+    "map_fit_failures_total"
+
+let m_fit_error =
+  Mapqn_obs.Metrics.gauge
+    ~help:"Worst relative error of the last fit's achieved (mean, scv, gamma2) \
+           against the targets."
+    "map_fit_error"
+
+(* Worst relative discrepancy between the moments of the fitted process
+   and the requested targets — the closed forms are exact in theory, so
+   this gauges the numerical quality of the construction. *)
+let record_fit_error p ~mean ~scv ~gamma2 =
+  let rel a target =
+    if target = 0. then Float.abs (a -. target)
+    else Float.abs ((a -. target) /. target)
+  in
+  let err = Float.max (rel (Process.mean p) mean) (rel (Process.scv p) scv) in
+  let err =
+    match Process.acf_decay p with
+    | Some g -> Float.max err (rel g gamma2)
+    | None -> err
+  in
+  Mapqn_obs.Metrics.set m_fit_error err
+
 let map2 ~mean ~scv ~gamma2 ?skewness () =
-  if gamma2 < 0. || gamma2 >= 1. then Error "gamma2 must be in [0,1)"
-  else begin
-    let h2_result =
-      match skewness with
-      | None -> h2_balanced ~mean ~scv
-      | Some sk ->
-        let m2 = (scv +. 1.) *. mean *. mean in
-        let m3 = skewness_to_m3 ~m1:mean ~m2 ~skewness:sk in
-        h2_three_moments ~m1:mean ~m2 ~m3
-    in
-    match h2_result with
-    | Error _ as e -> e
-    | Ok { p1; rate1; rate2 } ->
-      if p1 >= 1. -. 1e-12 || p1 <= 1e-12 || Float.abs (rate1 -. rate2) < 1e-12 then
-        (* Degenerate marginal: a single exponential branch. Correlation
-           cannot be expressed; require gamma2 = 0. *)
-        if gamma2 = 0. then Ok (Builders.exponential ~rate:(1. /. mean))
-        else Error "scv = 1 admits no MAP(2) autocorrelation in this family"
-      else Ok (Builders.switched_exponential ~pi1:p1 ~rate1 ~rate2 ~gamma2)
-  end
+  Mapqn_obs.Span.with_ "map.fit" @@ fun () ->
+  Mapqn_obs.Metrics.inc m_fits;
+  let result =
+    if gamma2 < 0. || gamma2 >= 1. then Error "gamma2 must be in [0,1)"
+    else begin
+      let h2_result =
+        match skewness with
+        | None -> h2_balanced ~mean ~scv
+        | Some sk ->
+          let m2 = (scv +. 1.) *. mean *. mean in
+          let m3 = skewness_to_m3 ~m1:mean ~m2 ~skewness:sk in
+          h2_three_moments ~m1:mean ~m2 ~m3
+      in
+      match h2_result with
+      | Error _ as e -> e
+      | Ok { p1; rate1; rate2 } ->
+        if p1 >= 1. -. 1e-12 || p1 <= 1e-12 || Float.abs (rate1 -. rate2) < 1e-12 then
+          (* Degenerate marginal: a single exponential branch. Correlation
+             cannot be expressed; require gamma2 = 0. *)
+          if gamma2 = 0. then Ok (Builders.exponential ~rate:(1. /. mean))
+          else Error "scv = 1 admits no MAP(2) autocorrelation in this family"
+        else Ok (Builders.switched_exponential ~pi1:p1 ~rate1 ~rate2 ~gamma2)
+    end
+  in
+  (match result with
+  | Ok p -> record_fit_error p ~mean ~scv ~gamma2
+  | Error _ -> Mapqn_obs.Metrics.inc m_fit_failures);
+  result
 
 let map2_exn ~mean ~scv ~gamma2 ?skewness () =
   match map2 ~mean ~scv ~gamma2 ?skewness () with

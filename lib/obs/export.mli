@@ -1,0 +1,37 @@
+(** Render metric and span snapshots for humans and machines. *)
+
+type format = Table | Json | Json_lines | Prometheus
+
+val format_of_string : string -> (format, string) result
+(** Accepts ["table"], ["json"], ["jsonl"], ["prometheus"]. *)
+
+val format_names : (string * format) list
+(** Name/format association in the order accepted by
+    {!format_of_string} — for building CLI enums. *)
+
+val render :
+  format -> metrics:Metrics.sample list -> spans:Span.entry list -> string
+(** Dispatch to the matching renderer below. *)
+
+val table : metrics:Metrics.sample list -> spans:Span.entry list -> string
+(** Aligned human-readable tables: one for metrics, one for the span
+    tree. *)
+
+val json : metrics:Metrics.sample list -> spans:Span.entry list -> string
+(** One JSON document: [{"metrics": [...], "spans": [...]}]. Histogram
+    buckets appear as [{"le": bound, "count": n}] with the overflow
+    bound rendered as the string ["+Inf"]. Non-finite values render as
+    [null]. *)
+
+val json_lines : metrics:Metrics.sample list -> spans:Span.entry list -> string
+(** One JSON object per line: metrics as
+    [{"kind":"metric", ...}] then spans as [{"kind":"span", ...}] —
+    stream-appendable across runs. *)
+
+val prometheus : metrics:Metrics.sample list -> spans:Span.entry list -> string
+(** Prometheus text exposition format (v0.0.4). Metric names are
+    prefixed with [mapqn_] and sanitized; spans are exposed as
+    [mapqn_span_duration_seconds_{total,count}{path="..."}] . *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — ["-"] writes to stdout. *)

@@ -1,0 +1,175 @@
+type histo = {
+  bounds : float array; (* strictly increasing; last is infinity *)
+  counts : int array; (* same length as bounds; not cumulative *)
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+type cell =
+  | C_counter of { mutable c : float }
+  | C_gauge of { mutable g : float }
+  | C_histogram of histo
+
+type metric = { m_help : string; cell : cell }
+
+(* Identity of a metric inside a registry: name plus sorted labels. *)
+type key = { k_name : string; k_labels : (string * string) list }
+
+type registry = { lock : Mutex.t; table : (key, metric) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); table = Hashtbl.create 64 }
+let default = create ()
+
+let locked r f =
+  Mutex.lock r.lock;
+  match f () with
+  | x ->
+    Mutex.unlock r.lock;
+    x
+  | exception e ->
+    Mutex.unlock r.lock;
+    raise e
+
+(* Handles carry the registry lock so mutation never races a snapshot. *)
+type counter = { cr : registry; ccell : cell }
+type gauge = { gr : registry; gcell : cell }
+type histogram = { hr : registry; hcell : cell }
+
+let kind_name = function
+  | C_counter _ -> "counter"
+  | C_gauge _ -> "gauge"
+  | C_histogram _ -> "histogram"
+
+let register registry ~help ~labels name fresh =
+  let key = { k_name = name; k_labels = List.sort compare labels } in
+  locked registry (fun () ->
+      match Hashtbl.find_opt registry.table key with
+      | Some m ->
+        let want = fresh () in
+        if kind_name m.cell <> kind_name want then
+          invalid_arg
+            (Printf.sprintf "Metrics: %s already registered as a %s" name
+               (kind_name m.cell));
+        m.cell
+      | None ->
+        let cell = fresh () in
+        Hashtbl.add registry.table key { m_help = help; cell };
+        cell)
+
+let counter ?(registry = default) ?(help = "") ?(labels = []) name =
+  { cr = registry; ccell = register registry ~help ~labels name (fun () -> C_counter { c = 0. }) }
+
+let inc ?(by = 1.) t =
+  if by < 0. then invalid_arg "Metrics.inc: negative increment";
+  locked t.cr (fun () ->
+      match t.ccell with C_counter c -> c.c <- c.c +. by | _ -> assert false)
+
+let gauge ?(registry = default) ?(help = "") ?(labels = []) name =
+  { gr = registry; gcell = register registry ~help ~labels name (fun () -> C_gauge { g = 0. }) }
+
+let set t v =
+  locked t.gr (fun () ->
+      match t.gcell with C_gauge g -> g.g <- v | _ -> assert false)
+
+let add t v =
+  locked t.gr (fun () ->
+      match t.gcell with C_gauge g -> g.g <- g.g +. v | _ -> assert false)
+
+let set_max t v =
+  locked t.gr (fun () ->
+      match t.gcell with C_gauge g -> g.g <- Float.max g.g v | _ -> assert false)
+
+let default_buckets =
+  let decades = [ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 1e1; 1e2 ] in
+  Array.of_list
+    (List.concat_map (fun d -> [ d; 2.5 *. d; 5. *. d ]) decades @ [ 1e3 ])
+
+let make_histo buckets =
+  let cleaned =
+    List.sort_uniq compare (List.filter Float.is_finite (Array.to_list buckets))
+  in
+  let bounds = Array.of_list (cleaned @ [ infinity ]) in
+  {
+    bounds;
+    counts = Array.make (Array.length bounds) 0;
+    h_count = 0;
+    h_sum = 0.;
+  }
+
+let histogram ?(registry = default) ?(help = "") ?(labels = [])
+    ?(buckets = default_buckets) name =
+  {
+    hr = registry;
+    hcell = register registry ~help ~labels name (fun () -> C_histogram (make_histo buckets));
+  }
+
+let observe t v =
+  locked t.hr (fun () ->
+      match t.hcell with
+      | C_histogram h ->
+        (* First bucket with v <= bound; the last bound is infinity, so the
+           scan always terminates. *)
+        let i = ref 0 in
+        while v > h.bounds.(!i) do
+          incr i
+        done;
+        h.counts.(!i) <- h.counts.(!i) + 1;
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v
+      | _ -> assert false)
+
+type histogram_data = {
+  buckets : (float * int) array;
+  count : int;
+  sum : float;
+}
+
+type value =
+  | Counter of float
+  | Gauge of float
+  | Histogram of histogram_data
+
+type sample = {
+  name : string;
+  labels : (string * string) list;
+  help : string;
+  value : value;
+}
+
+let sample_of key m =
+  let value =
+    match m.cell with
+    | C_counter c -> Counter c.c
+    | C_gauge g -> Gauge g.g
+    | C_histogram h ->
+      Histogram
+        {
+          buckets = Array.mapi (fun i b -> (b, h.counts.(i))) h.bounds;
+          count = h.h_count;
+          sum = h.h_sum;
+        }
+  in
+  { name = key.k_name; labels = key.k_labels; help = m.m_help; value }
+
+let snapshot ?(registry = default) () =
+  let all =
+    locked registry (fun () ->
+        Hashtbl.fold (fun k m acc -> sample_of k m :: acc) registry.table [])
+  in
+  List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels)) all
+
+let find ?registry name =
+  List.filter (fun s -> s.name = name) (snapshot ?registry ())
+
+let reset ?(registry = default) () =
+  locked registry (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m.cell with
+          | C_counter c -> c.c <- 0.
+          | C_gauge g -> g.g <- 0.
+          | C_histogram h ->
+            Array.fill h.counts 0 (Array.length h.counts) 0;
+            h.h_count <- 0;
+            h.h_sum <- 0.)
+        registry.table)

@@ -1,0 +1,110 @@
+(** In-memory metrics registry: counters, gauges and histograms.
+
+    The solver layers record what they did (pivot counts, residuals,
+    state-space sizes, event throughput) into a process-global registry
+    which front-ends snapshot and export ({!Export}) after a run. The
+    registry has no dependencies beyond the standard library, and all
+    operations are guarded by a per-registry mutex so concurrent domains
+    can share one registry.
+
+    Metrics are identified by [(name, labels)]; registering the same
+    identity twice returns the same underlying metric, so call sites may
+    re-register freely (e.g. per-station counters created inside a loop).
+    Names should follow Prometheus conventions ([snake_case], counters
+    ending in [_total]) so the Prometheus exporter needs no renaming. *)
+
+type registry
+
+val create : unit -> registry
+(** A fresh, empty registry (used by tests; solver instrumentation uses
+    {!default}). *)
+
+val default : registry
+(** The process-global registry all built-in instrumentation records to. *)
+
+type counter
+type gauge
+type histogram
+
+val counter :
+  ?registry:registry ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  string ->
+  counter
+(** Get or create a monotonically increasing counter. Raises
+    [Invalid_argument] if the [(name, labels)] identity is already
+    registered with a different metric kind. *)
+
+val inc : ?by:float -> counter -> unit
+(** Increment (default [by = 1.]). Raises [Invalid_argument] on a negative
+    increment — counters only go up; use a gauge otherwise. *)
+
+val gauge :
+  ?registry:registry ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  string ->
+  gauge
+(** Get or create a gauge (a value that can go up and down). *)
+
+val set : gauge -> float -> unit
+val add : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** [set_max g v] sets [g] to [max v (current value)] — high-water marks
+    (e.g. the simulator's event-heap peak size). *)
+
+val default_buckets : float array
+(** Decade buckets 1e-6 .. 1e3 with 1-2.5-5 subdivision — a reasonable
+    default for durations in seconds and iteration deltas. *)
+
+val histogram :
+  ?registry:registry ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:float array ->
+  string ->
+  histogram
+(** Get or create a histogram with the given bucket upper bounds
+    (default {!default_buckets}). Bounds are sorted and deduplicated; an
+    implicit [+infinity] overflow bucket is always present. If the
+    identity is already registered, the existing histogram is returned
+    and [buckets] is ignored. *)
+
+val observe : histogram -> float -> unit
+(** Record a value: it lands in the first bucket whose upper bound is
+    [>= v] (Prometheus [le] semantics). *)
+
+(** {1 Snapshots} *)
+
+type histogram_data = {
+  buckets : (float * int) array;
+      (** (upper bound, count in this bucket) — {e not} cumulative; the
+          last entry's bound is [infinity] *)
+  count : int;  (** total observations *)
+  sum : float;  (** sum of observed values *)
+}
+
+type value =
+  | Counter of float
+  | Gauge of float
+  | Histogram of histogram_data
+
+type sample = {
+  name : string;
+  labels : (string * string) list;  (** sorted by label name *)
+  help : string;
+  value : value;
+}
+
+val snapshot : ?registry:registry -> unit -> sample list
+(** A consistent copy of every registered metric, sorted by name then
+    labels. *)
+
+val find : ?registry:registry -> string -> sample list
+(** All samples with the given name (one per label set). *)
+
+val reset : ?registry:registry -> unit -> unit
+(** Zero every metric in place. Registrations (and outstanding handles)
+    stay valid — this resets values, it does not unregister. *)

@@ -1,0 +1,79 @@
+type agg = { mutable count : int; mutable total : float; mutable max_ : float }
+
+type collector = {
+  lock : Mutex.t;
+  clock : unit -> float;
+  mutable stack : string list; (* innermost first *)
+  table : (string list, agg) Hashtbl.t; (* key: path, outermost first *)
+}
+
+let create ?(clock = Unix.gettimeofday) () =
+  { lock = Mutex.create (); clock; stack = []; table = Hashtbl.create 32 }
+
+let default = create ()
+
+let locked c f =
+  Mutex.lock c.lock;
+  match f () with
+  | x ->
+    Mutex.unlock c.lock;
+    x
+  | exception e ->
+    Mutex.unlock c.lock;
+    raise e
+
+let with_ ?(collector = default) name f =
+  if String.contains name '/' then invalid_arg "Span.with_: '/' in span name";
+  let path =
+    locked collector (fun () ->
+        collector.stack <- name :: collector.stack;
+        List.rev collector.stack)
+  in
+  let t0 = collector.clock () in
+  Fun.protect f ~finally:(fun () ->
+      let dt = collector.clock () -. t0 in
+      locked collector (fun () ->
+          (* Pop back to this span even if nested spans leaked (e.g. an
+             exception skipped their finalizers' order). *)
+          (match collector.stack with
+          | top :: rest when top = name -> collector.stack <- rest
+          | stack ->
+            let rec drop = function
+              | top :: rest when top = name -> rest
+              | _ :: rest -> drop rest
+              | [] -> []
+            in
+            collector.stack <- drop stack);
+          let a =
+            match Hashtbl.find_opt collector.table path with
+            | Some a -> a
+            | None ->
+              let a = { count = 0; total = 0.; max_ = 0. } in
+              Hashtbl.add collector.table path a;
+              a
+          in
+          a.count <- a.count + 1;
+          a.total <- a.total +. dt;
+          a.max_ <- Float.max a.max_ dt))
+
+type entry = { path : string list; count : int; total : float; max_ : float }
+
+let snapshot ?(collector = default) () =
+  let all =
+    locked collector (fun () ->
+        Hashtbl.fold
+          (fun path (a : agg) acc ->
+            { path; count = a.count; total = a.total; max_ = a.max_ } :: acc)
+          collector.table [])
+  in
+  List.sort (fun a b -> compare a.path b.path) all
+
+let total ?collector path =
+  List.find_map
+    (fun e -> if e.path = path then Some e.total else None)
+    (snapshot ?collector ())
+
+let reset ?(collector = default) () =
+  locked collector (fun () ->
+      Hashtbl.reset collector.table;
+      collector.stack <- [])

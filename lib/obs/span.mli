@@ -1,0 +1,50 @@
+(** Hierarchical wall-clock timing spans.
+
+    [with_ "lp.phase2" f] times [f] and records the duration under the
+    path of currently open spans, so a run produces an aggregated call
+    tree like
+
+    {v
+      stats.solve                1  1.8200s
+      stats.solve/bounds.create  1  1.1000s
+      stats.solve/bounds.create/lp.phase1  1  0.9000s
+    v}
+
+    Aggregation is by full path: re-entering the same path accumulates
+    count/total/max rather than recording one entry per call. The
+    collector is guarded by a mutex; note however that the open-span
+    stack is collector-global, so spans opened concurrently from several
+    domains will interleave their paths — give each domain its own
+    collector if that matters. *)
+
+type collector
+
+val create : ?clock:(unit -> float) -> unit -> collector
+(** A fresh collector. [clock] (default [Unix.gettimeofday]) exists so
+    tests can drive deterministic durations. *)
+
+val default : collector
+(** The process-global collector all built-in instrumentation records
+    to. *)
+
+val with_ : ?collector:collector -> string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span called [name], nested under
+    the innermost span currently open on [collector]. The span is closed
+    (and its duration recorded) whether [f] returns or raises. Span
+    names must not contain ['/'] — it is the path separator. *)
+
+type entry = {
+  path : string list;  (** outermost span first *)
+  count : int;  (** completed spans at this path *)
+  total : float;  (** summed duration, seconds *)
+  max_ : float;  (** longest single duration, seconds *)
+}
+
+val snapshot : ?collector:collector -> unit -> entry list
+(** Completed spans, aggregated by path, sorted by path. Spans still
+    open are not included. *)
+
+val total : ?collector:collector -> string list -> float option
+(** Total recorded seconds at exactly the given path, if any. *)
+
+val reset : ?collector:collector -> unit -> unit

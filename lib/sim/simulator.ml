@@ -89,7 +89,28 @@ type station_state = {
 
 type event = Service of int (* station id: one service-process event *)
 
+module Metrics = Mapqn_obs.Metrics
+
+let m_events =
+  Metrics.counter ~help:"Service-process events processed by the simulator."
+    "sim_events_total"
+
+let m_heap_high_water =
+  Metrics.gauge ~help:"Peak event-heap size across simulator runs."
+    "sim_heap_high_water"
+
+let m_busy_transitions k =
+  Metrics.counter ~help:"Idle-to-busy transitions per station."
+    ~labels:[ ("station", string_of_int k) ]
+    "sim_busy_transitions_total"
+
+let m_idle_transitions k =
+  Metrics.counter ~help:"Busy-to-idle transitions per station."
+    ~labels:[ ("station", string_of_int k) ]
+    "sim_idle_transitions_total"
+
 let run ?(options = default_options) network =
+  Mapqn_obs.Span.with_ "sim.run" @@ fun () ->
   let m = Network.num_stations network in
   let n = Network.population network in
   let rng = Rng.create ~seed:options.seed in
@@ -135,6 +156,11 @@ let run ?(options = default_options) network =
   let now = ref 0. in
   let measuring = ref false in
   let events = ref 0 in
+  (* Telemetry accumulators: kept as plain locals in the hot loop and
+     published to the registry once at the end of the run. *)
+  let heap_high_water = ref 0 in
+  let busy_transitions = Array.make m 0 in
+  let idle_transitions = Array.make m 0 in
   (* Time-integral bookkeeping: call before any state change at time [t]. *)
   let last_update = ref 0. in
   let advance_integrals t =
@@ -152,16 +178,22 @@ let run ?(options = default_options) network =
      stations: one event at the phase exit rate. For delay stations: each
      arriving job schedules its own completion, so this is called once per
      arrival with rate = per-job rate. *)
+  let note_heap_size () =
+    let size = Event_heap.size heap in
+    if size > !heap_high_water then heap_high_water := size
+  in
   let schedule k =
     let s = stations.(k) in
     let rate = s.exit_rate.(s.phase) in
-    Event_heap.push heap ~time:(!now +. Dist.exponential rng ~rate) (Service k)
+    Event_heap.push heap ~time:(!now +. Dist.exponential rng ~rate) (Service k);
+    note_heap_size ()
   in
   let schedule_delay_job k =
     let s = stations.(k) in
     (* Delay stations have exponential (order-1) service. *)
     let rate = s.exit_rate.(0) in
-    Event_heap.push heap ~time:(!now +. Dist.exponential rng ~rate) (Service k)
+    Event_heap.push heap ~time:(!now +. Dist.exponential rng ~rate) (Service k);
+    note_heap_size ()
   in
   let record_probe buf =
     match buf with
@@ -178,6 +210,7 @@ let run ?(options = default_options) network =
   let arrive k =
     let s = stations.(k) in
     record_probe s.arrival_probe;
+    if s.queue = 0 then busy_transitions.(k) <- busy_transitions.(k) + 1;
     s.queue <- s.queue + 1;
     Queue.push !now s.arrivals_fifo;
     if s.delay then schedule_delay_job k
@@ -224,6 +257,7 @@ let run ?(options = default_options) network =
           (* One delay job completes. *)
           s.phase <- 0;
           s.queue <- s.queue - 1;
+          if s.queue = 0 then idle_transitions.(k) <- idle_transitions.(k) + 1;
           let arrived = Queue.pop s.arrivals_fifo in
           if !measuring then begin
             s.completions <- s.completions + 1;
@@ -256,6 +290,7 @@ let run ?(options = default_options) network =
             let b = choice - s.order in
             s.phase <- b;
             s.queue <- s.queue - 1;
+            if s.queue = 0 then idle_transitions.(k) <- idle_transitions.(k) + 1;
             let arrived = Queue.pop s.arrivals_fifo in
             if !measuring then begin
               s.completions <- s.completions + 1;
@@ -274,6 +309,14 @@ let run ?(options = default_options) network =
         end
       end
   done;
+  Metrics.inc ~by:(float_of_int !events) m_events;
+  Metrics.set_max m_heap_high_water (float_of_int !heap_high_water);
+  Array.iteri
+    (fun k c -> Metrics.inc ~by:(float_of_int c) (m_busy_transitions k))
+    busy_transitions;
+  Array.iteri
+    (fun k c -> Metrics.inc ~by:(float_of_int c) (m_idle_transitions k))
+    idle_transitions;
   let horizon = options.horizon in
   let station_stats =
     Array.map

@@ -12,7 +12,38 @@ type options = {
 let default_options =
   { method_ = Auto; tol = 1e-12; max_iter = 1_000_000; check_residual = true }
 
-exception No_convergence of { method_name : string; iterations : int; residual : float }
+exception
+  Convergence_failure of { method_name : string; iterations : int; residual : float }
+
+exception No_convergence = Convergence_failure
+
+module Metrics = Mapqn_obs.Metrics
+module Span = Mapqn_obs.Span
+
+let m_iterations method_name =
+  Metrics.counter ~help:"Iterations spent by the stationary solvers."
+    ~labels:[ ("method", method_name) ]
+    "stationary_iterations_total"
+
+let m_residual method_name =
+  Metrics.gauge ~help:"Residual of the last stationary solve."
+    ~labels:[ ("method", method_name) ]
+    "stationary_residual"
+
+let m_delta method_name =
+  Metrics.histogram
+    ~help:"Successive-iterate deltas of the iterative stationary solvers."
+    ~labels:[ ("method", method_name) ]
+    "stationary_delta"
+
+let m_failures =
+  Metrics.counter ~help:"Stationary solves that failed to converge."
+    "stationary_convergence_failures_total"
+
+let fail ~method_name ~iterations ~residual =
+  Metrics.inc m_failures;
+  Metrics.set (m_residual method_name) residual;
+  raise (Convergence_failure { method_name; iterations; residual })
 
 let residual q pi = Mapqn_linalg.Vec.norm_inf (Csr.vec_mat pi q)
 
@@ -48,14 +79,17 @@ let solve_power ~tol ~max_iter q =
   let pi = ref (Array.make n (1. /. float_of_int n)) in
   let iter = ref 0 in
   let delta = ref infinity in
+  let h_delta = m_delta "power" in
   while !delta > tol && !iter < max_iter do
     incr iter;
     let qpart = Csr.vec_mat !pi p in
     let next = Array.mapi (fun i v -> !pi.(i) +. v) qpart in
     normalize_inplace next;
     delta := Mapqn_linalg.Vec.max_abs_diff next !pi;
+    Metrics.observe h_delta !delta;
     pi := next
   done;
+  Metrics.inc ~by:(float_of_int !iter) (m_iterations "power");
   (!pi, !iter, !delta <= tol)
 
 (* Gauss–Seidel on π Q = 0: using columns of Q (rows of Qᵀ),
@@ -72,6 +106,7 @@ let solve_gauss_seidel ~tol ~max_iter q =
   let pi = Array.make n (1. /. float_of_int n) in
   let iter = ref 0 in
   let delta = ref infinity in
+  let h_delta = m_delta "gauss-seidel" in
   while !delta > tol && !iter < max_iter do
     incr iter;
     let worst = ref 0. in
@@ -83,8 +118,10 @@ let solve_gauss_seidel ~tol ~max_iter q =
       pi.(i) <- next
     done;
     normalize_inplace pi;
-    delta := !worst
+    delta := !worst;
+    Metrics.observe h_delta !delta
   done;
+  Metrics.inc ~by:(float_of_int !iter) (m_iterations "gauss-seidel");
   (pi, !iter, !delta <= tol)
 
 let solve ?(options = default_options) q =
@@ -97,28 +134,32 @@ let solve ?(options = default_options) q =
   in
   let pi, name =
     match method_ with
-    | Gth | Auto -> (Mapqn_linalg.Gth.ctmc (Csr.to_dense q), "gth")
+    | Gth | Auto ->
+      (Span.with_ "stationary.gth" (fun () -> Mapqn_linalg.Gth.ctmc (Csr.to_dense q)), "gth")
     | Power ->
-      let pi, iters, converged = solve_power ~tol:options.tol ~max_iter:options.max_iter q in
+      let pi, iters, converged =
+        Span.with_ "stationary.power" (fun () ->
+            solve_power ~tol:options.tol ~max_iter:options.max_iter q)
+      in
       if not converged then
-        raise (No_convergence { method_name = "power"; iterations = iters; residual = residual q pi });
+        fail ~method_name:"power" ~iterations:iters ~residual:(residual q pi);
       (pi, "power")
     | Gauss_seidel ->
       let pi, iters, converged =
-        solve_gauss_seidel ~tol:options.tol ~max_iter:options.max_iter q
+        Span.with_ "stationary.gauss-seidel" (fun () ->
+            solve_gauss_seidel ~tol:options.tol ~max_iter:options.max_iter q)
       in
       if not converged then
-        raise
-          (No_convergence
-             { method_name = "gauss-seidel"; iterations = iters; residual = residual q pi });
+        fail ~method_name:"gauss-seidel" ~iterations:iters ~residual:(residual q pi);
       (pi, "gauss-seidel")
   in
   if options.check_residual then begin
     let r = residual q pi in
+    Metrics.set (m_residual name) r;
     (* The residual scales with the rates in Q; normalize by the largest
        diagonal rate. *)
     let scale = Float.max 1. (uniformization_rate q) in
     if r /. scale > 100. *. Float.max options.tol 1e-12 then
-      raise (No_convergence { method_name = name; iterations = 0; residual = r })
+      fail ~method_name:name ~iterations:0 ~residual:r
   end;
   pi

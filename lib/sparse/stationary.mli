@@ -21,13 +21,25 @@ type options = {
 val default_options : options
 (** [Auto], tol [1e-12], max_iter [1_000_000], residual check on. *)
 
-exception No_convergence of { method_name : string; iterations : int; residual : float }
+exception
+  Convergence_failure of { method_name : string; iterations : int; residual : float }
+(** Raised when an iterative method exhausts its iteration budget or the
+    post-solve residual check fails. The failure is also recorded in the
+    {!Mapqn_obs.Metrics} registry
+    ([stationary_convergence_failures_total], [stationary_residual]) so
+    telemetry shows failed solves even when the exception is caught. *)
+
+exception
+  No_convergence of { method_name : string; iterations : int; residual : float }
+(** @deprecated Old name of {!Convergence_failure}; the two constructors
+    are equal, so matching on either catches both. *)
 
 val solve : ?options:options -> Csr.t -> float array
 (** Stationary row vector of an irreducible CTMC generator given as a
     sparse matrix (rows must sum to ~0). Raises [Invalid_argument] on a
-    non-square matrix or bad row sums, {!No_convergence} if the chosen
-    iterative method stalls. *)
+    non-square matrix or bad row sums, {!Convergence_failure} if the
+    chosen iterative method stalls or leaves a residual above
+    [100·tol]. *)
 
 val residual : Csr.t -> float array -> float
 (** [‖π Q‖∞] — how far [π] is from stationarity. *)

@@ -208,11 +208,13 @@ let test_eig_2x2 () =
 let test_power_iteration () =
   let m = Mat.of_arrays [| [| 3.; 1. |]; [| 1.; 3. |] |] in
   match Eig.power_iteration m with
-  | Some (l, v) ->
+  | Ok (l, v) ->
     Alcotest.(check (float 1e-6)) "dominant eigenvalue" 4. l;
     (* Eigenvector proportional to (1,1). *)
     Alcotest.(check (float 1e-5)) "eigenvector ratio" 1. (v.(0) /. v.(1))
-  | None -> Alcotest.fail "no convergence"
+  | Error { Eig.iterations; residual } ->
+    Alcotest.failf "no convergence after %d iterations (residual %g)" iterations
+      residual
 
 let test_subdominant_stochastic_2x2 () =
   let p = Mat.of_arrays [| [| 0.9; 0.1 |]; [| 0.2; 0.8 |] |] in

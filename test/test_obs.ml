@@ -1,0 +1,289 @@
+open Mapqn_obs
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------- Metrics registry ---------------- *)
+
+let value_of ?registry ?(labels = []) name =
+  let labels = List.sort compare labels in
+  match
+    List.find_opt
+      (fun s -> s.Metrics.labels = labels)
+      (Metrics.find ?registry name)
+  with
+  | Some { Metrics.value = Metrics.Counter v; _ }
+  | Some { Metrics.value = Metrics.Gauge v; _ } ->
+    v
+  | Some { Metrics.value = Metrics.Histogram _; _ } ->
+    Alcotest.fail (name ^ ": histogram, expected scalar")
+  | None -> Alcotest.fail (name ^ ": not found")
+
+let test_counter () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "events_total" in
+  Metrics.inc c;
+  Metrics.inc ~by:2.5 c;
+  check_float "accumulated" 3.5 (value_of ~registry:r "events_total");
+  (* Same identity: the registration is shared, not duplicated. *)
+  let c' = Metrics.counter ~registry:r "events_total" in
+  Metrics.inc c';
+  check_float "shared identity" 4.5 (value_of ~registry:r "events_total");
+  Alcotest.(check int) "one sample" 1 (List.length (Metrics.find ~registry:r "events_total"));
+  Alcotest.check_raises "negative increment"
+    (Invalid_argument "Metrics.inc: negative increment") (fun () ->
+      Metrics.inc ~by:(-1.) c)
+
+let test_gauge () =
+  let r = Metrics.create () in
+  let g = Metrics.gauge ~registry:r "depth" in
+  Metrics.set g 7.;
+  Metrics.add g (-2.);
+  check_float "set+add" 5. (value_of ~registry:r "depth");
+  Metrics.set_max g 3.;
+  check_float "set_max keeps larger" 5. (value_of ~registry:r "depth");
+  Metrics.set_max g 9.;
+  check_float "set_max raises" 9. (value_of ~registry:r "depth")
+
+let test_labels () =
+  let r = Metrics.create () in
+  let a = Metrics.counter ~registry:r ~labels:[ ("station", "0") ] "visits_total" in
+  let b = Metrics.counter ~registry:r ~labels:[ ("station", "1") ] "visits_total" in
+  Metrics.inc a;
+  Metrics.inc b;
+  Metrics.inc b;
+  check_float "station 0" 1.
+    (value_of ~registry:r ~labels:[ ("station", "0") ] "visits_total");
+  check_float "station 1" 2.
+    (value_of ~registry:r ~labels:[ ("station", "1") ] "visits_total");
+  Alcotest.(check int) "two samples" 2
+    (List.length (Metrics.find ~registry:r "visits_total"))
+
+let test_kind_mismatch () =
+  let r = Metrics.create () in
+  ignore (Metrics.counter ~registry:r "x_total");
+  (try
+     ignore (Metrics.gauge ~registry:r "x_total");
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_histogram_edges () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~buckets:[| 1.; 10. |] "h" in
+  (* le semantics: a value equal to a bound lands in that bound's bucket. *)
+  Metrics.observe h 1.;
+  Metrics.observe h 0.5;
+  Metrics.observe h 10.;
+  Metrics.observe h 10.0001;
+  match Metrics.find ~registry:r "h" with
+  | [ { Metrics.value = Metrics.Histogram d; _ } ] ->
+    Alcotest.(check int) "count" 4 d.Metrics.count;
+    check_float "sum" 21.5001 d.Metrics.sum;
+    Alcotest.(check int) "buckets incl overflow" 3 (Array.length d.Metrics.buckets);
+    let bound i = fst d.Metrics.buckets.(i) and n i = snd d.Metrics.buckets.(i) in
+    check_float "bound 0" 1. (bound 0);
+    Alcotest.(check int) "le 1" 2 (n 0);
+    Alcotest.(check int) "le 10" 1 (n 1);
+    Alcotest.(check bool) "overflow bound" true (fst d.Metrics.buckets.(2) = infinity);
+    Alcotest.(check int) "overflow count" 1 (n 2)
+  | _ -> Alcotest.fail "expected exactly one histogram sample"
+
+let test_reset_in_place () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "n_total" in
+  Metrics.inc ~by:5. c;
+  Metrics.reset ~registry:r ();
+  check_float "zeroed" 0. (value_of ~registry:r "n_total");
+  (* The old handle still points at the registered cell. *)
+  Metrics.inc c;
+  check_float "handle survives reset" 1. (value_of ~registry:r "n_total")
+
+(* ---------------- Spans ---------------- *)
+
+(* A deterministic clock: every call advances time by 1 second, so a
+   span's duration equals the number of clock reads (its own two plus
+   two per nested span). *)
+let ticking_clock () =
+  let t = ref 0. in
+  fun () ->
+    let v = !t in
+    t := v +. 1.;
+    v
+
+let test_span_nesting () =
+  let c = Span.create ~clock:(ticking_clock ()) () in
+  let result =
+    Span.with_ ~collector:c "outer" (fun () ->
+        Span.with_ ~collector:c "inner" (fun () -> ());
+        Span.with_ ~collector:c "inner" (fun () -> ());
+        42)
+  in
+  Alcotest.(check int) "return value" 42 result;
+  let entries = Span.snapshot ~collector:c () in
+  Alcotest.(check int) "two paths" 2 (List.length entries);
+  let find path = List.find (fun e -> e.Span.path = path) entries in
+  let outer = find [ "outer" ] and inner = find [ "outer"; "inner" ] in
+  Alcotest.(check int) "outer count" 1 outer.Span.count;
+  Alcotest.(check int) "inner aggregated" 2 inner.Span.count;
+  (* Clock reads: outer start(0) | inner 1-2 | inner 3-4 | outer end(5). *)
+  check_float "outer total" 5. outer.Span.total;
+  check_float "inner total" 2. inner.Span.total;
+  check_float "inner max" 1. inner.Span.max_;
+  check_float "total lookup" 2.
+    (Option.get (Span.total ~collector:c [ "outer"; "inner" ]))
+
+let test_span_exception_safe () =
+  let c = Span.create ~clock:(ticking_clock ()) () in
+  (try Span.with_ ~collector:c "boom" (fun () -> failwith "x")
+   with Failure _ -> ());
+  (* The failed span is closed: a new span is a root, not a child. *)
+  Span.with_ ~collector:c "after" (fun () -> ());
+  let paths = List.map (fun e -> e.Span.path) (Span.snapshot ~collector:c ()) in
+  Alcotest.(check bool) "boom recorded" true (List.mem [ "boom" ] paths);
+  Alcotest.(check bool) "after is a root" true (List.mem [ "after" ] paths)
+
+let test_span_bad_name () =
+  let c = Span.create () in
+  try
+    Span.with_ ~collector:c "a/b" (fun () -> ());
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* ---------------- Exporters ---------------- *)
+
+(* A small fixed snapshot so renders are golden-testable. *)
+let golden_metrics () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r ~help:"Pivots." "pivots_total" in
+  Metrics.inc ~by:12. c;
+  let g = Metrics.gauge ~registry:r ~labels:[ ("method", "gth") ] "residual" in
+  Metrics.set g 0.5;
+  let h = Metrics.histogram ~registry:r ~buckets:[| 1.; 2. |] "steps" in
+  Metrics.observe h 0.5;
+  Metrics.observe h 5.;
+  Metrics.snapshot ~registry:r ()
+
+let golden_spans () =
+  let c = Span.create ~clock:(ticking_clock ()) () in
+  Span.with_ ~collector:c "solve" (fun () ->
+      Span.with_ ~collector:c "lp" (fun () -> ()));
+  Span.snapshot ~collector:c ()
+
+let test_export_json () =
+  let s =
+    Export.json ~metrics:(golden_metrics ()) ~spans:(golden_spans ())
+  in
+  Alcotest.(check string) "json document"
+    ("{\"metrics\":[{\"name\":\"pivots_total\",\"labels\":{},\"type\":\"counter\",\"value\":12},"
+   ^ "{\"name\":\"residual\",\"labels\":{\"method\":\"gth\"},\"type\":\"gauge\",\"value\":0.5},"
+   ^ "{\"name\":\"steps\",\"labels\":{},\"type\":\"histogram\",\"count\":2,\"sum\":5.5,"
+   ^ "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":2,\"count\":0},{\"le\":\"+Inf\",\"count\":1}]}],"
+   ^ "\"spans\":[{\"path\":\"solve\",\"count\":1,\"total_seconds\":3,\"max_seconds\":3},"
+   ^ "{\"path\":\"solve/lp\",\"count\":1,\"total_seconds\":1,\"max_seconds\":1}]}\n")
+    s;
+  (* jsonl: one object per line, kind-tagged. *)
+  let lines =
+    String.split_on_char '\n'
+      (String.trim
+         (Export.json_lines ~metrics:(golden_metrics ()) ~spans:(golden_spans ())))
+  in
+  Alcotest.(check int) "jsonl line count" 5 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "tagged" true
+        (String.length l > 9
+        && (String.sub l 0 9 = "{\"kind\":\"")))
+    lines
+
+let test_export_prometheus () =
+  let s =
+    Export.prometheus ~metrics:(golden_metrics ()) ~spans:(golden_spans ())
+  in
+  let has sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    Alcotest.(check bool) ("contains " ^ sub) true (go 0)
+  in
+  has "# TYPE mapqn_pivots_total counter";
+  has "mapqn_pivots_total 12";
+  has "mapqn_residual{method=\"gth\"} 0.5";
+  (* Cumulative le buckets, +Inf equal to _count. *)
+  has "mapqn_steps_bucket{le=\"1\"} 1";
+  has "mapqn_steps_bucket{le=\"+Inf\"} 2";
+  has "mapqn_steps_count 2";
+  has "mapqn_span_duration_seconds_total{path=\"solve/lp\"} 1"
+
+let test_export_table () =
+  let s = Export.table ~metrics:(golden_metrics ()) ~spans:(golden_spans ()) in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "mentions pivots" true
+    (List.exists
+       (fun l -> String.length l >= 12 && String.sub l 0 12 = "pivots_total")
+       lines)
+
+let test_format_of_string () =
+  Alcotest.(check bool) "json" true (Export.format_of_string "json" = Ok Export.Json);
+  Alcotest.(check bool) "jsonl" true
+    (Export.format_of_string "jsonl" = Ok Export.Json_lines);
+  (match Export.format_of_string "xml" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "xml should be rejected");
+  Alcotest.(check int) "four formats" 4 (List.length Export.format_names)
+
+(* ---------------- End-to-end: solver telemetry ---------------- *)
+
+let test_solver_telemetry () =
+  Metrics.reset ();
+  Span.reset ();
+  let net = Mapqn_workloads.Tandem.network ~population:4 () in
+  let b = Mapqn_core.Bounds.create_exn net in
+  ignore (Mapqn_core.Bounds.response_time b);
+  let sol = Mapqn_ctmc.Solution.solve net in
+  ignore (Mapqn_ctmc.Solution.system_response_time sol);
+  let positive name =
+    Alcotest.(check bool) (name ^ " > 0") true (value_of name > 0.)
+  in
+  positive "simplex_pivots_total";
+  positive "simplex_solves_total";
+  positive "lp_rows";
+  positive "lp_vars";
+  positive "ctmc_states";
+  positive "ctmc_generator_nnz";
+  positive "gth_eliminations_total";
+  let paths = List.map (fun e -> e.Span.path) (Span.snapshot ()) in
+  Alcotest.(check bool) "bounds.create span" true
+    (List.mem [ "bounds.create" ] paths);
+  Alcotest.(check bool) "nested phase1 span" true
+    (List.mem [ "bounds.create"; "simplex.phase1" ] paths);
+  Alcotest.(check bool) "stationary span under ctmc.solve" true
+    (List.exists
+       (fun p -> match p with "ctmc.solve" :: _ :: _ -> true | _ -> false)
+       paths)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "labels" `Quick test_labels;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "histogram bucket edges" `Quick test_histogram_edges;
+          Alcotest.test_case "reset in place" `Quick test_reset_in_place;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safe;
+          Alcotest.test_case "slash rejected" `Quick test_span_bad_name;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json + jsonl" `Quick test_export_json;
+          Alcotest.test_case "prometheus" `Quick test_export_prometheus;
+          Alcotest.test_case "table" `Quick test_export_table;
+          Alcotest.test_case "format_of_string" `Quick test_format_of_string;
+        ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "solver telemetry" `Quick test_solver_telemetry ] );
+    ]
