@@ -18,6 +18,11 @@
    [dune exec bench/main.exe -- fig4 micro]. Pass [--verbose] to enable
    debug logging in the solver layers (simplex pivot traces etc.).
 
+   The [lp] section compares the dense-tableau and revised-simplex LP
+   backends on the Figure-4 tandem sweep (populations up to 500) and
+   writes the timings to [BENCH_lp.json]; [lp-smoke] is the fast CI
+   variant that exits nonzero if the two backends' intervals disagree.
+
    Every run also dumps the solver telemetry collected by Mapqn_obs
    (metric registry + timing spans, each section under a [bench.<name>]
    root span) to [BENCH_obs.json] in the working directory. *)
@@ -131,6 +136,152 @@ let ablation () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* LP backend benchmark: dense tableau vs revised simplex              *)
+(* ------------------------------------------------------------------ *)
+
+(* The Figure-4 tandem sweep is the LP stress test of the paper's
+   evaluation: the marginal-balance LP grows linearly with the
+   population, and a bound report prices seven objectives out of the
+   same feasible region.  [lp] times both backends on it (the dense
+   tableau only up to the sizes where it is still tractable), checks
+   that they bound the same intervals, and writes the numbers to
+   [BENCH_lp.json].  [lp-smoke] is the fast CI variant: one small
+   population, hard failure on any interval disagreement. *)
+
+let lp_report =
+  [
+    Mapqn_core.Bounds.Utilization 0;
+    Mapqn_core.Bounds.Utilization 1;
+    Mapqn_core.Bounds.Throughput 0;
+    Mapqn_core.Bounds.Throughput 1;
+    Mapqn_core.Bounds.Mean_queue_length 0;
+    Mapqn_core.Bounds.Mean_queue_length 1;
+    Mapqn_core.Bounds.Response_time { reference = 0 };
+  ]
+
+let lp_metric_label = function
+  | Mapqn_core.Bounds.Utilization k -> Printf.sprintf "utilization[%d]" k
+  | Mapqn_core.Bounds.Throughput k -> Printf.sprintf "throughput[%d]" k
+  | Mapqn_core.Bounds.Mean_queue_length k -> Printf.sprintf "queue-length[%d]" k
+  | Mapqn_core.Bounds.Response_time { reference } ->
+    Printf.sprintf "response-time[ref %d]" reference
+  | Mapqn_core.Bounds.Queue_length_moment (k, r) ->
+    Printf.sprintf "queue-moment[%d,%d]" k r
+  | Mapqn_core.Bounds.Marginal_probability { station; level } ->
+    Printf.sprintf "marginal[%d,%d]" station level
+
+let lp_timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let lp_run solver n =
+  let net = Mapqn_workloads.Tandem.network ~population:n () in
+  let b, create_s =
+    lp_timed (fun () -> Mapqn_core.Bounds.create_exn ~solver net)
+  in
+  let report, eval_s = lp_timed (fun () -> Mapqn_core.Bounds.eval b lp_report) in
+  (report, create_s, eval_s)
+
+(* Worst relative interval disagreement between two reports of the same
+   metric list, and the metric it occurs on. *)
+let lp_disagreement rev den =
+  List.fold_left2
+    (fun (worst, at) (m, (ri : Mapqn_core.Bounds.interval)) (_, di) ->
+      let rel a b =
+        Float.abs (a -. b) /. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+      in
+      let d =
+        Float.max
+          (rel ri.Mapqn_core.Bounds.lower di.Mapqn_core.Bounds.lower)
+          (rel ri.Mapqn_core.Bounds.upper di.Mapqn_core.Bounds.upper)
+      in
+      if d > worst then (d, lp_metric_label m) else (worst, at))
+    (0., "-") rev den
+
+let lp () =
+  let both = [ 40; 100 ] and revised_only = [ 250; 500 ] in
+  let rows = ref [] and json = ref [] in
+  List.iter
+    (fun n ->
+      let rev, rc, re = lp_run Mapqn_core.Bounds.Revised n in
+      let den, dc, de = lp_run Mapqn_core.Bounds.Dense n in
+      let worst, at = lp_disagreement rev den in
+      let speedup = (dc +. de) /. (rc +. re) in
+      rows :=
+        [
+          string_of_int n;
+          Printf.sprintf "%.2f + %.2f" rc re;
+          Printf.sprintf "%.2f + %.2f" dc de;
+          Printf.sprintf "%.1fx" speedup;
+          Printf.sprintf "%.2e (%s)" worst at;
+        ]
+        :: !rows;
+      json :=
+        Printf.sprintf
+          "    { \"population\": %d,\n\
+          \      \"revised\": { \"create_s\": %.6f, \"eval_s\": %.6f },\n\
+          \      \"dense\": { \"create_s\": %.6f, \"eval_s\": %.6f },\n\
+          \      \"speedup\": %.3f, \"max_rel_disagreement\": %.3e }" n rc re dc
+          de speedup worst
+        :: !json)
+    both;
+  List.iter
+    (fun n ->
+      let _, rc, re = lp_run Mapqn_core.Bounds.Revised n in
+      rows :=
+        [ string_of_int n; Printf.sprintf "%.2f + %.2f" rc re; "-"; "-"; "-" ]
+        :: !rows;
+      json :=
+        Printf.sprintf
+          "    { \"population\": %d,\n\
+          \      \"revised\": { \"create_s\": %.6f, \"eval_s\": %.6f } }" n rc re
+        :: !json)
+    revised_only;
+  Mapqn_util.Table.print
+    ~header:
+      [
+        "N";
+        "revised create+eval (s)";
+        "dense create+eval (s)";
+        "speedup";
+        "max rel disagreement";
+      ]
+    (List.rev !rows);
+  let body =
+    Printf.sprintf
+      "{\n\
+      \  \"sweep\": \"fig4-tandem-bound-report\",\n\
+      \  \"report_metrics\": %d,\n\
+      \  \"results\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      (List.length lp_report)
+      (String.concat ",\n" (List.rev !json))
+  in
+  (try
+     Mapqn_obs.Export.write_file "BENCH_lp.json" body;
+     print_endline "bench: LP backend comparison written to BENCH_lp.json"
+   with Sys_error msg ->
+     Printf.eprintf "bench: cannot write BENCH_lp.json: %s\n" msg)
+
+let lp_smoke () =
+  let n = 20 in
+  let rev, rc, re = lp_run Mapqn_core.Bounds.Revised n in
+  let den, dc, de = lp_run Mapqn_core.Bounds.Dense n in
+  let worst, at = lp_disagreement rev den in
+  Printf.printf
+    "N=%d revised %.2fs+%.2fs dense %.2fs+%.2fs max rel disagreement %.2e (%s)\n"
+    n rc re dc de worst at;
+  if worst > 1e-7 then begin
+    Printf.eprintf
+      "lp-smoke: solver backends disagree beyond 1e-7 on %s (%.3e)\n" at worst;
+    exit 1
+  end;
+  print_endline "lp-smoke: dense and revised backends agree"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -235,6 +386,8 @@ let () =
   section "moment-order" moment_order;
   section "trace-pipeline" trace_pipeline;
   section "ablation" ablation;
+  section "lp" lp;
+  section "lp-smoke" lp_smoke;
   section "micro" micro;
   let telemetry =
     Mapqn_obs.Export.render Mapqn_obs.Export.Json

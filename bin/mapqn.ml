@@ -117,6 +117,22 @@ let config_arg =
         Mapqn_core.Constraints.standard
     & info [ "config" ] ~doc)
 
+let solver_arg =
+  let doc =
+    "LP backend: $(b,revised) (sparse columns, warm-started basis; the \
+     default) or $(b,dense) (reference dense-tableau simplex)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("revised", Mapqn_core.Bounds.Revised);
+             ("dense", Mapqn_core.Bounds.Dense);
+           ])
+        Mapqn_core.Bounds.Revised
+    & info [ "solver" ] ~doc)
+
 (* ------------------------------------------------------------------ *)
 (* exact                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -159,34 +175,43 @@ let bounds_cmd =
     let doc = "Also print the binding constraints (largest |dual|) of the upper response-time bound." in
     Arg.(value & flag & info [ "sensitivity" ] ~doc)
   in
-  let run verbose model population scv gamma2 config sensitivity obs =
+  let run verbose model population scv gamma2 config solver sensitivity obs =
     setup_logs verbose;
     with_telemetry "bounds" obs @@ fun () ->
     let net = build_model model ~population ~scv ~gamma2 in
-    match Mapqn_core.Bounds.create ~config net with
-    | Error msg -> prerr_endline ("bounds: " ^ msg)
+    match Mapqn_core.Bounds.create ~solver ~config net with
+    | Error e -> prerr_endline ("bounds: " ^ Mapqn_core.Bounds.error_to_string e)
     | Ok b ->
       let vars, rows = Mapqn_core.Bounds.lp_size b in
       Printf.printf "LP: %d variables, %d rows\n" vars rows;
       let m = Mapqn_model.Network.num_stations net in
-      let row name (i : Mapqn_core.Bounds.interval) =
-        [
-          name;
-          Mapqn_util.Table.float_cell i.Mapqn_core.Bounds.lower;
-          Mapqn_util.Table.float_cell i.Mapqn_core.Bounds.upper;
-        ]
-      in
-      let rows =
+      (* The whole report is one warm-started batch evaluation. *)
+      let metrics =
         List.concat
           (List.init m (fun k ->
                [
-                 row (Printf.sprintf "utilization[%d]" k) (Mapqn_core.Bounds.utilization b k);
-                 row (Printf.sprintf "throughput[%d]" k) (Mapqn_core.Bounds.throughput b k);
-                 row
-                   (Printf.sprintf "queue length[%d]" k)
-                   (Mapqn_core.Bounds.mean_queue_length b k);
+                 Mapqn_core.Bounds.Utilization k;
+                 Mapqn_core.Bounds.Throughput k;
+                 Mapqn_core.Bounds.Mean_queue_length k;
                ]))
-        @ [ row "response time" (Mapqn_core.Bounds.response_time b) ]
+        @ [ Mapqn_core.Bounds.Response_time { reference = 0 } ]
+      in
+      let name : Mapqn_core.Bounds.metric -> string = function
+        | Utilization k -> Printf.sprintf "utilization[%d]" k
+        | Throughput k -> Printf.sprintf "throughput[%d]" k
+        | Mean_queue_length k -> Printf.sprintf "queue length[%d]" k
+        | Response_time _ -> "response time"
+        | m -> Mapqn_core.Bounds.metric_to_string m
+      in
+      let rows =
+        List.map
+          (fun (metric, (i : Mapqn_core.Bounds.interval)) ->
+            [
+              name metric;
+              Mapqn_util.Table.float_cell i.Mapqn_core.Bounds.lower;
+              Mapqn_util.Table.float_cell i.Mapqn_core.Bounds.upper;
+            ])
+          (Mapqn_core.Bounds.eval b metrics)
       in
       Mapqn_util.Table.print ~header:[ "metric"; "lower"; "upper" ] rows;
       if sensitivity then begin
@@ -212,7 +237,7 @@ let bounds_cmd =
   let term =
     Term.(
       const run $ verbose_arg $ model_arg $ population_arg $ scv_arg $ gamma2_arg
-      $ config_arg $ sensitivity_arg $ obs_args)
+      $ config_arg $ solver_arg $ sensitivity_arg $ obs_args)
   in
   Cmd.v
     (Cmd.info "bounds"
@@ -449,7 +474,7 @@ let moment_order_cmd =
 (* ------------------------------------------------------------------ *)
 
 let stats_cmd =
-  let run verbose model population scv gamma2 config (out, fmt) =
+  let run verbose model population scv gamma2 config solver (out, fmt) =
     setup_logs verbose;
     (* Solve the model through both pipelines (LP bounds and exact CTMC)
        so the telemetry covers the simplex, the constraint generator and
@@ -460,9 +485,9 @@ let stats_cmd =
     let summary =
       Mapqn_obs.Span.with_ "stats.solve" @@ fun () ->
       let bound =
-        match Mapqn_core.Bounds.create ~config net with
-        | Error msg ->
-          Printf.sprintf "bounds: %s" msg
+        match Mapqn_core.Bounds.create ~solver ~config net with
+        | Error e ->
+          Printf.sprintf "bounds: %s" (Mapqn_core.Bounds.error_to_string e)
         | Ok b ->
           let r = Mapqn_core.Bounds.response_time b in
           let vars, rows = Mapqn_core.Bounds.lp_size b in
@@ -491,7 +516,7 @@ let stats_cmd =
   let term =
     Term.(
       const run $ verbose_arg $ model_arg $ population_arg $ scv_arg $ gamma2_arg
-      $ config_arg $ obs_args)
+      $ config_arg $ solver_arg $ obs_args)
   in
   Cmd.v
     (Cmd.info "stats"

@@ -1,52 +1,128 @@
 module Ms = Marginal_space
 module Lp = Mapqn_lp.Lp_model
 module Simplex = Mapqn_lp.Simplex
+module Revised = Mapqn_lp.Revised
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | Unsupported_network of string
+  | Infeasible_phase1
+  | Iteration_limit of int
+  | Invalid_station of int
+  | Invalid_objective of string
+
+let error_to_string = function
+  | Unsupported_network what -> what ^ " is not supported by the bound analysis"
+  | Infeasible_phase1 ->
+    "marginal-balance LP is infeasible — this indicates a constraint \
+     generation bug, since the exact solution is always feasible"
+  | Iteration_limit k -> Printf.sprintf "simplex iteration limit (%d pivots)" k
+  | Invalid_station k -> Printf.sprintf "station index %d is out of range" k
+  | Invalid_objective what -> "invalid objective: " ^ what
+
+exception Solver_error of error
+
+let () =
+  Printexc.register_printer (function
+    | Solver_error e -> Some ("Bounds.Solver_error: " ^ error_to_string e)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Intervals                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type interval = { lower : float; upper : float }
+
+(* The interval arithmetic must survive infinite endpoints: response-time
+   bounds are [infinity] whenever the LP throughput lower bound is 0
+   (which is common — weak constraint configs cannot exclude starvation),
+   and naive float arithmetic turns those into NaN ([inf - inf],
+   [0.5 * (-inf + inf)], [1e-7 * inf] tolerances). *)
+
+let width i = if i.lower = i.upper then 0. else i.upper -. i.lower
+
+let midpoint i =
+  if i.lower = i.upper then i.lower
+  else if i.lower = neg_infinity && i.upper = infinity then 0.
+  else 0.5 *. (i.lower +. i.upper)
+
+let contains i x =
+  let finite_mag v = if Float.is_finite v then Float.abs v else 0. in
+  let tol =
+    1e-7 *. Float.max 1. (Float.max (finite_mag i.lower) (finite_mag i.upper))
+  in
+  x >= i.lower -. tol && x <= i.upper +. tol
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type solver = Dense | Revised
+
+type backend = B_dense of Simplex.prepared | B_revised of Revised.t
 
 type t = {
   network : Mapqn_model.Network.t;
   ms : Ms.t;
   model : Lp.t;
-  prepared : Simplex.prepared;
+  backend : backend;
   config : Constraints.config;
   max_iter : int option;
 }
 
-type interval = { lower : float; upper : float }
+let default_solver = Revised
 
-let width i = i.upper -. i.lower
-let midpoint i = 0.5 *. (i.lower +. i.upper)
-
-let contains i x =
-  let tol = 1e-7 *. Float.max 1. (Float.max (Float.abs i.lower) (Float.abs i.upper)) in
-  x >= i.lower -. tol && x <= i.upper +. tol
-
-let create ?(config = Constraints.standard) ?max_iter network =
+let create ?(solver = default_solver) ?(config = Constraints.standard) ?max_iter
+    network =
   Mapqn_obs.Span.with_ "bounds.create" @@ fun () ->
   if Mapqn_model.Network.has_delay network then
-    Error "delay (infinite-server) stations are not supported by the bound analysis"
-  else
-  let ms, model = Constraints.build config network in
-  match Simplex.prepare ?max_iter model with
-  | Ok prepared -> Ok { network; ms; model; prepared; config; max_iter }
-  | Error `Infeasible ->
-    Error
-      "marginal-balance LP is infeasible — this indicates a constraint \
-       generation bug, since the exact solution is always feasible"
-  | Error `Iteration_limit -> Error "simplex iteration limit in phase 1"
+    Error (Unsupported_network "a delay (infinite-server) station")
+  else begin
+    let ms, model = Constraints.build config network in
+    let lift = function
+      | Ok backend -> Ok { network; ms; model; backend; config; max_iter }
+      | Error Simplex.Infeasible_phase1 -> Error Infeasible_phase1
+      | Error (Simplex.Iteration_limit_phase1 k) -> Error (Iteration_limit k)
+    in
+    match solver with
+    | Dense ->
+      lift (Result.map (fun p -> B_dense p) (Simplex.prepare ?max_iter model))
+    | Revised ->
+      lift (Result.map (fun p -> B_revised p) (Revised.prepare ?max_iter model))
+  end
 
-let create_exn ?config ?max_iter network =
-  match create ?config ?max_iter network with
+let create_exn ?solver ?config ?max_iter network =
+  match create ?solver ?config ?max_iter network with
   | Ok t -> t
-  | Error msg -> failwith ("Bounds.create: " ^ msg)
+  | Error e -> raise (Solver_error e)
 
 let network t = t.network
 let space t = t.ms
 let config t = t.config
+let solver t = match t.backend with B_dense _ -> Dense | B_revised _ -> Revised
 let lp_size t = (Lp.num_vars t.model, Lp.num_rows t.model)
+
+(* ------------------------------------------------------------------ *)
+(* Optimization over the prepared LP                                   *)
+(* ------------------------------------------------------------------ *)
 
 let m_objectives =
   Mapqn_obs.Metrics.counter ~help:"Bound objectives optimized over the prepared LP."
     "bounds_objectives_total"
+
+let m_evals =
+  Mapqn_obs.Metrics.counter
+    ~help:"Batch metric evaluations (Bounds.eval calls, including the \
+           one-metric convenience wrappers)."
+    "bounds_evals_total"
+
+let backend_optimize t direction objective =
+  match t.backend with
+  | B_dense p -> Simplex.optimize ?max_iter:t.max_iter p direction objective
+  | B_revised p -> Revised.optimize ?max_iter:t.max_iter p direction objective
 
 let optimize t direction objective =
   Mapqn_obs.Metrics.inc m_objectives;
@@ -54,18 +130,21 @@ let optimize t direction objective =
   let objective =
     List.map (fun (i, c) -> (Lp.var_of_int t.model i, c)) objective
   in
-  match Simplex.optimize ?max_iter:t.max_iter t.prepared direction objective with
+  match backend_optimize t direction objective with
   | Simplex.Optimal s -> s.Simplex.objective
   | Simplex.Infeasible -> failwith "Bounds: phase-2 infeasibility (bug)"
   | Simplex.Unbounded ->
     failwith "Bounds: unbounded objective (missing normalization constraint?)"
-  | Simplex.Iteration_limit -> failwith "Bounds: simplex iteration limit"
+  | Simplex.Iteration_limit ->
+    raise
+      (Solver_error
+         (Iteration_limit (Option.value t.max_iter ~default:(-1))))
 
 let sensitivity ?(top = 10) t direction objective =
   let objective =
     List.map (fun (i, c) -> (Lp.var_of_int t.model i, c)) objective
   in
-  match Simplex.optimize ?max_iter:t.max_iter t.prepared direction objective with
+  match backend_optimize t direction objective with
   | Simplex.Optimal s ->
     let names =
       Array.of_list (List.map (fun (_, _, _, name) -> name) (Lp.rows t.model))
@@ -95,59 +174,149 @@ let custom t objective =
 let clamp_interval ~lo ~hi i =
   { lower = Mapqn_util.Tol.clamp ~lo ~hi i.lower; upper = Mapqn_util.Tol.clamp ~lo ~hi i.upper }
 
-let throughput t k =
-  let rates =
-    Mapqn_map.Process.completion_rates
-      (Mapqn_model.Station.service_process (Mapqn_model.Network.station t.network k))
-  in
-  let terms = ref [] in
-  for n = 1 to Ms.population t.ms do
-    Ms.iter_phases t.ms (fun h ->
-        let rate = rates.(Ms.phase_component t.ms h k) in
-        if rate <> 0. then
-          terms := (Ms.v t.ms ~station:k ~level:n ~phase:h, rate) :: !terms)
-  done;
-  if !terms = [] then { lower = 0.; upper = 0. } else custom t !terms
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
 
-let utilization t k =
-  let n = Ms.population t.ms in
-  if n = 0 then { lower = 0.; upper = 0. }
-  else begin
+type metric =
+  | Throughput of int
+  | Utilization of int
+  | Mean_queue_length of int
+  | Queue_length_moment of int * int
+  | Marginal_probability of { station : int; level : int }
+  | Response_time of { reference : int }
+
+let metric_to_string = function
+  | Throughput k -> Printf.sprintf "throughput(%d)" k
+  | Utilization k -> Printf.sprintf "utilization(%d)" k
+  | Mean_queue_length k -> Printf.sprintf "mean_queue_length(%d)" k
+  | Queue_length_moment (k, r) -> Printf.sprintf "queue_length_moment(%d, %d)" k r
+  | Marginal_probability { station; level } ->
+    Printf.sprintf "marginal_probability(%d, n=%d)" station level
+  | Response_time { reference } -> Printf.sprintf "response_time(ref=%d)" reference
+
+let check_station t k =
+  if k < 0 || k >= Ms.num_stations t.ms then raise (Solver_error (Invalid_station k))
+
+let validate_metric t = function
+  | Throughput k | Utilization k | Mean_queue_length k
+  | Response_time { reference = k } ->
+    check_station t k
+  | Queue_length_moment (k, r) ->
+    check_station t k;
+    if r < 0 then
+      raise
+        (Solver_error
+           (Invalid_objective
+              (Printf.sprintf "queue-length moment of negative order %d" r)))
+  | Marginal_probability { station; level } ->
+    check_station t station;
+    if level < 0 || level > Ms.population t.ms then
+      raise
+        (Solver_error
+           (Invalid_objective
+              (Printf.sprintf "queue-length level %d outside [0, %d]" level
+                 (Ms.population t.ms))))
+
+(* The LP objective of a directly-representable metric, or [None] when the
+   metric is identically zero (empty population edge cases). *)
+let metric_terms t = function
+  | Response_time _ -> assert false (* derived, handled in eval_one *)
+  | Throughput k ->
+    let rates =
+      Mapqn_map.Process.completion_rates
+        (Mapqn_model.Station.service_process
+           (Mapqn_model.Network.station t.network k))
+    in
     let terms = ref [] in
-    for level = 1 to n do
+    for n = 1 to Ms.population t.ms do
+      Ms.iter_phases t.ms (fun h ->
+          let rate = rates.(Ms.phase_component t.ms h k) in
+          if rate <> 0. then
+            terms := (Ms.v t.ms ~station:k ~level:n ~phase:h, rate) :: !terms)
+    done;
+    !terms
+  | Utilization k ->
+    let terms = ref [] in
+    for level = 1 to Ms.population t.ms do
       Ms.iter_phases t.ms (fun h ->
           terms := (Ms.v t.ms ~station:k ~level ~phase:h, 1.) :: !terms)
     done;
-    clamp_interval ~lo:0. ~hi:1. (custom t !terms)
-  end
-
-let queue_length_moment t k r =
-  if r < 0 then invalid_arg "Bounds.queue_length_moment: negative order";
-  let n = Ms.population t.ms in
-  let terms = ref [] in
-  for level = 1 to n do
+    !terms
+  | Mean_queue_length k ->
+    let terms = ref [] in
+    for level = 1 to Ms.population t.ms do
+      Ms.iter_phases t.ms (fun h ->
+          terms := (Ms.v t.ms ~station:k ~level ~phase:h, float_of_int level) :: !terms)
+    done;
+    !terms
+  | Queue_length_moment (k, r) ->
+    let terms = ref [] in
+    for level = 1 to Ms.population t.ms do
+      Ms.iter_phases t.ms (fun h ->
+          terms :=
+            (Ms.v t.ms ~station:k ~level ~phase:h,
+             float_of_int level ** float_of_int r)
+            :: !terms)
+    done;
+    !terms
+  | Marginal_probability { station; level } ->
+    let terms = ref [] in
     Ms.iter_phases t.ms (fun h ->
-        terms :=
-          (Ms.v t.ms ~station:k ~level ~phase:h, float_of_int level ** float_of_int r)
-          :: !terms)
-  done;
-  if !terms = [] then { lower = 0.; upper = 0. }
-  else clamp_interval ~lo:0. ~hi:(float_of_int n ** float_of_int r) (custom t !terms)
+        terms := (Ms.v t.ms ~station ~level ~phase:h, 1.) :: !terms);
+    !terms
 
-let mean_queue_length t k = queue_length_moment t k 1
+let metric_clamp t = function
+  | Throughput _ | Response_time _ -> None
+  | Utilization _ | Marginal_probability _ -> Some (0., 1.)
+  | Mean_queue_length _ ->
+    Some (0., float_of_int (Ms.population t.ms))
+  | Queue_length_moment (_, r) ->
+    Some (0., float_of_int (Ms.population t.ms) ** float_of_int r)
+
+let rec eval_one t metric =
+  validate_metric t metric;
+  match metric with
+  | Response_time { reference } ->
+    (* Little's law, exactly the paper's derivation: R = N / X_ref, so
+       R_min = N / X_max and R_max = N / X_min; an LP throughput lower
+       bound of 0 yields an infinite upper response-time bound. *)
+    let n = float_of_int (Ms.population t.ms) in
+    if n = 0. then { lower = 0.; upper = 0. }
+    else begin
+      let x = eval_one t (Throughput reference) in
+      let upper = if x.lower <= 0. then infinity else n /. x.lower in
+      let lower = if x.upper <= 0. then infinity else n /. x.upper in
+      { lower; upper }
+    end
+  | m -> (
+    match metric_terms t m with
+    | [] -> { lower = 0.; upper = 0. }
+    | terms -> (
+      let i = custom t terms in
+      match metric_clamp t m with
+      | None -> i
+      | Some (lo, hi) -> clamp_interval ~lo ~hi i))
+
+let eval t metrics =
+  Mapqn_obs.Metrics.inc m_evals;
+  Mapqn_obs.Span.with_ "bounds.eval" @@ fun () ->
+  List.map (fun m -> (m, eval_one t m)) metrics
+
+(* Convenience wrappers: exactly one-element [eval] calls, so per-metric
+   and batch queries go through the identical code path (and, on the
+   revised backend, the identical warm-started pivot sequence). *)
+
+let interval_of_eval t metric =
+  match eval t [ metric ] with [ (_, i) ] -> i | _ -> assert false
+
+let throughput t k = interval_of_eval t (Throughput k)
+let utilization t k = interval_of_eval t (Utilization k)
+let mean_queue_length t k = interval_of_eval t (Mean_queue_length k)
+let queue_length_moment t k r = interval_of_eval t (Queue_length_moment (k, r))
 
 let marginal_probability t ~station ~level =
-  let terms = ref [] in
-  Ms.iter_phases t.ms (fun h ->
-      terms := (Ms.v t.ms ~station ~level ~phase:h, 1.) :: !terms);
-  clamp_interval ~lo:0. ~hi:1. (custom t !terms)
+  interval_of_eval t (Marginal_probability { station; level })
 
 let response_time ?(reference = 0) t =
-  let n = float_of_int (Ms.population t.ms) in
-  if n = 0. then { lower = 0.; upper = 0. }
-  else begin
-    let x = throughput t reference in
-    let upper = if x.lower <= 0. then infinity else n /. x.lower in
-    let lower = if x.upper <= 0. then infinity else n /. x.upper in
-    { lower; upper }
-  end
+  interval_of_eval t (Response_time { reference })

@@ -7,53 +7,118 @@
     aggregate probabilities) over the same feasible region. Because every
     constraint is exact, the true value always lies in the returned
     interval; tightness depends on the constraint families enabled
-    ({!Constraints.config}). *)
+    ({!Constraints.config}).
+
+    {b Batch evaluation.} {!eval} is the primary query entry point: it
+    evaluates a whole report of metrics in one sweep. On the default
+    {!Revised} backend each optimization warm-starts from the basis left
+    by the previous one, so a full report costs little more than its
+    hardest single metric; the per-metric functions ({!throughput},
+    {!utilization}, ...) are one-element [eval] calls kept for
+    convenience. *)
 
 type t
+
+(** {1 Intervals} *)
 
 type interval = { lower : float; upper : float }
 
 val width : interval -> float
+(** [upper - lower]; [0.] when the endpoints are equal (including two
+    infinite endpoints of the same sign — never NaN). *)
+
 val midpoint : interval -> float
+(** Midpoint; an infinite endpoint dominates, and [0.] for
+    [(-inf, +inf)] — never NaN. *)
+
 val contains : interval -> float -> bool
-(** Within a small numerical tolerance (1e-7 absolute + relative). *)
+(** Within a small numerical tolerance (1e-7 absolute + relative, computed
+    from the finite endpoints only, so intervals with infinite endpoints
+    behave set-theoretically). *)
+
+(** {1 Errors} *)
+
+type error =
+  | Unsupported_network of string
+      (** network feature outside the bound analysis (e.g. delay stations) *)
+  | Infeasible_phase1
+      (** the LP admits no point — a constraint-generation bug, since the
+          exact solution is always feasible *)
+  | Iteration_limit of int  (** pivot budget exhausted *)
+  | Invalid_station of int  (** station index out of range *)
+  | Invalid_objective of string
+      (** malformed metric (negative moment order, level out of range) *)
+
+val error_to_string : error -> string
+
+exception Solver_error of error
+(** Raised by {!eval}, the per-metric wrappers and {!create_exn} — the
+    exception face of {!error} (registered with [Printexc]). *)
+
+(** {1 Construction} *)
+
+(** LP backend: [Revised] (default) prices out of sparse columns with a
+    warm-started eta-file basis ({!Mapqn_lp.Revised}); [Dense] is the
+    reference dense-tableau simplex ({!Mapqn_lp.Simplex}), kept as a
+    cross-check oracle and for [--solver=dense]. Both produce intervals
+    that agree within solver tolerances. *)
+type solver = Dense | Revised
 
 val create :
+  ?solver:solver ->
   ?config:Constraints.config ->
   ?max_iter:int ->
   Mapqn_model.Network.t ->
-  (t, string) result
+  (t, error) result
 (** Build the LP and run phase 1. Default config is
-    {!Constraints.standard}. Errors on phase-1 failure (which would
-    indicate a bug: the exact solution is always feasible) or iteration
-    limit. *)
+    {!Constraints.standard}, default solver {!Revised}. *)
 
 val create_exn :
-  ?config:Constraints.config -> ?max_iter:int -> Mapqn_model.Network.t -> t
+  ?solver:solver ->
+  ?config:Constraints.config ->
+  ?max_iter:int ->
+  Mapqn_model.Network.t ->
+  t
+(** Like {!create}; raises {!Solver_error}. *)
 
 val network : t -> Mapqn_model.Network.t
 val space : t -> Marginal_space.t
 val config : t -> Constraints.config
 
+val solver : t -> solver
+(** The backend this instance was created with. *)
+
 val lp_size : t -> int * int
 (** [(variables, rows)] of the underlying LP model. *)
 
-val sensitivity :
-  ?top:int ->
-  t ->
-  Mapqn_lp.Simplex.direction ->
-  (int * float) list ->
-  (string * float) list
-(** The constraints that drive a bound: names and dual values (shadow
-    prices) of the rows with the largest |dual| at the optimum of the
-    given objective/direction (default the top 10). A large |dual| means
-    the bound is sensitive to that balance equation — useful for
-    understanding where tightness comes from (see the ablation bench). *)
+(** {1 Metrics} *)
 
-val custom : t -> (int * float) list -> interval
-(** Bounds on an arbitrary linear function of the marginal-space variables
-    (indices from {!Marginal_space}). Raises [Failure] if the simplex hits
-    its iteration limit. *)
+(** A performance metric of the network, bounded through the LP. Station
+    arguments are indices into the network; [Queue_length_moment (k, r)]
+    is [E\[n_k^r\]]; [Response_time] is derived from the reference
+    station's throughput via Little's law. *)
+type metric =
+  | Throughput of int
+  | Utilization of int
+  | Mean_queue_length of int
+  | Queue_length_moment of int * int
+  | Marginal_probability of { station : int; level : int }
+  | Response_time of { reference : int }
+
+val metric_to_string : metric -> string
+
+val eval : t -> metric list -> (metric * interval) list
+(** Bound every metric in the list, in order, over the shared prepared
+    LP — the primary query entry point. On the {!Revised} backend the
+    underlying optimizations warm-start from one another. Results pair
+    each requested metric with its interval. Raises {!Solver_error} on an
+    invalid metric ({!Invalid_station}, {!Invalid_objective}) or when the
+    simplex hits its iteration limit. *)
+
+(** {2 Single-metric convenience wrappers}
+
+    Each is exactly a one-element {!eval} call (same validation, same
+    code path, same exceptions). *)
 
 val throughput : t -> int -> interval
 (** Completion-rate bounds at a station:
@@ -70,4 +135,24 @@ val response_time : ?reference:int -> t -> interval
 (** Little's-law response time [R = N / X_ref] (default reference station
     0): [R_min = N / X_max], [R_max = N / X_min] — exactly the paper's
     derivation of response-time bounds from throughput bounds. An LP
-    throughput lower bound of 0 yields [upper = infinity]. *)
+    throughput lower bound of 0 yields [upper = infinity]; the interval
+    helpers above stay NaN-free on such intervals. *)
+
+(** {1 Advanced queries} *)
+
+val sensitivity :
+  ?top:int ->
+  t ->
+  Mapqn_lp.Simplex.direction ->
+  (int * float) list ->
+  (string * float) list
+(** The constraints that drive a bound: names and dual values (shadow
+    prices) of the rows with the largest |dual| at the optimum of the
+    given objective/direction (default the top 10). A large |dual| means
+    the bound is sensitive to that balance equation — useful for
+    understanding where tightness comes from (see the ablation bench). *)
+
+val custom : t -> (int * float) list -> interval
+(** Bounds on an arbitrary linear function of the marginal-space variables
+    (indices from {!Marginal_space}). Raises {!Solver_error} if the
+    simplex hits its iteration limit. *)

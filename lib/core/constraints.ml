@@ -402,6 +402,12 @@ let m_lp_vars =
   Mapqn_obs.Metrics.gauge ~help:"LP variables (columns) of the last constraint build."
     "lp_vars"
 
+let m_lp_nnz =
+  Mapqn_obs.Metrics.gauge
+    ~help:"Stored constraint coefficients of the last build — the matrix \
+           size as the sparse (revised) solver sees it."
+    "lp_nnz"
+
 let build config network =
   Mapqn_obs.Span.with_ "constraints.build" @@ fun () ->
   if Mapqn_model.Network.has_delay network then
@@ -433,6 +439,7 @@ let build config network =
   family "product-symmetry" config.level2 add_product_symmetry;
   Mapqn_obs.Metrics.set m_lp_rows (float_of_int (Lp.num_rows ctx.model));
   Mapqn_obs.Metrics.set m_lp_vars (float_of_int (Lp.num_vars ctx.model));
+  Mapqn_obs.Metrics.set m_lp_nnz (float_of_int (Lp.num_nonzeros ctx.model));
   (ms, ctx.model)
 
 let cut_balance_residual ms point =

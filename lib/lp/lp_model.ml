@@ -1,92 +1,156 @@
+module Csr = Mapqn_sparse.Csr
+
 type var = int
 type sense = Le | Ge | Eq
 
-type row = { terms : (var * float) list; sense : sense; rhs : float; rname : string }
-
+(* Rows are stored CSR-style as they are emitted: one flat (col, coef)
+   buffer plus per-row offsets, with the per-row metadata (sense, rhs,
+   name) in parallel growable arrays. The constraint generators emit
+   hundreds of thousands of terms for large (M, N, H); storing them
+   directly in flat buffers keeps the build allocation-free per term and
+   hands the revised simplex its matrix without a list traversal. *)
 type t = {
   mutable nvars : int;
-  mutable names : string list; (* reversed *)
-  mutable lbs : float list; (* reversed *)
-  mutable ubs : float list; (* reversed *)
-  mutable row_list : row list; (* reversed *)
+  mutable names : string array;
+  mutable lbs : float array;
+  mutable ubs : float array;
+  (* term buffer *)
+  mutable term_col : int array;
+  mutable term_val : float array;
+  mutable nterms : int;
+  (* row buffer; row i owns terms [row_ptr.(i), row_ptr.(i+1)) *)
+  mutable row_ptr : int array; (* length >= nrows + 1 *)
+  mutable row_sense : sense array;
+  mutable row_rhs : float array;
+  mutable row_name : string array;
   mutable nrows : int;
-  mutable frozen_names : string array option;
-  mutable frozen_lbs : float array option;
-  mutable frozen_ubs : float array option;
+  mutable frozen_csr : Csr.t option;
 }
 
 let create () =
   {
     nvars = 0;
-    names = [];
-    lbs = [];
-    ubs = [];
-    row_list = [];
+    names = [||];
+    lbs = [||];
+    ubs = [||];
+    term_col = [||];
+    term_val = [||];
+    nterms = 0;
+    row_ptr = [| 0 |];
+    row_sense = [||];
+    row_rhs = [||];
+    row_name = [||];
     nrows = 0;
-    frozen_names = None;
-    frozen_lbs = None;
-    frozen_ubs = None;
+    frozen_csr = None;
   }
 
-let invalidate t =
-  t.frozen_names <- None;
-  t.frozen_lbs <- None;
-  t.frozen_ubs <- None
+let grow_to arr used needed fill =
+  let cap = Array.length arr in
+  if needed <= cap then arr
+  else begin
+    let arr' = Array.make (max needed (max 16 (2 * cap))) fill in
+    Array.blit arr 0 arr' 0 used;
+    arr'
+  end
 
 let add_var ?name ?(lb = 0.) ?(ub = infinity) t =
   if lb > ub then invalid_arg "Lp_model.add_var: lb > ub";
   let id = t.nvars in
   let name = match name with Some n -> n | None -> Printf.sprintf "x%d" id in
+  t.names <- grow_to t.names id (id + 1) "";
+  t.lbs <- grow_to t.lbs id (id + 1) 0.;
+  t.ubs <- grow_to t.ubs id (id + 1) 0.;
+  t.names.(id) <- name;
+  t.lbs.(id) <- lb;
+  t.ubs.(id) <- ub;
   t.nvars <- id + 1;
-  t.names <- name :: t.names;
-  t.lbs <- lb :: t.lbs;
-  t.ubs <- ub :: t.ubs;
-  invalidate t;
   id
 
 let add_row ?name t terms sense rhs =
+  let k = List.length terms in
+  t.term_col <- grow_to t.term_col t.nterms (t.nterms + k) 0;
+  t.term_val <- grow_to t.term_val t.nterms (t.nterms + k) 0.;
   List.iter
-    (fun (v, _) ->
-      if v < 0 || v >= t.nvars then invalid_arg "Lp_model.add_row: unknown var")
+    (fun (v, c) ->
+      if v < 0 || v >= t.nvars then invalid_arg "Lp_model.add_row: unknown var";
+      t.term_col.(t.nterms) <- v;
+      t.term_val.(t.nterms) <- c;
+      t.nterms <- t.nterms + 1)
     terms;
-  let rname = match name with Some n -> n | None -> Printf.sprintf "r%d" t.nrows in
-  t.row_list <- { terms; sense; rhs; rname } :: t.row_list;
-  t.nrows <- t.nrows + 1
+  let i = t.nrows in
+  let rname = match name with Some n -> n | None -> Printf.sprintf "r%d" i in
+  t.row_ptr <- grow_to t.row_ptr (i + 1) (i + 2) 0;
+  t.row_sense <- grow_to t.row_sense i (i + 1) Eq;
+  t.row_rhs <- grow_to t.row_rhs i (i + 1) 0.;
+  t.row_name <- grow_to t.row_name i (i + 1) "";
+  t.row_ptr.(i + 1) <- t.nterms;
+  t.row_sense.(i) <- sense;
+  t.row_rhs.(i) <- rhs;
+  t.row_name.(i) <- rname;
+  t.nrows <- i + 1;
+  t.frozen_csr <- None
 
 let num_vars t = t.nvars
 let num_rows t = t.nrows
-
-let frozen get set of_list t =
-  match get t with
-  | Some a -> a
-  | None ->
-    let a = Array.of_list (List.rev (of_list t)) in
-    set t a;
-    a
-
-let names_array t =
-  frozen (fun t -> t.frozen_names) (fun t a -> t.frozen_names <- Some a) (fun t -> t.names) t
-
-let lbs_array t =
-  frozen (fun t -> t.frozen_lbs) (fun t a -> t.frozen_lbs <- Some a) (fun t -> t.lbs) t
-
-let ubs_array t =
-  frozen (fun t -> t.frozen_ubs) (fun t a -> t.frozen_ubs <- Some a) (fun t -> t.ubs) t
+let num_nonzeros t = t.nterms
 
 let var_name t v =
   if v < 0 || v >= t.nvars then invalid_arg "Lp_model.var_name";
-  (names_array t).(v)
+  t.names.(v)
 
 let var_bounds t v =
   if v < 0 || v >= t.nvars then invalid_arg "Lp_model.var_bounds";
-  ((lbs_array t).(v), (ubs_array t).(v))
+  (t.lbs.(v), t.ubs.(v))
 
 let var_of_int t i =
   if i < 0 || i >= t.nvars then invalid_arg "Lp_model.var_of_int";
   i
 
+let row_terms t i =
+  if i < 0 || i >= t.nrows then invalid_arg "Lp_model.row_terms";
+  let rec go k acc =
+    if k < t.row_ptr.(i) then acc
+    else go (k - 1) ((t.term_col.(k), t.term_val.(k)) :: acc)
+  in
+  go (t.row_ptr.(i + 1) - 1) []
+
+let iter_row_terms t i f =
+  if i < 0 || i >= t.nrows then invalid_arg "Lp_model.iter_row_terms";
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    f t.term_col.(k) t.term_val.(k)
+  done
+
+let row_sense t i =
+  if i < 0 || i >= t.nrows then invalid_arg "Lp_model.row_sense";
+  t.row_sense.(i)
+
+let row_rhs t i =
+  if i < 0 || i >= t.nrows then invalid_arg "Lp_model.row_rhs";
+  t.row_rhs.(i)
+
+let row_name t i =
+  if i < 0 || i >= t.nrows then invalid_arg "Lp_model.row_name";
+  t.row_name.(i)
+
+let rows_csr t =
+  match t.frozen_csr with
+  | Some c -> c
+  | None ->
+    if t.nrows = 0 || t.nvars = 0 then
+      invalid_arg "Lp_model.rows_csr: empty model";
+    let triplets = Array.make t.nterms (0, 0, 0.) in
+    for i = 0 to t.nrows - 1 do
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        triplets.(k) <- (i, t.term_col.(k), t.term_val.(k))
+      done
+    done;
+    let c = Csr.of_coo_array ~rows:t.nrows ~cols:t.nvars triplets in
+    t.frozen_csr <- Some c;
+    c
+
 let rows t =
-  List.rev_map (fun r -> (r.terms, r.sense, r.rhs, r.rname)) t.row_list
+  List.init t.nrows (fun i ->
+      (row_terms t i, t.row_sense.(i), t.row_rhs.(i), t.row_name.(i)))
 
 let eval_row terms x =
   let acc = Mapqn_util.Ksum.create () in
@@ -95,58 +159,60 @@ let eval_row terms x =
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>lp model: %d variables, %d rows@," t.nvars t.nrows;
-  let lbs = lbs_array t and ubs = ubs_array t in
   for v = 0 to t.nvars - 1 do
-    if lbs.(v) <> 0. || ubs.(v) <> infinity then
-      Format.fprintf fmt "  %g <= %s <= %g@," lbs.(v) (var_name t v) ubs.(v)
+    if t.lbs.(v) <> 0. || t.ubs.(v) <> infinity then
+      Format.fprintf fmt "  %g <= %s <= %g@," t.lbs.(v) (var_name t v) t.ubs.(v)
   done;
-  List.iter
-    (fun r ->
-      Format.fprintf fmt "  %s: " r.rname;
-      List.iteri
-        (fun i (v, c) ->
-          if i > 0 then Format.fprintf fmt " + ";
-          Format.fprintf fmt "%g %s" c (var_name t v))
-        r.terms;
-      let op = match r.sense with Le -> "<=" | Ge -> ">=" | Eq -> "=" in
-      Format.fprintf fmt " %s %g@," op r.rhs)
-    (List.rev t.row_list);
+  for i = 0 to t.nrows - 1 do
+    Format.fprintf fmt "  %s: " t.row_name.(i);
+    List.iteri
+      (fun j (v, c) ->
+        if j > 0 then Format.fprintf fmt " + ";
+        Format.fprintf fmt "%g %s" c (var_name t v))
+      (row_terms t i);
+    let op = match t.row_sense.(i) with Le -> "<=" | Ge -> ">=" | Eq -> "=" in
+    Format.fprintf fmt " %s %g@," op t.row_rhs.(i)
+  done;
   Format.fprintf fmt "@]"
 
 let check_feasible ?(tol = 1e-7) t x =
   if Array.length x <> t.nvars then Error "point dimension mismatch"
   else begin
-    let lbs = lbs_array t and ubs = ubs_array t in
     let violation = ref None in
     Array.iteri
       (fun i xi ->
-        if !violation = None && (xi < lbs.(i) -. tol || xi > ubs.(i) +. tol) then
+        if !violation = None && (xi < t.lbs.(i) -. tol || xi > t.ubs.(i) +. tol)
+        then
           violation :=
             Some
-              (Printf.sprintf "variable %s = %g outside [%g, %g]" (var_name t i) xi
-                 lbs.(i) ubs.(i)))
+              (Printf.sprintf "variable %s = %g outside [%g, %g]" (var_name t i)
+                 xi t.lbs.(i) t.ubs.(i)))
       x;
-    List.iter
-      (fun r ->
-        if !violation = None then begin
-          let lhs = eval_row r.terms x in
-          (* Scale the tolerance with the row magnitude so that rows with
-             large coefficients (e.g. population constraints at big N) are
-             not spuriously flagged. *)
-          let scale =
-            List.fold_left (fun acc (_, c) -> Float.max acc (Float.abs c)) 1. r.terms
-          in
-          let tol = tol *. scale in
-          let bad =
-            match r.sense with
-            | Le -> lhs > r.rhs +. tol
-            | Ge -> lhs < r.rhs -. tol
-            | Eq -> Float.abs (lhs -. r.rhs) > tol
-          in
-          if bad then
-            violation :=
-              Some (Printf.sprintf "row %s: lhs = %.12g, rhs = %.12g" r.rname lhs r.rhs)
-        end)
-      (List.rev t.row_list);
+    for i = 0 to t.nrows - 1 do
+      if !violation = None then begin
+        let acc = Mapqn_util.Ksum.create () in
+        let scale = ref 1. in
+        iter_row_terms t i (fun v c ->
+            Mapqn_util.Ksum.add acc (c *. x.(v));
+            scale := Float.max !scale (Float.abs c));
+        let lhs = Mapqn_util.Ksum.total acc in
+        (* Scale the tolerance with the row magnitude so that rows with
+           large coefficients (e.g. population constraints at big N) are
+           not spuriously flagged. *)
+        let tol = tol *. !scale in
+        let rhs = t.row_rhs.(i) in
+        let bad =
+          match t.row_sense.(i) with
+          | Le -> lhs > rhs +. tol
+          | Ge -> lhs < rhs -. tol
+          | Eq -> Float.abs (lhs -. rhs) > tol
+        in
+        if bad then
+          violation :=
+            Some
+              (Printf.sprintf "row %s: lhs = %.12g, rhs = %.12g" t.row_name.(i)
+                 lhs rhs)
+      end
+    done;
     match !violation with None -> Ok () | Some msg -> Error msg
   end

@@ -6,7 +6,12 @@
 
     The bound-analysis layer builds one model per (network, population) and
     then optimizes many objectives over it, so the builder is separate from
-    the solver ({!Simplex}). *)
+    the solvers ({!Simplex}, {!Revised}).
+
+    Rows are stored sparsely in flat compressed buffers as they are
+    emitted; {!rows_csr} exposes the constraint matrix directly as a
+    {!Mapqn_sparse.Csr.t} without an intermediate list representation,
+    which is what the revised simplex consumes. *)
 
 type t
 
@@ -28,13 +33,33 @@ val add_row : ?name:string -> t -> (var * float) list -> sense -> float -> unit
 
 val num_vars : t -> int
 val num_rows : t -> int
+
+val num_nonzeros : t -> int
+(** Stored coefficient count across all rows (before duplicate-term
+    merging) — the size handed to the sparse solver. *)
+
 val var_name : t -> var -> string
 val var_bounds : t -> var -> float * float
 val var_of_int : t -> int -> var
 (** Recover a handle from an index (bounds-checked). *)
 
+(** {1 Row access}
+
+    Rows are indexed [0 .. num_rows - 1] in insertion order. *)
+
+val row_terms : t -> int -> (var * float) list
+val iter_row_terms : t -> int -> (var -> float -> unit) -> unit
+val row_sense : t -> int -> sense
+val row_rhs : t -> int -> float
+val row_name : t -> int -> string
+
+val rows_csr : t -> Mapqn_sparse.Csr.t
+(** The [num_rows × num_vars] coefficient matrix in CSR form (duplicate
+    terms summed, explicit zeros dropped). Cached until the next
+    {!add_row}. Raises [Invalid_argument] on an empty model. *)
+
 val rows : t -> ((var * float) list * sense * float * string) list
-(** All rows, in insertion order. *)
+(** All rows, in insertion order (list view of the row accessors). *)
 
 val eval_row : (var * float) list -> float array -> float
 (** Evaluate a linear form at a point (indexed by variable). *)

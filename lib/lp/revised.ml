@@ -1,0 +1,823 @@
+let log_src = Logs.Src.create "mapqn.revised" ~doc:"revised simplex"
+
+module Log = (val Logs.src_log log_src)
+module Metrics = Mapqn_obs.Metrics
+module Span = Mapqn_obs.Span
+module Csr = Mapqn_sparse.Csr
+
+let m_pivots =
+  Metrics.counter ~help:"Revised-simplex pivots performed." "revised_pivots_total"
+
+let m_degenerate =
+  Metrics.counter
+    ~help:"Revised-simplex pivots that did not improve the objective."
+    "revised_degenerate_pivots_total"
+
+let m_refactor =
+  Metrics.counter ~help:"Basis refactorizations (eta-file rebuilds)."
+    "revised_refactorizations_total"
+
+let m_solves =
+  Metrics.counter ~help:"Phase-2 optimizations performed by the revised solver."
+    "revised_solves_total"
+
+let m_warm =
+  Metrics.counter
+    ~help:"Phase-2 solves that reoptimized from the basis of a previous objective."
+    "revised_warm_starts_total"
+
+let m_warm_pivots =
+  Metrics.histogram
+    ~help:"Pivots needed by a warm-started reoptimization."
+    ~buckets:[| 0.; 3.; 10.; 30.; 100.; 300.; 1_000.; 3_000. |]
+    "revised_warm_start_pivots"
+
+let m_retries =
+  Metrics.counter
+    ~help:"Phase-1 restarts with a fresh RHS perturbation (revised solver)."
+    "revised_anticycling_retries_total"
+
+let m_eta_nnz =
+  Metrics.gauge ~help:"Nonzeros in the eta file after the last solve."
+    "revised_eta_nnz"
+
+let m_repairs =
+  Metrics.counter
+    ~help:
+      "Numerically dependent basis columns replaced by unit columns during \
+       refactorization."
+    "revised_basis_repairs_total"
+
+let eps_pivot = 1e-9
+let eps_cost = 1e-8
+let refactor_interval = 100
+
+(* ------------------------------------------------------------------ *)
+(* Basis representation: product-form inverse (eta file)               *)
+(* ------------------------------------------------------------------ *)
+
+(* One eta matrix E: identity except column [row], which holds the pivoted
+   entering column w ([pivot] = w_row on the diagonal, [idx]/[vals] the
+   off-diagonal nonzeros). The basis inverse is the product
+   B⁻¹ = Eₖ⁻¹ ⋯ E₁⁻¹ — FTRAN applies the inverses oldest-first, BTRAN the
+   transposed inverses newest-first. Refactorization rebuilds the file
+   from identity by re-pivoting the basic columns, so the same mechanism
+   serves both pivot updates and reinversion. *)
+type eta = { row : int; pivot : float; idx : int array; vals : float array }
+
+type t = {
+  std : Std_form.t;
+  m : int;
+  n_struct : int;  (* structural standard-form columns *)
+  n_total : int;  (* + phase-1 artificials *)
+  cols : Csr.t;  (* column-major matrix: row j = standard-form column j *)
+  a_nnz : int;
+  art_row : int array;  (* artificial k (column n_struct + k) -> its row *)
+  art_sign : float array;  (* the artificial of row i is art_sign.(i)·e_i *)
+  basis : int array;  (* basic column of each row *)
+  in_basis : bool array;
+  allowed : bool array;  (* artificials are barred after phase 1 *)
+  mutable etas : eta array;
+  mutable n_etas : int;
+  mutable eta_nnz : int;
+  mutable base_eta_nnz : int;  (* eta nnz right after the last refactor *)
+  mutable pivots_since_refactor : int;
+  mutable worst_infeas : float;
+      (* most negative exact basic value found (and clamped) by the last
+         refactorization — the divergence signal of [run_phase] *)
+  xb : float array;  (* basic values under the perturbed right-hand side *)
+  rhs_pert : float array;
+  phase1_basis : int array;
+  mutable solves : int;
+  work : float array;  (* FTRAN scratch, length m *)
+}
+
+let dummy_eta = { row = -1; pivot = 1.; idx = [||]; vals = [||] }
+
+let push_eta t e =
+  if t.n_etas = Array.length t.etas then begin
+    let bigger = Array.make (max 64 (2 * t.n_etas)) dummy_eta in
+    Array.blit t.etas 0 bigger 0 t.n_etas;
+    t.etas <- bigger
+  end;
+  t.etas.(t.n_etas) <- e;
+  t.n_etas <- t.n_etas + 1;
+  t.eta_nnz <- t.eta_nnz + Array.length e.idx + 1
+
+(* x <- B⁻¹ x *)
+let ftran_apply t x =
+  for k = 0 to t.n_etas - 1 do
+    let e = t.etas.(k) in
+    let xr = x.(e.row) in
+    if xr <> 0. then begin
+      let xr = xr /. e.pivot in
+      x.(e.row) <- xr;
+      let idx = e.idx and vals = e.vals in
+      for p = 0 to Array.length idx - 1 do
+        x.(idx.(p)) <- x.(idx.(p)) -. (vals.(p) *. xr)
+      done
+    end
+  done
+
+(* y <- B⁻ᵀ y *)
+let btran_apply t y =
+  for k = t.n_etas - 1 downto 0 do
+    let e = t.etas.(k) in
+    let acc = ref y.(e.row) in
+    let idx = e.idx and vals = e.vals in
+    for p = 0 to Array.length idx - 1 do
+      acc := !acc -. (vals.(p) *. y.(idx.(p)))
+    done;
+    y.(e.row) <- !acc /. e.pivot
+  done
+
+(* w <- B⁻¹ A_j (dense scratch; artificials are identity columns) *)
+let ftran_col t j w =
+  Array.fill w 0 t.m 0.;
+  if j < t.n_struct then Csr.scatter_row t.cols j w
+  else begin
+    let i = t.art_row.(j - t.n_struct) in
+    w.(i) <- t.art_sign.(i)
+  end;
+  ftran_apply t w
+
+(* The eta of pivoting column w on row r; [None] when E would be the
+   identity (a column that is already e_r needs no eta). *)
+let eta_of_pivot w r m =
+  let cnt = ref 0 in
+  for i = 0 to m - 1 do
+    if i <> r && w.(i) <> 0. then incr cnt
+  done;
+  if !cnt = 0 && Float.abs (w.(r) -. 1.) < 1e-15 then None
+  else begin
+    let idx = Array.make !cnt 0 and vals = Array.make !cnt 0. in
+    let p = ref 0 in
+    for i = 0 to m - 1 do
+      if i <> r && w.(i) <> 0. then begin
+        idx.(!p) <- i;
+        vals.(!p) <- w.(i);
+        incr p
+      end
+    done;
+    Some { row = r; pivot = w.(r); idx; vals }
+  end
+
+(* Rebuild the eta file from identity by re-pivoting the basic columns —
+   a sparse right-looking Gaussian elimination in product form.  The
+   pivot order follows a Markowitz-style heuristic (sparsest column
+   first, then the candidate row of least incidence, subject to a
+   relative stability threshold), which keeps the fill-in of the
+   refactored eta file near nnz(B) on the banded marginal-balance
+   matrices instead of the O(m²) a naive order produces.  Each pivot
+   emits the eta of the partially eliminated column and eagerly applies
+   it to the remaining columns that intersect the pivot row — the
+   product form this builds is identical to FTRAN-ing every column
+   through the preceding etas, just computed sparsely.  Rows may end up
+   assigned to different basic columns; the represented basis (as a set)
+   is unchanged.  Also recomputes the basic values from the perturbed
+   right-hand side, washing out the roundoff accumulated by incremental
+   updates. *)
+let refactor t =
+  Metrics.inc m_refactor;
+  t.n_etas <- 0;
+  t.eta_nnz <- 0;
+  t.pivots_since_refactor <- 0;
+  let m = t.m in
+  let assigned = Array.make m false in
+  let new_basis = Array.make m (-1) in
+  (* Working copy of the basis columns, by basis position.  [colv.(k)]
+     maps row -> current value of the partially eliminated column;
+     [rowocc.(i)] over-approximates the set of remaining columns with a
+     nonzero at row [i] (entries go stale when a value cancels). *)
+  let colv = Array.init m (fun _ -> Hashtbl.create 8) in
+  let rowocc = Array.init m (fun _ -> Hashtbl.create 8) in
+  let col_cnt = Array.make m 0 in
+  let row_cnt = Array.make m 0 in
+  Array.iteri
+    (fun k c ->
+      if c < t.n_struct then
+        Csr.iter_row t.cols c (fun i v ->
+            if v <> 0. then begin
+              Hashtbl.replace colv.(k) i v;
+              Hashtbl.replace rowocc.(i) k ();
+              col_cnt.(k) <- col_cnt.(k) + 1;
+              row_cnt.(i) <- row_cnt.(i) + 1
+            end)
+      else begin
+        let i = t.art_row.(c - t.n_struct) in
+        Hashtbl.replace colv.(k) i t.art_sign.(i);
+        Hashtbl.replace rowocc.(i) k ();
+        col_cnt.(k) <- col_cnt.(k) + 1;
+        row_cnt.(i) <- row_cnt.(i) + 1
+      end)
+    t.basis;
+  let remaining = Array.make m true in
+  let deferred = ref [] in
+  let u_etas = ref [] in
+  let n_left = ref m in
+  (* Take column [k] out of the active submatrix counts. *)
+  let retire k =
+    remaining.(k) <- false;
+    decr n_left;
+    Hashtbl.iter (fun i _ -> row_cnt.(i) <- row_cnt.(i) - 1) colv.(k)
+  in
+  while !n_left > 0 do
+    (* Markowitz pivot choice: among a short list of the sparsest
+       remaining columns, the entry minimizing
+       (row_cnt − 1)·(col_cnt − 1) over candidates no smaller than a
+       tenth of their column max — the classic fill-in estimate, with a
+       relative stability threshold. *)
+    let cmin = ref max_int in
+    for k = 0 to m - 1 do
+      if remaining.(k) && col_cnt.(k) < !cmin then cmin := col_cnt.(k)
+    done;
+    if !cmin = max_int then n_left := 0
+    else begin
+      let cands = ref [] and n_cands = ref 0 in
+      (let k = ref 0 in
+       while !n_cands < 8 && !k < m do
+         if remaining.(!k) && col_cnt.(!k) <= !cmin + 1 then begin
+           cands := !k :: !cands;
+           incr n_cands
+         end;
+         incr k
+       done);
+      let k_best = ref (-1)
+      and r_best = ref (-1)
+      and p_best = ref 0.
+      and score_best = ref max_int in
+      List.iter
+        (fun k ->
+          let colmax = ref 0. in
+          Hashtbl.iter
+            (fun i v ->
+              if (not assigned.(i)) && Float.abs v > !colmax then
+                colmax := Float.abs v)
+            colv.(k);
+          if !colmax <= 1e-11 then begin
+            retire k;
+            deferred := k :: !deferred
+          end
+          else
+            Hashtbl.iter
+              (fun i v ->
+                if (not assigned.(i)) && Float.abs v >= 0.1 *. !colmax then begin
+                  let score = (row_cnt.(i) - 1) * (col_cnt.(k) - 1) in
+                  if
+                    score < !score_best
+                    || (score = !score_best && Float.abs v > Float.abs !p_best)
+                  then begin
+                    k_best := k;
+                    r_best := i;
+                    p_best := v;
+                    score_best := score
+                  end
+                end)
+              colv.(k))
+        !cands;
+      if !k_best >= 0 then begin
+        let k = !k_best in
+        let r = !r_best in
+        let p = !p_best in
+        retire k;
+        (* Split the pivot column: entries at unassigned rows are the
+           multipliers (the L eta emitted now); entries at assigned rows
+           are frozen U values (buffered, appended in reverse order after
+           the elimination so that FTRAN performs back substitution). *)
+        let lidx = ref [] and lvals = ref [] and ln = ref 0 in
+        let uidx = ref [] and uvals = ref [] and un = ref 0 in
+        Hashtbl.iter
+          (fun i v ->
+            if i <> r then
+              if assigned.(i) then begin
+                uidx := i :: !uidx;
+                uvals := v :: !uvals;
+                incr un
+              end
+              else begin
+                lidx := i :: !lidx;
+                lvals := v :: !lvals;
+                incr ln
+              end)
+          colv.(k);
+        let lidx = Array.of_list !lidx and lvals = Array.of_list !lvals in
+        if !ln > 0 || Float.abs (p -. 1.) >= 1e-15 then
+          push_eta t { row = r; pivot = p; idx = lidx; vals = lvals };
+        if !un > 0 then
+          u_etas :=
+            {
+              row = r;
+              pivot = 1.;
+              idx = Array.of_list !uidx;
+              vals = Array.of_list !uvals;
+            }
+            :: !u_etas;
+        assigned.(r) <- true;
+        new_basis.(r) <- t.basis.(k);
+        (* Eagerly eliminate the pivot row from the remaining columns:
+           their entry at [r] becomes the frozen multiplier f = v_r / p
+           (a future U value), and only active-submatrix rows are
+           updated — this is what keeps LU fill-in small where a full
+           product-form column transform would smear into the assigned
+           rows. *)
+        let touched = Hashtbl.fold (fun k' () acc -> k' :: acc) rowocc.(r) [] in
+        List.iter
+          (fun k' ->
+            if k' <> k && remaining.(k') then begin
+              match Hashtbl.find_opt colv.(k') r with
+              | None -> ()
+              | Some vr ->
+                col_cnt.(k') <- col_cnt.(k') - 1;
+                let f = vr /. p in
+                Hashtbl.replace colv.(k') r f;
+                Array.iteri
+                  (fun q i ->
+                    let old =
+                      match Hashtbl.find_opt colv.(k') i with
+                      | Some v -> v
+                      | None -> 0.
+                    in
+                    let nv = old -. (lvals.(q) *. f) in
+                    if Float.abs nv < 1e-13 then begin
+                      if old <> 0. then begin
+                        Hashtbl.remove colv.(k') i;
+                        row_cnt.(i) <- row_cnt.(i) - 1;
+                        col_cnt.(k') <- col_cnt.(k') - 1
+                      end
+                    end
+                    else begin
+                      Hashtbl.replace colv.(k') i nv;
+                      if old = 0. then begin
+                        Hashtbl.replace rowocc.(i) k' ();
+                        row_cnt.(i) <- row_cnt.(i) + 1;
+                        col_cnt.(k') <- col_cnt.(k') + 1
+                      end
+                    end)
+                  lidx
+            end)
+          touched;
+        (* Retire column [k] from the row occupancy. *)
+        Hashtbl.iter (fun i _ -> Hashtbl.remove rowocc.(i) k) colv.(k);
+        Hashtbl.reset colv.(k)
+      end
+    end
+  done;
+  (* Back-substitution etas: U_m, …, U_1 (reverse pivot order). *)
+  List.iter (fun e -> push_eta t e) !u_etas;
+  (* Numerically deferred columns: pivot them through the eta file built
+     so far, on the largest unassigned entry of B⁻¹a — the dense
+     fallback of last resort.  A column whose transform has no usable
+     entry left is (numerically) dependent on the rest of the basis and
+     is dropped here. *)
+  let w = t.work in
+  List.iter
+    (fun k ->
+      let c = t.basis.(k) in
+      ftran_col t c w;
+      let r = ref (-1) and best = ref 1e-11 in
+      for i = 0 to m - 1 do
+        if (not assigned.(i)) && Float.abs w.(i) > !best then begin
+          r := i;
+          best := Float.abs w.(i)
+        end
+      done;
+      if !r < 0 then t.in_basis.(c) <- false
+      else begin
+        (match eta_of_pivot w !r m with Some e -> push_eta t e | None -> ());
+        assigned.(!r) <- true;
+        new_basis.(!r) <- c
+      end)
+    (List.rev !deferred);
+  (* Basis repair: cover each still-unassigned row with its artificial
+     unit column ±e_r.  At an unassigned row, ±e_r is untouched by every
+     eta built above (they all pivot on assigned rows), so the repair
+     needs no eta beyond a sign flip when the artificial is −e_r — and
+     the repaired basis is nonsingular by construction. *)
+  for i = 0 to m - 1 do
+    if new_basis.(i) < 0 then begin
+      let a = t.n_struct + i in
+      new_basis.(i) <- a;
+      t.in_basis.(a) <- true;
+      t.allowed.(a) <- false;
+      if t.art_sign.(i) <> 1. then
+        push_eta t { row = i; pivot = t.art_sign.(i); idx = [||]; vals = [||] };
+      Metrics.inc m_repairs;
+      Log.debug (fun f ->
+          f "refactor: dependent basis column replaced by unit column of row %d"
+            i)
+    end
+  done;
+  Array.blit new_basis 0 t.basis 0 t.m;
+  Array.blit t.rhs_pert 0 t.xb 0 t.m;
+  ftran_apply t t.xb;
+  (* The primal simplex needs xb ≥ 0; clamping restores the invariant.
+     Violations beyond roundoff scale mean the basis degraded (a repair,
+     or an ill-conditioned stretch of the trajectory) — the path
+     continues from the clamped point, phase 1 prices the infeasibility
+     away again, and optimality is certified by pricing, not by xb. *)
+  t.worst_infeas <- 0.;
+  for i = 0 to t.m - 1 do
+    if t.xb.(i) < 0. then begin
+      if t.xb.(i) < t.worst_infeas then t.worst_infeas <- t.xb.(i);
+      t.xb.(i) <- 0.
+    end
+  done;
+  if t.worst_infeas < -1e-7 then
+    Log.debug (fun f ->
+        f "refactor: clamped infeasible basic values (worst %g)"
+          t.worst_infeas);
+  t.base_eta_nnz <- t.eta_nnz;
+  Metrics.set m_eta_nnz (float_of_int t.eta_nnz)
+
+(* ------------------------------------------------------------------ *)
+(* Pricing and ratio test                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Entering column by reduced cost d_j = c_j − y·A_j, priced out of the
+   sparse columns. Dantzig rule (most negative) normally; under [bland],
+   the first eligible column — the termination backstop after a stall. *)
+let price t y ~cost_of ~bland =
+  let best = ref (-1) and best_d = ref (-.eps_cost) in
+  (try
+     for j = 0 to t.n_total - 1 do
+       if t.allowed.(j) && not t.in_basis.(j) then begin
+         let ya =
+           if j < t.n_struct then Csr.dot_row t.cols j y
+           else begin
+             let i = t.art_row.(j - t.n_struct) in
+             t.art_sign.(i) *. y.(i)
+           end
+         in
+         let d = cost_of j -. ya in
+         if d < !best_d then begin
+           best := j;
+           best_d := d;
+           if bland then raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  !best
+
+(* Leaving row by a Harris-style two-pass ratio test.  Pass 1 finds the
+   loosest step θ that keeps every basic value above [-tol_feas]; pass 2
+   picks, among the rows whose exact ratio fits under θ, the one with the
+   LARGEST pivot magnitude.  Trading a bounded (tol_feas) transient
+   infeasibility for large pivots is what keeps the eta file
+   well-conditioned on these heavily degenerate LPs — a plain min-ratio
+   rule is regularly forced onto 1e-9-scale pivots whose eta
+   multipliers then poison every later FTRAN.  The tolerance is kept an
+   order below the anti-degeneracy perturbation so the perturbation's
+   tie-breaking survives.  Under [bland], the plain smallest-basic-column
+   rule — the termination backstop.  Returns -1 when the column is
+   unbounded. *)
+let tol_feas = 1e-9
+
+let ratio_test t w ~bland =
+  if bland then begin
+    let best = ref (-1) and best_ratio = ref infinity in
+    for i = 0 to t.m - 1 do
+      let wi = w.(i) in
+      if wi > eps_pivot then begin
+        let ratio = Float.max 0. (t.xb.(i) /. wi) in
+        let tol = 1e-12 *. Float.max 1. !best_ratio in
+        if !best < 0 || ratio < !best_ratio -. tol then begin
+          best := i;
+          best_ratio := ratio
+        end
+        else if ratio <= !best_ratio +. tol && t.basis.(i) < t.basis.(!best)
+        then begin
+          best := i;
+          best_ratio := Float.min ratio !best_ratio
+        end
+      end
+    done;
+    !best
+  end
+  else begin
+    let theta = ref infinity in
+    for i = 0 to t.m - 1 do
+      let wi = w.(i) in
+      if wi > eps_pivot then begin
+        let r = (Float.max 0. t.xb.(i) +. tol_feas) /. wi in
+        if r < !theta then theta := r
+      end
+    done;
+    if !theta = infinity then -1
+    else begin
+      let best = ref (-1) and best_w = ref 0. in
+      for i = 0 to t.m - 1 do
+        let wi = w.(i) in
+        if wi > !best_w && Float.max 0. t.xb.(i) /. wi <= !theta then begin
+          best := i;
+          best_w := wi
+        end
+      done;
+      !best
+    end
+  end
+
+type status = R_optimal | R_unbounded | R_limit
+
+let run_phase t ~cost_of ~max_iter ~stall_limit =
+  let y = Array.make t.m 0. in
+  let w = t.work in
+  let bland = ref false in
+  let iter = ref 0 in
+  let stalled = ref 0 in
+  let degenerate = ref 0 in
+  let best_obj = ref infinity in
+  let result = ref None in
+  while !result = None do
+    if !iter >= max_iter then result := Some R_limit
+    else begin
+      (* Duals of the current basis: y = B⁻ᵀ c_B. *)
+      for i = 0 to t.m - 1 do
+        y.(i) <- cost_of t.basis.(i)
+      done;
+      btran_apply t y;
+      let q = price t y ~cost_of ~bland:!bland in
+      if q < 0 then result := Some R_optimal
+      else begin
+        ftran_col t q w;
+        let r = ratio_test t w ~bland:!bland in
+        if r < 0 then result := Some R_unbounded
+        else begin
+          let step = Float.max 0. (t.xb.(r) /. w.(r)) in
+          for i = 0 to t.m - 1 do
+            if i <> r && w.(i) <> 0. then begin
+              let v = t.xb.(i) -. (w.(i) *. step) in
+              t.xb.(i) <- (if v < 0. && v > -1e-7 then 0. else v)
+            end
+          done;
+          t.xb.(r) <- step;
+          let leaving = t.basis.(r) in
+          t.in_basis.(leaving) <- false;
+          (* An artificial that leaves the basis must never come back. *)
+          if leaving >= t.n_struct then t.allowed.(leaving) <- false;
+          t.in_basis.(q) <- true;
+          t.basis.(r) <- q;
+          (match eta_of_pivot w r t.m with Some e -> push_eta t e | None -> ());
+          t.pivots_since_refactor <- t.pivots_since_refactor + 1;
+          incr iter;
+          let obj = ref 0. in
+          for i = 0 to t.m - 1 do
+            obj := !obj +. (cost_of t.basis.(i) *. t.xb.(i))
+          done;
+          if !obj < !best_obj -. (1e-12 *. (1. +. Float.abs !best_obj)) then begin
+            best_obj := !obj;
+            stalled := 0
+          end
+          else begin
+            incr stalled;
+            incr degenerate;
+            if !stalled >= stall_limit && not !bland then begin
+              Log.debug (fun f ->
+                  f "stall after %d pivots: switching to Bland's rule" !iter);
+              bland := true;
+              stalled := 0
+            end
+          end;
+          if
+            t.pivots_since_refactor >= refactor_interval
+            || t.eta_nnz > 10 * (t.base_eta_nnz + t.m)
+          then refactor t;
+          if !iter mod 1000 = 0 then
+            Log.debug (fun f ->
+                f "iter=%d obj=%.12g entering=%d leaving_row=%d" !iter !obj q r)
+        end
+      end
+    end
+  done;
+  Metrics.inc ~by:(float_of_int !iter) m_pivots;
+  Metrics.inc ~by:(float_of_int !degenerate) m_degenerate;
+  ((match !result with Some s -> s | None -> assert false), !iter)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Anti-degeneracy perturbation, fixed at prepare time.  Same story as
+   the dense backend (the marginal-balance LPs have hundreds of zero
+   right-hand sides and cycle under every deterministic tie-breaking
+   rule), with one additional constraint: the perturbation is
+   chosen ONCE and kept for the lifetime of the prepared state, so that
+   every basis ever reached stays primal-feasible for every later
+   objective — the invariant warm-started reoptimization rests on. Exact
+   quantities are recovered through B⁻¹ applied to the true right-hand
+   side. *)
+let perturbation j salt =
+  let h = (((j + (salt * 7919)) * 2654435761) lxor (salt * 40503)) land 0xFFFFFF in
+  let u = float_of_int h /. float_of_int 0x1000000 in
+  (* Large enough that degenerate steps dominate the FTRAN roundoff that
+     accumulates on big instances (m ~ 10⁴), small enough not to disturb
+     which vertex is optimal in practice; the reported solution is exact
+     either way because extraction applies B⁻¹ to the true rhs. *)
+  1e-8 *. (0.5 +. u)
+
+let build_state std salt =
+  let m = Std_form.num_rows std in
+  let n_struct = std.Std_form.ncols in
+  let cols = Std_form.cols std in
+  (* Independent positive noise on every row (the standard-form rhs is
+     sign-normalized to be >= 0, so the perturbed rhs stays >= 0 too).
+     Equality rows make the perturbed system slightly inconsistent, so
+     phase 1 may park an artificial at an O(1e-8) value — harmless,
+     because feasibility and the reported quantities are judged against
+     the TRUE right-hand side (B⁻¹b), not the perturbed one. *)
+  let rhs_pert =
+    Array.init m (fun i -> std.Std_form.rhs.(i) +. perturbation i salt)
+  in
+  (* One artificial per row: column n_struct + i ≡ ±e_i, signed so its
+     basic value |rhs_pert i| is nonnegative.  Only the ones seeding the
+     initial basis take part in phase 1; the rest exist solely for basis
+     repair in [refactor] and stay barred from pricing for good. *)
+  let art_row = Array.init m (fun i -> i) in
+  let art_sign =
+    Array.init m (fun i -> if rhs_pert.(i) >= 0. then 1. else -1.)
+  in
+  let n_total = n_struct + m in
+  let allowed = Array.make n_total true in
+  let basis = Array.make m (-1) in
+  for i = m - 1 downto 0 do
+    match Std_form.slack_basic_of_row std i with
+    | Some j when rhs_pert.(i) >= 0. ->
+      basis.(i) <- j;
+      allowed.(n_struct + i) <- false
+    | Some _ | None -> basis.(i) <- n_struct + i
+  done;
+  let in_basis = Array.make n_total false in
+  Array.iter (fun c -> in_basis.(c) <- true) basis;
+  let a_nnz = Csr.nnz cols in
+  let t =
+    {
+      std;
+      m;
+      n_struct;
+      n_total;
+      cols;
+      a_nnz;
+      art_row;
+      art_sign;
+      basis;
+      in_basis;
+      allowed;
+      etas = Array.make 64 dummy_eta;
+      n_etas = 0;
+      eta_nnz = 0;
+      base_eta_nnz = 0;
+      pivots_since_refactor = 0;
+      worst_infeas = 0.;
+      xb = Array.map Float.abs rhs_pert;
+      rhs_pert;
+      phase1_basis = Array.copy basis;
+      solves = 0;
+      work = Array.make m 0.;
+    }
+  in
+  (* Seed etas so the (empty-file) identity represents B⁻¹ exactly: a
+     −e_i artificial in the initial basis contributes a diagonal −1. *)
+  for i = 0 to m - 1 do
+    if basis.(i) = n_struct + i && art_sign.(i) <> 1. then
+      push_eta t { row = i; pivot = art_sign.(i); idx = [||]; vals = [||] }
+  done;
+  t
+
+let prepare_unspanned ?max_iter model =
+  let std = Std_form.build model in
+  let m = Std_form.num_rows std in
+  let max_iter =
+    match max_iter with
+    | Some k -> k
+    | None -> 50_000 + (50 * (m + std.Std_form.ncols))
+  in
+  let rec attempt salt =
+    let t = build_state std salt in
+    let cost_of j = if j >= t.n_struct then 1. else 0. in
+    let stall_limit = max 5_000 (20 * m) in
+    let status, _ = run_phase t ~cost_of ~max_iter ~stall_limit in
+    match status with
+    | R_limit ->
+      if salt < 3 then begin
+        Metrics.inc m_retries;
+        Log.debug (fun f ->
+            f "phase-1 stall with perturbation salt %d; retrying" salt);
+        attempt (salt + 1)
+      end
+      else Error (Simplex.Iteration_limit_phase1 max_iter)
+    | R_unbounded ->
+      (* Phase 1 minimizes a sum of nonnegative variables — unbounded is
+         impossible in exact arithmetic, so reaching it means the basis
+         degraded numerically.  Retry like a stall. *)
+      if salt < 3 then begin
+        Metrics.inc m_retries;
+        Log.debug (fun f ->
+            f "phase-1 numerically degraded with perturbation salt %d; retrying"
+              salt);
+        attempt (salt + 1)
+      end
+      else Error Simplex.Infeasible_phase1
+    | R_optimal ->
+      (* Judge the artificial mass against the TRUE (unperturbed)
+         right-hand side: x = B⁻¹ b. *)
+      let x_true = Array.copy std.Std_form.rhs in
+      ftran_apply t x_true;
+      let mass = ref 0. in
+      for i = 0 to m - 1 do
+        if t.basis.(i) >= t.n_struct then mass := !mass +. Float.abs x_true.(i)
+      done;
+      if !mass > 1e-6 then
+        if salt < 3 then begin
+          (* Residual artificial mass on these LPs means the trajectory
+             degraded numerically (the exact aggregated solution is always
+             feasible) — a fresh perturbation reshuffles the degenerate
+             ties and usually avoids the bad path. *)
+          Metrics.inc m_retries;
+          Log.debug (fun f ->
+              f
+                "phase-1 artificial mass %g with perturbation salt %d; \
+                 retrying"
+                !mass salt);
+          attempt (salt + 1)
+        end
+        else Error Simplex.Infeasible_phase1
+      else begin
+        (* Residual basic artificials flag linearly dependent rows; they
+           stay at their O(perturbation) values, barred from re-entering. *)
+        for j = t.n_struct to t.n_total - 1 do
+          t.allowed.(j) <- false
+        done;
+        Array.blit t.basis 0 t.phase1_basis 0 m;
+        Ok t
+      end
+  in
+  attempt 0
+
+let prepare ?max_iter model =
+  Span.with_ "revised.phase1" (fun () -> prepare_unspanned ?max_iter model)
+
+let reset t =
+  Array.blit t.phase1_basis 0 t.basis 0 t.m;
+  Array.fill t.in_basis 0 t.n_total false;
+  Array.iter (fun c -> t.in_basis.(c) <- true) t.basis;
+  t.solves <- 0;
+  refactor t
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_unspanned ?max_iter t direction objective =
+  Metrics.inc m_solves;
+  let warm = t.solves > 0 in
+  if warm then Metrics.inc m_warm;
+  let max_iter =
+    match max_iter with
+    | Some k -> k
+    | None -> 50_000 + (50 * (t.m + t.n_struct))
+  in
+  let sign = match direction with Simplex.Minimize -> 1. | Simplex.Maximize -> -1. in
+  let c = Std_form.costs t.std ~sign objective in
+  let cost_of j = if j < t.n_struct then c.(j) else 0. in
+  let stall_limit = max 5_000 (20 * t.m) in
+  let status, iterations = run_phase t ~cost_of ~max_iter ~stall_limit in
+  t.solves <- t.solves + 1;
+  if warm then Metrics.observe m_warm_pivots (float_of_int iterations);
+  Metrics.set m_eta_nnz (float_of_int t.eta_nnz);
+  match status with
+  | R_limit -> Simplex.Iteration_limit
+  | R_unbounded -> Simplex.Unbounded
+  | R_optimal ->
+    (* Exact basic values at the final basis: x = B⁻¹ b with the true
+       right-hand side, keeping reported point and objective free of the
+       anti-degeneracy perturbation. *)
+    let x_true = Array.copy t.std.Std_form.rhs in
+    ftran_apply t x_true;
+    let x_std = Array.make t.n_struct 0. in
+    for i = 0 to t.m - 1 do
+      if t.basis.(i) < t.n_struct then x_std.(t.basis.(i)) <- x_true.(i)
+    done;
+    let values = Std_form.extract t.std x_std in
+    let objective_value = Std_form.objective_value objective values in
+    (* Duals y = B⁻ᵀ c_B, restored to the original row orientation and
+       optimization direction. *)
+    let y = Array.make t.m 0. in
+    for i = 0 to t.m - 1 do
+      y.(i) <- cost_of t.basis.(i)
+    done;
+    btran_apply t y;
+    let duals =
+      Array.init t.std.Std_form.nrows_model (fun i ->
+          sign *. t.std.Std_form.row_signs.(i) *. y.(i))
+    in
+    Simplex.Optimal { objective = objective_value; values; duals; iterations }
+
+let optimize ?max_iter t direction objective =
+  Span.with_ "revised.phase2" (fun () ->
+      optimize_unspanned ?max_iter t direction objective)
+
+let solve ?max_iter model direction objective =
+  match prepare ?max_iter model with
+  | Error Simplex.Infeasible_phase1 -> Simplex.Infeasible
+  | Error (Simplex.Iteration_limit_phase1 _) -> Simplex.Iteration_limit
+  | Ok t -> optimize ?max_iter t direction objective

@@ -1,0 +1,57 @@
+(** Revised simplex with a sparse constraint matrix and an eta-file basis.
+
+    The production LP backend. Where {!Simplex} expands the constraints
+    into a dense [m × n] tableau and touches all of it on every pivot,
+    this solver stores the standard-form matrix once in CSR (column-major
+    through {!Std_form.cols}) and maintains only the basis inverse as a
+    product of eta matrices:
+
+    - pricing computes reduced costs [d_j = c_j − y·A_j] against the
+      sparse columns ({!Mapqn_sparse.Csr.dot_row});
+    - FTRAN/BTRAN apply the eta file in O(eta nonzeros);
+    - the file is periodically rebuilt from identity (refactorization) to
+      bound its growth and wash out roundoff.
+
+    Per-pivot work is O(nnz(A) + eta nonzeros) instead of O(m·n), and
+    memory O(nnz) instead of O(m·n) — the difference between solving the
+    marginal-balance LPs at population 500 in milliseconds and not fitting
+    their tableau in memory at all.
+
+    The prepared state is mutable and supports {b warm starts}: each
+    {!optimize} reoptimizes from the basis left by the previous call,
+    which for the closely-related objectives of a bound sweep typically
+    needs a handful of pivots instead of a full phase 2. The
+    anti-degeneracy perturbation is fixed at {!prepare} time so every
+    basis reached remains primal-feasible for every later objective.
+
+    Directions, outcomes and preparation errors are shared with
+    {!Simplex}, so callers can switch backends without translation. *)
+
+type t
+(** A prepared (phase-1 feasible) solver state for one model. Mutable:
+    {!optimize} moves the basis. *)
+
+val prepare : ?max_iter:int -> Lp_model.t -> (t, Simplex.prepare_error) result
+(** Run phase 1. Default [max_iter] is [50_000 + 50 * (rows + vars)]. *)
+
+val optimize :
+  ?max_iter:int ->
+  t ->
+  Simplex.direction ->
+  (Lp_model.var * float) list ->
+  Simplex.outcome
+(** Run phase 2 for one objective, warm-starting from the basis of the
+    previous call (or the phase-1 basis on the first call). The final
+    basis is kept for the next objective. *)
+
+val reset : t -> unit
+(** Forget warm-start state: restore the phase-1 basis. The next
+    {!optimize} prices from scratch. *)
+
+val solve :
+  ?max_iter:int ->
+  Lp_model.t ->
+  Simplex.direction ->
+  (Lp_model.var * float) list ->
+  Simplex.outcome
+(** One-shot [prepare] + [optimize]. *)

@@ -3,6 +3,7 @@ let log_src = Logs.Src.create "mapqn.simplex" ~doc:"simplex pivoting"
 module Log = (val Logs.src_log log_src)
 module Metrics = Mapqn_obs.Metrics
 module Span = Mapqn_obs.Span
+module Csr = Mapqn_sparse.Csr
 
 (* Solver telemetry (recorded into the process-global registry; see
    Mapqn_obs). Counters are bumped once per phase run — only the objective
@@ -47,6 +48,15 @@ type solution = {
 }
 type outcome = Optimal of solution | Infeasible | Unbounded | Iteration_limit
 
+type prepare_error = Infeasible_phase1 | Iteration_limit_phase1 of int
+
+let prepare_error_to_string = function
+  | Infeasible_phase1 ->
+    "marginal LP infeasible in phase 1 (the constraint system admits no \
+     point)"
+  | Iteration_limit_phase1 k ->
+    Printf.sprintf "simplex iteration limit (%d pivots) in phase 1" k
+
 let eps_pivot = 1e-9
 
 (* Entering threshold for reduced costs. Deliberately loose: after many
@@ -55,114 +65,6 @@ let eps_pivot = 1e-9
    degenerate optimum. The resulting objective error is of the same
    magnitude and far below the tolerances used by the bound analysis. *)
 let eps_cost = 3e-8
-
-(* How a standard-form column maps back to a model variable. *)
-type col_origin =
-  | Shifted of { var : int; lb : float } (* x = lb + y *)
-  | Negative_part of { var : int } (* free vars: x = y⁺ - y⁻; this is y⁻ *)
-  | Slack
-
-type std_form = {
-  ncols : int; (* structural standard-form columns (no artificials) *)
-  origins : col_origin array;
-  rows : (int * float) list array; (* per-row terms over std columns *)
-  rhs : float array; (* after sign normalization, all >= 0 *)
-  row_signs : float array; (* -1 where the row was negated to make rhs >= 0 *)
-  nvars_model : int;
-  nrows_model : int; (* the first nrows_model std rows map 1:1 to model rows *)
-}
-
-(* ------------------------------------------------------------------ *)
-(* Standard-form conversion                                            *)
-(* ------------------------------------------------------------------ *)
-
-let build_std_form model =
-  let nvars = Lp_model.num_vars model in
-  let origins = ref [] in
-  let ncols = ref 0 in
-  let add_col origin =
-    origins := origin :: !origins;
-    incr ncols;
-    !ncols - 1
-  in
-  (* plus.(v) is the main column of model var v; minus.(v) the negative part
-     for free variables (-1 otherwise). shift.(v) is the lower bound folded
-     into the column. *)
-  let plus = Array.make nvars (-1) in
-  let minus = Array.make nvars (-1) in
-  let shift = Array.make nvars 0. in
-  let extra_rows = ref [] in
-  for v = 0 to nvars - 1 do
-    let lb, ub = Lp_model.var_bounds model (Lp_model.var_of_int model v) in
-    if lb = neg_infinity then begin
-      plus.(v) <- add_col (Shifted { var = v; lb = 0. });
-      minus.(v) <- add_col (Negative_part { var = v });
-      if ub < infinity then
-        extra_rows := ([ (plus.(v), 1.); (minus.(v), -1.) ], Lp_model.Le, ub) :: !extra_rows
-    end
-    else begin
-      plus.(v) <- add_col (Shifted { var = v; lb });
-      shift.(v) <- lb;
-      if ub < infinity then
-        extra_rows := ([ (plus.(v), 1.) ], Lp_model.Le, ub -. lb) :: !extra_rows
-    end
-  done;
-  (* Translate model rows into std columns, folding lower-bound shifts into
-     the right-hand side. *)
-  let translate terms rhs =
-    let tbl = Hashtbl.create 16 in
-    let rhs = ref rhs in
-    List.iter
-      (fun (v, c) ->
-        let v = (v : Lp_model.var :> int) in
-        rhs := !rhs -. (c *. shift.(v));
-        let upd col coef =
-          let cur = try Hashtbl.find tbl col with Not_found -> 0. in
-          Hashtbl.replace tbl col (cur +. coef)
-        in
-        upd plus.(v) c;
-        if minus.(v) >= 0 then upd minus.(v) (-.c))
-      terms;
-    let out = Hashtbl.fold (fun col c acc -> if c <> 0. then (col, c) :: acc else acc) tbl [] in
-    (out, !rhs)
-  in
-  let model_rows =
-    List.map (fun (terms, sense, rhs, _) -> (terms, sense, rhs)) (Lp_model.rows model)
-  in
-  let all_rows =
-    List.map (fun (terms, sense, rhs) ->
-        let std_terms, rhs = translate terms rhs in
-        (std_terms, sense, rhs))
-      model_rows
-    @ List.rev !extra_rows
-  in
-  (* Attach slack/surplus columns and normalize signs so rhs >= 0. *)
-  let rows_acc = ref [] and rhs_acc = ref [] and sign_acc = ref [] in
-  List.iter
-    (fun (terms, sense, rhs) ->
-      let terms =
-        match sense with
-        | Lp_model.Eq -> terms
-        | Lp_model.Le -> (add_col Slack, 1.) :: terms
-        | Lp_model.Ge -> (add_col Slack, -1.) :: terms
-      in
-      let terms, rhs, sign =
-        if rhs < 0. then (List.map (fun (c, v) -> (c, -.v)) terms, -.rhs, -1.)
-        else (terms, rhs, 1.)
-      in
-      rows_acc := terms :: !rows_acc;
-      rhs_acc := rhs :: !rhs_acc;
-      sign_acc := sign :: !sign_acc)
-    all_rows;
-  {
-    ncols = !ncols;
-    origins = Array.of_list (List.rev !origins);
-    rows = Array.of_list (List.rev !rows_acc);
-    rhs = Array.of_list (List.rev !rhs_acc);
-    row_signs = Array.of_list (List.rev !sign_acc);
-    nvars_model = nvars;
-    nrows_model = List.length model_rows;
-  }
 
 (* ------------------------------------------------------------------ *)
 (* Tableau                                                             *)
@@ -188,7 +90,7 @@ type tableau = {
 
 type prepared = {
   tab : tableau;
-  std : std_form;
+  std : Std_form.t;
 }
 
 let copy_tableau t =
@@ -388,10 +290,10 @@ let run_phase ?stop_below ?(stall_limit = max_int) t obj ~max_iter =
 (* ------------------------------------------------------------------ *)
 
 let prepare_unspanned ?max_iter model =
-  let std = build_std_form model in
-  let m = Array.length std.rows in
+  let std = Std_form.build model in
+  let m = Std_form.num_rows std in
   let max_iter =
-    match max_iter with Some k -> k | None -> 50_000 + (50 * (m + std.ncols))
+    match max_iter with Some k -> k | None -> 50_000 + (50 * (m + std.Std_form.ncols))
   in
   (* Artificial columns are allocated only for rows whose initial basic
      variable cannot be a +1 slack. They are kept in the tableau forever:
@@ -399,22 +301,15 @@ let prepare_unspanned ?max_iter model =
      block, i.e. the columns [binv_cols] always hold B⁻¹ — which lets us
      recompute the exact right-hand side after solving a perturbed
      problem. *)
-  let slack_basic_of_row i =
-    List.find_opt
-      (fun (j, v) ->
-        (match std.origins.(j) with Slack -> true | Shifted _ | Negative_part _ -> false)
-        && Float.abs (v -. 1.) < 1e-12)
-      std.rows.(i)
-  in
   let n_artificial = ref 0 in
   let art_col = Array.make m (-1) in
   for i = 0 to m - 1 do
-    if slack_basic_of_row i = None then begin
-      art_col.(i) <- std.ncols + !n_artificial;
+    if Std_form.slack_basic_of_row std i = None then begin
+      art_col.(i) <- std.Std_form.ncols + !n_artificial;
       incr n_artificial
     end
   done;
-  let n_total = std.ncols + !n_artificial in
+  let n_total = std.Std_form.ncols + !n_artificial in
   (* One phase-1 attempt with a given anti-degeneracy perturbation seed.
      The marginal-balance LPs have hundreds of zero right-hand sides, and
      on such problems every tie-breaking rule we tried (Bland,
@@ -431,10 +326,10 @@ let prepare_unspanned ?max_iter model =
     let allowed = Array.make n_total true in
     let artificial = Array.make n_total false in
     for i = 0 to m - 1 do
-      List.iter (fun (j, v) -> a.(i).(j) <- v) std.rows.(i);
-      a.(i).(n_total) <- std.rhs.(i);
-      match slack_basic_of_row i with
-      | Some (j, _) -> basis.(i) <- j
+      Csr.iter_row std.Std_form.rows i (fun j v -> a.(i).(j) <- v);
+      a.(i).(n_total) <- std.Std_form.rhs.(i);
+      match Std_form.slack_basic_of_row std i with
+      | Some j -> basis.(i) <- j
       | None ->
         let art = art_col.(i) in
         a.(i).(art) <- 1.;
@@ -445,7 +340,7 @@ let prepare_unspanned ?max_iter model =
       (* Cheap deterministic hash of (row index, salt) into (0.5, 1.5). *)
       let h = (((i + (salt * 7919)) * 2654435761) lxor (salt * 40503)) land 0xFFFFFF in
       let u = float_of_int h /. float_of_int 0x1000000 in
-      1e-8 *. (1. +. Float.abs std.rhs.(i)) *. (0.5 +. u)
+      1e-8 *. (1. +. Float.abs std.Std_form.rhs.(i)) *. (0.5 +. u)
     in
     for i = 0 to m - 1 do
       a.(i).(n_total) <- a.(i).(n_total) +. perturbation i
@@ -484,7 +379,7 @@ let prepare_unspanned ?max_iter model =
             f "phase-1 stall with perturbation salt %d; retrying" salt);
         try_attempts (salt + 1)
       end
-      else Error `Iteration_limit
+      else Error (Iteration_limit_phase1 max_iter)
     | P_unbounded, _, _ ->
       (* Phase 1 minimizes a sum of nonnegative variables: never unbounded. *)
       assert false
@@ -494,7 +389,7 @@ let prepare_unspanned ?max_iter model =
       let rhs_true i =
         let acc = Mapqn_util.Ksum.create () in
         for j = 0 to m - 1 do
-          Mapqn_util.Ksum.add acc (t.a.(i).(t.binv_cols.(j)) *. std.rhs.(j))
+          Mapqn_util.Ksum.add acc (t.a.(i).(t.binv_cols.(j)) *. std.Std_form.rhs.(j))
         done;
         Mapqn_util.Ksum.total acc
       in
@@ -502,7 +397,7 @@ let prepare_unspanned ?max_iter model =
       for i = 0 to m - 1 do
         if artificial.(t.basis.(i)) then mass := !mass +. Float.abs (rhs_true i)
       done;
-      if !mass > 1e-6 then Error `Infeasible
+      if !mass > 1e-6 then Error Infeasible_phase1
       else begin
         (* Artificials must never re-enter in phase 2. Residual basic
            artificials correspond to linearly dependent rows; they stay at
@@ -520,44 +415,25 @@ let prepare ?max_iter model =
 (* Phase 2                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let std_costs std direction objective =
-  let sign = match direction with Minimize -> 1. | Maximize -> -1. in
-  let c = Array.make std.ncols 0. in
-  let const = ref 0. in
-  List.iter
-    (fun (v, coef) ->
-      let v = (v : Lp_model.var :> int) in
-      let coef = sign *. coef in
-      Array.iteri
-        (fun j origin ->
-          match origin with
-          | Shifted { var; lb } ->
-            if var = v then begin
-              c.(j) <- c.(j) +. coef;
-              const := !const +. (coef *. lb)
-            end
-          | Negative_part { var } -> if var = v then c.(j) <- c.(j) -. coef
-          | Slack -> ())
-        std.origins)
-    objective;
-  (c, !const, sign)
-
 let extract_solution std tab =
-  let x_std = Array.make std.ncols 0. in
+  let x_std = Array.make std.Std_form.ncols 0. in
   for i = 0 to tab.m - 1 do
     (* Basic artificials (linearly dependent rows) carry no structural
-       value. *)
-    if tab.basis.(i) < std.ncols then x_std.(tab.basis.(i)) <- tab.a.(i).(tab.n)
+       value. For the rest, recompute the exact basic value x_B = B⁻¹ b
+       from the TRUE right-hand side through the initial-identity columns
+       instead of reading the perturbed tableau RHS — keeps the reported
+       point (and hence the objective) free of the anti-degeneracy
+       perturbation, and in lockstep with the revised backend's
+       FTRAN-based extraction. *)
+    if tab.basis.(i) < std.Std_form.ncols then begin
+      let acc = Mapqn_util.Ksum.create () in
+      for j = 0 to tab.m - 1 do
+        Mapqn_util.Ksum.add acc (tab.a.(i).(tab.binv_cols.(j)) *. std.Std_form.rhs.(j))
+      done;
+      x_std.(tab.basis.(i)) <- Mapqn_util.Ksum.total acc
+    end
   done;
-  let x = Array.make std.nvars_model 0. in
-  Array.iteri
-    (fun j origin ->
-      match origin with
-      | Shifted { var; lb } -> x.(var) <- x.(var) +. lb +. x_std.(j)
-      | Negative_part { var } -> x.(var) <- x.(var) -. x_std.(j)
-      | Slack -> ())
-    std.origins;
-  x
+  Std_form.extract std x_std
 
 let optimize_unspanned ?max_iter prepared direction objective =
   Metrics.inc m_solves;
@@ -567,8 +443,9 @@ let optimize_unspanned ?max_iter prepared direction objective =
     | Some k -> k
     | None -> 50_000 + (50 * (prepared.tab.m + prepared.tab.n))
   in
-  let c, _const, sign = std_costs std direction objective in
-  let cost_of col = if col < std.ncols then c.(col) else 0. in
+  let sign = match direction with Minimize -> 1. | Maximize -> -1. in
+  let c = Std_form.costs std ~sign objective in
+  let cost_of col = if col < std.Std_form.ncols then c.(col) else 0. in
   (* One phase-2 attempt; [salt > 0] re-perturbs the right-hand side in the
      current basis frame (equivalent to perturbing b by B·δ, so primal
      feasibility is preserved) to break symmetric degeneracy — same story
@@ -588,7 +465,7 @@ let optimize_unspanned ?max_iter prepared direction objective =
     (* Reduced costs priced out against the prepared basis; slot n
        accumulates -(objective of the current basic solution). *)
     let obj = Array.make (tab.n + 1) 0. in
-    Array.blit c 0 obj 0 std.ncols;
+    Array.blit c 0 obj 0 std.Std_form.ncols;
     for i = 0 to tab.m - 1 do
       let cb = cost_of tab.basis.(i) in
       if cb <> 0. then
@@ -617,26 +494,19 @@ let optimize_unspanned ?max_iter prepared direction objective =
        the tableau accumulator: the right-hand side was perturbed, and the
        direct evaluation keeps objective and reported point consistent. *)
     let values = extract_solution std tab in
-    let objective_value =
-      let acc = Mapqn_util.Ksum.create () in
-      List.iter
-        (fun (v, coef) ->
-          Mapqn_util.Ksum.add acc (coef *. values.((v : Lp_model.var :> int))))
-        objective;
-      Mapqn_util.Ksum.total acc
-    in
+    let objective_value = Std_form.objective_value objective values in
     (* Dual values y = c_B B⁻¹ for the model rows, read through the
        initial-identity columns; signs restore the original row
        orientation and the original optimization direction. *)
     let duals =
-      Array.init std.nrows_model (fun i ->
+      Array.init std.Std_form.nrows_model (fun i ->
           let acc = Mapqn_util.Ksum.create () in
           for r = 0 to tab.m - 1 do
             let cb = cost_of tab.basis.(r) in
             if cb <> 0. then
               Mapqn_util.Ksum.add acc (cb *. tab.a.(r).(tab.binv_cols.(i)))
           done;
-          sign *. std.row_signs.(i) *. Mapqn_util.Ksum.total acc)
+          sign *. std.Std_form.row_signs.(i) *. Mapqn_util.Ksum.total acc)
     in
     Metrics.set m_objective objective_value;
     Optimal { objective = objective_value; values; duals; iterations }
@@ -647,6 +517,6 @@ let optimize ?max_iter prepared direction objective =
 
 let solve ?max_iter model direction objective =
   match prepare ?max_iter model with
-  | Error `Infeasible -> Infeasible
-  | Error `Iteration_limit -> Iteration_limit
+  | Error Infeasible_phase1 -> Infeasible
+  | Error (Iteration_limit_phase1 _) -> Iteration_limit
   | Ok prepared -> optimize ?max_iter prepared direction objective

@@ -1,11 +1,16 @@
 (** Two-phase primal simplex over a dense tableau.
 
     Implemented from scratch (no external LP dependency): Dantzig pricing
-    with a rotating partial-pricing window for speed, automatic switch to
-    Bland's rule after a stall to guarantee termination on degenerate
-    problems (the marginal-balance LPs are highly degenerate), and
-    explicit removal of redundant rows discovered in phase 1 (the
-    balance-equation families are rank-deficient by construction).
+    with a rotating partial-pricing window for speed, lexicographic and
+    perturbation-based anti-cycling (the marginal-balance LPs are highly
+    degenerate), and tolerance of redundant rows discovered in phase 1
+    (the balance-equation families are rank-deficient by construction).
+
+    This is the reference backend: asymptotically the tableau costs
+    O(m·n) memory and O(m·n) work per pivot, so it only scales to small
+    populations. {!Revised} is the production backend; the two are
+    cross-checked against each other in the test suite, and this one
+    remains selectable as [--solver=dense].
 
     The bound layer solves min and max of many objectives over one
     feasible region, so the expensive phase 1 is exposed separately:
@@ -31,11 +36,17 @@ type outcome =
   | Unbounded
   | Iteration_limit
 
+type prepare_error =
+  | Infeasible_phase1  (** the constraint system admits no point *)
+  | Iteration_limit_phase1 of int
+      (** phase 1 exhausted its pivot budget (the payload) *)
+
+val prepare_error_to_string : prepare_error -> string
+
 type prepared
 (** A feasible basis for a model (output of phase 1). *)
 
-val prepare :
-  ?max_iter:int -> Lp_model.t -> (prepared, [ `Infeasible | `Iteration_limit ]) result
+val prepare : ?max_iter:int -> Lp_model.t -> (prepared, prepare_error) result
 (** Run phase 1. Default [max_iter] is [50_000 + 50 * (rows + vars)]. *)
 
 val optimize :

@@ -1,0 +1,166 @@
+module Csr = Mapqn_sparse.Csr
+
+type col_origin =
+  | Shifted of { var : int; lb : float } (* x = lb + y *)
+  | Negative_part of { var : int } (* free vars: x = y⁺ - y⁻; this is y⁻ *)
+  | Slack
+
+type t = {
+  ncols : int;
+  origins : col_origin array;
+  rows : Csr.t;
+  rhs : float array;
+  row_signs : float array;
+  nvars_model : int;
+  nrows_model : int;
+  plus : int array;
+  minus : int array;
+  shift : float array;
+  mutable cols_cache : Csr.t option;
+}
+
+let num_rows t = Csr.nrows t.rows
+let rows t = t.rows
+
+let cols t =
+  match t.cols_cache with
+  | Some c -> c
+  | None ->
+    let c = Csr.transpose t.rows in
+    t.cols_cache <- Some c;
+    c
+
+let build model =
+  let nvars = Lp_model.num_vars model in
+  let origins = ref [] in
+  let ncols = ref 0 in
+  let add_col origin =
+    origins := origin :: !origins;
+    incr ncols;
+    !ncols - 1
+  in
+  (* plus.(v) is the main column of model var v; minus.(v) the negative part
+     for free variables (-1 otherwise). shift.(v) is the lower bound folded
+     into the column. *)
+  let plus = Array.make nvars (-1) in
+  let minus = Array.make nvars (-1) in
+  let shift = Array.make nvars 0. in
+  let extra_rows = ref [] in
+  for v = 0 to nvars - 1 do
+    let lb, ub = Lp_model.var_bounds model (Lp_model.var_of_int model v) in
+    if lb = neg_infinity then begin
+      plus.(v) <- add_col (Shifted { var = v; lb = 0. });
+      minus.(v) <- add_col (Negative_part { var = v });
+      if ub < infinity then
+        extra_rows :=
+          ([ (plus.(v), 1.); (minus.(v), -1.) ], Lp_model.Le, ub) :: !extra_rows
+    end
+    else begin
+      plus.(v) <- add_col (Shifted { var = v; lb });
+      shift.(v) <- lb;
+      if ub < infinity then
+        extra_rows := ([ (plus.(v), 1.) ], Lp_model.Le, ub -. lb) :: !extra_rows
+    end
+  done;
+  let nrows_model = Lp_model.num_rows model in
+  let nrows = nrows_model + List.length !extra_rows in
+  (* Translate the model rows into standard-form triplets, folding
+     lower-bound shifts into the right-hand side, attaching slack/surplus
+     columns and normalizing signs so rhs >= 0. Duplicate model terms on
+     one variable are merged by the Csr constructor. *)
+  let triplets = ref [] in
+  let rhs = Array.make nrows 0. in
+  let row_signs = Array.make nrows 1. in
+  let emit_row i terms sense rhs_val =
+    let terms =
+      match sense with
+      | Lp_model.Eq -> terms
+      | Lp_model.Le -> (add_col Slack, 1.) :: terms
+      | Lp_model.Ge -> (add_col Slack, -1.) :: terms
+    in
+    let terms, rhs_val, sign =
+      if rhs_val < 0. then
+        (List.map (fun (c, v) -> (c, -.v)) terms, -.rhs_val, -1.)
+      else (terms, rhs_val, 1.)
+    in
+    List.iter (fun (j, v) -> if v <> 0. then triplets := (i, j, v) :: !triplets) terms;
+    rhs.(i) <- rhs_val;
+    row_signs.(i) <- sign
+  in
+  for i = 0 to nrows_model - 1 do
+    let rhs_val = ref (Lp_model.row_rhs model i) in
+    let terms = ref [] in
+    Lp_model.iter_row_terms model i (fun v c ->
+        let v = (v : Lp_model.var :> int) in
+        rhs_val := !rhs_val -. (c *. shift.(v));
+        terms := (plus.(v), c) :: !terms;
+        if minus.(v) >= 0 then terms := (minus.(v), -.c) :: !terms);
+    emit_row i !terms (Lp_model.row_sense model i) !rhs_val
+  done;
+  List.iteri
+    (fun j (terms, sense, rhs_val) ->
+      emit_row (nrows_model + j) terms sense rhs_val)
+    (List.rev !extra_rows);
+  {
+    ncols = !ncols;
+    origins = Array.of_list (List.rev !origins);
+    rows = Csr.of_coo ~rows:nrows ~cols:!ncols !triplets;
+    rhs;
+    row_signs;
+    nvars_model = nvars;
+    nrows_model;
+    plus;
+    minus;
+    shift;
+    cols_cache = None;
+  }
+
+let costs t ~sign objective =
+  let c = Array.make t.ncols 0. in
+  List.iter
+    (fun (v, coef) ->
+      let v = (v : Lp_model.var :> int) in
+      let coef = sign *. coef in
+      c.(t.plus.(v)) <- c.(t.plus.(v)) +. coef;
+      if t.minus.(v) >= 0 then c.(t.minus.(v)) <- c.(t.minus.(v)) -. coef)
+    objective;
+  c
+
+let extract t x_std =
+  let x = Array.make t.nvars_model 0. in
+  Array.iteri
+    (fun j origin ->
+      match origin with
+      | Shifted { var; lb } -> x.(var) <- x.(var) +. lb +. x_std.(j)
+      | Negative_part { var } -> x.(var) <- x.(var) -. x_std.(j)
+      | Slack -> ())
+    t.origins;
+  x
+
+let slack_sign_of_row t i =
+  let s = ref 0. in
+  Csr.iter_row t.rows i (fun j v ->
+      match t.origins.(j) with
+      | Slack -> s := v
+      | Shifted _ | Negative_part _ -> ());
+  !s
+
+let slack_basic_of_row t i =
+  let found = ref None in
+  Csr.iter_row t.rows i (fun j v ->
+      if
+        !found = None
+        && (match t.origins.(j) with
+           | Slack -> true
+           | Shifted _ | Negative_part _ -> false)
+        && Float.abs (v -. 1.) < 1e-12
+      then found := Some j);
+  !found
+
+let objective_value objective x =
+  let acc = Mapqn_util.Ksum.create () in
+  List.iter
+    (fun (v, coef) ->
+      Mapqn_util.Ksum.add acc (coef *. x.((v : Lp_model.var :> int))))
+    objective;
+  Mapqn_util.Ksum.total acc

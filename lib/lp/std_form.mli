@@ -1,0 +1,65 @@
+(** Standard-form conversion shared by the LP solvers.
+
+    Converts an {!Lp_model.t} ([optimize c'x, a_r x {<=,=,>=} b_r,
+    l <= x <= u]) into equality standard form over nonnegative columns:
+    lower bounds are folded into the right-hand side, free variables are
+    split into positive/negative parts, finite upper bounds become extra
+    [<=] rows, inequality rows get slack/surplus columns, and every row is
+    sign-normalized so the right-hand side is nonnegative.
+
+    The resulting constraint matrix is kept sparse: {!rows} is the CSR
+    (row-major) view the dense tableau is expanded from, {!cols} the
+    transposed column-major view the revised simplex prices out of. *)
+
+type col_origin =
+  | Shifted of { var : int; lb : float }  (** [x = lb + y] *)
+  | Negative_part of { var : int }
+      (** free vars: [x = y⁺ - y⁻]; this column is [y⁻] *)
+  | Slack
+
+type t = {
+  ncols : int;  (** structural standard-form columns (no artificials) *)
+  origins : col_origin array;
+  rows : Mapqn_sparse.Csr.t;  (** [num_rows × ncols], sign-normalized *)
+  rhs : float array;  (** after sign normalization, all [>= 0] *)
+  row_signs : float array;
+      (** [-1.] where the row was negated to make rhs [>= 0] *)
+  nvars_model : int;
+  nrows_model : int;
+      (** the first [nrows_model] std rows map 1:1 to model rows *)
+  plus : int array;  (** model var [v] -> its main std column *)
+  minus : int array;  (** model var [v] -> negative-part column or [-1] *)
+  shift : float array;  (** lower bound folded into column [plus.(v)] *)
+  mutable cols_cache : Mapqn_sparse.Csr.t option;
+}
+
+val build : Lp_model.t -> t
+
+val num_rows : t -> int
+val rows : t -> Mapqn_sparse.Csr.t
+
+val cols : t -> Mapqn_sparse.Csr.t
+(** The [ncols × num_rows] transpose of {!rows} — row [j] of this matrix
+    is standard-form column [j], the access pattern of revised-simplex
+    pricing and FTRAN. Computed on first use and cached. *)
+
+val costs : t -> sign:float -> (Lp_model.var * float) list -> float array
+(** Standard-form cost vector of a model objective, scaled by [sign]
+    ([1.] to minimize, [-1.] to maximize an internal minimization). *)
+
+val extract : t -> float array -> float array
+(** Map a standard-form point (indexed by std column) back to model
+    variables, undoing shifts and free-variable splits. *)
+
+val slack_basic_of_row : t -> int -> int option
+(** The column of a [+1.] slack in row [i], if any — rows without one
+    need an artificial variable to seed phase 1. *)
+
+val slack_sign_of_row : t -> int -> float
+(** The coefficient (±1.) of the slack column of row [i], or [0.] for an
+    equality row.  Adding [sign ·ε] to the right-hand side relaxes an
+    inequality row while every previously feasible point stays feasible —
+    the property anti-degeneracy perturbations rely on. *)
+
+val objective_value : (Lp_model.var * float) list -> float array -> float
+(** Compensated evaluation of a model objective at a model point. *)

@@ -107,6 +107,20 @@ let iter_row t i f =
     f t.col_idx.(k) t.values.(k)
   done
 
+let nnz_row t i = t.row_ptr.(i + 1) - t.row_ptr.(i)
+
+let dot_row t i x =
+  let acc = ref 0. in
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+  done;
+  !acc
+
+let scatter_row t i x =
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    x.(t.col_idx.(k)) <- x.(t.col_idx.(k)) +. t.values.(k)
+  done
+
 let iter t f =
   for i = 0 to t.nrows - 1 do
     iter_row t i (fun j v -> f i j v)

@@ -27,6 +27,20 @@ val get : t -> int -> int -> float
 val iter_row : t -> int -> (int -> float -> unit) -> unit
 (** Iterate the nonzeros [(col, value)] of one row. *)
 
+val nnz_row : t -> int -> int
+(** Stored entries in one row — O(1). *)
+
+val dot_row : t -> int -> float array -> float
+(** [dot_row t i x] is row [i] of [t] dotted with the dense vector [x] —
+    the kernel of revised-simplex pricing when [t] stores a constraint
+    matrix column-major (each "row" of the transpose is one column, and
+    pricing dots every column against the dual vector). *)
+
+val scatter_row : t -> int -> float array -> unit
+(** [scatter_row t i x] adds row [i] of [t] into the dense vector [x]
+    ([x.(j) <- x.(j) +. a_ij]) — used to expand one sparse column into a
+    dense work vector before a basis solve (FTRAN). *)
+
 val iter : t -> (int -> int -> float -> unit) -> unit
 (** Iterate all nonzeros in row-major order. *)
 

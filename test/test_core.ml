@@ -203,6 +203,131 @@ let test_interval_helpers () =
   Alcotest.(check bool) "contains edge" true (Bounds.contains i 3.);
   Alcotest.(check bool) "excludes outside" false (Bounds.contains i 3.5)
 
+let test_interval_infinite_endpoints () =
+  (* Response-time bounds are infinite whenever the LP throughput lower
+     bound is 0; the helpers must stay NaN-free on such intervals. *)
+  let half = { Bounds.lower = 2.; upper = infinity } in
+  Alcotest.(check bool) "half-infinite width" true (Bounds.width half = infinity);
+  Alcotest.(check bool) "half-infinite midpoint" true
+    (Bounds.midpoint half = infinity);
+  Alcotest.(check bool) "contains large" true (Bounds.contains half 1e300);
+  Alcotest.(check bool) "contains inf" true (Bounds.contains half infinity);
+  Alcotest.(check bool) "excludes below" false (Bounds.contains half 1.);
+  (* Both endpoints the same infinity: the degenerate point {+inf}. *)
+  let point = { Bounds.lower = infinity; upper = infinity } in
+  Alcotest.(check (float 1e-12)) "inf-point width" 0. (Bounds.width point);
+  Alcotest.(check bool) "inf-point midpoint" true
+    (Bounds.midpoint point = infinity);
+  Alcotest.(check bool) "inf-point contains inf" true
+    (Bounds.contains point infinity);
+  Alcotest.(check bool) "inf-point excludes finite" false (Bounds.contains point 5.);
+  (* Opposite infinities: the whole line. *)
+  let line = { Bounds.lower = neg_infinity; upper = infinity } in
+  Alcotest.(check (float 1e-12)) "line midpoint" 0. (Bounds.midpoint line);
+  Alcotest.(check bool) "line width not NaN" false
+    (Float.is_nan (Bounds.width line));
+  Alcotest.(check bool) "line contains everything" true
+    (Bounds.contains line (-1e12))
+
+let test_typed_errors () =
+  let b = Bounds.create_exn (fig5 ~population:3 ()) in
+  (match Bounds.eval b [ Bounds.Throughput 17 ] with
+  | exception Bounds.Solver_error (Bounds.Invalid_station 17) -> ()
+  | exception e -> Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Invalid_station 17");
+  (match Bounds.queue_length_moment b 0 (-1) with
+  | exception Bounds.Solver_error (Bounds.Invalid_objective _) -> ()
+  | _ -> Alcotest.fail "expected Invalid_objective on negative moment order");
+  (let delay_net =
+     Network.make_exn
+       ~stations:[| exp_station 1.; Station.delay ~rate:2. () |]
+       ~routing:[| [| 0.; 1. |]; [| 1.; 0. |] |]
+       ~population:2
+   in
+   match Bounds.create delay_net with
+   | Error (Bounds.Unsupported_network _) -> ()
+   | Error e ->
+     Alcotest.fail ("expected Unsupported_network, got " ^ Bounds.error_to_string e)
+   | Ok _ -> Alcotest.fail "expected Error on delay network");
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "error_to_string nonempty" true
+        (String.length (Bounds.error_to_string e) > 0))
+    [
+      Bounds.Unsupported_network "a delay station";
+      Bounds.Infeasible_phase1;
+      Bounds.Iteration_limit 42;
+      Bounds.Invalid_station 3;
+      Bounds.Invalid_objective "bad";
+    ]
+
+let test_eval_batch_matches_wrappers () =
+  (* The wrappers ARE one-element eval calls over the same mutable warm-
+     started state, so a batch eval and the wrapper sequence in the same
+     order perform identical pivot sequences — results must be
+     bit-identical, not merely close. *)
+  let net = tandem_map 6 in
+  let metrics =
+    [
+      Bounds.Utilization 0;
+      Bounds.Throughput 0;
+      Bounds.Mean_queue_length 0;
+      Bounds.Utilization 1;
+      Bounds.Throughput 1;
+      Bounds.Mean_queue_length 1;
+      Bounds.Queue_length_moment (1, 2);
+      Bounds.Marginal_probability { station = 0; level = 2 };
+      Bounds.Response_time { reference = 0 };
+    ]
+  in
+  let batch = Bounds.eval (Bounds.create_exn net) metrics in
+  let b2 = Bounds.create_exn net in
+  let wrapper = function
+    | Bounds.Utilization k -> Bounds.utilization b2 k
+    | Bounds.Throughput k -> Bounds.throughput b2 k
+    | Bounds.Mean_queue_length k -> Bounds.mean_queue_length b2 k
+    | Bounds.Queue_length_moment (k, r) -> Bounds.queue_length_moment b2 k r
+    | Bounds.Marginal_probability { station; level } ->
+      Bounds.marginal_probability b2 ~station ~level
+    | Bounds.Response_time { reference } -> Bounds.response_time ~reference b2
+  in
+  List.iter
+    (fun (m, (i : Bounds.interval)) ->
+      let w = wrapper m in
+      let name = Bounds.metric_to_string m in
+      Alcotest.(check bool)
+        (name ^ " lower bit-identical") true
+        (i.Bounds.lower = w.Bounds.lower);
+      Alcotest.(check bool)
+        (name ^ " upper bit-identical") true
+        (i.Bounds.upper = w.Bounds.upper))
+    batch
+
+let test_dense_revised_bounds_agree () =
+  let metrics k_max =
+    List.concat
+      (List.init k_max (fun k ->
+           [ Bounds.Utilization k; Bounds.Throughput k; Bounds.Mean_queue_length k ]))
+    @ [ Bounds.Response_time { reference = 0 } ]
+  in
+  List.iter
+    (fun net ->
+      let bd = Bounds.create_exn ~solver:Bounds.Dense net in
+      let br = Bounds.create_exn ~solver:Bounds.Revised net in
+      let ms = metrics (Network.num_stations net) in
+      let close x y =
+        x = y || Float.abs (x -. y) <= 1e-7 *. Float.max 1. (Float.abs x)
+      in
+      List.iter2
+        (fun (m, (a : Bounds.interval)) (_, (b : Bounds.interval)) ->
+          Alcotest.(check bool)
+            (Bounds.metric_to_string m ^ " backends agree")
+            true
+            (close a.Bounds.lower b.Bounds.lower
+            && close a.Bounds.upper b.Bounds.upper))
+        (Bounds.eval bd ms) (Bounds.eval br ms))
+    [ fig5 ~population:3 (); tandem_map 5 ]
+
 let test_population_zero_bounds () =
   let b = Bounds.create_exn (fig5 ~population:0 ()) in
   let u = Bounds.utilization b 0 in
@@ -373,6 +498,13 @@ let () =
             test_exponential_network_bounds_tight;
           Alcotest.test_case "tightness ordering" `Quick test_tightness_improves_with_config;
           Alcotest.test_case "interval helpers" `Quick test_interval_helpers;
+          Alcotest.test_case "interval infinite endpoints" `Quick
+            test_interval_infinite_endpoints;
+          Alcotest.test_case "typed errors" `Quick test_typed_errors;
+          Alcotest.test_case "eval batch = wrapper sequence" `Quick
+            test_eval_batch_matches_wrappers;
+          Alcotest.test_case "dense vs revised agree" `Quick
+            test_dense_revised_bounds_agree;
           Alcotest.test_case "population zero" `Quick test_population_zero_bounds;
           Alcotest.test_case "custom objective" `Quick test_custom_objective;
           Alcotest.test_case "marginal probability" `Quick test_marginal_probability_bounds;

@@ -309,6 +309,137 @@ let prop_min_max_bracket =
       | Simplex.Optimal lo, Simplex.Optimal hi -> lo.objective <= hi.objective +. 1e-6
       | _, _ -> true)
 
+(* ---------------- revised simplex ---------------- *)
+
+let test_revised_textbook () =
+  (* Same LP as test_max_2d, through the sparse backend. *)
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var ~name:"x" m in
+  let y = Lp_model.add_var ~name:"y" m in
+  Lp_model.add_row m [ (x, 1.) ] Lp_model.Le 4.;
+  Lp_model.add_row m [ (y, 2.) ] Lp_model.Le 12.;
+  Lp_model.add_row m [ (x, 3.); (y, 2.) ] Lp_model.Le 18.;
+  let s = solution (Revised.solve m Simplex.Maximize [ (x, 3.); (y, 5.) ]) in
+  check_obj "objective" 36. s.objective;
+  check_obj "x" 2. s.values.((x :> int));
+  check_obj "y" 6. s.values.((y :> int));
+  let s = solution (Revised.solve m Simplex.Minimize [ (x, 1.); (y, 1.) ]) in
+  check_obj "origin" 0. s.objective
+
+let test_revised_infeasible_unbounded () =
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m in
+  Lp_model.add_row m [ (x, 1.) ] Lp_model.Le 1.;
+  Lp_model.add_row m [ (x, 1.) ] Lp_model.Ge 2.;
+  (match Revised.solve m Simplex.Minimize [ (x, 1.) ] with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected Infeasible");
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m in
+  Lp_model.add_row m [ (x, 1.) ] Lp_model.Ge 1.;
+  match Revised.solve m Simplex.Maximize [ (x, 1.) ] with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected Unbounded"
+
+let test_revised_warm_start () =
+  (* One prepared state, many objectives: each reoptimization starts from
+     the basis the previous one left, and reset restores phase 1. *)
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m and y = Lp_model.add_var m in
+  Lp_model.add_row m [ (x, 1.) ] Lp_model.Le 4.;
+  Lp_model.add_row m [ (y, 2.) ] Lp_model.Le 12.;
+  Lp_model.add_row m [ (x, 3.); (y, 2.) ] Lp_model.Le 18.;
+  match Revised.prepare m with
+  | Error _ -> Alcotest.fail "prepare failed"
+  | Ok t ->
+    let opt dir obj = (solution (Revised.optimize t dir obj)).Simplex.objective in
+    check_obj "max 3x+5y" 36. (opt Simplex.Maximize [ (x, 3.); (y, 5.) ]);
+    check_obj "min 3x+5y (warm)" 0. (opt Simplex.Minimize [ (x, 3.); (y, 5.) ]);
+    check_obj "max x (warm)" 4. (opt Simplex.Maximize [ (x, 1.) ]);
+    check_obj "max 3x+5y again" 36. (opt Simplex.Maximize [ (x, 3.); (y, 5.) ]);
+    Revised.reset t;
+    check_obj "after reset" 36. (opt Simplex.Maximize [ (x, 3.); (y, 5.) ])
+
+let test_prepare_error_typed () =
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m in
+  Lp_model.add_row m [ (x, 1.) ] Lp_model.Le 1.;
+  Lp_model.add_row m [ (x, 1.) ] Lp_model.Ge 2.;
+  let check_backend name = function
+    | Error Simplex.Infeasible_phase1 -> ()
+    | Error (Simplex.Iteration_limit_phase1 _) ->
+      Alcotest.fail (name ^ ": expected Infeasible_phase1, got iteration limit")
+    | Ok _ -> Alcotest.fail (name ^ ": expected Error on infeasible model")
+  in
+  check_backend "dense"
+    (Result.map (fun _ -> ()) (Simplex.prepare m));
+  check_backend "revised"
+    (Result.map (fun _ -> ()) (Revised.prepare m));
+  Alcotest.(check bool)
+    "error strings are informative" true
+    (String.length (Simplex.prepare_error_to_string Simplex.Infeasible_phase1) > 0
+    && String.length (Simplex.prepare_error_to_string (Simplex.Iteration_limit_phase1 7)) > 0)
+
+(* Random LPs with arbitrary senses — feasible, infeasible or unbounded —
+   solved by both backends, which must agree on the outcome constructor
+   and (when optimal) on the objective to 1e-7. *)
+let gen_general_lp =
+  QCheck.Gen.(
+    let* nvars = int_range 1 6 in
+    let* nrows = int_range 1 7 in
+    let* seed = int_range 0 1_000_000 in
+    return (nvars, nrows, seed))
+
+let build_general_lp (nvars, nrows, seed) =
+  let rng = Mapqn_prng.Rng.create ~seed in
+  let m = Lp_model.create () in
+  let vars = Array.init nvars (fun _ -> Lp_model.add_var m) in
+  for _ = 1 to nrows do
+    let coeffs =
+      Array.init nvars (fun _ -> Mapqn_prng.Dist.uniform rng ~lo:(-2.) ~hi:2.)
+    in
+    let sense =
+      let u = Mapqn_prng.Dist.uniform rng ~lo:0. ~hi:3. in
+      if u < 1. then Lp_model.Le else if u < 2. then Lp_model.Ge else Lp_model.Eq
+    in
+    let b = Mapqn_prng.Dist.uniform rng ~lo:(-2.) ~hi:4. in
+    Lp_model.add_row m
+      (Array.to_list (Array.mapi (fun i c -> (vars.(i), c)) coeffs))
+      sense b
+  done;
+  let c = Array.init nvars (fun _ -> Mapqn_prng.Dist.uniform rng ~lo:(-1.) ~hi:1.) in
+  (m, Array.to_list (Array.mapi (fun i v -> (v, c.(i))) vars))
+
+let prop_dense_revised_agree =
+  QCheck.Test.make ~name:"dense and revised backends agree" ~count:300
+    (QCheck.make gen_general_lp) (fun params ->
+      let m, obj = build_general_lp params in
+      let agree direction =
+        match (Simplex.solve m direction obj, Revised.solve m direction obj) with
+        | Simplex.Optimal a, Simplex.Optimal b ->
+          Float.abs (a.Simplex.objective -. b.Simplex.objective)
+          <= 1e-7 *. Float.max 1. (Float.abs a.Simplex.objective)
+        | Simplex.Infeasible, Simplex.Infeasible -> true
+        | Simplex.Unbounded, Simplex.Unbounded -> true
+        (* An iteration limit on either side says nothing about agreement. *)
+        | Simplex.Iteration_limit, _ | _, Simplex.Iteration_limit -> true
+        | _, _ -> false
+      in
+      agree Simplex.Minimize && agree Simplex.Maximize)
+
+let prop_revised_solution_feasible =
+  QCheck.Test.make ~name:"revised optimum satisfies the model" ~count:150
+    (QCheck.make gen_feasible_lp) (fun params ->
+      let m, vars, _, c = build_random_lp params in
+      let obj = Array.to_list (Array.mapi (fun i v -> (v, c.(i))) vars) in
+      match Revised.solve m Simplex.Maximize obj with
+      | Simplex.Optimal s -> (
+        match Lp_model.check_feasible ~tol:1e-6 m s.values with
+        | Ok () -> true
+        | Error _ -> false)
+      | Simplex.Infeasible -> false
+      | Simplex.Unbounded | Simplex.Iteration_limit -> true)
+
 let () =
   Alcotest.run "lp"
     [
@@ -336,5 +467,15 @@ let () =
           QCheck_alcotest.to_alcotest prop_feasible_lp_not_infeasible;
           QCheck_alcotest.to_alcotest prop_solution_is_feasible;
           QCheck_alcotest.to_alcotest prop_min_max_bracket;
+        ] );
+      ( "revised",
+        [
+          Alcotest.test_case "textbook" `Quick test_revised_textbook;
+          Alcotest.test_case "infeasible/unbounded" `Quick
+            test_revised_infeasible_unbounded;
+          Alcotest.test_case "warm start" `Quick test_revised_warm_start;
+          Alcotest.test_case "typed prepare errors" `Quick test_prepare_error_typed;
+          QCheck_alcotest.to_alcotest prop_dense_revised_agree;
+          QCheck_alcotest.to_alcotest prop_revised_solution_feasible;
         ] );
     ]

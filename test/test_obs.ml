@@ -242,6 +242,12 @@ let test_solver_telemetry () =
   let positive name =
     Alcotest.(check bool) (name ^ " > 0") true (value_of name > 0.)
   in
+  (* The default backend is the revised simplex... *)
+  positive "revised_pivots_total";
+  positive "revised_solves_total";
+  (* ...and the dense tableau records its own counter family. *)
+  let bd = Mapqn_core.Bounds.create_exn ~solver:Mapqn_core.Bounds.Dense net in
+  ignore (Mapqn_core.Bounds.response_time bd);
   positive "simplex_pivots_total";
   positive "simplex_solves_total";
   positive "lp_rows";
@@ -252,7 +258,9 @@ let test_solver_telemetry () =
   let paths = List.map (fun e -> e.Span.path) (Span.snapshot ()) in
   Alcotest.(check bool) "bounds.create span" true
     (List.mem [ "bounds.create" ] paths);
-  Alcotest.(check bool) "nested phase1 span" true
+  Alcotest.(check bool) "nested revised phase1 span" true
+    (List.mem [ "bounds.create"; "revised.phase1" ] paths);
+  Alcotest.(check bool) "nested dense phase1 span" true
     (List.mem [ "bounds.create"; "simplex.phase1" ] paths);
   Alcotest.(check bool) "stationary span under ctmc.solve" true
     (List.exists
