@@ -199,9 +199,41 @@ let lp_disagreement rev den =
       if d > worst then (d, lp_metric_label m) else (worst, at))
     (0., "-") rev den
 
+(* Provenance for BENCH_lp.json: the commit the numbers were measured at
+   and the (UTC) time of the run — what the regression gate
+   [bench/regress.ml] prints when a comparison fails. *)
+let git_sha () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let sha = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when sha <> "" -> sha
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let iso8601_utc () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let metric_value name =
+  match Mapqn_obs.Metrics.find name with
+  | { Mapqn_obs.Metrics.value = Mapqn_obs.Metrics.Counter v; _ } :: _
+  | { Mapqn_obs.Metrics.value = Mapqn_obs.Metrics.Gauge v; _ } :: _ ->
+    v
+  | _ -> 0.
+
 let lp () =
+  let module J = Mapqn_obs.Json in
   let both = [ 40; 100 ] and revised_only = [ 250; 500 ] in
+  let certs0 = metric_value "bounds_certificates_total" in
+  let fails0 = metric_value "bounds_certificate_failures_total" in
   let rows = ref [] and json = ref [] in
+  let solver_obj create_s eval_s =
+    J.Object
+      [ ("create_s", J.Number create_s); ("eval_s", J.Number eval_s) ]
+  in
   List.iter
     (fun n ->
       let rev, rc, re = lp_run Mapqn_core.Bounds.Revised n in
@@ -218,24 +250,40 @@ let lp () =
         ]
         :: !rows;
       json :=
-        Printf.sprintf
-          "    { \"population\": %d,\n\
-          \      \"revised\": { \"create_s\": %.6f, \"eval_s\": %.6f },\n\
-          \      \"dense\": { \"create_s\": %.6f, \"eval_s\": %.6f },\n\
-          \      \"speedup\": %.3f, \"max_rel_disagreement\": %.3e }" n rc re dc
-          de speedup worst
+        J.Object
+          [
+            ("population", J.Number (float_of_int n));
+            ("revised", solver_obj rc re);
+            ("dense", solver_obj dc de);
+            ("speedup", J.Number speedup);
+            ("max_rel_disagreement", J.Number worst);
+          ]
         :: !json)
     both;
   List.iter
     (fun n ->
       let _, rc, re = lp_run Mapqn_core.Bounds.Revised n in
       rows :=
-        [ string_of_int n; Printf.sprintf "%.2f + %.2f" rc re; "-"; "-"; "-" ]
+        [
+          string_of_int n;
+          Printf.sprintf "%.2f + %.2f" rc re;
+          "skipped (timeout)";
+          "-";
+          "-";
+        ]
         :: !rows;
       json :=
-        Printf.sprintf
-          "    { \"population\": %d,\n\
-          \      \"revised\": { \"create_s\": %.6f, \"eval_s\": %.6f } }" n rc re
+        J.Object
+          [
+            ("population", J.Number (float_of_int n));
+            ("revised", solver_obj rc re);
+            (* The dense tableau is O(m·n) per pivot: at these
+               populations a single report would run for hours, so it is
+               skipped by design, not by accident — recorded explicitly
+               so downstream diffing never mistakes absence for data
+               loss. *)
+            ("dense", J.String "skipped (timeout)");
+          ]
         :: !json)
     revised_only;
   Mapqn_util.Table.print
@@ -248,23 +296,99 @@ let lp () =
         "max rel disagreement";
       ]
     (List.rev !rows);
+  (* Every optimization above ran under an optimality certificate
+     (Mapqn_lp.Certificate, checked in Bounds); the gate in
+     bench/regress.ml fails the build on any certificate failure. *)
+  let certificates =
+    J.Object
+      [
+        ("evals", J.Number (metric_value "bounds_certificates_total" -. certs0));
+        ( "failures",
+          J.Number (metric_value "bounds_certificate_failures_total" -. fails0)
+        );
+        ( "worst_primal_residual",
+          J.Number (metric_value "bounds_certificate_primal_residual") );
+        ( "worst_dual_violation",
+          J.Number (metric_value "bounds_certificate_dual_violation") );
+        ( "worst_comp_slack",
+          J.Number (metric_value "bounds_certificate_comp_slack") );
+      ]
+  in
   let body =
-    Printf.sprintf
-      "{\n\
-      \  \"sweep\": \"fig4-tandem-bound-report\",\n\
-      \  \"report_metrics\": %d,\n\
-      \  \"results\": [\n\
-       %s\n\
-      \  ]\n\
-       }\n"
-      (List.length lp_report)
-      (String.concat ",\n" (List.rev !json))
+    J.to_string
+      (J.Object
+         [
+           ("sweep", J.String "fig4-tandem-bound-report");
+           ("git_sha", J.String (git_sha ()));
+           ("timestamp", J.String (iso8601_utc ()));
+           ("report_metrics", J.Number (float_of_int (List.length lp_report)));
+           ("results", J.List (List.rev !json));
+           ("certificates", certificates);
+         ])
+    ^ "\n"
   in
   (try
      Mapqn_obs.Export.write_file "BENCH_lp.json" body;
      print_endline "bench: LP backend comparison written to BENCH_lp.json"
    with Sys_error msg ->
      Printf.eprintf "bench: cannot write BENCH_lp.json: %s\n" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Trace overhead: the cost of iteration-level tracing                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Two claims to keep honest (EXPERIMENTS.md records the measurements):
+   enabled tracing costs < 5% on the Figure-4 N=100 bound report, and
+   the disabled guard allocates nothing on the pivot path. *)
+let trace_overhead () =
+  let n = 100 in
+  let reps = 5 in
+  let run_once () =
+    let net = Mapqn_workloads.Tandem.network ~population:n () in
+    let b = Mapqn_core.Bounds.create_exn net in
+    ignore (Mapqn_core.Bounds.eval b lp_report)
+  in
+  run_once () (* warm the allocator and code paths *);
+  (* CPU time, not wall clock: the overhead of interest is the cycles the
+     tracing hooks add, and processor time is immune to competing load —
+     at ~1.5s per rep its coarse resolution costs well under 1%. *)
+  let timed f =
+    let t0 = Sys.time () in
+    f ();
+    Sys.time () -. t0
+  in
+  let traced () =
+    Mapqn_obs.Trace.enable ~capacity:65_536 ();
+    Fun.protect ~finally:Mapqn_obs.Trace.disable run_once
+  in
+  (* Interleave the two variants so slow drift of the machine (thermal,
+     cache, competing load) hits both equally, and take the best of each:
+     the minima compare the two code paths at their least-disturbed. *)
+  let off = ref infinity and on_ = ref infinity in
+  for _ = 1 to reps do
+    off := Float.min !off (timed run_once);
+    on_ := Float.min !on_ (timed traced)
+  done;
+  let off = !off and on_ = !on_ in
+  Printf.printf
+    "fig4 N=%d bound report: tracing off %.3fs, on %.3fs, overhead %+.1f%% \
+     (best of %d)\n"
+    n off on_
+    ((on_ -. off) /. off *. 100.)
+    reps;
+  (* Zero-allocation check of the disabled guard, the exact idiom on the
+     pivot path: a single boolean read, event construction only inside. *)
+  assert (not (Mapqn_obs.Trace.is_enabled ()));
+  let words0 = Gc.minor_words () in
+  for i = 1 to 1_000_000 do
+    if Mapqn_obs.Trace.is_enabled () then
+      Mapqn_obs.Trace.record
+        (Mapqn_obs.Trace.Sweep { solver = "bench"; iteration = i; delta = 0. })
+  done;
+  let words = Gc.minor_words () -. words0 in
+  Printf.printf "disabled-guard allocation over 1e6 pivot-path checks: %.0f \
+                 minor words\n"
+    words
 
 let lp_smoke () =
   let n = 20 in
@@ -388,6 +512,7 @@ let () =
   section "ablation" ablation;
   section "lp" lp;
   section "lp-smoke" lp_smoke;
+  section "trace-overhead" trace_overhead;
   section "micro" micro;
   let telemetry =
     Mapqn_obs.Export.render Mapqn_obs.Export.Json

@@ -1,0 +1,151 @@
+(* Bench regression gate: diff two BENCH_lp.json files.
+
+   Usage: regress.exe [--threshold FRAC] BASELINE CANDIDATE
+
+   Compares the per-population eval_s timings of the candidate run
+   against the committed baseline and exits nonzero when either
+
+   - any matching (population, solver) eval_s regressed by more than
+     the threshold (default 0.15 = 15%), or
+   - the candidate reports any LP certificate failure.
+
+   Timings for populations or solvers present in only one file are
+   reported but never gate (a new population is growth, not a
+   regression; "skipped (timeout)" dense entries match nothing). A
+   baseline without a "certificates" block — written before the
+   certificate machinery existed — only warns: old baselines must not
+   turn the gate off, but must not fail it retroactively either. *)
+
+module J = Mapqn_obs.Json
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let read_json path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> die "regress: cannot read %s: %s" path msg
+  in
+  match J.parse contents with
+  | Ok v -> v
+  | Error msg -> die "regress: %s is not valid JSON: %s" path msg
+
+(* (population, solver) -> eval_s, for every result entry whose solver
+   field is an object with a numeric eval_s (so the explicit
+   "skipped (timeout)" strings simply contribute nothing). *)
+let timings doc =
+  let results =
+    match J.member "results" doc with
+    | Some (J.List l) -> l
+    | _ -> []
+  in
+  List.concat_map
+    (fun entry ->
+      match J.member "population" entry with
+      | Some (J.Number n) ->
+        List.filter_map
+          (fun solver ->
+            match J.member solver entry with
+            | Some obj -> (
+              match Option.bind (J.member "eval_s" obj) J.get_float with
+              | Some eval_s -> Some ((int_of_float n, solver), eval_s)
+              | None -> None)
+            | None -> None)
+          [ "revised"; "dense" ]
+      | _ -> [])
+    results
+
+let provenance doc =
+  let field name =
+    match Option.bind (J.member name doc) J.get_string with
+    | Some s -> s
+    | None -> "?"
+  in
+  Printf.sprintf "%s @ %s" (field "git_sha") (field "timestamp")
+
+let () =
+  let threshold = ref 0.15 in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f > 0. -> threshold := f
+      | _ -> die "regress: --threshold expects a positive number, got %S" v);
+      parse rest
+    | "--threshold" :: [] -> die "regress: --threshold expects a value"
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+      die "regress: unknown option %s" arg
+    | arg :: rest ->
+      positional := arg :: !positional;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_path, candidate_path =
+    match List.rev !positional with
+    | [ b; c ] -> (b, c)
+    | _ ->
+      die "usage: regress.exe [--threshold FRAC] BASELINE.json CANDIDATE.json"
+  in
+  let baseline = read_json baseline_path in
+  let candidate = read_json candidate_path in
+  Printf.printf "baseline:  %s (%s)\ncandidate: %s (%s)\n" baseline_path
+    (provenance baseline) candidate_path (provenance candidate);
+  let base = timings baseline and cand = timings candidate in
+  let failures = ref 0 in
+  List.iter
+    (fun ((n, solver), cand_s) ->
+      match List.assoc_opt (n, solver) base with
+      | None ->
+        Printf.printf "  N=%-4d %-8s %8.3fs  (no baseline entry, not gated)\n"
+          n solver cand_s
+      | Some base_s ->
+        let ratio = if base_s > 0. then cand_s /. base_s -. 1. else 0. in
+        let gated = ratio > !threshold in
+        if gated then incr failures;
+        Printf.printf "  N=%-4d %-8s %8.3fs vs %8.3fs  %+6.1f%%%s\n" n solver
+          cand_s base_s (100. *. ratio)
+          (if gated then "  REGRESSION" else ""))
+    cand;
+  List.iter
+    (fun ((n, solver), _) ->
+      if not (List.mem_assoc (n, solver) cand) then
+        Printf.printf "  N=%-4d %-8s dropped from candidate (not gated)\n" n
+          solver)
+    base;
+  (match J.member "certificates" candidate with
+  | Some certs -> (
+    match Option.bind (J.member "failures" certs) J.get_float with
+    | Some f when f > 0. ->
+      incr failures;
+      Printf.printf "  certificate failures in candidate: %.0f  REGRESSION\n" f
+    | Some _ ->
+      let worst name =
+        match Option.bind (J.member name certs) J.get_float with
+        | Some v -> Printf.sprintf "%.2e" v
+        | None -> "?"
+      in
+      Printf.printf
+        "  certificates: all passed (worst primal %s, dual %s, comp-slack %s)\n"
+        (worst "worst_primal_residual")
+        (worst "worst_dual_violation")
+        (worst "worst_comp_slack")
+    | None -> Printf.printf "  certificates: block present but unreadable\n")
+  | None ->
+    Printf.printf
+      "  warning: candidate has no certificate block (pre-certificate \
+       format?)\n");
+  if J.member "certificates" baseline = None then
+    Printf.printf
+      "  note: baseline has no certificate block (pre-certificate format)\n";
+  if !failures > 0 then begin
+    Printf.printf "regress: FAIL (%d regression%s, threshold %.0f%%)\n"
+      !failures
+      (if !failures = 1 then "" else "s")
+      (100. *. !threshold);
+    exit 1
+  end
+  else Printf.printf "regress: OK (threshold %.0f%%)\n" (100. *. !threshold)

@@ -13,7 +13,8 @@ let verbose_arg =
   Arg.(value & flag & info [ "verbose" ] ~doc)
 
 (* ------------------------------------------------------------------ *)
-(* Telemetry (Mapqn_obs): --metrics-out / --metrics-format              *)
+(* Telemetry (Mapqn_obs): --metrics-out / --metrics-format and the      *)
+(* event journal: --trace-out / --trace-format / --trace-capacity       *)
 (* ------------------------------------------------------------------ *)
 
 let metrics_format_conv = Arg.enum Mapqn_obs.Export.format_names
@@ -35,8 +36,52 @@ let metrics_format_arg =
     & opt metrics_format_conv Mapqn_obs.Export.Table
     & info [ "metrics-format" ] ~doc)
 
+let trace_format_conv =
+  Arg.enum
+    (List.map
+       (fun name ->
+         (name, Result.get_ok (Mapqn_obs.Trace.format_of_string name)))
+       Mapqn_obs.Trace.format_names)
+
+let trace_out_arg =
+  let doc =
+    "Enable iteration-level solver tracing (simplex pivots, fixed-point \
+     sweeps, simulator batches, bound certificates) and write the event \
+     journal to $(docv) after the run; $(b,-) writes to standard output."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Trace format: $(b,jsonl) (one event per line) or $(b,chrome) \
+     (Chrome trace-event JSON, loadable in Perfetto / chrome://tracing)."
+  in
+  Arg.(
+    value
+    & opt trace_format_conv Mapqn_obs.Trace.Chrome
+    & info [ "trace-format" ] ~doc)
+
+let trace_capacity_arg =
+  let doc =
+    "Ring-buffer capacity of the trace: the newest $(docv) events are \
+     retained, older ones are dropped (the journal records how many)."
+  in
+  Arg.(value & opt int 65_536 & info [ "trace-capacity" ] ~docv:"EVENTS" ~doc)
+
+type obs_options = {
+  metrics_out : string option;
+  metrics_format : Mapqn_obs.Export.format;
+  trace_out : string option;
+  trace_format : Mapqn_obs.Trace.format;
+  trace_capacity : int;
+}
+
 let obs_args =
-  Term.(const (fun out fmt -> (out, fmt)) $ metrics_out_arg $ metrics_format_arg)
+  Term.(
+    const (fun metrics_out metrics_format trace_out trace_format trace_capacity ->
+        { metrics_out; metrics_format; trace_out; trace_format; trace_capacity })
+    $ metrics_out_arg $ metrics_format_arg $ trace_out_arg $ trace_format_arg
+    $ trace_capacity_arg)
 
 let render_telemetry fmt =
   Mapqn_obs.Export.render fmt
@@ -49,16 +94,36 @@ let write_metrics path contents =
     Printf.eprintf "mapqn: cannot write metrics: %s\n" msg;
     exit 1
 
+let start_trace obs =
+  if obs.trace_out <> None then
+    Mapqn_obs.Trace.enable ~capacity:obs.trace_capacity ()
+
+let finish_trace obs =
+  match obs.trace_out with
+  | None -> ()
+  | Some path ->
+    (match Mapqn_obs.Trace.current () with
+    | None -> ()
+    | Some trace -> (
+      try Mapqn_obs.Trace.write obs.trace_format ~path trace
+      with Sys_error msg ->
+        Printf.eprintf "mapqn: cannot write trace: %s\n" msg));
+    Mapqn_obs.Trace.disable ()
+
 (* Every subcommand runs inside [with_telemetry]: the whole run is timed
-   under a root span named after the subcommand, and the registry is
-   dumped to --metrics-out (if given) even when the command fails. *)
-let with_telemetry name (out, fmt) f =
+   under a root span named after the subcommand, tracing is live for
+   exactly the span of the run, and the registry and event journal are
+   dumped to --metrics-out / --trace-out (if given) even when the
+   command fails. *)
+let with_telemetry name obs f =
+  start_trace obs;
   Fun.protect
     (fun () -> Mapqn_obs.Span.with_ name f)
     ~finally:(fun () ->
-      match out with
+      finish_trace obs;
+      match obs.metrics_out with
       | None -> ()
-      | Some path -> write_metrics path (render_telemetry fmt))
+      | Some path -> write_metrics path (render_telemetry obs.metrics_format))
 
 (* ------------------------------------------------------------------ *)
 (* Shared model arguments                                               *)
@@ -474,15 +539,17 @@ let moment_order_cmd =
 (* ------------------------------------------------------------------ *)
 
 let stats_cmd =
-  let run verbose model population scv gamma2 config solver (out, fmt) =
+  let run verbose model population scv gamma2 config solver obs =
     setup_logs verbose;
     (* Solve the model through both pipelines (LP bounds and exact CTMC)
        so the telemetry covers the simplex, the constraint generator and
        the state-space layers in a single report. *)
     Mapqn_obs.Metrics.reset ();
     Mapqn_obs.Span.reset ();
+    start_trace obs;
     let net = build_model model ~population ~scv ~gamma2 in
     let summary =
+      Fun.protect ~finally:(fun () -> finish_trace obs) @@ fun () ->
       Mapqn_obs.Span.with_ "stats.solve" @@ fun () ->
       let bound =
         match Mapqn_core.Bounds.create ~solver ~config net with
@@ -498,8 +565,8 @@ let stats_cmd =
       Printf.sprintf "%s\nexact: response time %.6f" bound
         (Mapqn_ctmc.Solution.system_response_time sol)
     in
-    let telemetry = render_telemetry fmt in
-    match out with
+    let telemetry = render_telemetry obs.metrics_format in
+    match obs.metrics_out with
     | Some path ->
       (* Telemetry goes to the file; the human summary to stdout. *)
       write_metrics path telemetry;
@@ -507,7 +574,7 @@ let stats_cmd =
     | None ->
       (* No file: telemetry is the stdout payload. Keep machine-readable
          formats clean — only the table format gets the summary header. *)
-      if fmt = Mapqn_obs.Export.Table then begin
+      if obs.metrics_format = Mapqn_obs.Export.Table then begin
         print_endline summary;
         print_newline ()
       end;
@@ -524,6 +591,68 @@ let stats_cmd =
          "Solve a built-in model (LP bounds + exact CTMC) and print the full \
           solver telemetry: simplex pivots, constraint rows, CTMC size, \
           timing spans")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let out_arg =
+    let doc =
+      "Write the event journal to $(docv); $(b,-) (the default) writes to \
+       standard output."
+    in
+    Arg.(value & opt string "-" & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let run verbose model population scv gamma2 config solver out fmt capacity =
+    setup_logs verbose;
+    Mapqn_obs.Trace.enable ~capacity ();
+    Fun.protect ~finally:Mapqn_obs.Trace.disable @@ fun () ->
+    let net = build_model model ~population ~scv ~gamma2 in
+    Mapqn_obs.Trace.record
+      (Mapqn_obs.Trace.Mark { name = "trace.start"; detail = "bounds eval" });
+    (match Mapqn_core.Bounds.create ~solver ~config net with
+    | Error e ->
+      Printf.eprintf "trace: %s\n" (Mapqn_core.Bounds.error_to_string e);
+      exit 1
+    | Ok b ->
+      let m = Mapqn_model.Network.num_stations net in
+      let metrics =
+        List.concat
+          (List.init m (fun k ->
+               [
+                 Mapqn_core.Bounds.Utilization k;
+                 Mapqn_core.Bounds.Throughput k;
+                 Mapqn_core.Bounds.Mean_queue_length k;
+               ]))
+        @ [ Mapqn_core.Bounds.Response_time { reference = 0 } ]
+      in
+      ignore (Mapqn_core.Bounds.eval b metrics));
+    Mapqn_obs.Trace.record
+      (Mapqn_obs.Trace.Mark { name = "trace.stop"; detail = "bounds eval" });
+    match Mapqn_obs.Trace.current () with
+    | None -> ()
+    | Some t ->
+      (try Mapqn_obs.Trace.write fmt ~path:out t
+       with Sys_error msg ->
+         Printf.eprintf "trace: cannot write trace: %s\n" msg;
+         exit 1);
+      Printf.eprintf "trace: %d events emitted, %d retained, %d dropped\n"
+        (Mapqn_obs.Trace.emitted t) (Mapqn_obs.Trace.retained t)
+        (Mapqn_obs.Trace.dropped t)
+  in
+  let term =
+    Term.(
+      const run $ verbose_arg $ model_arg $ population_arg $ scv_arg $ gamma2_arg
+      $ config_arg $ solver_arg $ out_arg $ trace_format_arg $ trace_capacity_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a full LP bound evaluation with iteration-level tracing on and \
+          dump the event journal (per-pivot simplex events, bound \
+          certificates) as JSONL or a Perfetto-loadable Chrome trace")
     term
 
 let () =
@@ -547,4 +676,5 @@ let () =
             pipeline_cmd;
             moment_order_cmd;
             stats_cmd;
+            trace_cmd;
           ]))

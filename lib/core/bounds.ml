@@ -2,6 +2,8 @@ module Ms = Marginal_space
 module Lp = Mapqn_lp.Lp_model
 module Simplex = Mapqn_lp.Simplex
 module Revised = Mapqn_lp.Revised
+module Certificate = Mapqn_lp.Certificate
+module Trace = Mapqn_obs.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Errors                                                              *)
@@ -13,6 +15,7 @@ type error =
   | Iteration_limit of int
   | Invalid_station of int
   | Invalid_objective of string
+  | Certificate_failure of Certificate.failure
 
 let error_to_string = function
   | Unsupported_network what -> what ^ " is not supported by the bound analysis"
@@ -22,6 +25,7 @@ let error_to_string = function
   | Iteration_limit k -> Printf.sprintf "simplex iteration limit (%d pivots)" k
   | Invalid_station k -> Printf.sprintf "station index %d is out of range" k
   | Invalid_objective what -> "invalid objective: " ^ what
+  | Certificate_failure f -> Certificate.failure_to_string f
 
 exception Solver_error of error
 
@@ -124,6 +128,64 @@ let backend_optimize t direction objective =
   | B_dense p -> Simplex.optimize ?max_iter:t.max_iter p direction objective
   | B_revised p -> Revised.optimize ?max_iter:t.max_iter p direction objective
 
+(* Optimality certificates for every solved objective. The direction
+   label keeps the two endpoints of each interval distinguishable in
+   metrics and traces. *)
+let m_certificates =
+  Mapqn_obs.Metrics.counter
+    ~help:"LP optimality certificates computed (one per solved objective)."
+    "bounds_certificates_total"
+
+let m_certificate_failures =
+  Mapqn_obs.Metrics.counter
+    ~help:"LP optimality certificates that exceeded tolerance."
+    "bounds_certificate_failures_total"
+
+let m_cert_primal =
+  Mapqn_obs.Metrics.gauge
+    ~help:"Worst primal residual over the certificates of this run."
+    "bounds_certificate_primal_residual"
+
+let m_cert_dual =
+  Mapqn_obs.Metrics.gauge
+    ~help:"Worst dual-feasibility violation over the certificates of this run."
+    "bounds_certificate_dual_violation"
+
+let m_cert_comp =
+  Mapqn_obs.Metrics.gauge
+    ~help:"Worst complementary-slackness gap over the certificates of this run."
+    "bounds_certificate_comp_slack"
+
+let certify t direction objective s =
+  let label =
+    match direction with Simplex.Minimize -> "min" | Simplex.Maximize -> "max"
+  in
+  Mapqn_obs.Metrics.inc m_certificates;
+  let outcome = Certificate.check t.model direction ~objective s in
+  let cert =
+    match outcome with
+    | Ok c -> c
+    | Error (f : Certificate.failure) -> f.Certificate.certificate
+  in
+  Mapqn_obs.Metrics.set_max m_cert_primal cert.Certificate.primal_residual;
+  Mapqn_obs.Metrics.set_max m_cert_dual cert.Certificate.dual_violation;
+  Mapqn_obs.Metrics.set_max m_cert_comp cert.Certificate.comp_slack;
+  if Trace.is_enabled () then
+    Trace.record
+      (Trace.Certificate
+         {
+           label;
+           primal_residual = cert.Certificate.primal_residual;
+           dual_violation = cert.Certificate.dual_violation;
+           comp_slack = cert.Certificate.comp_slack;
+           accepted = Result.is_ok outcome;
+         });
+  match outcome with
+  | Ok _ -> ()
+  | Error f ->
+    Mapqn_obs.Metrics.inc m_certificate_failures;
+    raise (Solver_error (Certificate_failure f))
+
 let optimize t direction objective =
   Mapqn_obs.Metrics.inc m_objectives;
   Mapqn_obs.Span.with_ "bounds.optimize" @@ fun () ->
@@ -131,7 +193,9 @@ let optimize t direction objective =
     List.map (fun (i, c) -> (Lp.var_of_int t.model i, c)) objective
   in
   match backend_optimize t direction objective with
-  | Simplex.Optimal s -> s.Simplex.objective
+  | Simplex.Optimal s ->
+    certify t direction objective s;
+    s.Simplex.objective
   | Simplex.Infeasible -> failwith "Bounds: phase-2 infeasibility (bug)"
   | Simplex.Unbounded ->
     failwith "Bounds: unbounded objective (missing normalization constraint?)"

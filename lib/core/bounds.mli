@@ -48,6 +48,11 @@ type error =
   | Invalid_station of int  (** station index out of range *)
   | Invalid_objective of string
       (** malformed metric (negative moment order, level out of range) *)
+  | Certificate_failure of Mapqn_lp.Certificate.failure
+      (** an LP solve returned a point whose optimality certificate
+          (primal residual, dual feasibility, complementary slackness —
+          see {!Mapqn_lp.Certificate}) exceeds tolerance; the reported
+          interval would not be trustworthy *)
 
 val error_to_string : error -> string
 

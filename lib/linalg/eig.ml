@@ -65,10 +65,15 @@ let power_iteration ?(max_iter = 10_000) ?(tol = 1e-12) m =
         let num = (Mat.mat_vec m y).(!idx) and den = y.(!idx) in
         num /. den
       in
+      let delta = Float.abs (est -. !lambda) in
       if
-        Float.abs (est -. !lambda) <= tol *. Float.max 1. (Float.abs est)
+        delta <= tol *. Float.max 1. (Float.abs est)
         && Vec.max_abs_diff y !x < sqrt tol
       then converged := true;
+      if Mapqn_obs.Trace.is_enabled () then
+        Mapqn_obs.Trace.record
+          (Mapqn_obs.Trace.Sweep
+             { solver = "eig.power"; iteration = !iter; delta });
       lambda := est;
       x := y
     end

@@ -1,0 +1,134 @@
+type t = {
+  primal_residual : float;
+  dual_violation : float;
+  comp_slack : float;
+}
+
+(* Kahan-compensated dot-product accumulator: the balance rows mix
+   coefficients across many orders of magnitude, and the certificate
+   should measure the solver's error, not the checker's. *)
+let row_value model r x =
+  let sum = ref 0. and comp = ref 0. in
+  Lp_model.iter_row_terms model r (fun v a ->
+      let term = a *. x.((v :> int)) in
+      let y = term -. !comp in
+      let t = !sum +. y in
+      comp := t -. !sum -. y;
+      sum := t);
+  !sum
+
+let compute_at model direction ~(objective : (Lp_model.var * float) list)
+    ~(point : float array) (s : Simplex.solution) =
+  let n = Lp_model.num_vars model in
+  let m = Lp_model.num_rows model in
+  let x = point in
+  (* Orient everything as minimization: for a maximization
+     [max c'x = -min (-c)'x], both the costs and the reported
+     rhs-sensitivities flip sign. *)
+  let sign =
+    match direction with Simplex.Minimize -> 1. | Simplex.Maximize -> -1.
+  in
+  let c = Array.make n 0. in
+  List.iter
+    (fun ((v : Lp_model.var), coeff) ->
+      c.((v :> int)) <- c.((v :> int)) +. (sign *. coeff))
+    objective;
+  let y = Array.init m (fun r -> sign *. s.Simplex.duals.(r)) in
+  (* Reduced costs d = c − A'y, accumulated row-wise over the sparse
+     terms. *)
+  let d = Array.copy c in
+  for r = 0 to m - 1 do
+    let yr = y.(r) in
+    if yr <> 0. then
+      Lp_model.iter_row_terms model r (fun v a ->
+          d.((v :> int)) <- d.((v :> int)) -. (yr *. a))
+  done;
+  let max_abs arr = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. arr in
+  (* Normalizations: dual quantities scale with ‖c‖ and ‖y‖, slack
+     products additionally with ‖x‖. *)
+  let scale_d = 1. +. max_abs c +. max_abs y in
+  let scale_cs = scale_d *. (1. +. max_abs x) in
+  let primal = ref 0. and dual = ref 0. and comp = ref 0. in
+  let bump cell v = if v > !cell then cell := v in
+  (* Rows: primal feasibility by sense; dual sign condition (for a
+     minimization, relaxing a [<=] row cannot raise the optimum, so its
+     multiplier must be <= 0, and symmetrically for [>=]); slack
+     complementarity. *)
+  for r = 0 to m - 1 do
+    let v = row_value model r x in
+    let b = Lp_model.row_rhs model r in
+    let slack = v -. b in
+    (match Lp_model.row_sense model r with
+    | Lp_model.Eq -> bump primal (Float.abs slack)
+    | Lp_model.Le ->
+      bump primal (Float.max 0. slack);
+      bump dual (Float.max 0. y.(r) /. scale_d)
+    | Lp_model.Ge ->
+      bump primal (Float.max 0. (-.slack));
+      bump dual (Float.max 0. (-.y.(r)) /. scale_d));
+    bump comp (Float.abs (y.(r) *. slack) /. scale_cs)
+  done;
+  (* Columns: bound feasibility; a positive reduced cost must be
+     absorbed by a finite lower bound (the variable pressed against it),
+     a negative one by a finite upper bound — otherwise the dual is
+     infeasible. When the bound exists, complementarity measures how far
+     the variable actually sits from it. *)
+  for j = 0 to n - 1 do
+    let lb, ub = Lp_model.var_bounds model (Lp_model.var_of_int model j) in
+    let xj = x.(j) in
+    if Float.is_finite lb then bump primal (Float.max 0. (lb -. xj));
+    if Float.is_finite ub then bump primal (Float.max 0. (xj -. ub));
+    let dj = d.(j) in
+    if dj > 0. then
+      if Float.is_finite lb then
+        bump comp (dj *. Float.max 0. (xj -. lb) /. scale_cs)
+      else bump dual (dj /. scale_d)
+    else if dj < 0. then
+      if Float.is_finite ub then
+        bump comp (-.dj *. Float.max 0. (ub -. xj) /. scale_cs)
+      else bump dual (-.dj /. scale_d)
+  done;
+  { primal_residual = !primal; dual_violation = !dual; comp_slack = !comp }
+
+let compute model direction ~objective (s : Simplex.solution) =
+  compute_at model direction ~objective ~point:s.Simplex.values s
+
+type failure = {
+  certificate : t;
+  quantity : string;
+  value : float;
+  tolerance : float;
+}
+
+let failure_to_string f =
+  Printf.sprintf
+    "LP certificate failed: %s = %.3e exceeds tolerance %.1e (primal %.3e, \
+     dual %.3e, comp-slack %.3e)"
+    f.quantity f.value f.tolerance f.certificate.primal_residual
+    f.certificate.dual_violation f.certificate.comp_slack
+
+let check ?(tol_primal = 1e-5) ?(tol_dual = 1e-6) ?(tol_comp = 1e-6) model
+    direction ~objective s =
+  let judge cert =
+    let fail quantity value tolerance =
+      Error { certificate = cert; quantity; value; tolerance }
+    in
+    if not (cert.primal_residual <= tol_primal) then
+      fail "primal_residual" cert.primal_residual tol_primal
+    else if not (cert.dual_violation <= tol_dual) then
+      fail "dual_violation" cert.dual_violation tol_dual
+    else if not (cert.comp_slack <= tol_comp) then
+      fail "comp_slack" cert.comp_slack tol_comp
+    else Ok cert
+  in
+  (* The exact point first: on well-conditioned bases it certifies to
+     near machine precision. When the basis is ill-conditioned the exact
+     point can sit off degenerate rows by conditioning × perturbation,
+     so fall back to the feasibility witness, whose error is bounded by
+     the solver's perturbation and accepted-infeasibility budget
+     independent of conditioning (see {!Simplex.solution}). *)
+  match judge (compute_at model direction ~objective ~point:s.Simplex.values s)
+  with
+  | Ok cert -> Ok cert
+  | Error _ ->
+    judge (compute_at model direction ~objective ~point:s.Simplex.witness s)

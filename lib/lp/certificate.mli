@@ -1,0 +1,85 @@
+(** Machine-checked optimality certificates for LP solutions.
+
+    The bound analysis promises that every reported interval brackets
+    the exact value. That promise rests on each underlying LP solve
+    returning a genuinely optimal point — which the simplex backends
+    assert only implicitly, through their own termination tests. This
+    module re-derives the evidence from the final primal/dual iterates,
+    independently of either backend:
+
+    - {b primal residual} — worst absolute constraint violation
+      [‖Ax − b‖∞] over rows (by sense) and variable bounds;
+    - {b dual violation} — worst violation of dual feasibility: row
+      multipliers with the wrong sign for their sense, and reduced
+      costs that no finite variable bound can absorb (normalized by
+      the magnitude of the cost and dual vectors);
+    - {b complementary-slackness gap} — worst product of a multiplier
+      with its constraint slack, and of a reduced cost with the
+      distance from its variable to the justifying bound (normalized
+      as above, and by the magnitude of the point).
+
+    All three vanish at an exact optimum; together they certify
+    optimality up to the stated magnitudes. The checks are pure
+    arithmetic over the {!Lp_model} — no solver internals — so they
+    validate the dense and revised backends alike.
+
+    Primal quantities (residual, complementarity) depend on where they
+    are measured. {!compute} evaluates them at the reported optimal
+    point [values] — exact for the unperturbed right-hand side, and
+    certifying to near machine precision on well-conditioned bases.
+    {!check} falls back to the solution's feasibility {e witness}
+    ({!Simplex.solution.witness}) when the exact point fails: on an
+    ill-conditioned basis the exact point can sit off non-binding
+    degenerate rows by conditioning × perturbation, while the witness's
+    error is bounded by the solver's own perturbation and
+    accepted-infeasibility budget regardless of conditioning. Dual
+    feasibility depends only on the multipliers, never on the point. *)
+
+type t = {
+  primal_residual : float;
+  dual_violation : float;
+  comp_slack : float;
+}
+
+val compute :
+  Lp_model.t ->
+  Simplex.direction ->
+  objective:(Lp_model.var * float) list ->
+  Simplex.solution ->
+  t
+(** Derive the certificate for a claimed-optimal solution of
+    [direction objective] over the model, with primal quantities
+    evaluated at the reported point [values]. Duplicate objective terms
+    are summed, matching {!Lp_model.add_row} semantics. *)
+
+type failure = {
+  certificate : t;  (** the full certificate that failed *)
+  quantity : string;
+      (** which component exceeded tolerance:
+          ["primal_residual"], ["dual_violation"] or ["comp_slack"] *)
+  value : float;
+  tolerance : float;
+}
+
+val failure_to_string : failure -> string
+
+val check :
+  ?tol_primal:float ->
+  ?tol_dual:float ->
+  ?tol_comp:float ->
+  Lp_model.t ->
+  Simplex.direction ->
+  objective:(Lp_model.var * float) list ->
+  Simplex.solution ->
+  (t, failure) result
+(** {!compute}, then compare each component against its tolerance.
+    Primal is absolute (default [1e-5] — the solvers' accepted
+    transient-infeasibility budget: Harris ratio-test slack and
+    per-pivot clamps accumulated between refactorizations, all at or
+    below 1e-7, plus the 1e-8-scale anti-degeneracy perturbation); dual
+    and complementarity are relative to problem magnitude as described
+    above (default [1e-6]). If the certificate at the exact point
+    fails, the solution's feasibility witness is judged instead; the
+    returned certificate (or failure) is the witness's in that case.
+    Failures report the first component exceeding tolerance, in the
+    order primal, dual, complementarity. *)

@@ -3,6 +3,7 @@ let log_src = Logs.Src.create "mapqn.revised" ~doc:"revised simplex"
 module Log = (val Logs.src_log log_src)
 module Metrics = Mapqn_obs.Metrics
 module Span = Mapqn_obs.Span
+module Trace = Mapqn_obs.Trace
 module Csr = Mapqn_sparse.Csr
 
 let m_pivots =
@@ -40,6 +41,13 @@ let m_retries =
 let m_eta_nnz =
   Metrics.gauge ~help:"Nonzeros in the eta file after the last solve."
     "revised_eta_nnz"
+
+let m_driveouts =
+  Metrics.counter
+    ~help:
+      "Zero-level basic artificials pivoted out after phase 1 (each one was \
+       silently relaxing a non-dependent row)."
+    "revised_artificial_driveouts_total"
 
 let m_repairs =
   Metrics.counter
@@ -427,7 +435,9 @@ let refactor t =
         f "refactor: clamped infeasible basic values (worst %g)"
           t.worst_infeas);
   t.base_eta_nnz <- t.eta_nnz;
-  Metrics.set m_eta_nnz (float_of_int t.eta_nnz)
+  Metrics.set m_eta_nnz (float_of_int t.eta_nnz);
+  if Trace.is_enabled () then
+    Trace.record (Trace.Refactor { solver = "revised"; eta_nnz = t.eta_nnz })
 
 (* ------------------------------------------------------------------ *)
 (* Pricing and ratio test                                              *)
@@ -564,7 +574,10 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
           for i = 0 to t.m - 1 do
             obj := !obj +. (cost_of t.basis.(i) *. t.xb.(i))
           done;
-          if !obj < !best_obj -. (1e-12 *. (1. +. Float.abs !best_obj)) then begin
+          let improved =
+            !obj < !best_obj -. (1e-12 *. (1. +. Float.abs !best_obj))
+          in
+          if improved then begin
             best_obj := !obj;
             stalled := 0
           end
@@ -578,6 +591,18 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
               stalled := 0
             end
           end;
+          if Trace.is_enabled () then
+            Trace.record
+              (Trace.Pivot
+                 {
+                   solver = "revised";
+                   iteration = !iter;
+                   entering = q;
+                   leaving;
+                   step;
+                   objective = !obj;
+                   degenerate = not improved;
+                 });
           if
             t.pivots_since_refactor >= refactor_interval
             || t.eta_nnz > 10 * (t.base_eta_nnz + t.m)
@@ -612,7 +637,9 @@ let perturbation j salt =
   (* Large enough that degenerate steps dominate the FTRAN roundoff that
      accumulates on big instances (m ~ 10⁴), small enough not to disturb
      which vertex is optimal in practice; the reported solution is exact
-     either way because extraction applies B⁻¹ to the true rhs. *)
+     either way because extraction applies B⁻¹ to the true rhs, and the
+     feasibility witness (B⁻¹ applied to the perturbed rhs) misses the
+     true constraints by at most this amount. *)
   1e-8 *. (0.5 +. u)
 
 let build_state std salt =
@@ -742,10 +769,72 @@ let prepare_unspanned ?max_iter model =
         end
         else Error Simplex.Infeasible_phase1
       else begin
-        (* Residual basic artificials flag linearly dependent rows; they
-           stay at their O(perturbation) values, barred from re-entering. *)
         for j = t.n_struct to t.n_total - 1 do
           t.allowed.(j) <- false
+        done;
+        (* Drive zero-level basic artificials out of the basis. A basic
+           artificial absorbs any imbalance of its row, silently deleting
+           that constraint from every later phase-2 solve — on a row that
+           is NOT linearly dependent this relaxes the feasible region and
+           lets phase 2 report optima outside the true polytope. For each
+           such row, BTRAN the unit vector to get the transformed row
+           ρ = B⁻ᵀe_i, enter the structural column with the largest
+           |ρ·A_j| via a (near-)degenerate pivot. Rows whose transformed
+           row vanishes over the structural columns are genuinely
+           dependent: implied by the others, their artificial — which
+           only absorbs the perturbation's inconsistency — is harmless
+           and stays. *)
+        let rho = Array.make m 0. in
+        for i = 0 to m - 1 do
+          if t.basis.(i) >= t.n_struct then begin
+            Array.fill rho 0 m 0.;
+            rho.(i) <- 1.;
+            btran_apply t rho;
+            let best = ref (-1) and best_mag = ref 1e-6 in
+            for j = 0 to t.n_struct - 1 do
+              if not t.in_basis.(j) then begin
+                let mag = Float.abs (Csr.dot_row t.cols j rho) in
+                if mag > !best_mag then begin
+                  best := j;
+                  best_mag := mag
+                end
+              end
+            done;
+            if !best >= 0 && Float.abs t.xb.(i) /. !best_mag <= 1e-6 then begin
+              let w = t.work in
+              ftran_col t !best w;
+              if Float.abs w.(i) > 1e-7 then begin
+                (* Treat the pivot as exactly degenerate: the artificial
+                   sits at zero level in the true problem, and its
+                   residual basic value is perturbation noise. Entering
+                   the structural at exactly zero leaves every other
+                   basic value untouched, where stepping by the noisy
+                   value would shift each by (noise / pivot) × wₖ —
+                   pushing degenerate basic variables negative and
+                   seeding instability downstream. (Formally a
+                   re-perturbation of b by −B·(noise·eᵢ), the same class
+                   phase 2's salt retries already apply.) A fresh
+                   deterministic perturbation at the usual 1e-8 scale
+                   then re-seeds the anti-degeneracy margin on the row —
+                   entering at exactly zero would stack hundreds of
+                   exactly-tied zero-level basics, and phase 2 pays for
+                   every tie in Harris ratio-test passes. *)
+                let h =
+                  ((i * 2654435761) lxor 0x9E3779B9) land 0xFFFFFF
+                in
+                t.xb.(i) <-
+                  1e-8 *. (0.5 +. (float_of_int h /. float_of_int 0x1000000));
+                let art = t.basis.(i) in
+                t.in_basis.(art) <- false;
+                t.in_basis.(!best) <- true;
+                t.basis.(i) <- !best;
+                (match eta_of_pivot w i m with
+                | Some e -> push_eta t e
+                | None -> ());
+                Metrics.inc m_driveouts
+              end
+            end
+          end
         done;
         Array.blit t.basis 0 t.phase1_basis 0 m;
         Ok t
@@ -793,11 +882,25 @@ let optimize_unspanned ?max_iter t direction objective =
        anti-degeneracy perturbation. *)
     let x_true = Array.copy t.std.Std_form.rhs in
     ftran_apply t x_true;
+    (* Feasibility witness: the same basis applied to the PERTURBED
+       right-hand side.  Primal-feasible by the simplex invariant, so it
+       satisfies the true constraints up to the perturbation magnitude
+       itself — immune to the conditioning amplification that can push
+       the exact point [x_true] off non-binding degenerate rows.  A fresh
+       FTRAN (rather than the incrementally-updated [t.xb]) avoids the
+       clamping noise accumulated along the pivot trajectory. *)
+    let x_wit = Array.copy t.rhs_pert in
+    ftran_apply t x_wit;
     let x_std = Array.make t.n_struct 0. in
+    let w_std = Array.make t.n_struct 0. in
     for i = 0 to t.m - 1 do
-      if t.basis.(i) < t.n_struct then x_std.(t.basis.(i)) <- x_true.(i)
+      if t.basis.(i) < t.n_struct then begin
+        x_std.(t.basis.(i)) <- x_true.(i);
+        w_std.(t.basis.(i)) <- Float.max 0. x_wit.(i)
+      end
     done;
     let values = Std_form.extract t.std x_std in
+    let witness = Std_form.extract t.std w_std in
     let objective_value = Std_form.objective_value objective values in
     (* Duals y = B⁻ᵀ c_B, restored to the original row orientation and
        optimization direction. *)
@@ -810,7 +913,8 @@ let optimize_unspanned ?max_iter t direction objective =
       Array.init t.std.Std_form.nrows_model (fun i ->
           sign *. t.std.Std_form.row_signs.(i) *. y.(i))
     in
-    Simplex.Optimal { objective = objective_value; values; duals; iterations }
+    Simplex.Optimal
+      { objective = objective_value; values; witness; duals; iterations }
 
 let optimize ?max_iter t direction objective =
   Span.with_ "revised.phase2" (fun () ->

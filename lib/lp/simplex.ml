@@ -3,6 +3,7 @@ let log_src = Logs.Src.create "mapqn.simplex" ~doc:"simplex pivoting"
 module Log = (val Logs.src_log log_src)
 module Metrics = Mapqn_obs.Metrics
 module Span = Mapqn_obs.Span
+module Trace = Mapqn_obs.Trace
 module Csr = Mapqn_sparse.Csr
 
 (* Solver telemetry (recorded into the process-global registry; see
@@ -24,6 +25,13 @@ let m_retries =
 let m_solves =
   Metrics.counter ~help:"Phase-2 optimizations performed." "simplex_solves_total"
 
+let m_driveouts =
+  Metrics.counter
+    ~help:
+      "Zero-level basic artificials pivoted out after phase 1 (each one was \
+       silently relaxing a non-dependent row)."
+    "simplex_artificial_driveouts_total"
+
 let m_phase_iterations =
   Metrics.histogram
     ~help:"Pivots per simplex phase run."
@@ -43,6 +51,7 @@ type direction = Minimize | Maximize
 type solution = {
   objective : float;
   values : float array;
+  witness : float array;
   duals : float array;
   iterations : int;
 }
@@ -151,35 +160,61 @@ let lex_less t c i1 i2 =
   go 0
 
 (* Ratio test: the lexicographic minimum among rows with a positive pivot
-   entry. Returns -1 when the column is unbounded. A quick first pass on
-   the plain ratio narrows the field before the O(m) lexicographic
-   comparisons. *)
+   entry. Returns -1 when the column is unbounded.
+
+   The tie window must be essentially exact: a loose window lets the
+   lexicographic tie-break pick a row whose true ratio is slightly
+   larger, which pushes other basic variables slightly negative — the
+   drift compounds over thousands of pivots until the iterate leaves the
+   polytope entirely. Genuine degenerate ties are exact zeros, which
+   this window still catches.
+
+   Within the tie window, rows whose pivot entry is more than four orders
+   of magnitude below the largest tied entry are excluded before the
+   lexicographic comparison. Rows of nearly dependent constraints (the
+   ones phase 1 drives artificials out of) carry cancellation noise at
+   the 1e-8 scale; a degenerate tie can offer such an entry as pivot, and
+   dividing the row by noise manufactures a numerically meaningless basis
+   whose duals are garbage even when the primal point survives. Skipping
+   a tied row technically steps outside the Dantzig–Orden–Wolfe
+   anti-cycling rule, but only fires when magnitudes differ by 1e4 —
+   where the alternative is certain numerical corruption, and the stall
+   detector plus perturbation-salt retries still guard termination. *)
+let tie_tol ratio = 1e-13 *. Float.max 1. (Float.abs ratio)
+
 let ratio_test t c =
-  let best_row = ref (-1) in
-  let best_ratio = ref infinity in
-  (* The tie window must be essentially exact: a loose window lets the
-     lexicographic tie-break pick a row whose true ratio is slightly
-     larger, which pushes other basic variables slightly negative — the
-     drift compounds over thousands of pivots until the iterate leaves the
-     polytope entirely. Genuine degenerate ties are exact zeros, which
-     this window still catches. *)
-  let tie_tol ratio = 1e-13 *. Float.max 1. (Float.abs ratio) in
+  (* Pass 1: the minimum ratio. *)
+  let min_ratio = ref infinity in
   for i = 0 to t.m - 1 do
     let aic = t.a.(i).(c) in
     if aic > eps_pivot then begin
       let ratio = Float.max 0. (t.a.(i).(t.n) /. aic) in
-      if !best_row < 0 || ratio < !best_ratio -. tie_tol !best_ratio then begin
-        best_row := i;
-        best_ratio := ratio
-      end
-      else if ratio <= !best_ratio +. tie_tol !best_ratio && lex_less t c i !best_row
-      then begin
-        best_row := i;
-        best_ratio := ratio
-      end
+      if ratio < !min_ratio then min_ratio := ratio
     end
   done;
-  !best_row
+  if !min_ratio = infinity then -1
+  else begin
+    let hi = !min_ratio +. tie_tol !min_ratio in
+    (* Pass 2: the largest pivot magnitude inside the tie window. *)
+    let max_aic = ref 0. in
+    for i = 0 to t.m - 1 do
+      let aic = t.a.(i).(c) in
+      if aic > eps_pivot && Float.max 0. (t.a.(i).(t.n) /. aic) <= hi then
+        if aic > !max_aic then max_aic := aic
+    done;
+    (* Pass 3: lexicographic minimum among the numerically sound ties. *)
+    let floor_aic = 1e-4 *. !max_aic in
+    let best = ref (-1) in
+    for i = 0 to t.m - 1 do
+      let aic = t.a.(i).(c) in
+      if
+        aic > eps_pivot && aic >= floor_aic
+        && Float.max 0. (t.a.(i).(t.n) /. aic) <= hi
+        && (!best < 0 || lex_less t c i !best)
+      then best := i
+    done;
+    !best
+  end
 
 (* Entering column: most negative reduced cost within a rotating window,
    falling back to a full scan when the window is clean. *)
@@ -242,9 +277,14 @@ let run_phase ?stop_below ?(stall_limit = max_int) t obj ~max_iter =
         let r = ratio_test t c in
         if r < 0 then result := Some (P_unbounded, !iter)
         else begin
+          let leaving = t.basis.(r) in
+          let step = t.a.(r).(t.n) /. t.a.(r).(c) in
           pivot t obj r c;
           incr iter;
-          if obj.(t.n) > !best_obj +. (1e-12 *. (1. +. Float.abs !best_obj)) then begin
+          let improved =
+            obj.(t.n) > !best_obj +. (1e-12 *. (1. +. Float.abs !best_obj))
+          in
+          if improved then begin
             Metrics.observe m_improvement (obj.(t.n) -. !best_obj);
             best_obj := obj.(t.n);
             stalled := 0
@@ -254,6 +294,18 @@ let run_phase ?stop_below ?(stall_limit = max_int) t obj ~max_iter =
             incr degenerate;
             if !stalled >= stall_limit then result := Some (P_iteration_limit, !iter)
           end;
+          if Trace.is_enabled () then
+            Trace.record
+              (Trace.Pivot
+                 {
+                   solver = "dense";
+                   iteration = !iter;
+                   entering = c;
+                   leaving;
+                   step;
+                   objective = -.obj.(t.n);
+                   degenerate = not improved;
+                 });
           if cycle_check_enabled then begin
             (* The full sorted array is the key: structural equality makes
                collisions harmless (Hashtbl.hash alone samples only a few
@@ -399,10 +451,58 @@ let prepare_unspanned ?max_iter model =
       done;
       if !mass > 1e-6 then Error Infeasible_phase1
       else begin
-        (* Artificials must never re-enter in phase 2. Residual basic
-           artificials correspond to linearly dependent rows; they stay at
-           their O(perturbation) values and carry zero cost. *)
+        (* Artificials must never re-enter in phase 2. *)
         Array.iteri (fun j is_art -> if is_art then t.allowed.(j) <- false) artificial;
+        (* Drive zero-level basic artificials out of the basis. A basic
+           artificial absorbs any imbalance of its row, silently deleting
+           that constraint from every later phase-2 solve — on a row that
+           is NOT linearly dependent this relaxes the feasible region and
+           lets phase 2 report optima outside the true polytope. Pivot in
+           the structural column with the largest entry; the pivot is
+           (near-)degenerate, so the primal point barely moves. Rows with
+           no usable entry are genuinely dependent (B⁻¹-transformed row
+           vanished): implied by the other rows, so their artificial —
+           which only absorbs the perturbation's inconsistency — is
+           harmless and stays. *)
+        let scratch = Array.make (n_total + 1) 0. in
+        for i = 0 to m - 1 do
+          if artificial.(t.basis.(i)) then begin
+            let best = ref (-1) and best_mag = ref 1e-6 in
+            for j = 0 to std.Std_form.ncols - 1 do
+              let mag = Float.abs t.a.(i).(j) in
+              if mag > !best_mag then begin
+                best := j;
+                best_mag := mag
+              end
+            done;
+            if
+              !best >= 0
+              && Float.abs t.a.(i).(n_total) /. !best_mag <= 1e-6
+            then begin
+              (* Zero the row's right-hand side first: the artificial sits
+                 at zero level in the true problem, and its residual
+                 tableau value is perturbation noise. Zeroing it makes the
+                 pivot exactly degenerate — no other basic value moves —
+                 where pivoting on the noisy value would shift every row by
+                 up to (noise / pivot) × column entry, pushing degenerate
+                 basic variables negative and seeding instability that
+                 phase 2 then amplifies. (Formally this re-perturbs b by
+                 −B·(noise·eᵢ), the same class of perturbation phase 2's
+                 salt retries already apply.) *)
+              t.a.(i).(n_total) <- 0.;
+              pivot t scratch i !best;
+              (* Re-seed the anti-degeneracy margin on the row with a
+                 fresh deterministic perturbation at the usual 1e-8 scale
+                 — leaving it at exactly zero stacks hundreds of
+                 exactly-tied zero-level basics, and phase 2 pays for
+                 every tie in ratio-test passes. *)
+              let h = ((i * 2654435761) lxor 0x9E3779B9) land 0xFFFFFF in
+              t.a.(i).(n_total) <-
+                1e-8 *. (0.5 +. (float_of_int h /. float_of_int 0x1000000));
+              Metrics.inc m_driveouts
+            end
+          end
+        done;
         Ok { tab = t; std }
       end
   in
@@ -417,6 +517,7 @@ let prepare ?max_iter model =
 
 let extract_solution std tab =
   let x_std = Array.make std.Std_form.ncols 0. in
+  let w_std = Array.make std.Std_form.ncols 0. in
   for i = 0 to tab.m - 1 do
     (* Basic artificials (linearly dependent rows) carry no structural
        value. For the rest, recompute the exact basic value x_B = B⁻¹ b
@@ -430,10 +531,16 @@ let extract_solution std tab =
       for j = 0 to tab.m - 1 do
         Mapqn_util.Ksum.add acc (tab.a.(i).(tab.binv_cols.(j)) *. std.Std_form.rhs.(j))
       done;
-      x_std.(tab.basis.(i)) <- Mapqn_util.Ksum.total acc
+      x_std.(tab.basis.(i)) <- Mapqn_util.Ksum.total acc;
+      (* The perturbed tableau RHS is the basic solution of the perturbed
+         problem — primal-feasible by the simplex invariant, so it misses
+         the true constraints by at most the perturbation itself, however
+         ill-conditioned the basis. That makes it the feasibility witness
+         backing the certificate. *)
+      w_std.(tab.basis.(i)) <- Float.max 0. tab.a.(i).(tab.n)
     end
   done;
-  Std_form.extract std x_std
+  (Std_form.extract std x_std, Std_form.extract std w_std)
 
 let optimize_unspanned ?max_iter prepared direction objective =
   Metrics.inc m_solves;
@@ -493,7 +600,7 @@ let optimize_unspanned ?max_iter prepared direction objective =
     (* Report the objective evaluated at the extracted point rather than
        the tableau accumulator: the right-hand side was perturbed, and the
        direct evaluation keeps objective and reported point consistent. *)
-    let values = extract_solution std tab in
+    let values, witness = extract_solution std tab in
     let objective_value = Std_form.objective_value objective values in
     (* Dual values y = c_B B⁻¹ for the model rows, read through the
        initial-identity columns; signs restore the original row
@@ -509,7 +616,7 @@ let optimize_unspanned ?max_iter prepared direction objective =
           sign *. std.Std_form.row_signs.(i) *. Mapqn_util.Ksum.total acc)
     in
     Metrics.set m_objective objective_value;
-    Optimal { objective = objective_value; values; duals; iterations }
+    Optimal { objective = objective_value; values; witness; duals; iterations }
 
 let optimize ?max_iter prepared direction objective =
   Span.with_ "simplex.phase2" (fun () ->

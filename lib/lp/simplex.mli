@@ -21,6 +21,17 @@ type direction = Minimize | Maximize
 type solution = {
   objective : float;
   values : float array;  (** optimal point, indexed by {!Lp_model.var} *)
+  witness : float array;
+      (** feasibility witness, indexed by {!Lp_model.var}: the final
+          basis's primal point under the solver's anti-degeneracy
+          perturbation. Unlike [values] — which is the exact basic
+          solution for the unperturbed right-hand side and, on
+          ill-conditioned degenerate bases, can violate non-binding
+          constraints by [conditioning × perturbation] — the witness
+          satisfies every model row and bound up to the perturbation
+          magnitude itself (a few 1e-9), independent of conditioning.
+          This is the point optimality certificates
+          ({!Certificate.compute}) are checked at. *)
   duals : float array;
       (** dual values (shadow prices) of the model rows, in insertion
           order, oriented for the requested direction: the objective's

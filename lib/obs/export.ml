@@ -243,14 +243,13 @@ let prometheus ~metrics ~spans =
           (Printf.sprintf "%s%s %s\n" name (prom_labels labels) (prom_num g))
       | Metrics.Histogram h ->
         header name "histogram" s.Metrics.help;
-        let cumulative = ref 0 in
+        (* Snapshot buckets are already cumulative with +Inf = count. *)
         Array.iter
           (fun (le, n) ->
-            cumulative := !cumulative + n;
             Buffer.add_string buf
               (Printf.sprintf "%s_bucket%s %d\n" name
                  (prom_labels (labels @ [ ("le", prom_num le) ]))
-                 !cumulative))
+                 n))
           h.Metrics.buckets;
         Buffer.add_string buf
           (Printf.sprintf "%s_sum%s %s\n" name (prom_labels labels)

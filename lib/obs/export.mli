@@ -19,9 +19,10 @@ val table : metrics:Metrics.sample list -> spans:Span.entry list -> string
 
 val json : metrics:Metrics.sample list -> spans:Span.entry list -> string
 (** One JSON document: [{"metrics": [...], "spans": [...]}]. Histogram
-    buckets appear as [{"le": bound, "count": n}] with the overflow
-    bound rendered as the string ["+Inf"]. Non-finite values render as
-    [null]. *)
+    buckets appear as [{"le": bound, "count": n}] with cumulative
+    counts (the ["+Inf"] bucket equals the total count) and the
+    overflow bound rendered as the string ["+Inf"]. Non-finite values
+    render as [null]. *)
 
 val json_lines : metrics:Metrics.sample list -> spans:Span.entry list -> string
 (** One JSON object per line: metrics as

@@ -142,9 +142,18 @@ let sample_of key m =
     | C_counter c -> Counter c.c
     | C_gauge g -> Gauge g.g
     | C_histogram h ->
+      (* Buckets are exposed cumulatively (Prometheus [le] semantics):
+         each count includes every lower bucket, and the final +Inf
+         bucket equals the total observation count. *)
+      let cum = ref 0 in
       Histogram
         {
-          buckets = Array.mapi (fun i b -> (b, h.counts.(i))) h.bounds;
+          buckets =
+            Array.mapi
+              (fun i b ->
+                cum := !cum + h.counts.(i);
+                (b, !cum))
+              h.bounds;
           count = h.h_count;
           sum = h.h_sum;
         }

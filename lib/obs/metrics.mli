@@ -80,8 +80,9 @@ val observe : histogram -> float -> unit
 
 type histogram_data = {
   buckets : (float * int) array;
-      (** (upper bound, count in this bucket) — {e not} cumulative; the
-          last entry's bound is [infinity] *)
+      (** (upper bound, cumulative count of observations [<=] bound) —
+          Prometheus [le] semantics. The last entry's bound is
+          [infinity] and its count equals [count]. *)
   count : int;  (** total observations *)
   sum : float;  (** sum of observed values *)
 }

@@ -252,6 +252,14 @@ let run ?(options = default_options) network =
         advance_integrals t;
         now := t;
         incr events;
+        if Mapqn_obs.Trace.is_enabled () && !events land 8191 = 0 then
+          Mapqn_obs.Trace.record
+            (Mapqn_obs.Trace.Batch
+               {
+                 events = !events;
+                 sim_time = t;
+                 heap_size = Event_heap.size heap;
+               });
         let s = stations.(k) in
         if s.delay then begin
           (* One delay job completes. *)

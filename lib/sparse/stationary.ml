@@ -19,6 +19,7 @@ exception No_convergence = Convergence_failure
 
 module Metrics = Mapqn_obs.Metrics
 module Span = Mapqn_obs.Span
+module Trace = Mapqn_obs.Trace
 
 let m_iterations method_name =
   Metrics.counter ~help:"Iterations spent by the stationary solvers."
@@ -87,6 +88,10 @@ let solve_power ~tol ~max_iter q =
     normalize_inplace next;
     delta := Mapqn_linalg.Vec.max_abs_diff next !pi;
     Metrics.observe h_delta !delta;
+    if Trace.is_enabled () then
+      Trace.record
+        (Trace.Sweep
+           { solver = "stationary.power"; iteration = !iter; delta = !delta });
     pi := next
   done;
   Metrics.inc ~by:(float_of_int !iter) (m_iterations "power");
@@ -119,7 +124,15 @@ let solve_gauss_seidel ~tol ~max_iter q =
     done;
     normalize_inplace pi;
     delta := !worst;
-    Metrics.observe h_delta !delta
+    Metrics.observe h_delta !delta;
+    if Trace.is_enabled () then
+      Trace.record
+        (Trace.Sweep
+           {
+             solver = "stationary.gauss-seidel";
+             iteration = !iter;
+             delta = !delta;
+           })
   done;
   Metrics.inc ~by:(float_of_int !iter) (m_iterations "gauss-seidel");
   (pi, !iter, !delta <= tol)

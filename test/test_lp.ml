@@ -440,6 +440,94 @@ let prop_revised_solution_feasible =
       | Simplex.Infeasible -> false
       | Simplex.Unbounded | Simplex.Iteration_limit -> true)
 
+(* ---------------- optimality certificates ---------------- *)
+
+let test_certificate_textbook () =
+  (* At the exact optimum of a well-conditioned LP, every certificate
+     component should be at machine-precision scale. *)
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m and y = Lp_model.add_var m in
+  Lp_model.add_row m [ (x, 1.) ] Lp_model.Le 4.;
+  Lp_model.add_row m [ (y, 2.) ] Lp_model.Le 12.;
+  Lp_model.add_row m [ (x, 3.); (y, 2.) ] Lp_model.Le 18.;
+  let obj = [ (x, 3.); (y, 5.) ] in
+  let s = solution (Simplex.solve m Simplex.Maximize obj) in
+  let cert = Certificate.compute m Simplex.Maximize ~objective:obj s in
+  Alcotest.(check bool)
+    "primal residual tiny" true
+    (cert.Certificate.primal_residual <= 1e-9);
+  Alcotest.(check bool)
+    "dual violation tiny" true
+    (cert.Certificate.dual_violation <= 1e-9);
+  Alcotest.(check bool)
+    "comp slack tiny" true
+    (cert.Certificate.comp_slack <= 1e-9);
+  match Certificate.check m Simplex.Maximize ~objective:obj s with
+  | Ok _ -> ()
+  | Error f -> Alcotest.fail (Certificate.failure_to_string f)
+
+let test_certificate_rejects_corrupt () =
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m and y = Lp_model.add_var m in
+  Lp_model.add_row m [ (x, 1.); (y, 1.) ] Lp_model.Eq 2.;
+  let obj = [ (x, 1.) ] in
+  let s = solution (Simplex.solve m Simplex.Maximize obj) in
+  (* Shift the reported point (and its witness) off the constraint: the
+     primal residual must catch it. *)
+  let bad_point = Array.map (fun v -> v +. 0.5) s.Simplex.values in
+  let bad =
+    { s with Simplex.values = bad_point; Simplex.witness = bad_point }
+  in
+  (match Certificate.check m Simplex.Maximize ~objective:obj bad with
+  | Ok _ -> Alcotest.fail "corrupt point passed the certificate"
+  | Error f ->
+    Alcotest.(check string) "quantity" "primal_residual" f.Certificate.quantity);
+  (* Corrupt the duals: complementary slackness (or dual feasibility)
+     must catch it even though the point itself is optimal. *)
+  let bad_duals = Array.map (fun d -> d +. 1.) s.Simplex.duals in
+  let bad = { s with Simplex.duals = bad_duals } in
+  match Certificate.check m Simplex.Maximize ~objective:obj bad with
+  | Ok _ -> Alcotest.fail "corrupt duals passed the certificate"
+  | Error _ -> ()
+
+let certify_both_backends name m direction obj =
+  let s_dense = solution (Simplex.solve m direction obj) in
+  (match Certificate.check m direction ~objective:obj s_dense with
+  | Ok _ -> ()
+  | Error f ->
+    Alcotest.fail (name ^ " (dense): " ^ Certificate.failure_to_string f));
+  let s_rev = solution (Revised.solve m direction obj) in
+  match Certificate.check m direction ~objective:obj s_rev with
+  | Ok _ -> ()
+  | Error f ->
+    Alcotest.fail (name ^ " (revised): " ^ Certificate.failure_to_string f)
+
+let test_certificate_degenerate_redundant () =
+  (* Redundant equalities leave zero-level artificials in the phase-1
+     basis; after drive-out the certificate must still hold on both
+     backends (this is the exact shape that used to silently relax
+     rows). *)
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m and y = Lp_model.add_var m in
+  Lp_model.add_row m [ (x, 1.); (y, 1.) ] Lp_model.Eq 2.;
+  Lp_model.add_row m [ (x, 1.); (y, 1.) ] Lp_model.Eq 2.;
+  Lp_model.add_row m [ (x, 2.); (y, 2.) ] Lp_model.Eq 4.;
+  Lp_model.add_row m [ (x, 1.) ] Lp_model.Ge 0.5;
+  certify_both_backends "redundant" m Simplex.Maximize [ (x, 1.) ]
+
+let prop_certificate_random =
+  QCheck.Test.make ~name:"random optima carry passing certificates" ~count:100
+    (QCheck.make gen_feasible_lp) (fun params ->
+      let m, vars, _, c = build_random_lp params in
+      let obj = Array.to_list (Array.mapi (fun i v -> (v, c.(i))) vars) in
+      match Simplex.solve m Simplex.Maximize obj with
+      | Simplex.Optimal s -> (
+        match Certificate.check m Simplex.Maximize ~objective:obj s with
+        | Ok _ -> true
+        | Error _ -> false)
+      | Simplex.Infeasible -> false
+      | Simplex.Unbounded | Simplex.Iteration_limit -> true)
+
 let () =
   Alcotest.run "lp"
     [
@@ -477,5 +565,14 @@ let () =
           Alcotest.test_case "typed prepare errors" `Quick test_prepare_error_typed;
           QCheck_alcotest.to_alcotest prop_dense_revised_agree;
           QCheck_alcotest.to_alcotest prop_revised_solution_feasible;
+        ] );
+      ( "certificate",
+        [
+          Alcotest.test_case "textbook optimum" `Quick test_certificate_textbook;
+          Alcotest.test_case "rejects corruption" `Quick
+            test_certificate_rejects_corrupt;
+          Alcotest.test_case "degenerate redundant rows" `Quick
+            test_certificate_degenerate_redundant;
+          QCheck_alcotest.to_alcotest prop_certificate_random;
         ] );
     ]

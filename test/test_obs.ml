@@ -81,10 +81,11 @@ let test_histogram_edges () =
     Alcotest.(check int) "buckets incl overflow" 3 (Array.length d.Metrics.buckets);
     let bound i = fst d.Metrics.buckets.(i) and n i = snd d.Metrics.buckets.(i) in
     check_float "bound 0" 1. (bound 0);
+    (* Bucket counts are cumulative (Prometheus le semantics). *)
     Alcotest.(check int) "le 1" 2 (n 0);
-    Alcotest.(check int) "le 10" 1 (n 1);
+    Alcotest.(check int) "le 10" 3 (n 1);
     Alcotest.(check bool) "overflow bound" true (fst d.Metrics.buckets.(2) = infinity);
-    Alcotest.(check int) "overflow count" 1 (n 2)
+    Alcotest.(check int) "overflow count = total" 4 (n 2)
   | _ -> Alcotest.fail "expected exactly one histogram sample"
 
 let test_reset_in_place () =
@@ -176,7 +177,7 @@ let test_export_json () =
     ("{\"metrics\":[{\"name\":\"pivots_total\",\"labels\":{},\"type\":\"counter\",\"value\":12},"
    ^ "{\"name\":\"residual\",\"labels\":{\"method\":\"gth\"},\"type\":\"gauge\",\"value\":0.5},"
    ^ "{\"name\":\"steps\",\"labels\":{},\"type\":\"histogram\",\"count\":2,\"sum\":5.5,"
-   ^ "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":2,\"count\":0},{\"le\":\"+Inf\",\"count\":1}]}],"
+   ^ "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":2,\"count\":1},{\"le\":\"+Inf\",\"count\":2}]}],"
    ^ "\"spans\":[{\"path\":\"solve\",\"count\":1,\"total_seconds\":3,\"max_seconds\":3},"
    ^ "{\"path\":\"solve/lp\",\"count\":1,\"total_seconds\":1,\"max_seconds\":1}]}\n")
     s;
@@ -229,6 +230,269 @@ let test_format_of_string () =
   | Ok _ -> Alcotest.fail "xml should be rejected");
   Alcotest.(check int) "four formats" 4 (List.length Export.format_names)
 
+(* ---------------- Exporter round-trips ---------------- *)
+
+(* The machine formats must parse back to the same values: JSON and
+   JSONL via the Json module, Prometheus via a minimal line scanner. *)
+
+let json_get path doc =
+  let rec go doc = function
+    | [] -> doc
+    | key :: rest -> (
+      match Json.member key doc with
+      | Some v -> go v rest
+      | None -> Alcotest.fail ("missing JSON member " ^ key))
+  in
+  go doc path
+
+let metric_named name ms =
+  match
+    List.find_opt
+      (fun m -> Json.member "name" m = Some (Json.String name))
+      ms
+  with
+  | Some m -> m
+  | None -> Alcotest.fail ("metric not in export: " ^ name)
+
+let check_golden_metric_objects ms =
+  let counter = metric_named "pivots_total" ms in
+  check_float "counter value" 12.
+    (Option.get (Json.get_float (json_get [ "value" ] counter)));
+  let gauge = metric_named "residual" ms in
+  check_float "gauge value" 0.5
+    (Option.get (Json.get_float (json_get [ "value" ] gauge)));
+  Alcotest.(check (option string)) "gauge label" (Some "gth")
+    (Json.get_string (json_get [ "labels"; "method" ] gauge));
+  let histo = metric_named "steps" ms in
+  Alcotest.(check (option int)) "histogram count" (Some 2)
+    (Json.get_int (json_get [ "count" ] histo));
+  check_float "histogram sum" 5.5
+    (Option.get (Json.get_float (json_get [ "sum" ] histo)));
+  match Json.get_list (json_get [ "buckets" ] histo) with
+  | Some [ b1; b2; binf ] ->
+    Alcotest.(check (option int)) "le 1 cumulative" (Some 1)
+      (Json.get_int (json_get [ "count" ] b1));
+    Alcotest.(check (option int)) "le 2 cumulative" (Some 1)
+      (Json.get_int (json_get [ "count" ] b2));
+    Alcotest.(check (option string)) "+Inf bound is a string" (Some "+Inf")
+      (Json.get_string (json_get [ "le" ] binf));
+    Alcotest.(check (option int)) "+Inf equals total" (Some 2)
+      (Json.get_int (json_get [ "count" ] binf))
+  | _ -> Alcotest.fail "expected three histogram buckets"
+
+let test_roundtrip_json () =
+  let doc =
+    Json.parse_exn
+      (Export.json ~metrics:(golden_metrics ()) ~spans:(golden_spans ()))
+  in
+  check_golden_metric_objects
+    (Option.get (Json.get_list (json_get [ "metrics" ] doc)));
+  match Json.get_list (json_get [ "spans" ] doc) with
+  | Some (root :: _) ->
+    check_float "span total" 3.
+      (Option.get (Json.get_float (json_get [ "total_seconds" ] root)))
+  | _ -> Alcotest.fail "expected spans in export"
+
+let test_roundtrip_jsonl () =
+  let lines =
+    String.split_on_char '\n'
+      (String.trim
+         (Export.json_lines ~metrics:(golden_metrics ())
+            ~spans:(golden_spans ())))
+  in
+  let docs = List.map Json.parse_exn lines in
+  let ms =
+    List.filter_map
+      (fun d ->
+        if Json.member "kind" d = Some (Json.String "metric") then
+          Some (json_get [ "metric" ] d)
+        else None)
+      docs
+  in
+  check_golden_metric_objects ms;
+  Alcotest.(check int) "two span lines" 2
+    (List.length
+       (List.filter
+          (fun d -> Json.member "kind" d = Some (Json.String "span"))
+          docs))
+
+let test_roundtrip_prometheus () =
+  let text =
+    Export.prometheus ~metrics:(golden_metrics ()) ~spans:(golden_spans ())
+  in
+  let value_of_line prefix =
+    let matching =
+      List.filter
+        (fun l ->
+          String.length l > String.length prefix
+          && String.sub l 0 (String.length prefix) = prefix)
+        (String.split_on_char '\n' text)
+    in
+    match matching with
+    | [ line ] ->
+      let i = String.rindex line ' ' in
+      float_of_string (String.sub line (i + 1) (String.length line - i - 1))
+    | _ -> Alcotest.fail ("expected exactly one line starting with " ^ prefix)
+  in
+  check_float "counter" 12. (value_of_line "mapqn_pivots_total ");
+  check_float "labeled gauge" 0.5 (value_of_line "mapqn_residual{method=\"gth\"}");
+  check_float "sum" 5.5 (value_of_line "mapqn_steps_sum");
+  let count = value_of_line "mapqn_steps_count" in
+  check_float "count" 2. count;
+  let b1 = value_of_line "mapqn_steps_bucket{le=\"1\"}" in
+  let b2 = value_of_line "mapqn_steps_bucket{le=\"2\"}" in
+  let binf = value_of_line "mapqn_steps_bucket{le=\"+Inf\"}" in
+  Alcotest.(check bool) "buckets monotone" true (b1 <= b2 && b2 <= binf);
+  check_float "+Inf bucket equals count" count binf
+
+(* ---------------- Trace ring buffer and sinks ---------------- *)
+
+let mark i = Trace.Mark { name = "m"; detail = string_of_int i }
+
+let test_trace_ring () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.emit t (mark i)
+  done;
+  Alcotest.(check int) "emitted" 10 (Trace.emitted t);
+  Alcotest.(check int) "retained" 4 (Trace.retained t);
+  Alcotest.(check int) "dropped" 6 (Trace.dropped t);
+  let details =
+    List.map
+      (fun (_, e) ->
+        match e with Trace.Mark m -> m.detail | _ -> Alcotest.fail "kind")
+      (Trace.events t)
+  in
+  (* Lossy by overwriting the oldest: the last [capacity] events survive,
+     oldest first. *)
+  Alcotest.(check (list string)) "newest survive, oldest first"
+    [ "7"; "8"; "9"; "10" ] details;
+  Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (Trace.emitted t);
+  Alcotest.(check int) "cleared retained" 0 (Trace.retained t)
+
+let test_trace_monotonic_timestamps () =
+  (* A clock that steps backwards: emission must clamp. *)
+  let ticks = ref [ 5.; 3.; 9.; 1.; 2. ] in
+  let clock () =
+    match !ticks with
+    | t :: rest ->
+      ticks := rest;
+      t
+    | [] -> 100.
+  in
+  let t = Trace.create ~clock () in
+  for i = 1 to 5 do
+    Trace.emit t (mark i)
+  done;
+  let ts = List.map fst (Trace.events t) in
+  Alcotest.(check (list (float 0.))) "clamped non-decreasing"
+    [ 5.; 5.; 9.; 9.; 9. ] ts
+
+let test_trace_global () =
+  Alcotest.(check bool) "disabled by default" false (Trace.is_enabled ());
+  Trace.record (mark 0) (* no-op, must not raise *);
+  Trace.enable ~capacity:16 ();
+  Alcotest.(check bool) "enabled" true (Trace.is_enabled ());
+  Trace.record (mark 1);
+  (match Trace.current () with
+  | Some t -> Alcotest.(check int) "recorded" 1 (Trace.emitted t)
+  | None -> Alcotest.fail "no global trace while enabled");
+  Trace.disable ();
+  Alcotest.(check bool) "disabled again" false (Trace.is_enabled ());
+  Alcotest.(check bool) "trace dropped" true (Trace.current () = None)
+
+let sample_trace () =
+  let clock =
+    let t = ref 0. in
+    fun () ->
+      t := !t +. 0.001;
+      !t
+  in
+  let t = Trace.create ~clock () in
+  Trace.emit t
+    (Trace.Pivot
+       {
+         solver = "revised";
+         iteration = 1;
+         entering = 7;
+         leaving = 3;
+         step = 0.25;
+         objective = 41.5;
+         degenerate = false;
+       });
+  Trace.emit t (Trace.Refactor { solver = "revised"; eta_nnz = 120 });
+  Trace.emit t
+    (Trace.Sweep { solver = "stationary.power"; iteration = 2; delta = 1e-9 });
+  Trace.emit t (Trace.Batch { events = 8192; sim_time = 12.5; heap_size = 3 });
+  Trace.emit t
+    (Trace.Certificate
+       {
+         label = "min";
+         primal_residual = 1e-12;
+         dual_violation = 0.;
+         comp_slack = 1e-10;
+         accepted = true;
+       });
+  t
+
+let test_trace_jsonl_sink () =
+  let lines =
+    String.split_on_char '\n'
+      (String.trim (Trace.render Trace.Jsonl (sample_trace ())))
+  in
+  Alcotest.(check int) "one line per event" 5 (List.length lines);
+  let docs = List.map Json.parse_exn lines in
+  let pivot = List.hd docs in
+  Alcotest.(check (option string)) "event tag" (Some "pivot")
+    (Json.get_string (json_get [ "event" ] pivot));
+  Alcotest.(check (option int)) "entering" (Some 7)
+    (Json.get_int (json_get [ "entering" ] pivot));
+  check_float "objective" 41.5
+    (Option.get (Json.get_float (json_get [ "objective" ] pivot)));
+  (* Timestamps survive the round-trip in order. *)
+  let ts =
+    List.map (fun d -> Option.get (Json.get_float (json_get [ "ts" ] d))) docs
+  in
+  Alcotest.(check bool) "timestamps sorted" true (List.sort compare ts = ts)
+
+let test_trace_chrome_sink () =
+  let doc = Json.parse_exn (Trace.render Trace.Chrome (sample_trace ())) in
+  Alcotest.(check (option string)) "time unit" (Some "ms")
+    (Json.get_string (json_get [ "displayTimeUnit" ] doc));
+  let evs = Option.get (Json.get_list (json_get [ "traceEvents" ] doc)) in
+  (* 5 instants plus counter tracks for pivot, sweep and batch. *)
+  Alcotest.(check int) "trace events" 8 (List.length evs);
+  List.iter
+    (fun e ->
+      (* The fields Perfetto requires on every event. *)
+      List.iter
+        (fun k ->
+          if Json.member k e = None then
+            Alcotest.fail ("chrome event missing field " ^ k))
+        [ "name"; "ph"; "ts"; "pid"; "tid" ];
+      let ts = Option.get (Json.get_float (json_get [ "ts" ] e)) in
+      Alcotest.(check bool) "relative microseconds" true (ts >= 0.))
+    evs;
+  let phases =
+    List.map (fun e -> Option.get (Json.get_string (json_get [ "ph" ] e))) evs
+  in
+  Alcotest.(check bool) "has instants and counters" true
+    (List.mem "i" phases && List.mem "C" phases)
+
+let prop_trace_drop_accounting =
+  QCheck.Test.make ~name:"trace ring: dropped = emitted - retained" ~count:200
+    QCheck.(pair (int_range 1 50) (int_range 0 200))
+    (fun (capacity, n) ->
+      let t = Trace.create ~capacity () in
+      for i = 1 to n do
+        Trace.emit t (mark i)
+      done;
+      Trace.emitted t = n
+      && Trace.retained t = min n capacity
+      && Trace.dropped t = Trace.emitted t - Trace.retained t
+      && List.length (Trace.events t) = Trace.retained t)
+
 (* ---------------- End-to-end: solver telemetry ---------------- *)
 
 let test_solver_telemetry () =
@@ -250,6 +514,14 @@ let test_solver_telemetry () =
   ignore (Mapqn_core.Bounds.response_time bd);
   positive "simplex_pivots_total";
   positive "simplex_solves_total";
+  (* Every solved objective carries an optimality certificate... *)
+  positive "bounds_certificates_total";
+  check_float "no certificate failures" 0.
+    (value_of "bounds_certificate_failures_total");
+  (* ...and the worst primal residual of the run stays far inside the
+     1e-6 acceptance tolerance. *)
+  Alcotest.(check bool) "primal residual tiny" true
+    (value_of "bounds_certificate_primal_residual" <= 1e-8);
   positive "lp_rows";
   positive "lp_vars";
   positive "ctmc_states";
@@ -291,6 +563,23 @@ let () =
           Alcotest.test_case "prometheus" `Quick test_export_prometheus;
           Alcotest.test_case "table" `Quick test_export_table;
           Alcotest.test_case "format_of_string" `Quick test_format_of_string;
+        ] );
+      ( "round-trip",
+        [
+          Alcotest.test_case "json parses back" `Quick test_roundtrip_json;
+          Alcotest.test_case "jsonl parses back" `Quick test_roundtrip_jsonl;
+          Alcotest.test_case "prometheus parses back" `Quick
+            test_roundtrip_prometheus;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring overwrite + counters" `Quick test_trace_ring;
+          Alcotest.test_case "monotonic timestamps" `Quick
+            test_trace_monotonic_timestamps;
+          Alcotest.test_case "global enable/disable" `Quick test_trace_global;
+          Alcotest.test_case "jsonl sink" `Quick test_trace_jsonl_sink;
+          Alcotest.test_case "chrome sink" `Quick test_trace_chrome_sink;
+          QCheck_alcotest.to_alcotest prop_trace_drop_accounting;
         ] );
       ( "end-to-end",
         [ Alcotest.test_case "solver telemetry" `Quick test_solver_telemetry ] );
