@@ -2,19 +2,21 @@
 
    Usage: regress.exe [--threshold FRAC] BASELINE CANDIDATE
 
-   Compares the per-population eval_s timings of the candidate run
-   against the committed baseline and exits nonzero when either
+   Compares the per-population create_s and eval_s timings of the
+   candidate run against the committed baseline and exits nonzero when
+   either
 
-   - any matching (population, solver) eval_s regressed by more than
-     the threshold (default 0.15 = 15%), or
+   - any matching (population, solver, field) timing regressed by more
+     than the threshold (default 0.15 = 15%), or
    - the candidate reports any LP certificate failure.
 
-   Timings for populations or solvers present in only one file are
-   reported but never gate (a new population is growth, not a
-   regression; "skipped (timeout)" dense entries match nothing). A
-   baseline without a "certificates" block — written before the
-   certificate machinery existed — only warns: old baselines must not
-   turn the gate off, but must not fail it retroactively either. *)
+   Timings for populations, solvers or fields present in only one file
+   are reported but never gate (a new population or a newly recorded
+   field is growth, not a regression; "skipped (timeout)" dense entries
+   match nothing). The same applies to whole sections: a baseline
+   without a "certificates" or "phases" block — written before that
+   machinery existed — only warns. Old baselines must not turn the gate
+   off, but must not fail it retroactively either. *)
 
 module J = Mapqn_obs.Json
 
@@ -33,9 +35,10 @@ let read_json path =
   | Ok v -> v
   | Error msg -> die "regress: %s is not valid JSON: %s" path msg
 
-(* (population, solver) -> eval_s, for every result entry whose solver
-   field is an object with a numeric eval_s (so the explicit
-   "skipped (timeout)" strings simply contribute nothing). *)
+(* (population, solver, field) -> seconds for field in {create_s,
+   eval_s}, for every result entry whose solver field is an object with
+   that numeric field (so the explicit "skipped (timeout)" strings, and
+   baselines predating a field, simply contribute nothing). *)
 let timings doc =
   let results =
     match J.member "results" doc with
@@ -46,14 +49,18 @@ let timings doc =
     (fun entry ->
       match J.member "population" entry with
       | Some (J.Number n) ->
-        List.filter_map
+        List.concat_map
           (fun solver ->
             match J.member solver entry with
-            | Some obj -> (
-              match Option.bind (J.member "eval_s" obj) J.get_float with
-              | Some eval_s -> Some ((int_of_float n, solver), eval_s)
-              | None -> None)
-            | None -> None)
+            | Some obj ->
+              List.filter_map
+                (fun field ->
+                  match Option.bind (J.member field obj) J.get_float with
+                  | Some seconds ->
+                    Some ((int_of_float n, solver, field), seconds)
+                  | None -> None)
+                [ "create_s"; "eval_s" ]
+            | None -> [])
           [ "revised"; "dense" ]
       | _ -> [])
     results
@@ -97,24 +104,25 @@ let () =
   let base = timings baseline and cand = timings candidate in
   let failures = ref 0 in
   List.iter
-    (fun ((n, solver), cand_s) ->
-      match List.assoc_opt (n, solver) base with
+    (fun ((n, solver, field), cand_s) ->
+      match List.assoc_opt (n, solver, field) base with
       | None ->
-        Printf.printf "  N=%-4d %-8s %8.3fs  (no baseline entry, not gated)\n"
-          n solver cand_s
+        Printf.printf
+          "  N=%-4d %-8s %-8s %8.3fs  (no baseline entry, not gated)\n" n
+          solver field cand_s
       | Some base_s ->
         let ratio = if base_s > 0. then cand_s /. base_s -. 1. else 0. in
         let gated = ratio > !threshold in
         if gated then incr failures;
-        Printf.printf "  N=%-4d %-8s %8.3fs vs %8.3fs  %+6.1f%%%s\n" n solver
-          cand_s base_s (100. *. ratio)
+        Printf.printf "  N=%-4d %-8s %-8s %8.3fs vs %8.3fs  %+6.1f%%%s\n" n
+          solver field cand_s base_s (100. *. ratio)
           (if gated then "  REGRESSION" else ""))
     cand;
   List.iter
-    (fun ((n, solver), _) ->
-      if not (List.mem_assoc (n, solver) cand) then
-        Printf.printf "  N=%-4d %-8s dropped from candidate (not gated)\n" n
-          solver)
+    (fun ((n, solver, field), _) ->
+      if not (List.mem_assoc (n, solver, field) cand) then
+        Printf.printf "  N=%-4d %-8s %-8s dropped from candidate (not gated)\n"
+          n solver field)
     base;
   (match J.member "certificates" candidate with
   | Some certs -> (
@@ -141,6 +149,9 @@ let () =
   if J.member "certificates" baseline = None then
     Printf.printf
       "  note: baseline has no certificate block (pre-certificate format)\n";
+  if J.member "phases" baseline = None then
+    Printf.printf
+      "  note: baseline has no phases block (pre-profiling format, not gated)\n";
   if !failures > 0 then begin
     Printf.printf "regress: FAIL (%d regression%s, threshold %.0f%%)\n"
       !failures

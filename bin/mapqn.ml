@@ -415,6 +415,48 @@ let scale_arg =
   let doc = "Run the full paper-scale experiment (slow) instead of the scaled default." in
   Arg.(value & flag & info [ "paper-scale" ] ~doc)
 
+(* Sweep progress reporting (Mapqn_obs.Progress): --progress draws a
+   status line with an ETA, --heartbeat-out appends one JSONL record per
+   model/phase event; the heartbeat file doubles as the resume
+   checkpoint for table1's --resume-from. *)
+
+let progress_arg =
+  let doc =
+    "Report sweep progress (per-model status and ETA) on standard error: a \
+     live line on a terminal, one line per completed model otherwise."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let heartbeat_out_arg =
+  let doc =
+    "Append JSONL heartbeat records (model id, seed, phase, elapsed) to \
+     $(docv) as the sweep runs; the file doubles as a checkpoint for \
+     $(b,--resume-from)."
+  in
+  Arg.(value & opt (some string) None & info [ "heartbeat-out" ] ~docv:"FILE" ~doc)
+
+let with_progress ~label ~total ~progress ~heartbeat_out f =
+  if (not progress) && heartbeat_out = None then f None
+  else begin
+    let hb =
+      match heartbeat_out with
+      | None -> None
+      | Some path -> (
+        try Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+        with Sys_error msg ->
+          Printf.eprintf "mapqn: cannot open heartbeat file: %s\n" msg;
+          exit 1)
+    in
+    let p =
+      Mapqn_obs.Progress.create ?heartbeat:hb ~quiet:(not progress) ~total label
+    in
+    Fun.protect
+      (fun () -> f (Some p))
+      ~finally:(fun () ->
+        Mapqn_obs.Progress.close p;
+        Option.iter close_out hb)
+  end
+
 let fig1_cmd =
   let run verbose paper_scale obs =
     setup_logs verbose;
@@ -445,41 +487,61 @@ let fig3_cmd =
     Term.(const run $ verbose_arg $ scale_arg $ obs_args)
 
 let fig4_cmd =
-  let run verbose paper_scale obs =
+  let run verbose paper_scale progress heartbeat_out obs =
     setup_logs verbose;
     with_telemetry "fig4" obs @@ fun () ->
     let options =
       if paper_scale then Mapqn_experiments.Fig4.default_options
       else Mapqn_experiments.Fig4.bench_options
     in
-    Mapqn_experiments.Fig4.print (Mapqn_experiments.Fig4.run ~options ())
+    with_progress ~label:"fig4"
+      ~total:(List.length options.Mapqn_experiments.Fig4.populations)
+      ~progress ~heartbeat_out
+    @@ fun p ->
+    Mapqn_experiments.Fig4.print (Mapqn_experiments.Fig4.run ~options ?progress:p ())
   in
   Cmd.v
     (Cmd.info "fig4" ~doc:"Figure 4: decomposition and ABA failure on the tandem")
-    Term.(const run $ verbose_arg $ scale_arg $ obs_args)
+    Term.(
+      const run $ verbose_arg $ scale_arg $ progress_arg $ heartbeat_out_arg
+      $ obs_args)
 
 let fig8_cmd =
-  let run verbose paper_scale obs =
+  let run verbose paper_scale progress heartbeat_out obs =
     setup_logs verbose;
     with_telemetry "fig8" obs @@ fun () ->
     let options =
       if paper_scale then Mapqn_experiments.Fig8.default_options
       else Mapqn_experiments.Fig8.bench_options
     in
-    let t = Mapqn_experiments.Fig8.run ~options () in
+    with_progress ~label:"fig8"
+      ~total:(List.length options.Mapqn_experiments.Fig8.populations)
+      ~progress ~heartbeat_out
+    @@ fun p ->
+    let t = Mapqn_experiments.Fig8.run ~options ?progress:p () in
     Mapqn_experiments.Fig8.print t;
     let lo, hi = Mapqn_experiments.Fig8.max_response_error t in
     Printf.printf "max relative response-time error: lower %.4f upper %.4f\n" lo hi
   in
   Cmd.v
     (Cmd.info "fig8" ~doc:"Figure 8: case-study bounds vs exact")
-    Term.(const run $ verbose_arg $ scale_arg $ obs_args)
+    Term.(
+      const run $ verbose_arg $ scale_arg $ progress_arg $ heartbeat_out_arg
+      $ obs_args)
 
 let table1_cmd =
   let models_arg =
     Arg.(value & opt (some int) None & info [ "models" ] ~doc:"Number of random models.")
   in
-  let run verbose paper_scale models obs =
+  let resume_from_arg =
+    let doc =
+      "Skip models recorded as done in the heartbeat JSONL file $(docv) (from \
+       an earlier run's $(b,--heartbeat-out)); the summary statistics then \
+       cover only the models evaluated this run."
+    in
+    Arg.(value & opt (some string) None & info [ "resume-from" ] ~docv:"FILE" ~doc)
+  in
+  let run verbose paper_scale models progress heartbeat_out resume_from obs =
     setup_logs verbose;
     with_telemetry "table1" obs @@ fun () ->
     let options =
@@ -491,11 +553,29 @@ let table1_cmd =
       | Some m -> { options with Mapqn_experiments.Table1.models = m }
       | None -> options
     in
-    Mapqn_experiments.Table1.print (Mapqn_experiments.Table1.run ~options ())
+    let skip =
+      match resume_from with
+      | None -> fun _ -> false
+      | Some path ->
+        let done_ = Mapqn_obs.Progress.load_completed path in
+        if done_ = [] then
+          Printf.eprintf "table1: no completed models in %s, running all\n%!" path
+        else
+          Printf.eprintf "table1: resuming, %d model(s) already done in %s\n%!"
+            (List.length done_) path;
+        fun id -> List.mem id done_
+    in
+    with_progress ~label:"table1" ~total:options.Mapqn_experiments.Table1.models
+      ~progress ~heartbeat_out
+    @@ fun p ->
+    Mapqn_experiments.Table1.print
+      (Mapqn_experiments.Table1.run ~options ?progress:p ~skip ())
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Table 1: bound accuracy on random models")
-    Term.(const run $ verbose_arg $ scale_arg $ models_arg $ obs_args)
+    Term.(
+      const run $ verbose_arg $ scale_arg $ models_arg $ progress_arg
+      $ heartbeat_out_arg $ resume_from_arg $ obs_args)
 
 let pipeline_cmd =
   let run verbose paper_scale obs =
@@ -533,6 +613,125 @@ let moment_order_cmd =
     (Cmd.info "moment-order"
        ~doc:"Extension: second- vs third-order MAP parameterization accuracy")
     Term.(const run $ verbose_arg $ scale_arg $ obs_args)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let experiment_arg =
+    let doc =
+      "Workload to profile: $(b,fig4) (autocorrelated tandem) and $(b,fig8) \
+       (case-study network) profile an LP bound evaluation; $(b,tpcw) \
+       ($(b,--population) browsers) profiles the discrete-event simulation \
+       (its stations include delay servers the bound analysis does not \
+       support)."
+    in
+    Arg.(
+      value
+      & pos 0 (enum [ ("fig4", `Fig4); ("fig8", `Fig8); ("tpcw", `Tpcw) ]) `Fig4
+      & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let folded_out_arg =
+    let doc =
+      "Write folded stacks ($(b,path;to;span self-µs) per line, consumable by \
+       flamegraph.pl / inferno / speedscope) to $(docv); $(b,-) writes to \
+       standard output."
+    in
+    Arg.(value & opt (some string) None & info [ "folded-out" ] ~docv:"FILE" ~doc)
+  in
+  let table_out_arg =
+    let doc = "Also write the full (untruncated) attribution table to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "table-out" ] ~docv:"FILE" ~doc)
+  in
+  let top_arg =
+    let doc = "Attribution rows printed (sorted by self-time)." in
+    Arg.(value & opt int 30 & info [ "top" ] ~docv:"ROWS" ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Exit non-zero unless the phase self-times cover at least 95% of the \
+       measured wall time (the attribution's internal consistency check)."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run verbose experiment population config solver top folded_out table_out
+      check =
+    setup_logs verbose;
+    let name, net =
+      match experiment with
+      | `Fig4 -> ("fig4", Mapqn_workloads.Tandem.network ~population ())
+      | `Fig8 -> ("fig8", Mapqn_workloads.Case_study.network ~population ())
+      | `Tpcw -> ("tpcw", Mapqn_workloads.Tpcw.network ~browsers:population ())
+    in
+    Mapqn_obs.Metrics.reset ();
+    Mapqn_obs.Span.reset ();
+    Mapqn_obs.Prof.enable ();
+    let wall0 = Mapqn_obs.Span.now () in
+    (* Everything measurable happens inside the root span, so Σ self over
+       all paths telescopes to (approximately) the measured wall time. *)
+    (Mapqn_obs.Span.with_ "profile" @@ fun () ->
+     match experiment with
+     | `Tpcw ->
+       (* TPC-W has delay stations the bound analysis rejects; the
+          paper's experiment on it is the simulation, so that is what
+          gets profiled (the event loop runs under the "events" span). *)
+       ignore (Mapqn_sim.Simulator.run net)
+     | `Fig4 | `Fig8 -> (
+       match Mapqn_core.Bounds.create ~solver ~config net with
+       | Error e ->
+         Printf.eprintf "profile: %s\n" (Mapqn_core.Bounds.error_to_string e);
+         exit 1
+       | Ok b ->
+         let m = Mapqn_model.Network.num_stations net in
+         let metrics =
+           List.concat
+             (List.init m (fun k ->
+                  [
+                    Mapqn_core.Bounds.Utilization k;
+                    Mapqn_core.Bounds.Throughput k;
+                    Mapqn_core.Bounds.Mean_queue_length k;
+                  ]))
+           @ [ Mapqn_core.Bounds.Response_time { reference = 0 } ]
+         in
+         ignore (Mapqn_core.Bounds.eval b metrics)));
+    let wall = Mapqn_obs.Span.now () -. wall0 in
+    Mapqn_obs.Prof.disable ();
+    let rows = Mapqn_obs.Prof.attribution () in
+    let self = Mapqn_obs.Prof.self_total rows in
+    let coverage = if wall > 0. then self /. wall else 1. in
+    Printf.printf "profile %s: population %d, %d phases\n" name population
+      (List.length rows);
+    print_string (Mapqn_obs.Prof.render_table ~limit:top rows);
+    Printf.printf "phase self-times sum to %.4fs of %.4fs wall (%.1f%% coverage)\n"
+      self wall (100. *. coverage);
+    Option.iter
+      (fun path ->
+        Mapqn_obs.Export.write_file path (Mapqn_obs.Prof.render_table rows))
+      table_out;
+    Option.iter
+      (fun path -> Mapqn_obs.Export.write_file path (Mapqn_obs.Prof.folded ()))
+      folded_out;
+    if check && coverage < 0.95 then begin
+      Printf.eprintf
+        "profile: self-time coverage %.1f%% below the 95%% consistency bar\n"
+        (100. *. coverage);
+      exit 1
+    end
+  in
+  let term =
+    Term.(
+      const run $ verbose_arg $ experiment_arg $ population_arg $ config_arg
+      $ solver_arg $ top_arg $ folded_out_arg $ table_out_arg $ check_arg)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one LP bound evaluation with phase-level profiling on and print \
+          the self-time attribution table (count / total / self / max / minor \
+          words per phase); optionally export folded stacks for flamegraph \
+          tooling")
+    term
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
@@ -675,6 +874,7 @@ let () =
             table1_cmd;
             pipeline_cmd;
             moment_order_cmd;
+            profile_cmd;
             stats_cmd;
             trace_cmd;
           ]))

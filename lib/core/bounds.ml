@@ -91,6 +91,7 @@ let create ?(solver = default_solver) ?(config = Constraints.standard) ?max_iter
       | Error Simplex.Infeasible_phase1 -> Error Infeasible_phase1
       | Error (Simplex.Iteration_limit_phase1 k) -> Error (Iteration_limit k)
     in
+    Mapqn_obs.Span.with_ "bounds.prepare" @@ fun () ->
     match solver with
     | Dense ->
       lift (Result.map (fun p -> B_dense p) (Simplex.prepare ?max_iter model))
@@ -161,7 +162,10 @@ let certify t direction objective s =
     match direction with Simplex.Minimize -> "min" | Simplex.Maximize -> "max"
   in
   Mapqn_obs.Metrics.inc m_certificates;
-  let outcome = Certificate.check t.model direction ~objective s in
+  let outcome =
+    Mapqn_obs.Span.with_ "bounds.certify" (fun () ->
+        Certificate.check t.model direction ~objective s)
+  in
   let cert =
     match outcome with
     | Ok c -> c

@@ -145,15 +145,42 @@ let balance_row ctx ~k ~n ~h =
   !terms
 
 let add_balance ctx =
+  (* Under profiling, split the dominant family into emitting the
+     Kronecker-structured flux terms ([balance_row]) vs assembling them
+     into LP rows — the two candidate targets of the planned
+     constraint-assembly optimization. Accumulate locally and record
+     two [Span.add]s at the end so the unprofiled path is untouched. *)
+  let prof = Mapqn_obs.Prof.is_enabled () in
+  let emit_t = ref 0. in
+  let asm_t = ref 0. in
+  let rows = ref 0 in
   for k = 0 to ctx.m - 1 do
     for n = 0 to ctx.n do
       Ms.iter_phases ctx.ms (fun h ->
-          let terms = balance_row ctx ~k ~n ~h in
-          if terms <> [] then
-            Lp.add_row ~name:(Printf.sprintf "bal[k=%d,n=%d,h=%d]" k n h) ctx.model
-              terms Lp.Eq 0.)
+          if prof then begin
+            let t0 = Mapqn_obs.Prof.now () in
+            let terms = balance_row ctx ~k ~n ~h in
+            let t1 = Mapqn_obs.Prof.now () in
+            emit_t := !emit_t +. (t1 -. t0);
+            if terms <> [] then begin
+              Lp.add_row ~name:(Printf.sprintf "bal[k=%d,n=%d,h=%d]" k n h)
+                ctx.model terms Lp.Eq 0.;
+              incr rows;
+              asm_t := !asm_t +. (Mapqn_obs.Prof.now () -. t1)
+            end
+          end
+          else
+            let terms = balance_row ctx ~k ~n ~h in
+            if terms <> [] then
+              Lp.add_row ~name:(Printf.sprintf "bal[k=%d,n=%d,h=%d]" k n h)
+                ctx.model terms Lp.Eq 0.)
     done
-  done
+  done;
+  if prof then begin
+    let n = max 1 !rows in
+    Mapqn_obs.Span.add ~count:n "kron-emit" !emit_t;
+    Mapqn_obs.Span.add ~count:n "row-assembly" !asm_t
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Families 2-6: equalities                                            *)
@@ -422,7 +449,7 @@ let build config network =
      correlated with constraint-set changes). *)
   let family name enabled add =
     let before = Lp.num_rows ctx.model in
-    if enabled then add ctx;
+    if enabled then Mapqn_obs.Span.with_ name (fun () -> add ctx);
     Mapqn_obs.Metrics.set (m_family_rows name)
       (float_of_int (Lp.num_rows ctx.model - before))
   in

@@ -21,22 +21,32 @@ type row = {
 
 type t = { options : options; rows : row list }
 
-let run ?(options = default_options) () =
+let run ?(options = default_options) ?progress () =
   let q = Tandem.observed_queue in
+  let report f = Option.iter f progress in
   let rows =
     List.map
       (fun population ->
+        report (fun p ->
+            Mapqn_obs.Progress.start p (Printf.sprintf "N=%d" population));
         let net = Tandem.network ~params:options.params ~population () in
+        report (fun p -> Mapqn_obs.Progress.phase p "exact");
         let sol = Mapqn_ctmc.Solution.solve net in
+        report (fun p -> Mapqn_obs.Progress.phase p "decomposition");
         let dec = Mapqn_baselines.Decomposition.solve net in
+        report (fun p -> Mapqn_obs.Progress.phase p "aba");
         let lo, hi = Mapqn_baselines.Aba.utilization_bounds net q in
-        {
-          population;
-          exact = Mapqn_ctmc.Solution.utilization sol q;
-          decomposition = dec.Mapqn_baselines.Decomposition.utilization.(q);
-          aba_lower = lo;
-          aba_upper = hi;
-        })
+        let row =
+          {
+            population;
+            exact = Mapqn_ctmc.Solution.utilization sol q;
+            decomposition = dec.Mapqn_baselines.Decomposition.utilization.(q);
+            aba_lower = lo;
+            aba_upper = hi;
+          }
+        in
+        report Mapqn_obs.Progress.finish;
+        row)
       options.populations
   in
   { options; rows }

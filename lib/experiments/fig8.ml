@@ -32,21 +32,30 @@ type row = {
 
 type t = { options : options; rows : row list }
 
-let run ?(options = default_options) () =
+let run ?(options = default_options) ?progress () =
   let q = Case_study.bottleneck in
+  let report f = Option.iter f progress in
   let rows =
     List.map
       (fun population ->
+        report (fun p ->
+            Mapqn_obs.Progress.start p (Printf.sprintf "N=%d" population));
         let net = Case_study.network ~params:options.params ~population () in
+        report (fun p -> Mapqn_obs.Progress.phase p "exact");
         let sol = Solution.solve net in
+        report (fun p -> Mapqn_obs.Progress.phase p "bounds");
         let b = Bounds.create_exn ~config:options.config net in
-        {
-          population;
-          exact_utilization = Solution.utilization sol q;
-          utilization = Bounds.utilization b q;
-          exact_response = Solution.system_response_time sol;
-          response = Bounds.response_time b;
-        })
+        let row =
+          {
+            population;
+            exact_utilization = Solution.utilization sol q;
+            utilization = Bounds.utilization b q;
+            exact_response = Solution.system_response_time sol;
+            response = Bounds.response_time b;
+          }
+        in
+        report Mapqn_obs.Progress.finish;
+        row)
       options.populations
   in
   { options; rows }

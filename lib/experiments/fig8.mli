@@ -32,7 +32,11 @@ type row = {
 
 type t = { options : options; rows : row list }
 
-val run : ?options:options -> unit -> t
+val run : ?options:options -> ?progress:Mapqn_obs.Progress.t -> unit -> t
+(** [progress], when given, receives one model per population (id
+    ["N=<n>"], phases [exact]/[bounds]); the caller closes the
+    reporter. *)
+
 val print : t -> unit
 
 val max_response_error : t -> float * float

@@ -36,10 +36,17 @@ type t = {
   rmin_stats : float * float * float * float;
 }
 
-let evaluate_model options index (model : Random_models.model) =
+let model_id index = Printf.sprintf "model-%04d" index
+
+let evaluate_model ?progress options index (model : Random_models.model) =
+  let report f = Option.iter f progress in
+  report (fun p ->
+      Mapqn_obs.Progress.start p ~seed:options.seed (model_id index));
   let max_lower = ref 0. and max_upper = ref 0. and violations = ref 0 in
   List.iter
     (fun population ->
+      report (fun p ->
+          Mapqn_obs.Progress.phase p (Printf.sprintf "N=%d" population));
       let net = Mapqn_model.Network.with_population model.Random_models.network population in
       let sol = Solution.solve net in
       let exact = Solution.system_response_time sol in
@@ -51,32 +58,66 @@ let evaluate_model options index (model : Random_models.model) =
         Float.max !max_upper (Mapqn_util.Tol.relative_error ~exact r.Bounds.upper);
       if not (Bounds.contains r exact) then incr violations)
     options.populations;
-  {
-    index;
-    max_err_lower = !max_lower;
-    max_err_upper = !max_upper;
-    bracket_violations = !violations;
-  }
+  let result =
+    {
+      index;
+      max_err_lower = !max_lower;
+      max_err_upper = !max_upper;
+      bracket_violations = !violations;
+    }
+  in
+  report Mapqn_obs.Progress.finish;
+  result
 
-let run ?(options = default_options) () =
+let run ?(options = default_options) ?progress ?(skip = fun _ -> false) () =
   let models =
     Random_models.generate_many ~spec:options.spec ~seed:options.seed options.models
   in
-  let per_model = List.mapi (evaluate_model options) models in
+  (* Model generation is deterministic in [seed], so skipping a model by
+     id (e.g. one a previous run's heartbeat file marks done) leaves the
+     remaining models identical to a full run. *)
+  let per_model =
+    List.filteri
+      (fun index _ ->
+        let keep = not (skip (model_id index)) in
+        if not keep then
+          Option.iter
+            (fun p ->
+              Mapqn_obs.Progress.skip p ~seed:options.seed (model_id index))
+            progress;
+        keep)
+      (List.mapi (fun i m -> (i, m)) models)
+    |> List.map (fun (index, model) -> evaluate_model ?progress options index model)
+  in
   let upper = Array.of_list (List.map (fun r -> r.max_err_upper) per_model) in
   let lower = Array.of_list (List.map (fun r -> r.max_err_lower) per_model) in
+  (* A resume may leave zero or one model to evaluate; summary
+     statistics that are undefined on such samples (all of them for an
+     empty sample, the standard deviation for a singleton) are NaN, not
+     an error. *)
+  let summary a =
+    match Array.length a with
+    | 0 -> (Float.nan, Float.nan, Float.nan, Float.nan)
+    | 1 -> (a.(0), Float.nan, a.(0), a.(0))
+    | _ -> Mapqn_util.Stats.summary a
+  in
   {
     options;
     per_model;
-    rmax_stats = Mapqn_util.Stats.summary upper;
-    rmin_stats = Mapqn_util.Stats.summary lower;
+    rmax_stats = summary upper;
+    rmin_stats = summary lower;
   }
 
 let print t =
+  if t.per_model = [] then
+    Printf.printf
+      "Table 1: no models evaluated (all %d skipped by resume)\n%!"
+      t.options.models
+  else begin
   Printf.printf
     "Table 1: maximal relative error of response-time bounds on %d random \
      models (populations %s)\n"
-    t.options.models
+    (List.length t.per_model)
     (String.concat "," (List.map string_of_int t.options.populations));
   let row label (mean, std, median, maximum) =
     [
@@ -94,3 +135,4 @@ let print t =
     List.fold_left (fun acc r -> acc + r.bracket_violations) 0 t.per_model
   in
   Printf.printf "bracket violations (must be 0): %d\n%!" violations
+  end

@@ -41,5 +41,17 @@ type t = {
   rmin_stats : float * float * float * float;
 }
 
-val run : ?options:options -> unit -> t
+val run :
+  ?options:options ->
+  ?progress:Mapqn_obs.Progress.t ->
+  ?skip:(string -> bool) ->
+  unit ->
+  t
+(** [progress], when given, receives one model per random network (id
+    ["model-NNNN"], one phase per population). [skip id] (default
+    never) excludes a model from evaluation — model generation is
+    deterministic in [seed], so ids from a previous run's heartbeat file
+    ({!Mapqn_obs.Progress.load_completed}) resume a partial sweep; the
+    summary statistics then cover only the evaluated models. *)
+
 val print : t -> unit

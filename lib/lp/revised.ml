@@ -3,6 +3,7 @@ let log_src = Logs.Src.create "mapqn.revised" ~doc:"revised simplex"
 module Log = (val Logs.src_log log_src)
 module Metrics = Mapqn_obs.Metrics
 module Span = Mapqn_obs.Span
+module Prof = Mapqn_obs.Prof
 module Trace = Mapqn_obs.Trace
 module Csr = Mapqn_sparse.Csr
 
@@ -538,21 +539,38 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
   let degenerate = ref 0 in
   let best_obj = ref infinity in
   let result = ref None in
+  (* Per-phase attribution accumulates in locals and is recorded with
+     one [Span.add] per phase after the loop; the clock reads (which
+     box floats) are skipped entirely when profiling is off, keeping
+     the disabled pivot path allocation-free. *)
+  let prof = Prof.is_enabled () in
+  let price_t = ref 0. in
+  let ratio_t = ref 0. in
+  let update_t = ref 0. in
+  let factor_t = ref 0. in
+  let factor_n = ref 0 in
   while !result = None do
     if !iter >= max_iter then result := Some R_limit
     else begin
+      let t0 = if prof then Prof.now () else 0. in
       (* Duals of the current basis: y = B⁻ᵀ c_B. *)
       for i = 0 to t.m - 1 do
         y.(i) <- cost_of t.basis.(i)
       done;
       btran_apply t y;
       let q = price t y ~cost_of ~bland:!bland in
+      let t1 = if prof then Prof.now () else 0. in
+      if prof then price_t := !price_t +. (t1 -. t0);
       if q < 0 then result := Some R_optimal
       else begin
         ftran_col t q w;
+        let t2 = if prof then Prof.now () else 0. in
+        if prof then update_t := !update_t +. (t2 -. t1);
         let r = ratio_test t w ~bland:!bland in
+        if prof then ratio_t := !ratio_t +. (Prof.now () -. t2);
         if r < 0 then result := Some R_unbounded
         else begin
+          let t3 = if prof then Prof.now () else 0. in
           let step = Float.max 0. (t.xb.(r) /. w.(r)) in
           for i = 0 to t.m - 1 do
             if i <> r && w.(i) <> 0. then begin
@@ -568,6 +586,7 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
           t.in_basis.(q) <- true;
           t.basis.(r) <- q;
           (match eta_of_pivot w r t.m with Some e -> push_eta t e | None -> ());
+          if prof then update_t := !update_t +. (Prof.now () -. t3);
           t.pivots_since_refactor <- t.pivots_since_refactor + 1;
           incr iter;
           let obj = ref 0. in
@@ -606,7 +625,14 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
           if
             t.pivots_since_refactor >= refactor_interval
             || t.eta_nnz > 10 * (t.base_eta_nnz + t.m)
-          then refactor t;
+          then
+            if prof then begin
+              let tf = Prof.now () in
+              refactor t;
+              factor_t := !factor_t +. (Prof.now () -. tf);
+              incr factor_n
+            end
+            else refactor t;
           if !iter mod 1000 = 0 then
             Log.debug (fun f ->
                 f "iter=%d obj=%.12g entering=%d leaving_row=%d" !iter !obj q r)
@@ -614,6 +640,13 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
       end
     end
   done;
+  if prof then begin
+    let n = max 1 !iter in
+    Span.add ~count:n "price" !price_t;
+    Span.add ~count:n "ratio" !ratio_t;
+    Span.add ~count:n "update" !update_t;
+    if !factor_n > 0 then Span.add ~count:!factor_n "factorize" !factor_t
+  end;
   Metrics.inc ~by:(float_of_int !iter) m_pivots;
   Metrics.inc ~by:(float_of_int !degenerate) m_degenerate;
   ((match !result with Some s -> s | None -> assert false), !iter)

@@ -82,8 +82,11 @@ let table ~metrics ~spans =
   end;
   if spans <> [] then begin
     if metrics <> [] then Buffer.add_char buf '\n';
+    (* The allocation column only appears when GC profiling recorded
+       something, so unprofiled output is unchanged. *)
+    let with_gc = List.exists (fun (e : Span.entry) -> e.Span.minor_words > 0.) spans in
     let rows =
-      [ "span"; "count"; "total"; "max" ]
+      ([ "span"; "count"; "total"; "max" ] @ (if with_gc then [ "minor words" ] else []))
       :: List.map
            (fun (e : Span.entry) ->
              [
@@ -91,7 +94,8 @@ let table ~metrics ~spans =
                string_of_int e.Span.count;
                Printf.sprintf "%.4fs" e.Span.total;
                Printf.sprintf "%.4fs" e.Span.max_;
-             ])
+             ]
+             @ (if with_gc then [ num e.Span.minor_words ] else []))
            spans
     in
     Buffer.add_string buf (aligned rows)
@@ -165,11 +169,28 @@ let json_metric (s : Metrics.sample) =
   ^ "}"
 
 let json_span (e : Span.entry) =
-  Printf.sprintf "{\"path\":%s,\"count\":%d,\"total_seconds\":%s,\"max_seconds\":%s}"
+  (* GC fields are emitted only when profiling recorded them, keeping
+     unprofiled output byte-identical to before. *)
+  let gc =
+    if
+      e.Span.minor_words = 0. && e.Span.major_words = 0.
+      && e.Span.promoted_words = 0.
+      && e.Span.compactions = 0
+    then ""
+    else
+      Printf.sprintf
+        ",\"minor_words\":%s,\"major_words\":%s,\"promoted_words\":%s,\"compactions\":%d"
+        (json_num e.Span.minor_words)
+        (json_num e.Span.major_words)
+        (json_num e.Span.promoted_words)
+        e.Span.compactions
+  in
+  Printf.sprintf "{\"path\":%s,\"count\":%d,\"total_seconds\":%s,\"max_seconds\":%s%s}"
     (json_str (span_path e.Span.path))
     e.Span.count
     (json_num e.Span.total)
     (json_num e.Span.max_)
+    gc
 
 let json ~metrics ~spans =
   Printf.sprintf "{\"metrics\":[%s],\"spans\":[%s]}\n"

@@ -1,0 +1,226 @@
+(* Sweep progress reporting for long experiment runs (Fig 4/8, Table 1):
+   per-model status with an ETA, a TTY-aware live status line, and JSONL
+   heartbeat records that double as a checkpoint/resume substrate — a
+   rerun can load the heartbeat file and skip models already marked
+   done. *)
+
+type t = {
+  clock : unit -> float;
+  label : string;
+  total : int;
+  out : out_channel option;
+  tty : bool;
+  heartbeat : out_channel option;
+  t0 : float;
+  mutable completed : int;
+  mutable skipped : int;
+  mutable current : string option;
+  mutable seed : int option;
+  mutable phase : string option;
+  mutable model_t0 : float;
+  mutable live_len : int;
+}
+
+let create ?(clock = Span.now) ?(out = stderr) ?tty ?(quiet = false) ?heartbeat
+    ~total label =
+  let out = if quiet then None else Some out in
+  let tty =
+    match (tty, out) with
+    | Some t, _ -> t
+    | None, None -> false
+    | None, Some oc -> (
+      try Unix.isatty (Unix.descr_of_out_channel oc) with _ -> false)
+  in
+  let t0 = clock () in
+  {
+    clock;
+    label;
+    total = max 0 total;
+    out;
+    tty;
+    heartbeat;
+    t0;
+    completed = 0;
+    skipped = 0;
+    current = None;
+    seed = None;
+    phase = None;
+    model_t0 = t0;
+    live_len = 0;
+  }
+
+let completed t = t.completed
+let elapsed t = Float.max 0. (t.clock () -. t.t0)
+
+(* elapsed / completed * remaining: deterministic given an injected
+   clock, and skipped models count as completed work so a resumed run
+   does not project the skipped prefix onto the remainder. *)
+let eta_seconds t =
+  if t.completed <= 0 || t.completed >= t.total then None
+  else Some (elapsed t /. float_of_int t.completed *. float_of_int (t.total - t.completed))
+
+let duration s =
+  if s < 60. then Printf.sprintf "%.0fs" s
+  else if s < 3600. then Printf.sprintf "%dm%02ds" (int_of_float s / 60) (int_of_float s mod 60)
+  else Printf.sprintf "%dh%02dm" (int_of_float s / 3600) (int_of_float s mod 3600 / 60)
+
+let eta_cell t =
+  match eta_seconds t with None -> "" | Some s -> " eta " ^ duration s
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeats                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let heartbeat t ~event =
+  match t.heartbeat with
+  | None -> ()
+  | Some oc ->
+    let opt name f v = match v with None -> [] | Some v -> [ (name, f v) ] in
+    let record =
+      Json.Object
+        (("ts", Json.Number (elapsed t))
+        :: ("label", Json.String t.label)
+        :: ("event", Json.String event)
+        :: (opt "model" (fun m -> Json.String m) t.current
+           @ opt "seed" (fun s -> Json.Number (float_of_int s)) t.seed
+           @ opt "phase" (fun p -> Json.String p) t.phase
+           @ [
+               ("elapsed", Json.Number (Float.max 0. (t.clock () -. t.model_t0)));
+               ("completed", Json.Number (float_of_int t.completed));
+               ("total", Json.Number (float_of_int t.total));
+             ]))
+    in
+    output_string oc (Json.to_string record);
+    output_char oc '\n';
+    flush oc
+
+(* ------------------------------------------------------------------ *)
+(* Console output                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let live_line t =
+  let pct =
+    if t.total = 0 then 100.
+    else 100. *. float_of_int t.completed /. float_of_int t.total
+  in
+  let where =
+    match t.current with
+    | None -> ""
+    | Some id -> (
+      match t.phase with
+      | None -> "  " ^ id
+      | Some p -> Printf.sprintf "  %s:%s" id p)
+  in
+  Printf.sprintf "%s %d/%d (%.0f%%)%s%s" t.label t.completed t.total pct
+    (eta_cell t) where
+
+let redraw t =
+  match t.out with
+  | Some oc when t.tty ->
+    let line = live_line t in
+    let pad = max 0 (t.live_len - String.length line) in
+    output_string oc ("\r" ^ line ^ String.make pad ' ');
+    t.live_len <- String.length line;
+    flush oc
+  | _ -> ()
+
+let println t msg =
+  match t.out with
+  | None -> ()
+  | Some oc ->
+    if t.tty then begin
+      (* Clear the live line before emitting a scrolling record. *)
+      output_string oc ("\r" ^ String.make t.live_len ' ' ^ "\r");
+      t.live_len <- 0
+    end;
+    output_string oc msg;
+    output_char oc '\n';
+    flush oc
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let start t ?seed id =
+  t.current <- Some id;
+  t.seed <- seed;
+  t.phase <- None;
+  t.model_t0 <- t.clock ();
+  heartbeat t ~event:"start";
+  redraw t
+
+let phase t name =
+  t.phase <- Some name;
+  heartbeat t ~event:"phase";
+  redraw t
+
+let finish t =
+  let dt = Float.max 0. (t.clock () -. t.model_t0) in
+  t.completed <- t.completed + 1;
+  heartbeat t ~event:"done";
+  (match t.current with
+  | Some id when not t.tty ->
+    println t
+      (Printf.sprintf "%s [%d/%d] %s done in %s%s" t.label t.completed t.total
+         id (duration dt) (eta_cell t))
+  | _ -> ());
+  t.current <- None;
+  t.phase <- None;
+  redraw t
+
+let skip t ?seed id =
+  t.current <- Some id;
+  t.seed <- seed;
+  t.phase <- None;
+  t.model_t0 <- t.clock ();
+  t.completed <- t.completed + 1;
+  t.skipped <- t.skipped + 1;
+  heartbeat t ~event:"skip";
+  t.current <- None;
+  redraw t
+
+let close t =
+  (match t.out with
+  | Some oc when t.tty ->
+    output_string oc ("\r" ^ String.make t.live_len ' ' ^ "\r");
+    t.live_len <- 0;
+    flush oc
+  | _ -> ());
+  println t
+    (Printf.sprintf "%s: %d/%d done%s in %s" t.label t.completed t.total
+       (if t.skipped > 0 then Printf.sprintf " (%d skipped)" t.skipped else "")
+       (duration (elapsed t)));
+  match t.heartbeat with Some oc -> flush oc | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Resume                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Model ids recorded as completed ("done" — or "skip", which a resumed
+   run emits for models it found already done) in a heartbeat JSONL
+   file. Missing files and unparsable lines yield no ids rather than
+   errors: a heartbeat file is best-effort by design. *)
+let load_completed path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let ids = ref [] in
+    let seen = Hashtbl.create 16 in
+    (try
+       while true do
+         let line = input_line ic in
+         match Json.parse line with
+         | Error _ -> ()
+         | Ok j -> (
+           match (Json.member "event" j, Json.member "model" j) with
+           | Some (Json.String ("done" | "skip")), Some (Json.String id) ->
+             if not (Hashtbl.mem seen id) then begin
+               Hashtbl.add seen id ();
+               ids := id :: !ids
+             end
+           | _ -> ())
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !ids
+  end

@@ -1,0 +1,55 @@
+(** Sweep progress reporting for long experiment runs.
+
+    A reporter tracks [completed]/[total] models, derives an ETA from
+    elapsed wall time, draws a TTY-aware live status line (single
+    rewritten line on a terminal, one scrolling line per completed model
+    otherwise), and optionally appends JSONL heartbeat records — model
+    id, seed, phase, elapsed — to a channel. The heartbeat file doubles
+    as a checkpoint: {!load_completed} returns the model ids a previous
+    run finished so a rerun can skip them. *)
+
+type t
+
+val create :
+  ?clock:(unit -> float) ->
+  ?out:out_channel ->
+  ?tty:bool ->
+  ?quiet:bool ->
+  ?heartbeat:out_channel ->
+  total:int ->
+  string ->
+  t
+(** [create ~total label]. [clock] (default monotonic [Span.now]) makes
+    ETA math deterministic in tests. [out] (default [stderr]) receives
+    console output unless [quiet]; [tty] overrides terminal detection on
+    [out]. [heartbeat] receives one JSONL record per event; the caller
+    owns the channel. *)
+
+val start : t -> ?seed:int -> string -> unit
+(** [start t id] marks model [id] as running. *)
+
+val phase : t -> string -> unit
+(** Name the phase the current model is in ("exact", "N=500", ...). *)
+
+val finish : t -> unit
+(** Mark the current model done; bumps [completed]. *)
+
+val skip : t -> ?seed:int -> string -> unit
+(** Record model [id] as skipped (e.g. found in a resume file). Counts
+    toward [completed] so ETA reflects remaining work only. *)
+
+val close : t -> unit
+(** Clear the live line, print a final summary, flush the heartbeat
+    channel (without closing it). *)
+
+val completed : t -> int
+val elapsed : t -> float
+
+val eta_seconds : t -> float option
+(** [elapsed / completed * remaining]; [None] until the first model
+    completes or once everything is done. *)
+
+val load_completed : string -> string list
+(** Model ids recorded as done (or skipped) in a heartbeat JSONL file,
+    deduplicated, in file order. A missing file or unparsable lines
+    yield no ids rather than an error. *)

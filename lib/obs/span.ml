@@ -1,14 +1,57 @@
-type agg = { mutable count : int; mutable total : float; mutable max_ : float }
+(* Monotonic clock in seconds. [Monotonic_clock.now] is a noalloc
+   clock_gettime(CLOCK_MONOTONIC) returning nanoseconds; converting to a
+   float keeps the rest of the span arithmetic unchanged. *)
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+(* GC/allocation profiling is owned here (rather than in [Prof]) so that
+   [with_] can read it without a dependency cycle; [Prof.enable] flips
+   it. *)
+let gc_profiling_flag = ref false
+let set_gc_profiling b = gc_profiling_flag := b
+let gc_profiling () = !gc_profiling_flag
+
+type agg = {
+  mutable count : int;
+  mutable total : float;
+  mutable max_ : float;
+  mutable minor_words : float;
+  mutable major_words : float;
+  mutable promoted_words : float;
+  mutable compactions : int;
+}
 
 type collector = {
+  id : int;
   lock : Mutex.t;
   clock : unit -> float;
-  mutable stack : string list; (* innermost first *)
   table : (string list, agg) Hashtbl.t; (* key: path, outermost first *)
 }
 
-let create ?(clock = Unix.gettimeofday) () =
-  { lock = Mutex.create (); clock; stack = []; table = Hashtbl.create 32 }
+let next_id = Atomic.make 0
+
+(* Each domain keeps its own open-span stacks (one per collector, keyed
+   by collector id), so concurrent domains recording into the same
+   collector cannot interleave their paths. Only the aggregate table is
+   shared, and it stays mutex-guarded. *)
+let stacks_key : (int, string list ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let stack_of c =
+  let stacks = Domain.DLS.get stacks_key in
+  match Hashtbl.find_opt stacks c.id with
+  | Some s -> s
+  | None ->
+    let s = ref [] in
+    Hashtbl.add stacks c.id s;
+    s
+
+let create ?(clock = now) () =
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    lock = Mutex.create ();
+    clock;
+    table = Hashtbl.create 32;
+  }
 
 let default = create ()
 
@@ -22,48 +65,111 @@ let locked c f =
     Mutex.unlock c.lock;
     raise e
 
+let find_agg c path =
+  match Hashtbl.find_opt c.table path with
+  | Some a -> a
+  | None ->
+    let a =
+      {
+        count = 0;
+        total = 0.;
+        max_ = 0.;
+        minor_words = 0.;
+        major_words = 0.;
+        promoted_words = 0.;
+        compactions = 0;
+      }
+    in
+    Hashtbl.add c.table path a;
+    a
+
 let with_ ?(collector = default) name f =
   if String.contains name '/' then invalid_arg "Span.with_: '/' in span name";
-  let path =
-    locked collector (fun () ->
-        collector.stack <- name :: collector.stack;
-        List.rev collector.stack)
+  let stack = stack_of collector in
+  stack := name :: !stack;
+  let path = List.rev !stack in
+  (* [quick_stat].minor_words only advances at minor collections in
+     native code; [Gc.minor_words ()] reads the young pointer and is
+     exact, so splice it in for the one field where small deltas
+     matter. *)
+  let gc_snapshot () =
+    { (Gc.quick_stat ()) with Gc.minor_words = Gc.minor_words () }
   in
+  let g0 = if !gc_profiling_flag then Some (gc_snapshot ()) else None in
   let t0 = collector.clock () in
   Fun.protect f ~finally:(fun () ->
-      let dt = collector.clock () -. t0 in
+      (* Clamp: a stepped wall clock injected via [?clock] (or plain
+         noise) must never record a negative duration. *)
+      let dt = Float.max 0. (collector.clock () -. t0) in
+      let g1 = match g0 with Some _ -> Some (gc_snapshot ()) | None -> None in
+      (* Pop back to this span even if nested spans leaked (e.g. an
+         exception skipped their finalizers' order). *)
+      (match !stack with
+      | top :: rest when top == name || top = name -> stack := rest
+      | st ->
+        let rec drop = function
+          | top :: rest when top = name -> rest
+          | _ :: rest -> drop rest
+          | [] -> []
+        in
+        stack := drop st);
       locked collector (fun () ->
-          (* Pop back to this span even if nested spans leaked (e.g. an
-             exception skipped their finalizers' order). *)
-          (match collector.stack with
-          | top :: rest when top = name -> collector.stack <- rest
-          | stack ->
-            let rec drop = function
-              | top :: rest when top = name -> rest
-              | _ :: rest -> drop rest
-              | [] -> []
-            in
-            collector.stack <- drop stack);
-          let a =
-            match Hashtbl.find_opt collector.table path with
-            | Some a -> a
-            | None ->
-              let a = { count = 0; total = 0.; max_ = 0. } in
-              Hashtbl.add collector.table path a;
-              a
-          in
+          let a = find_agg collector path in
           a.count <- a.count + 1;
           a.total <- a.total +. dt;
-          a.max_ <- Float.max a.max_ dt))
+          a.max_ <- Float.max a.max_ dt;
+          match (g0, g1) with
+          | Some g0, Some g1 ->
+            a.minor_words <- a.minor_words +. (g1.Gc.minor_words -. g0.Gc.minor_words);
+            a.major_words <- a.major_words +. (g1.Gc.major_words -. g0.Gc.major_words);
+            a.promoted_words <-
+              a.promoted_words +. (g1.Gc.promoted_words -. g0.Gc.promoted_words);
+            a.compactions <- a.compactions + (g1.Gc.compactions - g0.Gc.compactions)
+          | _ -> ()))
 
-type entry = { path : string list; count : int; total : float; max_ : float }
+let add ?(collector = default) ?(count = 1) ?max_ ?(minor_words = 0.) name
+    seconds =
+  if String.contains name '/' then invalid_arg "Span.add: '/' in span name";
+  let stack = stack_of collector in
+  let path = List.rev (name :: !stack) in
+  let seconds = Float.max 0. seconds in
+  let max_ =
+    match max_ with Some m -> m | None -> if count <= 1 then seconds else 0.
+  in
+  locked collector (fun () ->
+      let a = find_agg collector path in
+      a.count <- a.count + count;
+      a.total <- a.total +. seconds;
+      a.max_ <- Float.max a.max_ max_;
+      a.minor_words <- a.minor_words +. minor_words)
+
+type entry = {
+  path : string list;
+  count : int;
+  total : float;
+  max_ : float;
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  compactions : int;
+}
 
 let snapshot ?(collector = default) () =
   let all =
     locked collector (fun () ->
         Hashtbl.fold
           (fun path (a : agg) acc ->
-            { path; count = a.count; total = a.total; max_ = a.max_ } :: acc)
+            {
+              path;
+              count = a.count;
+              total = a.total;
+              max_ = a.max_;
+              minor_words = a.minor_words;
+              major_words = a.major_words;
+              promoted_words = a.promoted_words;
+              compactions = a.compactions;
+            }
+            :: acc)
           collector.table [])
   in
   List.sort (fun a b -> compare a.path b.path) all
@@ -74,6 +180,7 @@ let total ?collector path =
     (snapshot ?collector ())
 
 let reset ?(collector = default) () =
-  locked collector (fun () ->
-      Hashtbl.reset collector.table;
-      collector.stack <- [])
+  locked collector (fun () -> Hashtbl.reset collector.table);
+  (* Open-span stacks are domain-local; only the calling domain's stack
+     can be cleared here. *)
+  stack_of collector := []

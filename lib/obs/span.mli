@@ -12,33 +12,72 @@
 
     Aggregation is by full path: re-entering the same path accumulates
     count/total/max rather than recording one entry per call. The
-    collector is guarded by a mutex; note however that the open-span
-    stack is collector-global, so spans opened concurrently from several
-    domains will interleave their paths — give each domain its own
-    collector if that matters. *)
+    aggregate table is guarded by a mutex and the open-span stack is
+    domain-local, so spans opened concurrently from several domains keep
+    their own nesting while still merging into the shared table. *)
 
 type collector
 
 val create : ?clock:(unit -> float) -> unit -> collector
-(** A fresh collector. [clock] (default [Unix.gettimeofday]) exists so
-    tests can drive deterministic durations. *)
+(** A fresh collector. [clock] (default a monotonic clock, see {!now})
+    exists so tests can drive deterministic durations. Durations are
+    clamped at zero even if the injected clock steps backwards. *)
 
 val default : collector
 (** The process-global collector all built-in instrumentation records
     to. *)
 
+val now : unit -> float
+(** The default clock: monotonic seconds (CLOCK_MONOTONIC) from an
+    arbitrary epoch. Useful for manual interval timing fed back through
+    {!add}. *)
+
+val set_gc_profiling : bool -> unit
+(** When on, every span additionally records [Gc.quick_stat] deltas
+    (minor/major/promoted words and compactions). Off by default; the
+    switch lives here rather than in [Prof] so [with_] can consult it
+    without a dependency cycle — use [Prof.enable]/[Prof.disable] rather
+    than calling this directly. *)
+
+val gc_profiling : unit -> bool
+
 val with_ : ?collector:collector -> string -> (unit -> 'a) -> 'a
 (** [with_ name f] runs [f] inside a span called [name], nested under
-    the innermost span currently open on [collector]. The span is closed
-    (and its duration recorded) whether [f] returns or raises. Span
-    names must not contain ['/'] — it is the path separator. *)
+    the innermost span currently open on [collector] in the calling
+    domain. The span is closed (and its duration recorded) whether [f]
+    returns or raises. Span names must not contain ['/'] — it is the
+    path separator. *)
+
+val add :
+  ?collector:collector ->
+  ?count:int ->
+  ?max_:float ->
+  ?minor_words:float ->
+  string ->
+  float ->
+  unit
+(** [add name seconds] records an externally-measured duration as a span
+    called [name] nested under the innermost span currently open in the
+    calling domain, without opening/closing a span. This is how hot
+    loops (e.g. the simplex pivot loop) report per-phase time they
+    accumulated in local variables: one [add] per phase at the end of
+    the loop instead of two clock reads per pivot. [count] (default 1)
+    is the number of occurrences the duration aggregates; [max_]
+    defaults to [seconds] when [count <= 1] and to [0.] otherwise
+    (unknown per-occurrence maximum). *)
 
 type entry = {
   path : string list;  (** outermost span first *)
   count : int;  (** completed spans at this path *)
   total : float;  (** summed duration, seconds *)
   max_ : float;  (** longest single duration, seconds *)
+  minor_words : float;  (** summed minor-heap allocation, words *)
+  major_words : float;  (** summed major-heap allocation, words *)
+  promoted_words : float;  (** summed minor->major promotion, words *)
+  compactions : int;  (** heap compactions while the span was open *)
 }
+(** GC fields are zero unless {!set_gc_profiling} was on while the span
+    ran. *)
 
 val snapshot : ?collector:collector -> unit -> entry list
 (** Completed spans, aggregated by path, sorted by path. Spans still
@@ -48,3 +87,5 @@ val total : ?collector:collector -> string list -> float option
 (** Total recorded seconds at exactly the given path, if any. *)
 
 val reset : ?collector:collector -> unit -> unit
+(** Clear the aggregate table. Open-span stacks are domain-local; only
+    the calling domain's stack is cleared. *)

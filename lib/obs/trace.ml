@@ -44,7 +44,7 @@ let locked t f =
     Mutex.unlock t.lock;
     raise e
 
-let create ?(capacity = 65536) ?(clock = Unix.gettimeofday) () =
+let create ?(capacity = 65536) ?(clock = Span.now) () =
   let cap = max 1 capacity in
   {
     lock = Mutex.create ();

@@ -53,7 +53,7 @@ type t
 
 val create : ?capacity:int -> ?clock:(unit -> float) -> unit -> t
 (** A fresh trace. [capacity] (default 65536, min 1) bounds retained
-    events. [clock] (default [Unix.gettimeofday]) is read at each
+    events. [clock] (default the monotonic [Span.now]) is read at each
     emission; readings are clamped to be non-decreasing so timestamps
     are monotonic even if the wall clock steps backwards. *)
 

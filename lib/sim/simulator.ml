@@ -227,7 +227,10 @@ let run ?(options = default_options) network =
   if n > 0 && not stations.(0).delay then schedule 0;
   let stop_time = options.warmup +. options.horizon in
   let running = ref true in
-  while !running do
+  (* The event loop gets its own span so profiling attributes the run's
+     self-time to event processing rather than setup/stats assembly. *)
+  Mapqn_obs.Span.with_ "events" (fun () ->
+      while !running do
     match Event_heap.pop heap with
     | None -> running := false (* empty network *)
     | Some (t, Service k) ->
@@ -316,7 +319,7 @@ let run ?(options = default_options) network =
           end
         end
       end
-  done;
+  done);
   Metrics.inc ~by:(float_of_int !events) m_events;
   Metrics.set_max m_heap_high_water (float_of_int !heap_high_water);
   Array.iteri

@@ -531,13 +531,249 @@ let test_solver_telemetry () =
   Alcotest.(check bool) "bounds.create span" true
     (List.mem [ "bounds.create" ] paths);
   Alcotest.(check bool) "nested revised phase1 span" true
-    (List.mem [ "bounds.create"; "revised.phase1" ] paths);
+    (List.mem [ "bounds.create"; "bounds.prepare"; "revised.phase1" ] paths);
   Alcotest.(check bool) "nested dense phase1 span" true
-    (List.mem [ "bounds.create"; "simplex.phase1" ] paths);
+    (List.mem [ "bounds.create"; "bounds.prepare"; "simplex.phase1" ] paths);
   Alcotest.(check bool) "stationary span under ctmc.solve" true
     (List.exists
        (fun p -> match p with "ctmc.solve" :: _ :: _ -> true | _ -> false)
        paths)
+
+(* ---------------- Profiling attribution ---------------- *)
+
+let test_prof_self_time () =
+  (* Clock reads: outer start(0) | inner 1-2 | inner 3-4 | outer end(5),
+     so outer total = 5, the two inners contribute 2, and outer's
+     self-time is the remaining 3. *)
+  let c = Span.create ~clock:(ticking_clock ()) () in
+  Span.with_ ~collector:c "outer" (fun () ->
+      Span.with_ ~collector:c "inner" (fun () -> ());
+      Span.with_ ~collector:c "inner" (fun () -> ()));
+  let rows = Prof.attribution ~entries:(Span.snapshot ~collector:c ()) () in
+  let find path = List.find (fun r -> r.Prof.path = path) rows in
+  let outer = find [ "outer" ] and inner = find [ "outer"; "inner" ] in
+  check_float "outer total includes children" 5. outer.Prof.total;
+  check_float "outer self = total - children" 3. outer.Prof.self;
+  check_float "leaf self = own total" 2. inner.Prof.self;
+  (* The self column telescopes: summed self over all rows equals the
+     summed root totals, i.e. the wall time of the instrumented region
+     (the basis of `mapqn profile --check`). *)
+  check_float "self telescopes to wall" 5. (Prof.self_total rows);
+  match rows with
+  | a :: b :: _ ->
+    Alcotest.(check bool) "sorted by self descending" true
+      (a.Prof.self >= b.Prof.self)
+  | _ -> Alcotest.fail "expected two attribution rows"
+
+let test_prof_gc_deltas () =
+  Prof.enable ();
+  Fun.protect ~finally:Prof.disable @@ fun () ->
+  let c = Span.create () in
+  (* Small allocations only: blocks above the minor-heap threshold go
+     straight to the major heap and would not show up in minor words. *)
+  let churn () =
+    for i = 1 to 100 do
+      ignore (Sys.opaque_identity (Array.make 10 i))
+    done
+  in
+  (try
+     Span.with_ ~collector:c "alloc" (fun () ->
+         Span.with_ ~collector:c "child" (fun () -> churn ());
+         churn ();
+         failwith "boom")
+   with Failure _ -> ());
+  let entries = Span.snapshot ~collector:c () in
+  let find path = List.find (fun e -> e.Span.path = path) entries in
+  let parent = find [ "alloc" ] and child = find [ "alloc"; "child" ] in
+  Alcotest.(check bool) "child saw its allocation" true
+    (child.Span.minor_words >= 1000.);
+  (* The parent span was closed by the exception and still carries the
+     full GC delta, including the child's. *)
+  Alcotest.(check bool) "parent >= child despite raise" true
+    (parent.Span.minor_words >= child.Span.minor_words +. 1000.);
+  let rows = Prof.attribution ~entries () in
+  let prow = List.find (fun r -> r.Prof.path = [ "alloc" ]) rows in
+  Alcotest.(check bool) "self words exclude the child" true
+    (prow.Prof.self_minor_words >= 1000.
+    && prow.Prof.self_minor_words
+       <= parent.Span.minor_words -. child.Span.minor_words);
+  (* With profiling off again, spans record no GC deltas at all. *)
+  Prof.disable ();
+  Span.with_ ~collector:c "quiet" (fun () -> churn ());
+  let quiet = List.find (fun e -> e.Span.path = [ "quiet" ]) (Span.snapshot ~collector:c ()) in
+  check_float "no delta when disabled" 0. quiet.Span.minor_words
+
+let test_prof_folded_roundtrip () =
+  (* a total 3 (self 2), a/b total 1: folded self-times in integer µs. *)
+  let c = Span.create ~clock:(ticking_clock ()) () in
+  Span.with_ ~collector:c "a" (fun () ->
+      Span.with_ ~collector:c "b" (fun () -> ()));
+  let entries = Span.snapshot ~collector:c () in
+  let folded = Prof.folded ~entries () in
+  Alcotest.(check (list (pair (list string) int))) "parses back"
+    [ ([ "a" ], 2_000_000); ([ "a"; "b" ], 1_000_000) ]
+    (Prof.parse_folded folded);
+  Alcotest.(check int) "garbage lines skipped" 2
+    (List.length (Prof.parse_folded (folded ^ "not a folded line\n")))
+
+let test_span_backwards_clock () =
+  (* A clock stepping backwards must clamp, not record negative time. *)
+  let ticks = ref [ 5.; 3. ] in
+  let clock () =
+    match !ticks with
+    | t :: rest ->
+      ticks := rest;
+      t
+    | [] -> 0.
+  in
+  let c = Span.create ~clock () in
+  Span.with_ ~collector:c "back" (fun () -> ());
+  match Span.snapshot ~collector:c () with
+  | [ e ] -> check_float "clamped at zero" 0. e.Span.total
+  | _ -> Alcotest.fail "expected one span"
+
+let test_span_add () =
+  let c = Span.create ~clock:(ticking_clock ()) () in
+  Span.with_ ~collector:c "outer" (fun () ->
+      Span.add ~collector:c ~count:3 ~max_:0.5 ~minor_words:42. "accum" 0.9);
+  let entries = Span.snapshot ~collector:c () in
+  let find path = List.find (fun e -> e.Span.path = path) entries in
+  let acc = find [ "outer"; "accum" ] in
+  Alcotest.(check int) "aggregated count" 3 acc.Span.count;
+  check_float "accumulated seconds" 0.9 acc.Span.total;
+  check_float "explicit max" 0.5 acc.Span.max_;
+  check_float "carried minor words" 42. acc.Span.minor_words;
+  (* Externally-accumulated children reduce the parent's self-time just
+     like [with_] children: outer ran 1s, 0.9s of it attributed away. *)
+  let rows = Prof.attribution ~entries () in
+  let outer = List.find (fun r -> r.Prof.path = [ "outer" ]) rows in
+  check_float "add reduces parent self" 0.1 outer.Prof.self
+
+let test_span_domain_safety () =
+  (* Two domains nest spans concurrently on one collector: the
+     domain-local open-span stacks must keep the two call trees apart —
+     no cross-domain paths like d1/i2 — while both merge into the shared
+     aggregate table. *)
+  let c = Span.create () in
+  let worker name inner =
+    Domain.spawn (fun () ->
+        for _ = 1 to 200 do
+          Span.with_ ~collector:c name (fun () ->
+              Span.with_ ~collector:c inner (fun () -> ()))
+        done)
+  in
+  let d1 = worker "d1" "i1" and d2 = worker "d2" "i2" in
+  Domain.join d1;
+  Domain.join d2;
+  let entries = Span.snapshot ~collector:c () in
+  let paths = List.map (fun e -> e.Span.path) entries in
+  let allowed =
+    [ [ "d1" ]; [ "d1"; "i1" ]; [ "d2" ]; [ "d2"; "i2" ] ]
+  in
+  Alcotest.(check bool) "no cross-domain interleaving" true
+    (List.for_all (fun p -> List.mem p allowed) paths);
+  Alcotest.(check int) "exactly the four expected paths" 4
+    (List.length paths);
+  let count path =
+    (List.find (fun e -> e.Span.path = path) entries).Span.count
+  in
+  Alcotest.(check int) "d1 iterations all recorded" 200 (count [ "d1" ]);
+  Alcotest.(check int) "nested i2 iterations all recorded" 200
+    (count [ "d2"; "i2" ])
+
+let test_prof_phase_spans_end_to_end () =
+  (* With profiling enabled, a bounds build records the split constraint
+     assembly phases and the pivot-loop phase accumulators. *)
+  Span.reset ();
+  Prof.enable ();
+  Fun.protect ~finally:Prof.disable @@ fun () ->
+  let net = Mapqn_workloads.Tandem.network ~population:4 () in
+  ignore (Mapqn_core.Bounds.response_time (Mapqn_core.Bounds.create_exn net));
+  let paths = List.map (fun e -> e.Span.path) (Span.snapshot ()) in
+  let leaf name p =
+    match List.rev p with last :: _ -> last = name | [] -> false
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " phase recorded") true
+        (List.exists (leaf name) paths))
+    [ "kron-emit"; "row-assembly"; "price"; "ratio"; "update" ]
+
+(* ---------------- Progress reporting ---------------- *)
+
+let test_progress_eta () =
+  let now = ref 0. in
+  let clock () = !now in
+  let tmp = Filename.temp_file "mapqn_hb" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove tmp) @@ fun () ->
+  let oc = open_out tmp in
+  let p =
+    Progress.create ~clock ~quiet:true ~heartbeat:oc ~total:4 "sweep"
+  in
+  Alcotest.(check (option (float 0.))) "no eta before first completion" None
+    (Progress.eta_seconds p);
+  Progress.start p ~seed:7 "model-0000";
+  Progress.phase p "N=8";
+  now := 10.;
+  Progress.finish p;
+  check_float "elapsed from injected clock" 10. (Progress.elapsed p);
+  (match Progress.eta_seconds p with
+  | Some eta -> check_float "eta = elapsed/completed * remaining" 30. eta
+  | None -> Alcotest.fail "expected an eta after one completion");
+  (* A skipped model counts as completed work, so the ETA projects only
+     onto genuinely remaining models: 2 done in 10s -> 2 more in 10s. *)
+  Progress.skip p "model-0001";
+  (match Progress.eta_seconds p with
+  | Some eta -> check_float "skip counts toward eta" 10. eta
+  | None -> Alcotest.fail "expected an eta after skip");
+  now := 20.;
+  Progress.start p "model-0002";
+  Progress.finish p;
+  Progress.start p "model-0003";
+  Progress.finish p;
+  Alcotest.(check (option (float 0.))) "no eta once done" None
+    (Progress.eta_seconds p);
+  Alcotest.(check int) "completed" 4 (Progress.completed p);
+  Progress.close p;
+  close_out oc;
+  (* The heartbeat file doubles as a checkpoint: done and skip events
+     resolve to the model ids a rerun may skip. *)
+  Alcotest.(check (list string)) "resume substrate"
+    [ "model-0000"; "model-0001"; "model-0002"; "model-0003" ]
+    (Progress.load_completed tmp);
+  (* Every record is one parsable JSON line carrying the sweep label. *)
+  let ic = open_in tmp in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Alcotest.(check bool) "heartbeats written" true (List.length !lines > 4);
+  List.iter
+    (fun l ->
+      let j = Json.parse_exn l in
+      Alcotest.(check (option string)) "label" (Some "sweep")
+        (Json.get_string (json_get [ "label" ] j));
+      if Json.member "event" j = None then Alcotest.fail "heartbeat lacks event")
+    !lines
+
+let test_load_completed_robust () =
+  let tmp = Filename.temp_file "mapqn_hb" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove tmp) @@ fun () ->
+  let oc = open_out tmp in
+  output_string oc
+    ("{\"event\":\"done\",\"model\":\"a\"}\n" ^ "this line is not JSON\n"
+   ^ "{\"event\":\"phase\",\"model\":\"b\"}\n"
+   ^ "{\"event\":\"skip\",\"model\":\"c\"}\n"
+   ^ "{\"event\":\"done\",\"model\":\"a\"}\n");
+  close_out oc;
+  Alcotest.(check (list string)) "dedup, skip garbage, keep order"
+    [ "a"; "c" ]
+    (Progress.load_completed tmp);
+  Alcotest.(check (list string)) "missing file yields no ids" []
+    (Progress.load_completed (tmp ^ ".does-not-exist"))
 
 let () =
   Alcotest.run "obs"
@@ -581,6 +817,31 @@ let () =
           Alcotest.test_case "chrome sink" `Quick test_trace_chrome_sink;
           QCheck_alcotest.to_alcotest prop_trace_drop_accounting;
         ] );
+      ( "prof",
+        [
+          Alcotest.test_case "self-time = total - children" `Quick
+            test_prof_self_time;
+          Alcotest.test_case "gc deltas under nesting + raise" `Quick
+            test_prof_gc_deltas;
+          Alcotest.test_case "folded round-trip" `Quick
+            test_prof_folded_roundtrip;
+          Alcotest.test_case "backwards clock clamps" `Quick
+            test_span_backwards_clock;
+          Alcotest.test_case "accumulated add under path" `Quick test_span_add;
+          Alcotest.test_case "domain-local stacks" `Quick
+            test_span_domain_safety;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "deterministic eta + heartbeats" `Quick
+            test_progress_eta;
+          Alcotest.test_case "resume file robustness" `Quick
+            test_load_completed_robust;
+        ] );
       ( "end-to-end",
-        [ Alcotest.test_case "solver telemetry" `Quick test_solver_telemetry ] );
+        [
+          Alcotest.test_case "solver telemetry" `Quick test_solver_telemetry;
+          Alcotest.test_case "profiling phase spans" `Quick
+            test_prof_phase_spans_end_to_end;
+        ] );
     ]
