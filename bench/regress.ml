@@ -8,6 +8,9 @@
 
    - any matching (population, solver, field) timing regressed by more
      than the threshold (default 0.15 = 15%), or
+   - a sweep total (warm or cold end-to-end wall time of the
+     cross-population sweep section) regressed by more than the
+     threshold, or
    - the candidate reports any LP certificate failure.
 
    Timings for populations, solvers or fields present in only one file
@@ -64,6 +67,22 @@ let timings doc =
           [ "revised"; "dense" ]
       | _ -> [])
     results
+
+(* ("warm"|"cold") -> total_s of the sweep section, when present.  The
+   per-population sweep entries are deliberately not gated: individual
+   step timings at small populations are single-digit milliseconds and
+   flap far beyond any sensible threshold; the totals are the claim. *)
+let sweep_totals doc =
+  match J.member "sweep" doc with
+  | None -> []
+  | Some sweep ->
+    List.filter_map
+      (fun variant ->
+        Option.bind (J.member variant sweep) (fun obj ->
+            Option.map
+              (fun total -> (variant, total))
+              (Option.bind (J.member "total_s" obj) J.get_float)))
+      [ "warm"; "cold" ]
 
 let provenance doc =
   let field name =
@@ -124,6 +143,29 @@ let () =
         Printf.printf "  N=%-4d %-8s %-8s dropped from candidate (not gated)\n"
           n solver field)
     base;
+  let sweep_base = sweep_totals baseline
+  and sweep_cand = sweep_totals candidate in
+  List.iter
+    (fun (variant, cand_s) ->
+      match List.assoc_opt variant sweep_base with
+      | None ->
+        Printf.printf "  sweep %-8s total %8.3fs  (no baseline entry, not gated)\n"
+          variant cand_s
+      | Some base_s ->
+        let ratio = if base_s > 0. then cand_s /. base_s -. 1. else 0. in
+        let gated = ratio > !threshold in
+        if gated then incr failures;
+        Printf.printf "  sweep %-8s total %8.3fs vs %8.3fs  %+6.1f%%%s\n" variant
+          cand_s base_s (100. *. ratio)
+          (if gated then "  REGRESSION" else ""))
+    sweep_cand;
+  if sweep_cand = [] && sweep_base <> [] then
+    Printf.printf "  sweep section dropped from candidate (not gated)\n";
+  (* [sweep_totals], not [member]: pre-sweep baselines used "sweep" for a
+     string label naming the benchmark, which is not a gateable section. *)
+  if sweep_base = [] then
+    Printf.printf
+      "  note: baseline has no sweep block (pre-sweep format, not gated)\n";
   (match J.member "certificates" candidate with
   | Some certs -> (
     match Option.bind (J.member "failures" certs) J.get_float with

@@ -342,7 +342,11 @@ let metric_clamp t = function
   | Queue_length_moment (_, r) ->
     Some (0., float_of_int (Ms.population t.ms) ** float_of_int r)
 
-let rec eval_one t metric =
+(* [recurse] resolves the metrics a derived metric is built from —
+   {!eval} passes a memoizing closure so e.g. a report containing both
+   [Throughput k] and [Response_time {reference = k}] solves the
+   underlying throughput LPs once. *)
+let eval_core t recurse metric =
   validate_metric t metric;
   match metric with
   | Response_time { reference } ->
@@ -352,7 +356,7 @@ let rec eval_one t metric =
     let n = float_of_int (Ms.population t.ms) in
     if n = 0. then { lower = 0.; upper = 0. }
     else begin
-      let x = eval_one t (Throughput reference) in
+      let x = recurse (Throughput reference) in
       let upper = if x.lower <= 0. then infinity else n /. x.lower in
       let lower = if x.upper <= 0. then infinity else n /. x.upper in
       { lower; upper }
@@ -369,7 +373,16 @@ let rec eval_one t metric =
 let eval t metrics =
   Mapqn_obs.Metrics.inc m_evals;
   Mapqn_obs.Span.with_ "bounds.eval" @@ fun () ->
-  List.map (fun m -> (m, eval_one t m)) metrics
+  let memo = Hashtbl.create 8 in
+  let rec cached m =
+    match Hashtbl.find_opt memo m with
+    | Some i -> i
+    | None ->
+      let i = eval_core t cached m in
+      Hashtbl.replace memo m i;
+      i
+  in
+  List.map (fun m -> (m, cached m)) metrics
 
 (* Convenience wrappers: exactly one-element [eval] calls, so per-metric
    and batch queries go through the identical code path (and, on the
@@ -388,3 +401,288 @@ let marginal_probability t ~station ~level =
 
 let response_time ?(reference = 0) t =
   interval_of_eval t (Response_time { reference })
+
+(* ------------------------------------------------------------------ *)
+(* Population sweeps                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Translate a basis described in one population's terms into another's:
+   variables by structural role (station, level and phase survive the
+   move; levels beyond the new population are dropped), row slacks by
+   row name (names are population-stable except at the moved
+   boundary). *)
+let translate_seeds ~from_ms ~from_model ~to_ms ~to_model seeds =
+  let row_index = Hashtbl.create 4096 in
+  for r = 0 to Lp.num_rows to_model - 1 do
+    Hashtbl.replace row_index (Lp.row_name to_model r) r
+  done;
+  let n' = Ms.population to_ms in
+  let reinstate = function
+    | Ms.Role_v { station; level; phase } when level <= n' ->
+      Some (Ms.v to_ms ~station ~level ~phase)
+    | Ms.Role_w { busy; station; level; phase } when level <= n' ->
+      Some (Ms.w to_ms ~busy ~station ~level ~phase)
+    | Ms.Role_z { counted; station; level; phase }
+      when level <= n' && Ms.has_level2 to_ms ->
+      Some (Ms.z to_ms ~counted ~station ~level ~phase)
+    | Ms.Role_v _ | Ms.Role_w _ | Ms.Role_z _ -> None
+  in
+  List.filter_map
+    (function
+      | Revised.Seed_var i ->
+        Option.map
+          (fun j -> Revised.Seed_var j)
+          (reinstate (Ms.classify from_ms i))
+      | Revised.Seed_slack r ->
+        Option.map
+          (fun r' -> Revised.Seed_slack r')
+          (Hashtbl.find_opt row_index (Lp.row_name from_model r)))
+    seeds
+
+(* Basic columns for the part of the model the previous basis says
+   nothing about — the levels above the old population. Each new balance
+   row bal[k,n,h] gets its own v_k(n,h) (the row's diagonal-dominant OUT
+   term), and the moved boundary rows (w, z fixed to zero at the new top
+   level) get the variable those rows constrain. Rows this still leaves
+   uncovered fall back to slacks or artificials inside
+   [Revised.prepare_seeded]. *)
+let extension_seeds ~from_n to_ms =
+  let n' = Ms.population to_ms in
+  let m = Ms.num_stations to_ms in
+  let seeds = ref [] in
+  if n' > from_n then begin
+    for n = n' downto from_n + 1 do
+      for k = m - 1 downto 0 do
+        Ms.iter_phases to_ms (fun h ->
+            seeds :=
+              Revised.Seed_var (Ms.v to_ms ~station:k ~level:n ~phase:h)
+              :: !seeds;
+            if Ms.has_level2 to_ms && n < n' then
+              (* One z per new zsum[k,n,h] row. *)
+              let counted = (k + 1) mod m in
+              seeds :=
+                Revised.Seed_var
+                  (Ms.z to_ms ~counted ~station:k ~level:n ~phase:h)
+                :: !seeds)
+      done
+    done;
+    for j = 0 to m - 1 do
+      for k = 0 to m - 1 do
+        if j <> k then
+          Ms.iter_phases to_ms (fun h ->
+              seeds :=
+                Revised.Seed_var (Ms.w to_ms ~busy:j ~station:k ~level:n' ~phase:h)
+                :: !seeds;
+              if Ms.has_level2 to_ms then
+                seeds :=
+                  Revised.Seed_var
+                    (Ms.z to_ms ~counted:j ~station:k ~level:n' ~phase:h)
+                  :: !seeds)
+      done
+    done
+  end;
+  !seeds
+
+module Sweep = struct
+  type bounds = t
+
+  let m_steps =
+    Mapqn_obs.Metrics.counter ~help:"Populations prepared by sweep engines."
+      "bounds_sweep_steps_total"
+
+  let m_warm_steps =
+    Mapqn_obs.Metrics.counter
+      ~help:"Sweep steps whose phase 1 was warm-started from the previous \
+             population's basis."
+      "bounds_sweep_warm_steps_total"
+
+  let m_cold_steps =
+    Mapqn_obs.Metrics.counter
+      ~help:"Sweep steps prepared cold (first population, warm start \
+             disabled or the seed did not take)."
+      "bounds_sweep_cold_steps_total"
+
+  type nonrec t = {
+    network_of : int -> Mapqn_model.Network.t;
+    solver : solver;
+    sconfig : Constraints.config;
+    max_iter : int option;
+    warm_start : bool;
+    mutable inc : Constraints.Incremental.t option;
+    mutable prev : (int * bounds) option;
+    mutable steps : int;
+    mutable warm : int;
+    mutable cold : int;
+    (* Solver-state totals of populations already retired from [prev]. *)
+    mutable done_refactors : int;
+    mutable done_pivots : int;
+  }
+
+  let create ?(solver = default_solver) ?(config = Constraints.standard)
+      ?max_iter ?(warm_start = true) network_of =
+    {
+      network_of;
+      solver;
+      sconfig = config;
+      max_iter;
+      warm_start;
+      inc = None;
+      prev = None;
+      steps = 0;
+      warm = 0;
+      cold = 0;
+      done_refactors = 0;
+      done_pivots = 0;
+    }
+
+  let solver s = s.solver
+  let config s = s.sconfig
+  let warm_start s = s.warm_start
+
+  let backend_counts backend =
+    match backend with
+    | B_revised r ->
+      let st = Revised.stats r in
+      (st.Revised.refactorizations, st.Revised.pivots)
+    | B_dense _ -> (0, 0)
+
+  let retire s =
+    match s.prev with
+    | Some (_, b) ->
+      let r, p = backend_counts b.backend in
+      s.done_refactors <- s.done_refactors + r;
+      s.done_pivots <- s.done_pivots + p
+    | None -> ()
+
+  let step s population =
+    Mapqn_obs.Span.with_ "bounds.sweep.step" @@ fun () ->
+    let network = s.network_of population in
+    if Mapqn_model.Network.has_delay network then
+      Error (Unsupported_network "a delay (infinite-server) station")
+    else begin
+      let ms, model =
+        match s.inc with
+        | Some inc -> Constraints.Incremental.extend inc network
+        | None ->
+          let inc, ms, model =
+            Constraints.Incremental.create s.sconfig network
+          in
+          s.inc <- Some inc;
+          (ms, model)
+      in
+      let seeds =
+        if not s.warm_start then None
+        else
+          match (s.prev, s.solver) with
+          | Some (n_prev, ({ backend = B_revised r; _ } as b_prev)), Revised ->
+            let translated =
+              translate_seeds ~from_ms:b_prev.ms ~from_model:b_prev.model
+                ~to_ms:ms ~to_model:model (Revised.basis_seeds r)
+            in
+            ignore (extension_seeds ~from_n:n_prev ms);
+            Some translated
+          | _ -> None
+      in
+      let warm () =
+        s.warm <- s.warm + 1;
+        Mapqn_obs.Metrics.inc m_warm_steps
+      and cold () =
+        s.cold <- s.cold + 1;
+        Mapqn_obs.Metrics.inc m_cold_steps
+      in
+      let lift = function
+        | Ok backend ->
+          retire s;
+          let b =
+            {
+              network;
+              ms;
+              model;
+              backend;
+              config = s.sconfig;
+              max_iter = s.max_iter;
+            }
+          in
+          s.steps <- s.steps + 1;
+          Mapqn_obs.Metrics.inc m_steps;
+          s.prev <- Some (population, b);
+          Ok b
+        | Error Simplex.Infeasible_phase1 -> Error Infeasible_phase1
+        | Error (Simplex.Iteration_limit_phase1 k) -> Error (Iteration_limit k)
+      in
+      Mapqn_obs.Span.with_ "bounds.prepare" @@ fun () ->
+      match (s.solver, seeds) with
+      | Revised, Some seeds -> (
+        match Revised.prepare_seeded ?max_iter:s.max_iter ~seeds model with
+        | Ok (p, seeded) ->
+          if seeded then warm () else cold ();
+          lift (Ok (B_revised p))
+        | Error e -> lift (Error e))
+      | Revised, None ->
+        cold ();
+        lift
+          (Result.map
+             (fun p -> B_revised p)
+             (Revised.prepare ?max_iter:s.max_iter model))
+      | Dense, _ ->
+        cold ();
+        lift
+          (Result.map
+             (fun p -> B_dense p)
+             (Simplex.prepare ?max_iter:s.max_iter model))
+    end
+
+  let step_exn s population =
+    match step s population with Ok b -> b | Error e -> raise (Solver_error e)
+
+  type stats = {
+    steps : int;
+    warm : int;
+    cold : int;
+    refactorizations : int;
+    pivots : int;
+  }
+
+  let stats s =
+    let cur_r, cur_p =
+      match s.prev with
+      | Some (_, b) -> backend_counts b.backend
+      | None -> (0, 0)
+    in
+    {
+      steps = s.steps;
+      warm = s.warm;
+      cold = s.cold;
+      refactorizations = s.done_refactors + cur_r;
+      pivots = s.done_pivots + cur_p;
+    }
+
+  let run ?progress ?seed ?skip ?(label = Printf.sprintf "N=%d") s ~populations
+      ~f =
+    List.filter_map
+      (fun population ->
+        let lbl = label population in
+        match skip with
+        | Some should_skip when should_skip lbl ->
+          Option.iter (fun p -> Mapqn_obs.Progress.skip p ?seed lbl) progress;
+          None
+        | _ ->
+          Option.iter (fun p -> Mapqn_obs.Progress.start p ?seed lbl) progress;
+          let phase name =
+            Option.iter (fun p -> Mapqn_obs.Progress.phase p name) progress
+          in
+          let memo = ref None in
+          let bounds () =
+            match !memo with
+            | Some b -> b
+            | None ->
+              phase "bounds";
+              let b = step_exn s population in
+              memo := Some b;
+              b
+          in
+          let result = f ~phase ~bounds population in
+          Option.iter Mapqn_obs.Progress.finish progress;
+          Some (population, result))
+      populations
+end

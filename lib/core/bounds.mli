@@ -161,3 +161,93 @@ val custom : t -> (int * float) list -> interval
 (** Bounds on an arbitrary linear function of the marginal-space variables
     (indices from {!Marginal_space}). Raises {!Solver_error} if the
     simplex hits its iteration limit. *)
+
+(** {1 Population sweeps}
+
+    The paper's experiments evaluate the same network at many
+    populations. A sweep engine makes that super-linear instead of
+    one-cold-solve-per-N: the constraint system is extended from the
+    previous population instead of re-derived
+    ({!Constraints.Incremental}), and on the {!Revised} backend phase 1
+    is warm-started from the previous population's final basis —
+    structural variables are carried over by role (station, level,
+    phase), row slacks by row name, and the new levels are covered by
+    their own balance variables — falling back to a cold preparation
+    whenever the seed does not take. Results are identical to per-N
+    {!create} up to solver tolerances, and every metric query on a
+    stepped {!t} still runs under an optimality certificate.
+
+    {b Migration.} Replace a loop of [Bounds.create_exn] over
+    populations with one {!Sweep.create} and a {!Sweep.step} (or
+    {!Sweep.run}, which also owns the progress reporting) per
+    population; everything downstream of the returned {!t} is
+    unchanged. *)
+
+module Sweep : sig
+  type bounds := t
+
+  type t
+  (** A sweep in progress: constraint templates plus the previous
+      population's solver state. Mutable; step populations in the order
+      you want the warm starts chained (ascending is the effective
+      direction). *)
+
+  val create :
+    ?solver:solver ->
+    ?config:Constraints.config ->
+    ?max_iter:int ->
+    ?warm_start:bool ->
+    (int -> Mapqn_model.Network.t) ->
+    t
+  (** [create network_of]: an engine for the family
+      [network_of population]. The function must return networks that
+      differ only in population (same stations and routing — enforced by
+      the constraint builder). [warm_start] (default [true]) is the
+      opt-out flag: [false] prepares every population cold, which is the
+      reference behaviour warm results are tested against. *)
+
+  val step : t -> int -> (bounds, error) result
+  (** Prepare the LP for one population, seeded from the previous
+      {!step}'s final basis (on the revised backend, with warm starts
+      enabled). The returned handle answers every query of this module;
+      keep it only as long as needed — the engine retains at most the
+      latest one. *)
+
+  val step_exn : t -> int -> bounds
+  (** Like {!step}; raises {!Solver_error}. *)
+
+  val solver : t -> solver
+  val config : t -> Constraints.config
+
+  val warm_start : t -> bool
+  (** Whether warm starts are enabled (the [create] flag). *)
+
+  type stats = {
+    steps : int;  (** populations prepared *)
+    warm : int;  (** steps whose seed took *)
+    cold : int;  (** first steps, opt-outs and fallbacks *)
+    refactorizations : int;  (** basis refactorizations across the sweep *)
+    pivots : int;  (** simplex pivots across the sweep *)
+  }
+
+  val stats : t -> stats
+
+  val run :
+    ?progress:Mapqn_obs.Progress.t ->
+    ?seed:int ->
+    ?skip:(string -> bool) ->
+    ?label:(int -> string) ->
+    t ->
+    populations:int list ->
+    f:(phase:(string -> unit) -> bounds:(unit -> bounds) -> int -> 'a) ->
+    (int * 'a) list
+  (** Drive a whole sweep, folding in the progress wiring the
+      experiment runners used to duplicate: one progress model per
+      population (id [label population], default ["N=<n>"]), [phase]
+      forwarding, skip/resume support ([skip id] consults e.g.
+      {!Mapqn_obs.Progress.load_completed} ids and skipped populations
+      are reported and omitted from the result), and lazy stepping —
+      [f]'s [bounds] thunk runs {!step_exn} under a ["bounds"] phase on
+      first use, so [f] chooses where in its phase sequence the LP work
+      happens. Returns [(population, f result)] in sweep order. *)
+end

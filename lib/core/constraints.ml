@@ -435,15 +435,17 @@ let m_lp_nnz =
            size as the sparse (revised) solver sees it."
     "lp_nnz"
 
-let build config network =
-  Mapqn_obs.Span.with_ "constraints.build" @@ fun () ->
+let check_network network =
   if Mapqn_model.Network.has_delay network then
     invalid_arg
       "Constraints.build: delay (infinite-server) stations are outside the \
        marginal-balance derivation; model think time as a queueing station \
-       or use MVA/simulation";
-  let ms = Ms.create ~level2:config.level2 network in
-  let ctx = make_ctx ms in
+       or use MVA/simulation"
+
+(* Emit every family selected by [config] into [ctx], with [balance]
+   supplying the level-phase balance rows (the default emitter or the
+   template-instantiating one of {!Incremental}). *)
+let assemble ~balance config ctx =
   (* Every family reports the rows it contributed, so telemetry shows
      which families dominate the LP (and bound-quality regressions can be
      correlated with constraint-set changes). *)
@@ -453,7 +455,7 @@ let build config network =
     Mapqn_obs.Metrics.set (m_family_rows name)
       (float_of_int (Lp.num_rows ctx.model - before))
   in
-  family "balance" true add_balance;
+  family "balance" true balance;
   family "normalization" true add_normalization;
   family "phase-consistency" true add_phase_consistency;
   family "busy-mass" true add_busy_mass;
@@ -466,8 +468,149 @@ let build config network =
   family "product-symmetry" config.level2 add_product_symmetry;
   Mapqn_obs.Metrics.set m_lp_rows (float_of_int (Lp.num_rows ctx.model));
   Mapqn_obs.Metrics.set m_lp_vars (float_of_int (Lp.num_vars ctx.model));
-  Mapqn_obs.Metrics.set m_lp_nnz (float_of_int (Lp.num_nonzeros ctx.model));
+  Mapqn_obs.Metrics.set m_lp_nnz (float_of_int (Lp.num_nonzeros ctx.model))
+
+let build config network =
+  Mapqn_obs.Span.with_ "constraints.build" @@ fun () ->
+  check_network network;
+  let ms = Ms.create ~level2:config.level2 network in
+  let ctx = make_ctx ms in
+  assemble ~balance:add_balance config ctx;
   (ms, ctx.model)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental (in the population) assembly                            *)
+(* ------------------------------------------------------------------ *)
+
+module Incremental = struct
+  (* One term of an interior balance row bal[k,n,h] (0 < n < N), with the
+     level stored relative to n. The balance coefficients depend only on
+     the service rates and the routing — never on the level or the
+     population — so a single probe row per (k, h) instantiates every
+     interior level of every population: extending a sweep from N to N'
+     re-derives the Kronecker flux terms for just the two boundary levels
+     instead of all N' + 1. *)
+  type tterm =
+    | T_v of { station : int; dn : int; phase : int; coef : float }
+    | T_w of { busy : int; station : int; dn : int; phase : int; coef : float }
+
+  type t = {
+    config : config;
+    m : int;
+    phase_dims : int array;
+    (* Exact rate/routing values the templates were derived from; reused
+       across populations only while the network's stations are
+       unchanged. *)
+    fingerprint : float array;
+    mutable templates : tterm list array array option; (* [k].(h) *)
+  }
+
+  let fingerprint network =
+    let m = Mapqn_model.Network.num_stations network in
+    let acc = ref [] in
+    let push_mat mat order =
+      for a = order - 1 downto 0 do
+        for b = order - 1 downto 0 do
+          acc := Mat.get mat a b :: !acc
+        done
+      done
+    in
+    let routing = Mapqn_model.Network.routing network in
+    push_mat routing m;
+    for k = m - 1 downto 0 do
+      let p =
+        Mapqn_model.Station.service_process
+          (Mapqn_model.Network.station network k)
+      in
+      let order = Mapqn_map.Process.order p in
+      push_mat (Mapqn_map.Process.d1 p) order;
+      push_mat (Mapqn_map.Process.d0 p) order
+    done;
+    Array.of_list !acc
+
+  let classify_term ms n ((var : Lp.var), coef) =
+    match Ms.classify ms (var :> int) with
+    | Ms.Role_v { station; level; phase } ->
+      T_v { station; dn = level - n; phase; coef }
+    | Ms.Role_w { busy; station; level; phase } ->
+      T_w { busy; station; dn = level - n; phase; coef }
+    | Ms.Role_z _ -> assert false (* balance rows never touch z *)
+
+  (* Probe at n = 1, interior whenever N >= 2. *)
+  let templates inc (ctx : ctx) =
+    match inc.templates with
+    | Some tpl -> tpl
+    | None ->
+      let tpl =
+        Array.init ctx.m (fun k ->
+            Array.init (Ms.num_phase_vectors ctx.ms) (fun h ->
+                List.map (classify_term ctx.ms 1) (balance_row ctx ~k ~n:1 ~h)))
+      in
+      inc.templates <- Some tpl;
+      tpl
+
+  let instantiate (ctx : ctx) tpl ~n =
+    List.map
+      (function
+        | T_v { station; dn; phase; coef } ->
+          (v ctx ~station ~level:(n + dn) ~phase, coef)
+        | T_w { busy; station; dn; phase; coef } ->
+          (w ctx ~busy ~station ~level:(n + dn) ~phase, coef))
+      tpl
+
+  (* Same rows, names and term order as [add_balance]: the interior rows
+     share the probe row's (level-independent) control flow, so shifting
+     its levels reproduces them exactly — asserted by the equality test
+     in test/core. *)
+  let add_balance_templated inc (ctx : ctx) =
+    if ctx.n < 2 then add_balance ctx
+    else begin
+      let tpl = templates inc ctx in
+      for k = 0 to ctx.m - 1 do
+        for n = 0 to ctx.n do
+          Ms.iter_phases ctx.ms (fun h ->
+              let terms =
+                if n >= 1 && n < ctx.n then instantiate ctx tpl.(k).(h) ~n
+                else balance_row ctx ~k ~n ~h
+              in
+              if terms <> [] then
+                Lp.add_row ~name:(Printf.sprintf "bal[k=%d,n=%d,h=%d]" k n h)
+                  ctx.model terms Lp.Eq 0.)
+        done
+      done
+    end
+
+  let extend inc network =
+    Mapqn_obs.Span.with_ "constraints.extend" @@ fun () ->
+    check_network network;
+    if
+      Mapqn_model.Network.num_stations network <> inc.m
+      || Mapqn_model.Network.phase_dims network <> inc.phase_dims
+      || fingerprint network <> inc.fingerprint
+    then
+      invalid_arg
+        "Constraints.Incremental.extend: the network's stations or routing \
+         differ from the one the builder was created for (only the \
+         population may change)";
+    let ms = Ms.create ~level2:inc.config.level2 network in
+    let ctx = make_ctx ms in
+    assemble ~balance:(add_balance_templated inc) inc.config ctx;
+    (ms, ctx.model)
+
+  let create config network =
+    check_network network;
+    let inc =
+      {
+        config;
+        m = Mapqn_model.Network.num_stations network;
+        phase_dims = Mapqn_model.Network.phase_dims network;
+        fingerprint = fingerprint network;
+        templates = None;
+      }
+    in
+    let ms, model = extend inc network in
+    (inc, ms, model)
+end
 
 let cut_balance_residual ms point =
   let network = Ms.network ms in

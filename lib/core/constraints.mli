@@ -44,6 +44,35 @@ val build : config -> Mapqn_model.Network.t -> Marginal_space.t * Mapqn_lp.Lp_mo
 (** Allocate one LP variable per marginal-space slot (same indices) and add
     every constraint row selected by [config]. *)
 
+(** Incremental (in the population) assembly for sweeps.
+
+    The balance coefficients depend only on the service rates and the
+    routing, never on the level or the population, so a builder caches
+    one template row per (station, phase vector) and each subsequent
+    population re-derives the Kronecker flux terms for only the two
+    boundary levels. {!Incremental.extend} produces a model {e
+    identical} (rows, names, term order) to a fresh {!build} at the same
+    population — callers cannot observe the difference except through
+    timing. *)
+module Incremental : sig
+  type t
+  (** A reusable builder: the constraint templates of one network family
+      (fixed stations and routing, varying population). *)
+
+  val create :
+    config ->
+    Mapqn_model.Network.t ->
+    t * Marginal_space.t * Mapqn_lp.Lp_model.t
+  (** Build the model for the first population and return the builder
+      for the rest of the sweep. *)
+
+  val extend :
+    t -> Mapqn_model.Network.t -> Marginal_space.t * Mapqn_lp.Lp_model.t
+  (** Assemble the model of another population of the same network
+      family. Raises [Invalid_argument] when the network's stations or
+      routing differ from the ones the builder was created for. *)
+end
+
 val cut_balance_residual : Marginal_space.t -> float array -> float
 (** Maximum absolute residual of the paper's equation-(1) cut balances
     [Σ_{i≠k} Σ_h λ_i(h_i) p_{i,k} w_{i,k}(n-1, h)

@@ -121,6 +121,42 @@ let describe t idx =
     Printf.sprintf "%s[%d,%d](n=%d,h=%d)" name !j !k level phase
   end
 
+type role =
+  | Role_v of { station : int; level : int; phase : int }
+  | Role_w of { busy : int; station : int; level : int; phase : int }
+  | Role_z of { counted : int; station : int; level : int; phase : int }
+
+(* The pair index is row-major over ordered pairs skipping the diagonal,
+   so it inverts in closed form. *)
+let unpair t p =
+  let j = p / (t.m - 1) in
+  let r = p mod (t.m - 1) in
+  let k = if r >= j then r + 1 else r in
+  (j, k)
+
+let classify t idx =
+  if idx < 0 || idx >= t.total then invalid_arg "Marginal_space.classify";
+  let split base block =
+    let phase = block mod t.h in
+    let rest = block / t.h in
+    let level = rest mod (t.n + 1) in
+    (base + (rest / (t.n + 1)), level, phase)
+  in
+  if idx < t.w_base then begin
+    let station, level, phase = split 0 (idx - t.v_base) in
+    Role_v { station; level; phase }
+  end
+  else if idx < t.z_base then begin
+    let p, level, phase = split 0 (idx - t.w_base) in
+    let busy, station = unpair t p in
+    Role_w { busy; station; level; phase }
+  end
+  else begin
+    let p, level, phase = split 0 (idx - t.z_base) in
+    let counted, station = unpair t p in
+    Role_z { counted; station; level; phase }
+  end
+
 let phase_component t h k = t.tuples.(h).(k)
 
 let phase_subst t h k b =

@@ -42,6 +42,18 @@ val z : t -> counted:int -> station:int -> level:int -> phase:int -> int
 val describe : t -> int -> string
 (** Human-readable name of a variable index (for LP debugging). *)
 
+(** Structural role of a variable index — the inverse of {!v}/{!w}/{!z}.
+    Because the role names stations, levels and phases rather than raw
+    indices, it is stable across population changes: the same role can be
+    re-instantiated in the space of a different [N] (the basis-mapping
+    step of warm-started population sweeps). *)
+type role =
+  | Role_v of { station : int; level : int; phase : int }
+  | Role_w of { busy : int; station : int; level : int; phase : int }
+  | Role_z of { counted : int; station : int; level : int; phase : int }
+
+val classify : t -> int -> role
+
 val phase_component : t -> int -> int -> int
 (** [phase_component t h k]: station [k]'s phase in joint phase vector
     [h]. *)

@@ -1,4 +1,5 @@
 module Tandem = Mapqn_workloads.Tandem
+module Bounds = Mapqn_core.Bounds
 
 type options = { params : Tandem.params; populations : int list }
 
@@ -17,46 +18,47 @@ type row = {
   decomposition : float;
   aba_lower : float;
   aba_upper : float;
+  lp : Bounds.interval;
 }
 
 type t = { options : options; rows : row list }
 
 let run ?(options = default_options) ?progress () =
   let q = Tandem.observed_queue in
-  let report f = Option.iter f progress in
+  let sweep =
+    Bounds.Sweep.create (fun population ->
+        Tandem.network ~params:options.params ~population ())
+  in
   let rows =
-    List.map
-      (fun population ->
-        report (fun p ->
-            Mapqn_obs.Progress.start p (Printf.sprintf "N=%d" population));
+    Bounds.Sweep.run ?progress sweep ~populations:options.populations
+      ~f:(fun ~phase ~bounds population ->
         let net = Tandem.network ~params:options.params ~population () in
-        report (fun p -> Mapqn_obs.Progress.phase p "exact");
+        phase "exact";
         let sol = Mapqn_ctmc.Solution.solve net in
-        report (fun p -> Mapqn_obs.Progress.phase p "decomposition");
+        phase "decomposition";
         let dec = Mapqn_baselines.Decomposition.solve net in
-        report (fun p -> Mapqn_obs.Progress.phase p "aba");
+        phase "aba";
         let lo, hi = Mapqn_baselines.Aba.utilization_bounds net q in
-        let row =
-          {
-            population;
-            exact = Mapqn_ctmc.Solution.utilization sol q;
-            decomposition = dec.Mapqn_baselines.Decomposition.utilization.(q);
-            aba_lower = lo;
-            aba_upper = hi;
-          }
-        in
-        report Mapqn_obs.Progress.finish;
-        row)
-      options.populations
+        let lp = Bounds.utilization (bounds ()) q in
+        {
+          population;
+          exact = Mapqn_ctmc.Solution.utilization sol q;
+          decomposition = dec.Mapqn_baselines.Decomposition.utilization.(q);
+          aba_lower = lo;
+          aba_upper = hi;
+          lp;
+        })
+    |> List.map snd
   in
   { options; rows }
 
 let print t =
   print_endline
     "Figure 4: queue-1 utilization of the autocorrelated two-queue tandem \
-     (exact vs decomposition vs ABA bounds)";
+     (exact vs decomposition vs ABA vs LP bounds)";
   Mapqn_util.Table.print
-    ~header:[ "N"; "exact"; "decomp"; "ABA lower"; "ABA upper" ]
+    ~header:
+      [ "N"; "exact"; "decomp"; "ABA lower"; "ABA upper"; "LP lower"; "LP upper" ]
     (List.map
        (fun r ->
          [
@@ -65,6 +67,8 @@ let print t =
            Mapqn_util.Table.float_cell r.decomposition;
            Mapqn_util.Table.float_cell r.aba_lower;
            Mapqn_util.Table.float_cell r.aba_upper;
+           Mapqn_util.Table.float_cell r.lp.Bounds.lower;
+           Mapqn_util.Table.float_cell r.lp.Bounds.upper;
          ])
        t.rows)
 

@@ -3,10 +3,12 @@
 
     Plots (as a table of series) the utilization of queue 1 versus the
     population N: the exact global-balance value, the decomposition–
-    aggregation approximation, and the ABA upper/lower bounds. Shape to
+    aggregation approximation, the ABA upper/lower bounds, and the
+    paper's LP bounds (via a warm-started population sweep). Shape to
     reproduce: decomposition overshoots the exact curve badly once N grows
-    past a few tens of jobs, and the ABA bounds are only informative at
-    very low or very high utilization. *)
+    past a few tens of jobs, the ABA bounds are only informative at
+    very low or very high utilization, and the LP interval stays tight
+    throughout. *)
 
 type options = {
   params : Mapqn_workloads.Tandem.params;
@@ -25,14 +27,17 @@ type row = {
   decomposition : float;
   aba_lower : float;
   aba_upper : float;
+  lp : Mapqn_core.Bounds.interval;
+      (** the paper's LP bounds on the same utilization, computed by a
+          warm-started {!Mapqn_core.Bounds.Sweep} over the grid *)
 }
 
 type t = { options : options; rows : row list }
 
 val run : ?options:options -> ?progress:Mapqn_obs.Progress.t -> unit -> t
 (** [progress], when given, receives one model per population (id
-    ["N=<n>"], phases [exact]/[decomposition]/[aba]); the caller closes
-    the reporter. *)
+    ["N=<n>"], phases [exact]/[decomposition]/[aba]/[bounds]); the
+    caller closes the reporter. *)
 
 val print : t -> unit
 

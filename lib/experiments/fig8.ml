@@ -34,29 +34,25 @@ type t = { options : options; rows : row list }
 
 let run ?(options = default_options) ?progress () =
   let q = Case_study.bottleneck in
-  let report f = Option.iter f progress in
+  let sweep =
+    Bounds.Sweep.create ~config:options.config (fun population ->
+        Case_study.network ~params:options.params ~population ())
+  in
   let rows =
-    List.map
-      (fun population ->
-        report (fun p ->
-            Mapqn_obs.Progress.start p (Printf.sprintf "N=%d" population));
+    Bounds.Sweep.run ?progress sweep ~populations:options.populations
+      ~f:(fun ~phase ~bounds population ->
+        phase "exact";
         let net = Case_study.network ~params:options.params ~population () in
-        report (fun p -> Mapqn_obs.Progress.phase p "exact");
         let sol = Solution.solve net in
-        report (fun p -> Mapqn_obs.Progress.phase p "bounds");
-        let b = Bounds.create_exn ~config:options.config net in
-        let row =
-          {
-            population;
-            exact_utilization = Solution.utilization sol q;
-            utilization = Bounds.utilization b q;
-            exact_response = Solution.system_response_time sol;
-            response = Bounds.response_time b;
-          }
-        in
-        report Mapqn_obs.Progress.finish;
-        row)
-      options.populations
+        let b = bounds () in
+        {
+          population;
+          exact_utilization = Solution.utilization sol q;
+          utilization = Bounds.utilization b q;
+          exact_response = Solution.system_response_time sol;
+          response = Bounds.response_time b;
+        })
+    |> List.map snd
   in
   { options; rows }
 

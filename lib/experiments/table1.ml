@@ -43,6 +43,14 @@ let evaluate_model ?progress options index (model : Random_models.model) =
   report (fun p ->
       Mapqn_obs.Progress.start p ~seed:options.seed (model_id index));
   let max_lower = ref 0. and max_upper = ref 0. and violations = ref 0 in
+  (* One sweep per model: each population's LP extends the previous one
+     instead of being rebuilt, and the revised backend carries its basis
+     across populations. *)
+  let sweep =
+    Bounds.Sweep.create ~config:options.config (fun population ->
+        Mapqn_model.Network.with_population model.Random_models.network
+          population)
+  in
   List.iter
     (fun population ->
       report (fun p ->
@@ -50,7 +58,7 @@ let evaluate_model ?progress options index (model : Random_models.model) =
       let net = Mapqn_model.Network.with_population model.Random_models.network population in
       let sol = Solution.solve net in
       let exact = Solution.system_response_time sol in
-      let b = Bounds.create_exn ~config:options.config net in
+      let b = Bounds.Sweep.step_exn sweep population in
       let r = b |> Bounds.response_time in
       max_lower :=
         Float.max !max_lower (Mapqn_util.Tol.relative_error ~exact r.Bounds.lower);

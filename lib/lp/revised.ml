@@ -57,9 +57,48 @@ let m_repairs =
        refactorization."
     "revised_basis_repairs_total"
 
+(* Refactorization cause attribution: which reinversion trigger fired.
+   The sum can be below revised_refactorizations_total — prepare-time
+   and certificate-witness rebuilds are counted only in the total. *)
+let m_refactor_stability =
+  Metrics.counter
+    ~help:"Refactorizations forced by the small-pivot stability trigger."
+    "revised_refactor_stability_total"
+
+let m_refactor_growth =
+  Metrics.counter
+    ~help:"Refactorizations triggered by eta-file growth past growth_limit."
+    "revised_refactor_growth_total"
+
+let m_refactor_drift =
+  Metrics.counter
+    ~help:
+      "Refactorizations triggered by incremental basic values drifting from \
+       a fresh B⁻¹·rhs beyond drift_tol."
+    "revised_refactor_drift_total"
+
+let m_refactor_backstop =
+  Metrics.counter
+    ~help:"Refactorizations triggered by the pivot-count backstop."
+    "revised_refactor_backstop_total"
+
 let eps_pivot = 1e-9
 let eps_cost = 1e-8
-let refactor_interval = 100
+
+(* Forrest–Tomlin-style reinversion policy defaults: rather than
+   refactorizing every fixed number of pivots, the eta file is kept until
+   its growth or its numerical health says otherwise (see [run_phase]).
+   The growth limit balances two measured costs on the large Figure-4
+   instances (m ≈ 8000, ~0.2s per Markowitz refactorization): looser
+   limits trade fewer rebuilds for longer eta chains, which both slow
+   every FTRAN/BTRAN and degrade pricing enough to multiply the pivot
+   count (12× roughly doubled bound-report time, 64× walked phase 1
+   into stuck near-feasible vertices). 4× sits at the measured
+   optimum. *)
+let default_growth_limit = 4.0
+let default_drift_tol = 1e-6
+let default_check_interval = 128
+let default_pivot_backstop = 5_000
 
 (* ------------------------------------------------------------------ *)
 (* Basis representation: product-form inverse (eta file)               *)
@@ -99,6 +138,23 @@ type t = {
   phase1_basis : int array;
   mutable solves : int;
   work : float array;  (* FTRAN scratch, length m *)
+  (* Reinversion policy (Forrest–Tomlin-style adaptive triggers) and
+     per-instance counters. *)
+  mutable growth_limit : float;
+      (* refactor when eta_nnz exceeds growth_limit × (base_eta_nnz + m):
+         past that point the per-pivot FTRAN/BTRAN work saved by a fresh,
+         near-minimal LU outweighs the cost of building it *)
+  mutable drift_tol : float;
+      (* refactor when the incrementally updated basic values drift this
+         far from a fresh B⁻¹·rhs through the same eta file *)
+  mutable check_interval : int;  (* pivots between drift checks *)
+  mutable pivot_backstop : int;  (* hard cap on pivots between refactors *)
+  mutable refactor_forced : bool;
+      (* stability trigger: set when a pivot was accepted on an entry
+         small relative to its column, whose eta multipliers would poison
+         later FTRANs *)
+  mutable n_refactors : int;
+  mutable n_pivots : int;
 }
 
 let dummy_eta = { row = -1; pivot = 1.; idx = [||]; vals = [||] }
@@ -188,6 +244,8 @@ let eta_of_pivot w r m =
    updates. *)
 let refactor t =
   Metrics.inc m_refactor;
+  t.n_refactors <- t.n_refactors + 1;
+  t.refactor_forced <- false;
   t.n_etas <- 0;
   t.eta_nnz <- 0;
   t.pivots_since_refactor <- 0;
@@ -532,6 +590,7 @@ type status = R_optimal | R_unbounded | R_limit
 
 let run_phase t ~cost_of ~max_iter ~stall_limit =
   let y = Array.make t.m 0. in
+  let xchk = Array.make t.m 0. in
   let w = t.work in
   let bland = ref false in
   let iter = ref 0 in
@@ -571,6 +630,18 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
         if r < 0 then result := Some R_unbounded
         else begin
           let t3 = if prof then Prof.now () else 0. in
+          (* Stability trigger: accepting a pivot much smaller than its
+             column's largest entry writes multipliers of magnitude
+             colmax/|w_r| into the eta file; schedule a reinversion right
+             after this pivot rather than letting them poison every later
+             FTRAN. *)
+          (let wr = Float.abs w.(r) in
+           let colmax = ref wr in
+           for i = 0 to t.m - 1 do
+             let a = Float.abs w.(i) in
+             if a > !colmax then colmax := a
+           done;
+           if wr < 1e-7 *. !colmax then t.refactor_forced <- true);
           let step = Float.max 0. (t.xb.(r) /. w.(r)) in
           for i = 0 to t.m - 1 do
             if i <> r && w.(i) <> 0. then begin
@@ -622,10 +693,51 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
                    objective = !obj;
                    degenerate = not improved;
                  });
-          if
-            t.pivots_since_refactor >= refactor_interval
-            || t.eta_nnz > 10 * (t.base_eta_nnz + t.m)
-          then
+          (* Forrest–Tomlin-style reinversion policy: the eta file is kept
+             across pivots and rebuilt only when (a) a stability trigger
+             fired, (b) its size outgrew the last factorization enough
+             that per-pivot FTRAN/BTRAN work dominates the cost of a fresh
+             near-minimal LU, (c) the incrementally updated basic values
+             drifted from a fresh B⁻¹·rhs (checked every
+             [check_interval] pivots), or (d) a large pivot-count
+             backstop. *)
+          let need_refactor =
+            if t.refactor_forced then begin
+              Metrics.inc m_refactor_stability;
+              true
+            end
+            else if t.pivots_since_refactor >= t.pivot_backstop then begin
+              Metrics.inc m_refactor_backstop;
+              true
+            end
+            else if
+              float_of_int t.eta_nnz
+              > t.growth_limit *. float_of_int (t.base_eta_nnz + t.m)
+            then begin
+              Metrics.inc m_refactor_growth;
+              true
+            end
+            else if
+              t.check_interval > 0
+              && t.pivots_since_refactor mod t.check_interval = 0
+              &&
+              begin
+                Array.blit t.rhs_pert 0 xchk 0 t.m;
+                ftran_apply t xchk;
+                let drift = ref 0. in
+                for i = 0 to t.m - 1 do
+                  let d = Float.abs (Float.max 0. xchk.(i) -. t.xb.(i)) in
+                  if d > !drift then drift := d
+                done;
+                !drift > t.drift_tol
+              end
+            then begin
+              Metrics.inc m_refactor_drift;
+              true
+            end
+            else false
+          in
+          if need_refactor then
             if prof then begin
               let tf = Prof.now () in
               refactor t;
@@ -649,6 +761,7 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
   end;
   Metrics.inc ~by:(float_of_int !iter) m_pivots;
   Metrics.inc ~by:(float_of_int !degenerate) m_degenerate;
+  t.n_pivots <- t.n_pivots + !iter;
   ((match !result with Some s -> s | None -> assert false), !iter)
 
 (* ------------------------------------------------------------------ *)
@@ -733,6 +846,13 @@ let build_state std salt =
       phase1_basis = Array.copy basis;
       solves = 0;
       work = Array.make m 0.;
+      growth_limit = default_growth_limit;
+      drift_tol = default_drift_tol;
+      check_interval = default_check_interval;
+      pivot_backstop = default_pivot_backstop;
+      refactor_forced = false;
+      n_refactors = 0;
+      n_pivots = 0;
     }
   in
   (* Seed etas so the (empty-file) identity represents B⁻¹ exactly: a
@@ -743,13 +863,99 @@ let build_state std salt =
   done;
   t
 
+(* Artificial mass of the current basis judged against the TRUE
+   (unperturbed) right-hand side: x = B⁻¹ b. *)
+let artificial_mass t =
+  let x_true = Array.copy t.std.Std_form.rhs in
+  ftran_apply t x_true;
+  let mass = ref 0. in
+  for i = 0 to t.m - 1 do
+    if t.basis.(i) >= t.n_struct then mass := !mass +. Float.abs x_true.(i)
+  done;
+  !mass
+
+(* Phase-1 epilogue shared by the cold and the population-warm-started
+   paths: bar the artificials from pricing, drive zero-level basic
+   artificials out of the basis, and record the resulting basis as the
+   warm-start anchor of {!reset}. *)
+let finalize_phase1 t =
+  let m = t.m in
+  for j = t.n_struct to t.n_total - 1 do
+    t.allowed.(j) <- false
+  done;
+  (* Drive zero-level basic artificials out of the basis. A basic
+     artificial absorbs any imbalance of its row, silently deleting
+     that constraint from every later phase-2 solve — on a row that
+     is NOT linearly dependent this relaxes the feasible region and
+     lets phase 2 report optima outside the true polytope. For each
+     such row, BTRAN the unit vector to get the transformed row
+     ρ = B⁻ᵀe_i, enter the structural column with the largest
+     |ρ·A_j| via a (near-)degenerate pivot. Rows whose transformed
+     row vanishes over the structural columns are genuinely
+     dependent: implied by the others, their artificial — which
+     only absorbs the perturbation's inconsistency — is harmless
+     and stays. *)
+  let rho = Array.make m 0. in
+  for i = 0 to m - 1 do
+    if t.basis.(i) >= t.n_struct then begin
+      Array.fill rho 0 m 0.;
+      rho.(i) <- 1.;
+      btran_apply t rho;
+      let best = ref (-1) and best_mag = ref 1e-6 in
+      for j = 0 to t.n_struct - 1 do
+        if not t.in_basis.(j) then begin
+          let mag = Float.abs (Csr.dot_row t.cols j rho) in
+          if mag > !best_mag then begin
+            best := j;
+            best_mag := mag
+          end
+        end
+      done;
+      if !best >= 0 && Float.abs t.xb.(i) /. !best_mag <= 1e-6 then begin
+        let w = t.work in
+        ftran_col t !best w;
+        if Float.abs w.(i) > 1e-7 then begin
+          (* Treat the pivot as exactly degenerate: the artificial
+             sits at zero level in the true problem, and its
+             residual basic value is perturbation noise. Entering
+             the structural at exactly zero leaves every other
+             basic value untouched, where stepping by the noisy
+             value would shift each by (noise / pivot) × wₖ —
+             pushing degenerate basic variables negative and
+             seeding instability downstream. (Formally a
+             re-perturbation of b by −B·(noise·eᵢ), the same class
+             phase 2's salt retries already apply.) A fresh
+             deterministic perturbation at the usual 1e-8 scale
+             then re-seeds the anti-degeneracy margin on the row —
+             entering at exactly zero would stack hundreds of
+             exactly-tied zero-level basics, and phase 2 pays for
+             every tie in Harris ratio-test passes. *)
+          let h = ((i * 2654435761) lxor 0x9E3779B9) land 0xFFFFFF in
+          t.xb.(i) <-
+            1e-8 *. (0.5 +. (float_of_int h /. float_of_int 0x1000000));
+          let art = t.basis.(i) in
+          t.in_basis.(art) <- false;
+          t.in_basis.(!best) <- true;
+          t.basis.(i) <- !best;
+          (match eta_of_pivot t.work i m with
+          | Some e -> push_eta t e
+          | None -> ());
+          Metrics.inc m_driveouts
+        end
+      end
+    end
+  done;
+  Array.blit t.basis 0 t.phase1_basis 0 m
+
+let default_max_iter ~m ~ncols = 50_000 + (50 * (m + ncols))
+
 let prepare_unspanned ?max_iter model =
   let std = Std_form.build model in
   let m = Std_form.num_rows std in
   let max_iter =
     match max_iter with
     | Some k -> k
-    | None -> 50_000 + (50 * (m + std.Std_form.ncols))
+    | None -> default_max_iter ~m ~ncols:std.Std_form.ncols
   in
   let rec attempt salt =
     let t = build_state std salt in
@@ -778,13 +984,28 @@ let prepare_unspanned ?max_iter model =
       end
       else Error Simplex.Infeasible_phase1
     | R_optimal ->
-      (* Judge the artificial mass against the TRUE (unperturbed)
-         right-hand side: x = B⁻¹ b. *)
-      let x_true = Array.copy std.Std_form.rhs in
-      ftran_apply t x_true;
-      let mass = ref 0. in
-      for i = 0 to m - 1 do
-        if t.basis.(i) >= t.n_struct then mass := !mass +. Float.abs x_true.(i)
+      let mass = ref (artificial_mass t) in
+      (* Pricing off a long eta file can declare optimality with
+         artificial mass still basic (stale duals).  A fresh
+         factorization recomputes the duals exactly; resuming phase 1
+         from it is far cheaper than a whole new salt and usually
+         finishes the job. *)
+      let resumes = ref 0 in
+      while !mass > 1e-6 && !resumes < 3 do
+        incr resumes;
+        Log.debug (fun f ->
+            f
+              "phase-1 artificial mass %g at a stale optimum; refactorizing \
+               and resuming (round %d)"
+              !mass !resumes);
+        refactor t;
+        (match run_phase t ~cost_of ~max_iter ~stall_limit with
+        | R_optimal, 0 ->
+          (* No pivot even with exact duals: deterministic, so further
+             rounds would replay the same state. *)
+          resumes := 3
+        | R_optimal, _ -> mass := artificial_mass t
+        | (R_limit | R_unbounded), _ -> resumes := 3)
       done;
       if !mass > 1e-6 then
         if salt < 3 then begin
@@ -802,74 +1023,7 @@ let prepare_unspanned ?max_iter model =
         end
         else Error Simplex.Infeasible_phase1
       else begin
-        for j = t.n_struct to t.n_total - 1 do
-          t.allowed.(j) <- false
-        done;
-        (* Drive zero-level basic artificials out of the basis. A basic
-           artificial absorbs any imbalance of its row, silently deleting
-           that constraint from every later phase-2 solve — on a row that
-           is NOT linearly dependent this relaxes the feasible region and
-           lets phase 2 report optima outside the true polytope. For each
-           such row, BTRAN the unit vector to get the transformed row
-           ρ = B⁻ᵀe_i, enter the structural column with the largest
-           |ρ·A_j| via a (near-)degenerate pivot. Rows whose transformed
-           row vanishes over the structural columns are genuinely
-           dependent: implied by the others, their artificial — which
-           only absorbs the perturbation's inconsistency — is harmless
-           and stays. *)
-        let rho = Array.make m 0. in
-        for i = 0 to m - 1 do
-          if t.basis.(i) >= t.n_struct then begin
-            Array.fill rho 0 m 0.;
-            rho.(i) <- 1.;
-            btran_apply t rho;
-            let best = ref (-1) and best_mag = ref 1e-6 in
-            for j = 0 to t.n_struct - 1 do
-              if not t.in_basis.(j) then begin
-                let mag = Float.abs (Csr.dot_row t.cols j rho) in
-                if mag > !best_mag then begin
-                  best := j;
-                  best_mag := mag
-                end
-              end
-            done;
-            if !best >= 0 && Float.abs t.xb.(i) /. !best_mag <= 1e-6 then begin
-              let w = t.work in
-              ftran_col t !best w;
-              if Float.abs w.(i) > 1e-7 then begin
-                (* Treat the pivot as exactly degenerate: the artificial
-                   sits at zero level in the true problem, and its
-                   residual basic value is perturbation noise. Entering
-                   the structural at exactly zero leaves every other
-                   basic value untouched, where stepping by the noisy
-                   value would shift each by (noise / pivot) × wₖ —
-                   pushing degenerate basic variables negative and
-                   seeding instability downstream. (Formally a
-                   re-perturbation of b by −B·(noise·eᵢ), the same class
-                   phase 2's salt retries already apply.) A fresh
-                   deterministic perturbation at the usual 1e-8 scale
-                   then re-seeds the anti-degeneracy margin on the row —
-                   entering at exactly zero would stack hundreds of
-                   exactly-tied zero-level basics, and phase 2 pays for
-                   every tie in Harris ratio-test passes. *)
-                let h =
-                  ((i * 2654435761) lxor 0x9E3779B9) land 0xFFFFFF
-                in
-                t.xb.(i) <-
-                  1e-8 *. (0.5 +. (float_of_int h /. float_of_int 0x1000000));
-                let art = t.basis.(i) in
-                t.in_basis.(art) <- false;
-                t.in_basis.(!best) <- true;
-                t.basis.(i) <- !best;
-                (match eta_of_pivot w i m with
-                | Some e -> push_eta t e
-                | None -> ());
-                Metrics.inc m_driveouts
-              end
-            end
-          end
-        done;
-        Array.blit t.basis 0 t.phase1_basis 0 m;
+        finalize_phase1 t;
         Ok t
       end
   in
@@ -884,6 +1038,295 @@ let reset t =
   Array.iter (fun c -> t.in_basis.(c) <- true) t.basis;
   t.solves <- 0;
   refactor t
+
+(* ------------------------------------------------------------------ *)
+(* Cross-model warm starts (population sweeps)                         *)
+(* ------------------------------------------------------------------ *)
+
+let m_seeded =
+  Metrics.counter
+    ~help:"Phase-1 preparations seeded from a related model's basis."
+    "revised_seeded_prepares_total"
+
+let m_seeded_fallback =
+  Metrics.counter
+    ~help:"Seeded preparations that fell back to a cold phase 1."
+    "revised_seeded_prepare_fallbacks_total"
+
+let m_restore_pivots =
+  Metrics.histogram
+    ~help:"Feasibility-restoration pivots needed by a seeded preparation."
+    ~buckets:[| 0.; 10.; 30.; 100.; 300.; 1_000.; 3_000.; 10_000. |]
+    "revised_restoration_pivots"
+
+type seed = Seed_var of int | Seed_slack of int
+
+let basis_seeds ?(phase1 = false) t =
+  let basis = if phase1 then t.phase1_basis else t.basis in
+  let out = ref [] in
+  for i = t.m - 1 downto 0 do
+    let c = basis.(i) in
+    if c < t.n_struct then
+      match t.std.Std_form.origins.(c) with
+      | Std_form.Shifted { var; _ } | Std_form.Negative_part { var } ->
+        out := Seed_var var :: !out
+      | Std_form.Slack -> (
+        match Std_form.row_of_slack t.std c with
+        | Some r when r < t.std.Std_form.nrows_model ->
+          out := Seed_slack r :: !out
+        | Some _ | None -> ())
+  done;
+  !out
+
+(* Restore primal feasibility of a seeded basis. The mapped basis is
+   typically feasible on the rows it came from and infeasible on the rows
+   the new model added or moved, so this is a dual-simplex-flavoured
+   repair: take the most negative basic value as the leaving row, enter
+   the allowed column with the most negative transformed-row entry
+   (phase-1 reduced costs over structurals are all zero, so any such
+   column is price-neutral and the ratio xb_r / α_r > 0 lifts the row to
+   feasibility), and repeat. Bounded by [max_pivots]: the loop has no
+   termination proof on degenerate LPs, the caller falls back to a cold
+   phase 1 when it trips. *)
+let restore_feasibility t ~max_pivots =
+  let rho = Array.make t.m 0. in
+  let w = t.work in
+  let pivots = ref 0 in
+  let ok = ref true in
+  let finished = ref false in
+  (* Whether xb was recomputed from rhs_pert since the last pivot — the
+     incremental updates drift, so a stalled row gets one fresh look
+     before we give up on it. *)
+  let fresh = ref true in
+  while not !finished do
+    let r = ref (-1) and worst = ref (-1e-9) in
+    for i = 0 to t.m - 1 do
+      if t.xb.(i) < !worst then begin
+        r := i;
+        worst := t.xb.(i)
+      end
+    done;
+    if !r < 0 then finished := true
+    else if !pivots >= max_pivots then begin
+      ok := false;
+      finished := true
+    end
+    else begin
+      let r = !r in
+      Array.fill rho 0 t.m 0.;
+      rho.(r) <- 1.;
+      btran_apply t rho;
+      let best = ref (-1) and best_a = ref (-.eps_pivot) in
+      for j = 0 to t.n_struct - 1 do
+        if t.allowed.(j) && not t.in_basis.(j) then begin
+          let a = Csr.dot_row t.cols j rho in
+          if a < !best_a then begin
+            best := j;
+            best_a := a
+          end
+        end
+      done;
+      if !best < 0 then
+        (* No structural can lift the row; an artificial of another row
+           can (the closing phase 1 drives it back out). *)
+        for k = 0 to t.m - 1 do
+          let j = t.n_struct + k in
+          if t.allowed.(j) && not t.in_basis.(j) then begin
+            let i = t.art_row.(k) in
+            let a = t.art_sign.(i) *. rho.(i) in
+            if a < !best_a then begin
+              best := j;
+              best_a := a
+            end
+          end
+        done;
+      if !best < 0 then
+        if t.xb.(r) >= -1e-5 then
+          (* Noise-level infeasibility on a row no column can lift —
+             treat it as degenerate (exactly what phase 2 does with such
+             values after every refactorization) and move on. *)
+          t.xb.(r) <- 0.
+        else if not !fresh then begin
+          (* The incremental xb updates drift over hundreds of pivots;
+             the row may not be that infeasible at all. Recompute before
+             giving up on it. *)
+          refactor t;
+          Array.blit t.rhs_pert 0 t.xb 0 t.m;
+          ftran_apply t t.xb;
+          fresh := true
+        end
+        else begin
+          (* No column can lift this row: numerically dependent or the
+             basis is too far gone — let the cold path handle it. *)
+          Log.debug (fun f ->
+              f "restore: no entering column for row %d (xb %g) after %d pivots"
+                r t.xb.(r) !pivots);
+          ok := false;
+          finished := true
+        end
+      else begin
+        ftran_col t !best w;
+        if Float.abs w.(r) < eps_pivot then begin
+          ok := false;
+          finished := true
+        end
+        else begin
+          let step = t.xb.(r) /. w.(r) in
+          for i = 0 to t.m - 1 do
+            if i <> r && w.(i) <> 0. then t.xb.(i) <- t.xb.(i) -. (w.(i) *. step)
+          done;
+          t.xb.(r) <- step;
+          let leaving = t.basis.(r) in
+          t.in_basis.(leaving) <- false;
+          if leaving >= t.n_struct then t.allowed.(leaving) <- false;
+          t.in_basis.(!best) <- true;
+          t.basis.(r) <- !best;
+          (match eta_of_pivot w r t.m with Some e -> push_eta t e | None -> ());
+          t.pivots_since_refactor <- t.pivots_since_refactor + 1;
+          incr pivots;
+          fresh := false;
+          (* Long restorations (hundreds to thousands of pivots on large
+             population steps) keep the same eta-growth cadence as the
+             phases — measured on the Figure-4 N=500 seeded step this
+             rebuilds about once per 80 dense restoration etas, which
+             sits at the same FTRAN-cost-vs-rebuild-cost balance as
+             [default_growth_limit]; both looser nnz caps and flat pivot
+             cadences measured worse. *)
+          let need_refactor =
+            if t.refactor_forced then begin
+              Metrics.inc m_refactor_stability;
+              true
+            end
+            else if
+              float_of_int t.eta_nnz
+              > t.growth_limit *. float_of_int (t.base_eta_nnz + t.m)
+            then begin
+              Metrics.inc m_refactor_growth;
+              true
+            end
+            else false
+          in
+          if need_refactor then begin
+            refactor t;
+            (* Restoration needs the UNclamped basic values. *)
+            Array.blit t.rhs_pert 0 t.xb 0 t.m;
+            ftran_apply t t.xb;
+            fresh := true
+          end
+        end
+      end
+    end
+  done;
+  Metrics.observe m_restore_pivots (float_of_int !pivots);
+  t.n_pivots <- t.n_pivots + !pivots;
+  !ok
+
+let prepare_seeded_unspanned ?max_iter ~seeds model =
+  let cold ~fallback () =
+    if fallback then Metrics.inc m_seeded_fallback;
+    Result.map (fun t -> (t, false)) (prepare_unspanned ?max_iter model)
+  in
+  if seeds = [] then cold ~fallback:false ()
+  else begin
+    Metrics.inc m_seeded;
+    let std = Std_form.build model in
+    let m = Std_form.num_rows std in
+    let max_iter_v =
+      match max_iter with
+      | Some k -> k
+      | None -> default_max_iter ~m ~ncols:std.Std_form.ncols
+    in
+    let t = build_state std 0 in
+    (* Resolve the seeds to standard-form columns: slacks to the slack of
+       the named row, variables to their main column. *)
+    let used = Array.make t.n_struct false in
+    let hint = Array.make m (-1) in
+    let var_cols = ref [] in
+    List.iter
+      (fun s ->
+        match s with
+        | Seed_slack r ->
+          if r >= 0 && r < m then (
+            match Std_form.slack_col_of_row std r with
+            | Some j when not used.(j) ->
+              used.(j) <- true;
+              hint.(r) <- j
+            | Some _ | None -> ())
+        | Seed_var v ->
+          if v >= 0 && v < std.Std_form.nvars_model then begin
+            let j = std.Std_form.plus.(v) in
+            if not used.(j) then begin
+              used.(j) <- true;
+              var_cols := j :: !var_cols
+            end
+          end)
+      seeds;
+    (* Place the variable columns on rows without a hint — the row/column
+       pairing is irrelevant (refactorization reassigns rows), only the
+       SET of basic columns matters. Remaining rows take their own slack
+       when it starts feasible, their artificial otherwise — both keep
+       the starting point feasible on rows the seed said nothing about. *)
+    let rest = ref !var_cols in
+    for i = 0 to m - 1 do
+      if hint.(i) < 0 then (
+        match !rest with
+        | j :: tl ->
+          hint.(i) <- j;
+          rest := tl
+        | [] -> ())
+    done;
+    for i = 0 to m - 1 do
+      if hint.(i) < 0 then
+        hint.(i) <-
+          (match Std_form.slack_basic_of_row std i with
+          | Some j when (not used.(j)) && t.rhs_pert.(i) >= 0. ->
+            used.(j) <- true;
+            j
+          | Some _ | None -> t.n_struct + i)
+    done;
+    Array.blit hint 0 t.basis 0 m;
+    Array.fill t.in_basis 0 t.n_total false;
+    Array.iter (fun c -> t.in_basis.(c) <- true) t.basis;
+    refactor t;
+    (* Unclamped basic values: restoration must see the infeasibilities
+       the seeded basis has at the new right-hand side. *)
+    Array.blit t.rhs_pert 0 t.xb 0 m;
+    ftran_apply t t.xb;
+    let infeasible = ref 0 in
+    for i = 0 to m - 1 do
+      if t.xb.(i) < -1e-9 then incr infeasible
+    done;
+    let cap = 200 + (8 * !infeasible) in
+    if not (restore_feasibility t ~max_pivots:cap) then begin
+      Log.debug (fun f ->
+          f "seeded prepare: feasibility restoration failed (%d infeasible \
+             rows); falling back to cold phase 1"
+            !infeasible);
+      cold ~fallback:true ()
+    end
+    else begin
+      for i = 0 to m - 1 do
+        if t.xb.(i) < 0. then t.xb.(i) <- 0.
+      done;
+      (* A short phase 1 clears the artificial mass of rows the seed left
+         to their artificials; with none basic it terminates on the first
+         pricing pass. *)
+      let cost_of j = if j >= t.n_struct then 1. else 0. in
+      let stall_limit = max 5_000 (20 * m) in
+      match run_phase t ~cost_of ~max_iter:max_iter_v ~stall_limit with
+      | R_optimal, _ ->
+        if artificial_mass t > 1e-6 then cold ~fallback:true ()
+        else begin
+          finalize_phase1 t;
+          Ok (t, true)
+        end
+      | (R_limit | R_unbounded), _ -> cold ~fallback:true ()
+    end
+  end
+
+let prepare_seeded ?max_iter ~seeds model =
+  Span.with_ "revised.phase1" (fun () ->
+      prepare_seeded_unspanned ?max_iter ~seeds model)
 
 (* ------------------------------------------------------------------ *)
 (* Phase 2                                                             *)
@@ -910,12 +1353,7 @@ let optimize_unspanned ?max_iter t direction objective =
   | R_limit -> Simplex.Iteration_limit
   | R_unbounded -> Simplex.Unbounded
   | R_optimal ->
-    (* Exact basic values at the final basis: x = B⁻¹ b with the true
-       right-hand side, keeping reported point and objective free of the
-       anti-degeneracy perturbation. *)
-    let x_true = Array.copy t.std.Std_form.rhs in
-    ftran_apply t x_true;
-    (* Feasibility witness: the same basis applied to the PERTURBED
+    (* Feasibility witness: the final basis applied to the PERTURBED
        right-hand side.  Primal-feasible by the simplex invariant, so it
        satisfies the true constraints up to the perturbation magnitude
        itself — immune to the conditioning amplification that can push
@@ -924,6 +1362,30 @@ let optimize_unspanned ?max_iter t direction objective =
        clamping noise accumulated along the pivot trajectory. *)
     let x_wit = Array.copy t.rhs_pert in
     ftran_apply t x_wit;
+    (* The simplex invariant puts every basic value above -tol_feas; a
+       witness entry meaningfully below zero means the eta file itself
+       has drifted (an ill-conditioned stretch of the trajectory), and
+       BOTH reported points would inherit the error through their FTRANs.
+       Rebuilding the factorization of the same basis — the basis is
+       optimal regardless of how B⁻¹ is represented — washes the drift
+       out before anything is extracted or certified. *)
+    let wit_min = ref 0. in
+    for i = 0 to t.m - 1 do
+      if x_wit.(i) < !wit_min then wit_min := x_wit.(i)
+    done;
+    if !wit_min < -1e-7 then begin
+      Log.debug (fun f ->
+          f "optimize: witness drift %g at the final basis; refactorizing"
+            !wit_min);
+      refactor t;
+      Array.blit t.rhs_pert 0 x_wit 0 t.m;
+      ftran_apply t x_wit
+    end;
+    (* Exact basic values at the final basis: x = B⁻¹ b with the true
+       right-hand side, keeping reported point and objective free of the
+       anti-degeneracy perturbation. *)
+    let x_true = Array.copy t.std.Std_form.rhs in
+    ftran_apply t x_true;
     let x_std = Array.make t.n_struct 0. in
     let w_std = Array.make t.n_struct 0. in
     for i = 0 to t.m - 1 do
@@ -958,3 +1420,30 @@ let solve ?max_iter model direction objective =
   | Error Simplex.Infeasible_phase1 -> Simplex.Infeasible
   | Error (Simplex.Iteration_limit_phase1 _) -> Simplex.Iteration_limit
   | Ok t -> optimize ?max_iter t direction objective
+
+(* ------------------------------------------------------------------ *)
+(* Introspection and reinversion tuning                                *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  refactorizations : int;
+  pivots : int;
+  eta_nnz : int;
+  solves : int;
+}
+
+let stats t =
+  {
+    refactorizations = t.n_refactors;
+    pivots = t.n_pivots;
+    eta_nnz = t.eta_nnz;
+    solves = t.solves;
+  }
+
+let force_refactor t = refactor t
+
+let set_reinversion ?growth_limit ?drift_tol ?check_interval ?pivot_backstop t =
+  Option.iter (fun v -> t.growth_limit <- v) growth_limit;
+  Option.iter (fun v -> t.drift_tol <- v) drift_tol;
+  Option.iter (fun v -> t.check_interval <- v) check_interval;
+  Option.iter (fun v -> t.pivot_backstop <- v) pivot_backstop

@@ -48,6 +48,78 @@ val reset : t -> unit
 (** Forget warm-start state: restore the phase-1 basis. The next
     {!optimize} prices from scratch. *)
 
+(** {1 Cross-model warm starts}
+
+    A population sweep solves a chain of closely related models: the
+    constraint matrix at population [N+1] extends the one at [N]. The
+    final basis of one model, described in model terms (variables and row
+    names rather than raw column indices), seeds phase 1 of the next:
+    {!prepare_seeded} maps the seed onto the new standard form, restores
+    primal feasibility with a bounded dual-simplex-style repair, and
+    falls back to a cold {!prepare} whenever the seed does not take. *)
+
+(** One basic column, in model terms: a model variable (by index into the
+    NEW model — the caller translates structural roles between models) or
+    the slack of a model row (by row index in the new model). *)
+type seed = Seed_var of int | Seed_slack of int
+
+val basis_seeds : ?phase1:bool -> t -> seed list
+(** The current basis as seeds in this model's own terms (variable
+    indices and row indices of the model [t] was prepared for).
+    Artificial columns are omitted. [~phase1:true] reads the feasible
+    basis recorded at the end of phase 1 instead of the current one.
+    (Measured on the Figure-4 sweep: the default — the optimum of the
+    last-priced objective — seeds the next population reliably, while
+    the phase-1 vertex tends not to take and falls back cold; it is
+    kept for experimentation.) *)
+
+val prepare_seeded :
+  ?max_iter:int ->
+  seeds:seed list ->
+  Lp_model.t ->
+  (t * bool, Simplex.prepare_error) result
+(** Phase 1 warm-started from a seed basis (already translated into the
+    new model's terms). The returned flag is [true] when the seed was
+    used and [false] when the preparation fell back to a cold phase 1
+    (empty seed, failed feasibility restoration, residual artificial
+    mass). Either way the result satisfies exactly the invariants of
+    {!prepare} — callers cannot observe the difference except through
+    timing and {!stats}. *)
+
+(** {1 Introspection and reinversion tuning} *)
+
+type stats = {
+  refactorizations : int;  (** basis refactorizations over this state's life *)
+  pivots : int;  (** simplex pivots over this state's life *)
+  eta_nnz : int;  (** current eta-file nonzeros *)
+  solves : int;  (** phase-2 optimizations since the last {!reset} *)
+}
+
+val stats : t -> stats
+
+val force_refactor : t -> unit
+(** Rebuild the eta file of the current basis immediately. The
+    represented basis (and therefore every subsequent solution) is
+    unchanged — exposed so tests can check that incremental eta updates
+    and a fresh factorization agree. *)
+
+val set_reinversion :
+  ?growth_limit:float ->
+  ?drift_tol:float ->
+  ?check_interval:int ->
+  ?pivot_backstop:int ->
+  t ->
+  unit
+(** Tune the adaptive reinversion policy. [growth_limit] (default 4.0)
+    refactorizes when the eta file exceeds that multiple of the last
+    factorization's size; [drift_tol] (default 1e-6) bounds the
+    divergence between incrementally updated basic values and a fresh
+    FTRAN of the right-hand side, checked every [check_interval]
+    (default 128) pivots; [pivot_backstop] (default 5000) is a hard cap
+    on pivots between refactorizations. Lowering [drift_tol] to [0.]
+    forces a refactorization at every check — the stability-trigger
+    test hook. *)
+
 val solve :
   ?max_iter:int ->
   Lp_model.t ->

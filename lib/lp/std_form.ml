@@ -16,6 +16,8 @@ type t = {
   plus : int array;
   minus : int array;
   shift : float array;
+  slack_cols : int array;  (* std row -> its slack column, -1 on equalities *)
+  slack_rows : int array;  (* std column -> the row its slack serves, -1 *)
   mutable cols_cache : Csr.t option;
 }
 
@@ -71,12 +73,15 @@ let build model =
   let triplets = ref [] in
   let rhs = Array.make nrows 0. in
   let row_signs = Array.make nrows 1. in
+  let slack_cols = Array.make nrows (-1) in
   let emit_row i terms sense rhs_val =
     let terms =
       match sense with
       | Lp_model.Eq -> terms
-      | Lp_model.Le -> (add_col Slack, 1.) :: terms
-      | Lp_model.Ge -> (add_col Slack, -1.) :: terms
+      | Lp_model.Le | Lp_model.Ge ->
+        let j = add_col Slack in
+        slack_cols.(i) <- j;
+        (j, (match sense with Lp_model.Le -> 1. | _ -> -1.)) :: terms
     in
     let terms, rhs_val, sign =
       if rhs_val < 0. then
@@ -101,6 +106,8 @@ let build model =
     (fun j (terms, sense, rhs_val) ->
       emit_row (nrows_model + j) terms sense rhs_val)
     (List.rev !extra_rows);
+  let slack_rows = Array.make !ncols (-1) in
+  Array.iteri (fun i j -> if j >= 0 then slack_rows.(j) <- i) slack_cols;
   {
     ncols = !ncols;
     origins = Array.of_list (List.rev !origins);
@@ -112,6 +119,8 @@ let build model =
     plus;
     minus;
     shift;
+    slack_cols;
+    slack_rows;
     cols_cache = None;
   }
 
@@ -156,6 +165,12 @@ let slack_basic_of_row t i =
         && Float.abs (v -. 1.) < 1e-12
       then found := Some j);
   !found
+
+let slack_col_of_row t i = if t.slack_cols.(i) < 0 then None else Some t.slack_cols.(i)
+
+let row_of_slack t j =
+  if j < 0 || j >= t.ncols || t.slack_rows.(j) < 0 then None
+  else Some t.slack_rows.(j)
 
 let objective_value objective x =
   let acc = Mapqn_util.Ksum.create () in

@@ -30,6 +30,10 @@ type t = {
   plus : int array;  (** model var [v] -> its main std column *)
   minus : int array;  (** model var [v] -> negative-part column or [-1] *)
   shift : float array;  (** lower bound folded into column [plus.(v)] *)
+  slack_cols : int array;
+      (** std row -> its slack/surplus column, [-1] on equality rows *)
+  slack_rows : int array;
+      (** std column -> the row whose slack it is, [-1] on non-slacks *)
   mutable cols_cache : Mapqn_sparse.Csr.t option;
 }
 
@@ -54,6 +58,14 @@ val extract : t -> float array -> float array
 val slack_basic_of_row : t -> int -> int option
 (** The column of a [+1.] slack in row [i], if any — rows without one
     need an artificial variable to seed phase 1. *)
+
+val slack_col_of_row : t -> int -> int option
+(** The slack/surplus column attached to row [i] (any sign), if any —
+    the inverse of {!row_of_slack}. Used to translate a basis between
+    the standard forms of two related models. *)
+
+val row_of_slack : t -> int -> int option
+(** The row whose slack/surplus column [j] is, if it is one. *)
 
 val slack_sign_of_row : t -> int -> float
 (** The coefficient (±1.) of the slack column of row [i], or [0.] for an

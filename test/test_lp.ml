@@ -360,6 +360,66 @@ let test_revised_warm_start () =
     Revised.reset t;
     check_obj "after reset" 36. (opt Simplex.Maximize [ (x, 3.); (y, 5.) ])
 
+(* Forrest–Tomlin-style eta updates vs fresh factorizations: forcing a
+   rebuild of the eta file between (and during) optimizations must not
+   change any objective — the eta file is a representation of the basis,
+   never part of the answer. *)
+let test_ft_updates_vs_fresh_refactorization () =
+  let run ~fresh params =
+    let m, vars, _, c = build_random_lp params in
+    Array.iter (fun v -> Lp_model.add_row m [ (v, 1.) ] Lp_model.Le 50.) vars;
+    let obj = Array.to_list (Array.mapi (fun i v -> (v, c.(i))) vars) in
+    match Revised.prepare m with
+    | Error _ -> Alcotest.fail "prepare failed"
+    | Ok t ->
+      List.map
+        (fun dir ->
+          if fresh then Revised.force_refactor t;
+          (solution (Revised.optimize t dir obj)).Simplex.objective)
+        [ Simplex.Maximize; Simplex.Minimize; Simplex.Maximize ]
+  in
+  List.iter
+    (fun seed ->
+      let params = (6, 8, seed) in
+      List.iter2
+        (fun a b ->
+          Alcotest.(check (float 1e-7))
+            (Printf.sprintf "seed %d: eta-updated = freshly factorized" seed)
+            a b)
+        (run ~fresh:false params) (run ~fresh:true params))
+    [ 11; 42; 1234; 987654 ]
+
+(* The stability trigger: a zero drift tolerance checked at every pivot
+   turns every incremental-vs-fresh divergence into a forced
+   refactorization. The answers must not move, and the refactorization
+   count must not decrease relative to the default policy. *)
+let test_reinversion_stability_trigger () =
+  let build () =
+    let params = (6, 8, 2024) in
+    let m, vars, _, c = build_random_lp params in
+    Array.iter (fun v -> Lp_model.add_row m [ (v, 1.) ] Lp_model.Le 50.) vars;
+    let obj = Array.to_list (Array.mapi (fun i v -> (v, c.(i))) vars) in
+    match Revised.prepare m with
+    | Error _ -> Alcotest.fail "prepare failed"
+    | Ok t -> (t, obj)
+  in
+  let t_default, obj = build () in
+  let t_eager, _ = build () in
+  Revised.set_reinversion ~drift_tol:0. ~check_interval:1 t_eager;
+  List.iter
+    (fun dir ->
+      let a = (solution (Revised.optimize t_default dir obj)).Simplex.objective in
+      let b = (solution (Revised.optimize t_eager dir obj)).Simplex.objective in
+      Alcotest.(check (float 1e-7)) "objective unchanged by eager reinversion" a b)
+    [ Simplex.Maximize; Simplex.Minimize ];
+  let sd = Revised.stats t_default and se = Revised.stats t_eager in
+  Alcotest.(check bool)
+    (Printf.sprintf "eager policy refactorizes at least as often (%d vs %d)"
+       se.Revised.refactorizations sd.Revised.refactorizations)
+    true
+    (se.Revised.refactorizations >= sd.Revised.refactorizations);
+  Alcotest.(check int) "same number of solves" sd.Revised.solves se.Revised.solves
+
 let test_prepare_error_typed () =
   let m = Lp_model.create () in
   let x = Lp_model.add_var m in
@@ -562,6 +622,10 @@ let () =
           Alcotest.test_case "infeasible/unbounded" `Quick
             test_revised_infeasible_unbounded;
           Alcotest.test_case "warm start" `Quick test_revised_warm_start;
+          Alcotest.test_case "eta updates vs fresh refactorization" `Quick
+            test_ft_updates_vs_fresh_refactorization;
+          Alcotest.test_case "stability trigger" `Quick
+            test_reinversion_stability_trigger;
           Alcotest.test_case "typed prepare errors" `Quick test_prepare_error_typed;
           QCheck_alcotest.to_alcotest prop_dense_revised_agree;
           QCheck_alcotest.to_alcotest prop_revised_solution_feasible;
