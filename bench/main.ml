@@ -477,6 +477,13 @@ let trace_overhead () =
     n off on_
     ((on_ -. off) /. off *. 100.)
     reps;
+  (* Exported through BENCH_obs.json so the regression gate can hold the
+     <5% claim without re-measuring. *)
+  Mapqn_obs.Metrics.set
+    (Mapqn_obs.Metrics.gauge
+       ~help:"Relative CPU overhead of enabled tracing on the fig4 bound report"
+       "bench_trace_overhead_ratio")
+    (if off > 0. then (on_ -. off) /. off else 0.);
   (* Zero-allocation check of the disabled guard, the exact idiom on the
      pivot path: a single boolean read, event construction only inside. *)
   assert (not (Mapqn_obs.Trace.is_enabled ()));
@@ -518,6 +525,61 @@ let trace_overhead () =
     "profiling disabled-guard allocation over 1e6 pivot-path checks: %.0f \
      minor words\n"
     (guarded -. control)
+
+(* ------------------------------------------------------------------ *)
+(* Ledger overhead: the cost of per-eval provenance records            *)
+(* ------------------------------------------------------------------ *)
+
+(* The run ledger promises < 2% on the lp-smoke workload; the gauges set
+   here land in BENCH_obs.json, where [bench/regress.exe --obs] holds the
+   claim.  The ledger records themselves (BENCH_ledger.jsonl in the
+   working directory) double as the CI run's provenance artifact. *)
+let ledger_overhead () =
+  let n = 20 in
+  let reps = 5 in
+  let run_once () =
+    let net = Mapqn_workloads.Tandem.network ~population:n () in
+    let b =
+      Mapqn_core.Bounds.create_exn ~solver:Mapqn_core.Bounds.Revised net
+    in
+    ignore (Mapqn_core.Bounds.eval b lp_report)
+  in
+  run_once () (* warm the allocator and code paths *);
+  (* CPU time, as in [trace_overhead]: the cost of interest is the record
+     serialization and flush the ledger adds per eval. *)
+  let timed f =
+    let t0 = Sys.time () in
+    f ();
+    Sys.time () -. t0
+  in
+  let ledgered () =
+    Mapqn_obs.Ledger.enable ~path:"BENCH_ledger.jsonl" ();
+    Fun.protect ~finally:Mapqn_obs.Ledger.disable run_once
+  in
+  (* Interleave the variants so machine drift hits both equally and take
+     the best of each: minima compare the least-disturbed runs. *)
+  let off = ref infinity and on_ = ref infinity in
+  for _ = 1 to reps do
+    off := Float.min !off (timed run_once);
+    on_ := Float.min !on_ (timed ledgered)
+  done;
+  let off = !off and on_ = !on_ in
+  let overhead = on_ -. off in
+  let ratio = if off > 0. then overhead /. off else 0. in
+  Printf.printf
+    "lp-smoke N=%d bound eval: ledger off %.3fs, on %.3fs, overhead %+.1f%% \
+     (best of %d; records in BENCH_ledger.jsonl)\n"
+    n off on_ (ratio *. 100.) reps;
+  Mapqn_obs.Metrics.set
+    (Mapqn_obs.Metrics.gauge
+       ~help:"Relative CPU overhead of the run ledger on the lp-smoke workload"
+       "bench_ledger_overhead_ratio")
+    ratio;
+  Mapqn_obs.Metrics.set
+    (Mapqn_obs.Metrics.gauge
+       ~help:"Absolute CPU overhead in seconds of the run ledger on lp-smoke"
+       "bench_ledger_overhead_seconds")
+    overhead
 
 let lp_smoke () =
   let n = 20 in
@@ -642,6 +704,7 @@ let () =
   section "lp" lp;
   section "lp-smoke" lp_smoke;
   section "trace-overhead" trace_overhead;
+  section "ledger-overhead" ledger_overhead;
   section "micro" micro;
   let telemetry =
     Mapqn_obs.Export.render Mapqn_obs.Export.Json

@@ -1,6 +1,8 @@
-(* Bench regression gate: diff two BENCH_lp.json files.
+(* Bench regression gate: diff two BENCH_lp.json files and hold the
+   observability overhead budgets of a BENCH_obs.json.
 
-   Usage: regress.exe [--threshold FRAC] BASELINE CANDIDATE
+   Usage: regress.exe [--threshold FRAC] [--obs BENCH_obs.json]
+                      [BASELINE CANDIDATE]
 
    Compares the per-population create_s and eval_s timings of the
    candidate run against the committed baseline and exits nonzero when
@@ -11,7 +13,14 @@
    - a sweep total (warm or cold end-to-end wall time of the
      cross-population sweep section) regressed by more than the
      threshold, or
-   - the candidate reports any LP certificate failure.
+   - the candidate reports any LP certificate failure, or
+   - the [--obs] telemetry reports run-ledger overhead above 2% (with a
+     2 ms absolute floor, so clock-resolution noise on a sub-second
+     workload cannot flake the gate) or trace overhead above 10% on
+     their respective bench workloads.
+
+   With [--obs] alone the timing comparison is skipped and only the
+   overhead budgets gate.
 
    Timings for populations, solvers or fields present in only one file
    are reported but never gate (a new population or a newly recorded
@@ -84,6 +93,20 @@ let sweep_totals doc =
               (Option.bind (J.member "total_s" obj) J.get_float)))
       [ "warm"; "cold" ]
 
+(* The numeric value of a named counter/gauge sample in a BENCH_obs.json
+   telemetry dump ({"metrics": [{"name"; "type"; "value"; ...}; ...]}).
+   Histograms carry no "value" field and match nothing. *)
+let obs_metric doc name =
+  match J.member "metrics" doc with
+  | Some (J.List l) ->
+    List.find_map
+      (fun m ->
+        match Option.bind (J.member "name" m) J.get_string with
+        | Some n when n = name -> Option.bind (J.member "value" m) J.get_float
+        | _ -> None)
+      l
+  | _ -> None
+
 let provenance doc =
   let field name =
     match Option.bind (J.member name doc) J.get_string with
@@ -94,6 +117,7 @@ let provenance doc =
 
 let () =
   let threshold = ref 0.15 in
+  let obs = ref None in
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
@@ -103,6 +127,10 @@ let () =
       | _ -> die "regress: --threshold expects a positive number, got %S" v);
       parse rest
     | "--threshold" :: [] -> die "regress: --threshold expects a value"
+    | "--obs" :: v :: rest ->
+      obs := Some v;
+      parse rest
+    | "--obs" :: [] -> die "regress: --obs expects a file"
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
       die "regress: unknown option %s" arg
     | arg :: rest ->
@@ -110,18 +138,24 @@ let () =
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let baseline_path, candidate_path =
-    match List.rev !positional with
-    | [ b; c ] -> (b, c)
+  let pair =
+    match (List.rev !positional, !obs) with
+    | [ b; c ], _ -> Some (b, c)
+    | [], Some _ -> None
     | _ ->
-      die "usage: regress.exe [--threshold FRAC] BASELINE.json CANDIDATE.json"
+      die
+        "usage: regress.exe [--threshold FRAC] [--obs BENCH_obs.json] \
+         [BASELINE.json CANDIDATE.json]"
   in
+  let failures = ref 0 in
+  (match pair with
+  | None -> ()
+  | Some (baseline_path, candidate_path) ->
   let baseline = read_json baseline_path in
   let candidate = read_json candidate_path in
   Printf.printf "baseline:  %s (%s)\ncandidate: %s (%s)\n" baseline_path
     (provenance baseline) candidate_path (provenance candidate);
   let base = timings baseline and cand = timings candidate in
-  let failures = ref 0 in
   List.iter
     (fun ((n, solver, field), cand_s) ->
       match List.assoc_opt (n, solver, field) base with
@@ -193,7 +227,45 @@ let () =
       "  note: baseline has no certificate block (pre-certificate format)\n";
   if J.member "phases" baseline = None then
     Printf.printf
-      "  note: baseline has no phases block (pre-profiling format, not gated)\n";
+      "  note: baseline has no phases block (pre-profiling format, not \
+       gated)\n");
+  (match !obs with
+  | None -> ()
+  | Some path ->
+    let doc = read_json path in
+    (* Run-ledger overhead budget (2% relative, 2 ms absolute floor) on
+       the lp-smoke workload, and the 10% tracing budget on the fig4
+       bound report.  A telemetry dump without the gauges — an older
+       bench binary, or a run that skipped the overhead sections — only
+       warns: missing sections must not turn the gate off silently, but
+       must not fail it retroactively either. *)
+    (match
+       ( obs_metric doc "bench_ledger_overhead_ratio",
+         obs_metric doc "bench_ledger_overhead_seconds" )
+     with
+    | Some ratio, seconds ->
+      let seconds = Option.value seconds ~default:infinity in
+      let gated = ratio > 0.02 && seconds > 0.002 in
+      if gated then incr failures;
+      Printf.printf "  ledger overhead %+.2f%% (%+.1fms)%s\n" (100. *. ratio)
+        (1000. *. seconds)
+        (if gated then "  REGRESSION (budget 2%)" else "")
+    | None, _ ->
+      Printf.printf
+        "  warning: %s has no bench_ledger_overhead_ratio (ledger-overhead \
+         section not run?)\n"
+        path);
+    (match obs_metric doc "bench_trace_overhead_ratio" with
+    | Some ratio ->
+      let gated = ratio > 0.10 in
+      if gated then incr failures;
+      Printf.printf "  trace overhead %+.2f%%%s\n" (100. *. ratio)
+        (if gated then "  REGRESSION (budget 10%)" else "")
+    | None ->
+      Printf.printf
+        "  warning: %s has no bench_trace_overhead_ratio (trace-overhead \
+         section not run?)\n"
+        path));
   if !failures > 0 then begin
     Printf.printf "regress: FAIL (%d regression%s, threshold %.0f%%)\n"
       !failures

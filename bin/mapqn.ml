@@ -68,20 +68,39 @@ let trace_capacity_arg =
   in
   Arg.(value & opt int 65_536 & info [ "trace-capacity" ] ~docv:"EVENTS" ~doc)
 
+let ledger_out_arg =
+  let doc =
+    "Append one JSONL run-ledger record per bound evaluation, sweep step and \
+     simulator run to $(docv): provenance (git SHA, model fingerprint, seed), \
+     solver work, certificate residuals and numerical-health gauges. The file \
+     is flushed per record, so a killed run's ledger is intact; inspect it \
+     with $(b,mapqn ledger) and $(b,mapqn doctor)."
+  in
+  Arg.(value & opt (some string) None & info [ "ledger-out" ] ~docv:"FILE" ~doc)
+
 type obs_options = {
   metrics_out : string option;
   metrics_format : Mapqn_obs.Export.format;
   trace_out : string option;
   trace_format : Mapqn_obs.Trace.format;
   trace_capacity : int;
+  ledger_out : string option;
 }
 
 let obs_args =
   Term.(
-    const (fun metrics_out metrics_format trace_out trace_format trace_capacity ->
-        { metrics_out; metrics_format; trace_out; trace_format; trace_capacity })
+    const (fun metrics_out metrics_format trace_out trace_format trace_capacity
+               ledger_out ->
+        {
+          metrics_out;
+          metrics_format;
+          trace_out;
+          trace_format;
+          trace_capacity;
+          ledger_out;
+        })
     $ metrics_out_arg $ metrics_format_arg $ trace_out_arg $ trace_format_arg
-    $ trace_capacity_arg)
+    $ trace_capacity_arg $ ledger_out_arg)
 
 let render_telemetry fmt =
   Mapqn_obs.Export.render fmt
@@ -97,6 +116,17 @@ let write_metrics path contents =
 let start_trace obs =
   if obs.trace_out <> None then
     Mapqn_obs.Trace.enable ~capacity:obs.trace_capacity ()
+
+let start_ledger obs =
+  match obs.ledger_out with
+  | None -> ()
+  | Some path -> (
+    try Mapqn_obs.Ledger.enable ~path ()
+    with Sys_error msg ->
+      Printf.eprintf "mapqn: cannot open ledger file: %s\n" msg;
+      exit 1)
+
+let finish_ledger () = Mapqn_obs.Ledger.disable ()
 
 let finish_trace obs =
   match obs.trace_out with
@@ -117,10 +147,12 @@ let finish_trace obs =
    command fails. *)
 let with_telemetry name obs f =
   start_trace obs;
+  start_ledger obs;
   Fun.protect
     (fun () -> Mapqn_obs.Span.with_ name f)
     ~finally:(fun () ->
       finish_trace obs;
+      finish_ledger ();
       match obs.metrics_out with
       | None -> ()
       | Some path -> write_metrics path (render_telemetry obs.metrics_format))
@@ -656,7 +688,7 @@ let profile_cmd =
     Arg.(value & flag & info [ "check" ] ~doc)
   in
   let run verbose experiment population config solver top folded_out table_out
-      check =
+      metrics_out metrics_format check =
     setup_logs verbose;
     let name, net =
       match experiment with
@@ -712,6 +744,11 @@ let profile_cmd =
     Option.iter
       (fun path -> Mapqn_obs.Export.write_file path (Mapqn_obs.Prof.folded ()))
       folded_out;
+    (* Same --metrics-out/--metrics-format contract as every other
+       subcommand: the registry and span snapshot of the profiled run. *)
+    Option.iter
+      (fun path -> write_metrics path (render_telemetry metrics_format))
+      metrics_out;
     if check && coverage < 0.95 then begin
       Printf.eprintf
         "profile: self-time coverage %.1f%% below the 95%% consistency bar\n"
@@ -722,7 +759,8 @@ let profile_cmd =
   let term =
     Term.(
       const run $ verbose_arg $ experiment_arg $ population_arg $ config_arg
-      $ solver_arg $ top_arg $ folded_out_arg $ table_out_arg $ check_arg)
+      $ solver_arg $ top_arg $ folded_out_arg $ table_out_arg $ metrics_out_arg
+      $ metrics_format_arg $ check_arg)
   in
   Cmd.v
     (Cmd.info "profile"
@@ -746,9 +784,13 @@ let stats_cmd =
     Mapqn_obs.Metrics.reset ();
     Mapqn_obs.Span.reset ();
     start_trace obs;
+    start_ledger obs;
     let net = build_model model ~population ~scv ~gamma2 in
     let summary =
-      Fun.protect ~finally:(fun () -> finish_trace obs) @@ fun () ->
+      Fun.protect ~finally:(fun () ->
+          finish_trace obs;
+          finish_ledger ())
+      @@ fun () ->
       Mapqn_obs.Span.with_ "stats.solve" @@ fun () ->
       let bound =
         match Mapqn_core.Bounds.create ~solver ~config net with
@@ -854,6 +896,109 @@ let trace_cmd =
           certificates) as JSONL or a Perfetto-loadable Chrome trace")
     term
 
+(* ------------------------------------------------------------------ *)
+(* ledger / doctor                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let load_ledger path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "mapqn: no such ledger file: %s\n" path;
+    exit 2
+  end;
+  match Mapqn_obs.Ledger.load path with
+  | [] ->
+    Printf.eprintf "mapqn: %s contains no parsable ledger records\n" path;
+    exit 2
+  | records -> records
+
+let event_filter_arg =
+  let doc =
+    "Only consider records of this event type ($(b,eval), $(b,sweep_step), \
+     $(b,sim))."
+  in
+  Arg.(value & opt (some string) None & info [ "event" ] ~docv:"EVENT" ~doc)
+
+let filter_events event records =
+  match event with
+  | None -> records
+  | Some ev ->
+    let kept =
+      List.filter (fun r -> Mapqn_obs.Ledger.event r = ev) records
+    in
+    if kept = [] then begin
+      Printf.eprintf "mapqn: no records with event %S\n" ev;
+      exit 2
+    end;
+    kept
+
+let ledger_cmd =
+  let file_a_arg =
+    let doc = "Ledger file to list (run with $(b,--ledger-out) to produce one)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LEDGER" ~doc)
+  in
+  let file_b_arg =
+    let doc =
+      "Optional second ledger: compare run $(i,LEDGER) (A) against $(docv) \
+       (B) and report bound-value and performance drift per matched record."
+    in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"LEDGER_B" ~doc)
+  in
+  let run verbose file_a file_b event =
+    setup_logs verbose;
+    let a = filter_events event (load_ledger file_a) in
+    match file_b with
+    | None -> print_string (Mapqn_obs.Ledger.summarize a)
+    | Some file_b ->
+      let b = filter_events event (load_ledger file_b) in
+      print_string (Mapqn_obs.Ledger.render_diff (Mapqn_obs.Ledger.diff a b))
+  in
+  Cmd.v
+    (Cmd.info "ledger"
+       ~doc:
+         "List a run ledger (one row per recorded solve), or diff two ledgers \
+          of the same experiment and report bound-value and performance drift")
+    Term.(const run $ verbose_arg $ file_a_arg $ file_b_arg $ event_filter_arg)
+
+let doctor_cmd =
+  let file_arg =
+    let doc = "Ledger file to diagnose." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LEDGER" ~doc)
+  in
+  let tol_arg name default doc =
+    Arg.(value & opt float default & info [ name ] ~docv:"TOL" ~doc)
+  in
+  let run verbose file tol_primal tol_dual tol_comp =
+    setup_logs verbose;
+    let records = load_ledger file in
+    let findings =
+      Mapqn_obs.Ledger.doctor ~tol_primal ~tol_dual ~tol_comp records
+    in
+    Printf.printf "doctor: %d record(s) in %s\n" (List.length records) file;
+    print_string (Mapqn_obs.Ledger.render_findings findings);
+    if List.exists (fun f -> f.Mapqn_obs.Ledger.severity = Mapqn_obs.Ledger.Fail)
+         findings
+    then exit 1
+  in
+  let term =
+    Term.(
+      const run $ verbose_arg $ file_arg
+      $ tol_arg "tol-primal" Mapqn_lp.Certificate.default_tol_primal
+          "Primal-residual tolerance used to judge certificate records that \
+           carry none."
+      $ tol_arg "tol-dual" Mapqn_lp.Certificate.default_tol_dual
+          "Dual-violation tolerance."
+      $ tol_arg "tol-comp" Mapqn_lp.Certificate.default_tol_comp
+          "Complementary-slackness tolerance.")
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Scan a run ledger for numerical-trust hazards: certificate failures \
+          and near-misses, drift-triggered reinversions, degeneracy stalls, \
+          and the residual-peak-at-the-largest-population signature; exits \
+          non-zero when any finding is a failure")
+    term
+
 let () =
   let doc = "MAP queueing networks: exact solution, LP bounds, baselines, simulation" in
   let info = Cmd.info "mapqn" ~version:"1.0.0" ~doc in
@@ -877,4 +1022,6 @@ let () =
             profile_cmd;
             stats_cmd;
             trace_cmd;
+            ledger_cmd;
+            doctor_cmd;
           ]))

@@ -4,6 +4,9 @@ module Simplex = Mapqn_lp.Simplex
 module Revised = Mapqn_lp.Revised
 module Certificate = Mapqn_lp.Certificate
 module Trace = Mapqn_obs.Trace
+module Health = Mapqn_obs.Health
+module Ledger = Mapqn_obs.Ledger
+module Json = Mapqn_obs.Json
 
 (* ------------------------------------------------------------------ *)
 (* Errors                                                              *)
@@ -123,6 +126,86 @@ let m_evals =
     ~help:"Batch metric evaluations (Bounds.eval calls, including the \
            one-metric convenience wrappers)."
     "bounds_evals_total"
+
+let m_eval_seconds =
+  Mapqn_obs.Metrics.histogram
+    ~help:"Wall time of each Bounds.eval call (all requested metrics)."
+    "bounds_eval_seconds"
+
+(* ------------------------------------------------------------------ *)
+(* Run-ledger provenance                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Deltas of the revised-solver work counters around one unit of
+   ledger-recorded work (an eval or a sweep step). Reading the registry
+   twice per eval — which itself solves a dozen-plus LPs — is noise. *)
+type work_snapshot = {
+  ws_pivots : float;
+  ws_refactors : float;
+  ws_stability : float;
+  ws_growth : float;
+  ws_drift : float;
+  ws_backstop : float;
+}
+
+let counter_value name =
+  match Mapqn_obs.Metrics.find name with
+  | { Mapqn_obs.Metrics.value = Mapqn_obs.Metrics.Counter c; _ } :: _ -> c
+  | _ -> 0.
+
+let work_snapshot () =
+  {
+    ws_pivots = counter_value "revised_pivots_total";
+    ws_refactors = counter_value "revised_refactorizations_total";
+    ws_stability = counter_value "revised_refactor_stability_total";
+    ws_growth = counter_value "revised_refactor_growth_total";
+    ws_drift = counter_value "revised_refactor_drift_total";
+    ws_backstop = counter_value "revised_refactor_backstop_total";
+  }
+
+let solver_name t =
+  match t.backend with B_dense _ -> "dense" | B_revised _ -> "revised"
+
+(* The common tail of an "eval" / "sweep_step" ledger record: model
+   fingerprint, LP size, solver work deltas by refactorization cause,
+   the certificate residual triple (with the tolerances it was judged
+   against) and the numerical-health snapshot of this unit of work. *)
+let ledger_fields t ~duration ~before =
+  let after = work_snapshot () in
+  let h = Health.current () in
+  let nvars, nrows = lp_size t in
+  let num v = Json.Number v in
+  [
+    ("fingerprint", Json.String (Mapqn_model.Network.fingerprint t.network));
+    ( "population",
+      num (float_of_int (Mapqn_model.Network.population t.network)) );
+    ("solver", Json.String (solver_name t));
+    ("lp_vars", num (float_of_int nvars));
+    ("lp_rows", num (float_of_int nrows));
+    ("duration_s", num duration);
+    ("pivots", num (after.ws_pivots -. before.ws_pivots));
+    ("refactorizations", num (after.ws_refactors -. before.ws_refactors));
+    ( "refactor_causes",
+      Json.Object
+        [
+          ("stability", num (after.ws_stability -. before.ws_stability));
+          ("growth", num (after.ws_growth -. before.ws_growth));
+          ("drift", num (after.ws_drift -. before.ws_drift));
+          ("backstop", num (after.ws_backstop -. before.ws_backstop));
+        ] );
+    ( "certificate",
+      Json.Object
+        [
+          ("primal_residual", num h.Health.cert_primal);
+          ("dual_violation", num h.Health.cert_dual);
+          ("comp_slack", num h.Health.cert_comp);
+          ("failures", num (float_of_int h.Health.cert_failures));
+          ("tol_primal", num Certificate.default_tol_primal);
+          ("tol_dual", num Certificate.default_tol_dual);
+          ("tol_comp", num Certificate.default_tol_comp);
+        ] );
+    ("health", Health.to_json h);
+  ]
 
 let backend_optimize t direction objective =
   match t.backend with
@@ -373,6 +456,9 @@ let eval_core t recurse metric =
 let eval t metrics =
   Mapqn_obs.Metrics.inc m_evals;
   Mapqn_obs.Span.with_ "bounds.eval" @@ fun () ->
+  Health.begin_solve ();
+  let before = work_snapshot () in
+  let t0 = Mapqn_obs.Span.now () in
   let memo = Hashtbl.create 8 in
   let rec cached m =
     match Hashtbl.find_opt memo m with
@@ -382,7 +468,26 @@ let eval t metrics =
       Hashtbl.replace memo m i;
       i
   in
-  List.map (fun m -> (m, cached m)) metrics
+  let results = List.map (fun m -> (m, cached m)) metrics in
+  let duration = Mapqn_obs.Span.now () -. t0 in
+  Mapqn_obs.Metrics.observe m_eval_seconds duration;
+  if Ledger.is_enabled () then
+    Ledger.record ~event:"eval"
+      (ledger_fields t ~duration ~before
+      @ [
+          ( "metrics",
+            Json.List
+              (List.map
+                 (fun (m, i) ->
+                   Json.Object
+                     [
+                       ("name", Json.String (metric_to_string m));
+                       ("lower", Json.Number i.lower);
+                       ("upper", Json.Number i.upper);
+                     ])
+                 results) );
+        ]);
+  results
 
 (* Convenience wrappers: exactly one-element [eval] calls, so per-metric
    and batch queries go through the identical code path (and, on the
@@ -490,6 +595,11 @@ module Sweep = struct
     Mapqn_obs.Metrics.counter ~help:"Populations prepared by sweep engines."
       "bounds_sweep_steps_total"
 
+  let m_step_seconds =
+    Mapqn_obs.Metrics.histogram
+      ~help:"Wall time of each sweep step (constraint extension + phase 1)."
+      "bounds_sweep_step_seconds"
+
   let m_warm_steps =
     Mapqn_obs.Metrics.counter
       ~help:"Sweep steps whose phase 1 was warm-started from the previous \
@@ -556,6 +666,9 @@ module Sweep = struct
 
   let step s population =
     Mapqn_obs.Span.with_ "bounds.sweep.step" @@ fun () ->
+    Health.begin_solve ();
+    let before = work_snapshot () in
+    let t0 = Mapqn_obs.Span.now () in
     let network = s.network_of population in
     if Mapqn_model.Network.has_delay network then
       Error (Unsupported_network "a delay (infinite-server) station")
@@ -583,7 +696,9 @@ module Sweep = struct
             Some translated
           | _ -> None
       in
+      let warmed = ref false in
       let warm () =
+        warmed := true;
         s.warm <- s.warm + 1;
         Mapqn_obs.Metrics.inc m_warm_steps
       and cold () =
@@ -606,6 +721,12 @@ module Sweep = struct
           s.steps <- s.steps + 1;
           Mapqn_obs.Metrics.inc m_steps;
           s.prev <- Some (population, b);
+          let duration = Mapqn_obs.Span.now () -. t0 in
+          Mapqn_obs.Metrics.observe m_step_seconds duration;
+          if Ledger.is_enabled () then
+            Ledger.record ~event:"sweep_step"
+              (ledger_fields b ~duration ~before
+              @ [ ("warm", Json.Bool !warmed) ]);
           Ok b
         | Error Simplex.Infeasible_phase1 -> Error Infeasible_phase1
         | Error (Simplex.Iteration_limit_phase1 k) -> Error (Iteration_limit k)

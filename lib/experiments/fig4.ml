@@ -24,6 +24,7 @@ type row = {
 type t = { options : options; rows : row list }
 
 let run ?(options = default_options) ?progress () =
+  Mapqn_obs.Ledger.set_context "experiment" (Mapqn_obs.Json.String "fig4");
   let q = Tandem.observed_queue in
   let sweep =
     Bounds.Sweep.create (fun population ->

@@ -33,6 +33,7 @@ type row = {
 type t = { options : options; rows : row list }
 
 let run ?(options = default_options) ?progress () =
+  Mapqn_obs.Ledger.set_context "experiment" (Mapqn_obs.Json.String "fig8");
   let q = Case_study.bottleneck in
   let sweep =
     Bounds.Sweep.create ~config:options.config (fun population ->

@@ -78,6 +78,11 @@ let evaluate_model ?progress options index (model : Random_models.model) =
   result
 
 let run ?(options = default_options) ?progress ?(skip = fun _ -> false) () =
+  (* Ledger provenance: every eval/sweep_step record of this run carries
+     the model-generation seed (no-op when no ledger is enabled). *)
+  Mapqn_obs.Ledger.set_context "experiment" (Mapqn_obs.Json.String "table1");
+  Mapqn_obs.Ledger.set_context "seed"
+    (Mapqn_obs.Json.Number (float_of_int options.seed));
   let models =
     Random_models.generate_many ~spec:options.spec ~seed:options.seed options.models
   in

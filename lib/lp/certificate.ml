@@ -107,8 +107,12 @@ let failure_to_string f =
     f.quantity f.value f.tolerance f.certificate.primal_residual
     f.certificate.dual_violation f.certificate.comp_slack
 
-let check ?(tol_primal = 1e-5) ?(tol_dual = 1e-6) ?(tol_comp = 1e-6) model
-    direction ~objective s =
+let default_tol_primal = 1e-5
+let default_tol_dual = 1e-6
+let default_tol_comp = 1e-6
+
+let check ?(tol_primal = default_tol_primal) ?(tol_dual = default_tol_dual)
+    ?(tol_comp = default_tol_comp) model direction ~objective s =
   let judge cert =
     let fail quantity value tolerance =
       Error { certificate = cert; quantity; value; tolerance }
@@ -127,8 +131,22 @@ let check ?(tol_primal = 1e-5) ?(tol_dual = 1e-6) ?(tol_comp = 1e-6) model
      so fall back to the feasibility witness, whose error is bounded by
      the solver's perturbation and accepted-infeasibility budget
      independent of conditioning (see {!Simplex.solution}). *)
-  match judge (compute_at model direction ~objective ~point:s.Simplex.values s)
-  with
-  | Ok cert -> Ok cert
-  | Error _ ->
-    judge (compute_at model direction ~objective ~point:s.Simplex.witness s)
+  let verdict =
+    match
+      judge (compute_at model direction ~objective ~point:s.Simplex.values s)
+    with
+    | Ok cert -> Ok cert
+    | Error _ ->
+      judge (compute_at model direction ~objective ~point:s.Simplex.witness s)
+  in
+  (* The judged certificate (exact point, or the witness it fell back
+     to) is what callers act on — that is the one health telemetry and
+     the run ledger must carry. *)
+  let cert, accepted =
+    match verdict with
+    | Ok cert -> (cert, true)
+    | Error f -> (f.certificate, false)
+  in
+  Mapqn_obs.Health.observe_certificate ~primal:cert.primal_residual
+    ~dual:cert.dual_violation ~comp:cert.comp_slack ~accepted;
+  verdict

@@ -63,6 +63,16 @@ type failure = {
 
 val failure_to_string : failure -> string
 
+val default_tol_primal : float
+(** [1e-5] — default primal tolerance of {!check}, exposed so ledger
+    records and diagnostics quote the same number the gate uses. *)
+
+val default_tol_dual : float
+(** [1e-6] *)
+
+val default_tol_comp : float
+(** [1e-6] *)
+
 val check :
   ?tol_primal:float ->
   ?tol_dual:float ->

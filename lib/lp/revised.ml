@@ -5,6 +5,7 @@ module Metrics = Mapqn_obs.Metrics
 module Span = Mapqn_obs.Span
 module Prof = Mapqn_obs.Prof
 module Trace = Mapqn_obs.Trace
+module Health = Mapqn_obs.Health
 module Csr = Mapqn_sparse.Csr
 
 let m_pivots =
@@ -260,17 +261,34 @@ let refactor t =
   let rowocc = Array.init m (fun _ -> Hashtbl.create 8) in
   let col_cnt = Array.make m 0 in
   let row_cnt = Array.make m 0 in
+  (* Health gauges: largest |basis entry| (the growth denominator),
+     largest |entry| produced during elimination, and the range of
+     accepted pivot magnitudes. *)
+  let h_bmax = ref 0. and h_fmax = ref 0. in
+  let h_pmin = ref infinity and h_pmax = ref 0. in
+  let grow v =
+    let a = Float.abs v in
+    if a > !h_fmax then h_fmax := a
+  in
+  let pivot_mag p =
+    let a = Float.abs p in
+    if a < !h_pmin then h_pmin := a;
+    if a > !h_pmax then h_pmax := a;
+    if a > !h_fmax then h_fmax := a
+  in
   Array.iteri
     (fun k c ->
       if c < t.n_struct then
         Csr.iter_row t.cols c (fun i v ->
             if v <> 0. then begin
+              if Float.abs v > !h_bmax then h_bmax := Float.abs v;
               Hashtbl.replace colv.(k) i v;
               Hashtbl.replace rowocc.(i) k ();
               col_cnt.(k) <- col_cnt.(k) + 1;
               row_cnt.(i) <- row_cnt.(i) + 1
             end)
       else begin
+        if 1. > !h_bmax then h_bmax := 1.;
         let i = t.art_row.(c - t.n_struct) in
         Hashtbl.replace colv.(k) i t.art_sign.(i);
         Hashtbl.replace rowocc.(i) k ();
@@ -346,6 +364,7 @@ let refactor t =
         let k = !k_best in
         let r = !r_best in
         let p = !p_best in
+        pivot_mag p;
         retire k;
         (* Split the pivot column: entries at unassigned rows are the
            multipliers (the L eta emitted now); entries at assigned rows
@@ -355,7 +374,8 @@ let refactor t =
         let uidx = ref [] and uvals = ref [] and un = ref 0 in
         Hashtbl.iter
           (fun i v ->
-            if i <> r then
+            if i <> r then begin
+              grow v;
               if assigned.(i) then begin
                 uidx := i :: !uidx;
                 uvals := v :: !uvals;
@@ -365,7 +385,8 @@ let refactor t =
                 lidx := i :: !lidx;
                 lvals := v :: !lvals;
                 incr ln
-              end)
+              end
+            end)
           colv.(k);
         let lidx = Array.of_list !lidx and lvals = Array.of_list !lvals in
         if !ln > 0 || Float.abs (p -. 1.) >= 1e-15 then
@@ -413,6 +434,7 @@ let refactor t =
                       end
                     end
                     else begin
+                      grow nv;
                       Hashtbl.replace colv.(k') i nv;
                       if old = 0. then begin
                         Hashtbl.replace rowocc.(i) k' ();
@@ -450,6 +472,7 @@ let refactor t =
       done;
       if !r < 0 then t.in_basis.(c) <- false
       else begin
+        pivot_mag w.(!r);
         (match eta_of_pivot w !r m with Some e -> push_eta t e | None -> ());
         assigned.(!r) <- true;
         new_basis.(!r) <- c
@@ -495,6 +518,10 @@ let refactor t =
           t.worst_infeas);
   t.base_eta_nnz <- t.eta_nnz;
   Metrics.set m_eta_nnz (float_of_int t.eta_nnz);
+  Health.observe_refactor
+    ~growth:(if !h_bmax > 0. then !h_fmax /. !h_bmax else 0.)
+    ~min_pivot:(if !h_pmin = infinity then 0. else !h_pmin)
+    ~max_pivot:!h_pmax;
   if Trace.is_enabled () then
     Trace.record (Trace.Refactor { solver = "revised"; eta_nnz = t.eta_nnz })
 
@@ -595,6 +622,7 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
   let bland = ref false in
   let iter = ref 0 in
   let stalled = ref 0 in
+  let streak_peak = ref 0 in
   let degenerate = ref 0 in
   let best_obj = ref infinity in
   let result = ref None in
@@ -674,9 +702,11 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
           else begin
             incr stalled;
             incr degenerate;
+            if !stalled > !streak_peak then streak_peak := !stalled;
             if !stalled >= stall_limit && not !bland then begin
               Log.debug (fun f ->
                   f "stall after %d pivots: switching to Bland's rule" !iter);
+              Health.observe_stall ();
               bland := true;
               stalled := 0
             end
@@ -729,6 +759,7 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
                   let d = Float.abs (Float.max 0. xchk.(i) -. t.xb.(i)) in
                   if d > !drift then drift := d
                 done;
+                Health.observe_drift !drift;
                 !drift > t.drift_tol
               end
             then begin
@@ -761,6 +792,7 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
   end;
   Metrics.inc ~by:(float_of_int !iter) m_pivots;
   Metrics.inc ~by:(float_of_int !degenerate) m_degenerate;
+  if !streak_peak > 0 then Health.observe_degeneracy_streak !streak_peak;
   t.n_pivots <- t.n_pivots + !iter;
   ((match !result with Some s -> s | None -> assert false), !iter)
 
@@ -958,6 +990,7 @@ let prepare_unspanned ?max_iter model =
     | None -> default_max_iter ~m ~ncols:std.Std_form.ncols
   in
   let rec attempt salt =
+    Health.observe_salt salt;
     let t = build_state std salt in
     let cost_of j = if j >= t.n_struct then 1. else 0. in
     let stall_limit = max 5_000 (20 * m) in
@@ -1381,6 +1414,27 @@ let optimize_unspanned ?max_iter t direction objective =
       Array.blit t.rhs_pert 0 x_wit 0 t.m;
       ftran_apply t x_wit
     end;
+    (* Cheap one-sided condition estimate of the final basis:
+       ‖B‖₁ · ‖B⁻¹·1‖∞ ≤ ‖B‖₁‖B⁻¹‖∞ = cond(B) up to the norm mismatch.
+       One pass over the basic columns plus one FTRAN of the ones
+       vector — O(nnz(B) + eta nnz) per solve, never per pivot. *)
+    (let norm1 = ref 0. in
+     for i = 0 to t.m - 1 do
+       let c = t.basis.(i) in
+       let s = ref 0. in
+       if c < t.n_struct then
+         Csr.iter_row t.cols c (fun _ v -> s := !s +. Float.abs v)
+       else s := 1.;
+       if !s > !norm1 then norm1 := !s
+     done;
+     let z = Array.make t.m 1. in
+     ftran_apply t z;
+     let ninf = ref 0. in
+     for i = 0 to t.m - 1 do
+       let a = Float.abs z.(i) in
+       if a > !ninf then ninf := a
+     done;
+     Health.observe_condition (!norm1 *. !ninf));
     (* Exact basic values at the final basis: x = B⁻¹ b with the true
        right-hand side, keeping reported point and objective free of the
        anti-degeneracy perturbation. *)

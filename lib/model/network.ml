@@ -108,6 +108,45 @@ let tandem stations ~population =
   (* A single station routes to itself: valid (self-loop). *)
   make_exn ~stations ~routing ~population
 
+(* Structural hash for run-ledger provenance: FNV-1a 64-bit over the
+   population, every station's service parameters (full D0/D1 for MAP
+   stations) and the routing matrix. Floats are mixed via their exact
+   hex representation so the fingerprint changes iff a parameter's bit
+   pattern does — no rounding ambiguity, stable across processes (no
+   dependence on [Hashtbl.hash]'s float treatment). *)
+let fingerprint t =
+  let h = ref 0xcbf29ce484222325L in
+  let prime = 0x100000001b3L in
+  let byte b =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) prime
+  in
+  let str s = String.iter (fun c -> byte (Char.code c)) s in
+  let float f = str (Printf.sprintf "%h;" f) in
+  let int i = str (Printf.sprintf "%d;" i) in
+  let mat m =
+    let a = Mat.to_arrays m in
+    int (Array.length a);
+    Array.iter (fun row -> Array.iter float row) a
+  in
+  int t.population;
+  int (Array.length t.stations);
+  Array.iter
+    (fun (s : Station.t) ->
+      match s.Station.service with
+      | Station.Exp rate ->
+        str "exp;";
+        float rate
+      | Station.Delay rate ->
+        str "delay;";
+        float rate
+      | Station.Map p ->
+        str "map;";
+        mat (Mapqn_map.Process.d0 p);
+        mat (Mapqn_map.Process.d1 p))
+    t.stations;
+  mat t.routing;
+  Printf.sprintf "%016Lx" !h
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>closed network: %d stations, population %d@,"
     (num_stations t) t.population;

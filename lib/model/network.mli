@@ -60,4 +60,11 @@ val has_delay : t -> bool
 val tandem : Station.t array -> population:int -> t
 (** Convenience: cyclic routing 0 → 1 → ... → M-1 → 0. *)
 
+val fingerprint : t -> string
+(** Structural hash (16 hex digits) of the model: population, per-station
+    service parameters (full D0/D1 for MAP stations) and routing matrix.
+    Two networks share a fingerprint iff they are bit-identical as
+    models — used as run-ledger provenance. Station names are excluded:
+    renaming does not change what is solved. *)
+
 val pp : Format.formatter -> t -> unit

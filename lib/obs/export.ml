@@ -52,6 +52,35 @@ let num v =
   else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.6g" v
 
+(* Estimate a quantile from cumulative le-buckets by linear
+   interpolation inside the bucket containing the target rank — the
+   standard Prometheus histogram_quantile estimate. The +Inf bucket has
+   no upper bound to interpolate toward, so it reports the last finite
+   bound (the estimate saturates rather than invents a value). *)
+let percentile (h : Metrics.histogram_data) q =
+  if h.Metrics.count = 0 then Float.nan
+  else begin
+    let rank = q *. float_of_int h.Metrics.count in
+    let buckets = h.Metrics.buckets in
+    let n = Array.length buckets in
+    let rec find i = if i >= n - 1 then i else
+        let _, c = buckets.(i) in
+        if float_of_int c >= rank then i else find (i + 1)
+    in
+    let i = find 0 in
+    let le, c = buckets.(i) in
+    if not (Float.is_finite le) then
+      (* saturate at the last finite bound; with only the +Inf bucket
+         nothing finite is known. *)
+      if i = 0 then Float.nan else fst buckets.(i - 1)
+    else begin
+      let lower, prev_c = if i = 0 then (0., 0) else buckets.(i - 1) in
+      let span = float_of_int (c - prev_c) in
+      if span <= 0. then le
+      else lower +. ((le -. lower) *. ((rank -. float_of_int prev_c) /. span))
+    end
+  end
+
 let labels_cell labels =
   String.concat ","
     (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
@@ -68,12 +97,21 @@ let table ~metrics ~spans =
                | Metrics.Counter c -> ("counter", num c)
                | Metrics.Gauge g -> ("gauge", num g)
                | Metrics.Histogram h ->
+                 let quantiles =
+                   if h.Metrics.count = 0 then ""
+                   else
+                     Printf.sprintf " p50=%s p90=%s p99=%s"
+                       (num (percentile h 0.50))
+                       (num (percentile h 0.90))
+                       (num (percentile h 0.99))
+                 in
                  ( "histogram",
-                   Printf.sprintf "count=%d sum=%s mean=%s" h.Metrics.count
+                   Printf.sprintf "count=%d sum=%s mean=%s%s" h.Metrics.count
                      (num h.Metrics.sum)
                      (num
                         (if h.Metrics.count = 0 then 0.
-                         else h.Metrics.sum /. float_of_int h.Metrics.count)) )
+                         else h.Metrics.sum /. float_of_int h.Metrics.count))
+                     quantiles )
              in
              [ s.Metrics.name; labels_cell s.Metrics.labels; kind; v ])
            metrics

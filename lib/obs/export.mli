@@ -15,7 +15,13 @@ val render :
 
 val table : metrics:Metrics.sample list -> spans:Span.entry list -> string
 (** Aligned human-readable tables: one for metrics, one for the span
-    tree. *)
+    tree. Histograms additionally show estimated p50/p90/p99. *)
+
+val percentile : Metrics.histogram_data -> float -> float
+(** [percentile h q] estimates the [q]-quantile (0 ≤ q ≤ 1) of a
+    histogram snapshot by linear interpolation over its cumulative
+    buckets. Ranks falling in the +Inf bucket saturate at the last
+    finite bound; an empty histogram yields [nan]. *)
 
 val json : metrics:Metrics.sample list -> spans:Span.entry list -> string
 (** One JSON document: [{"metrics": [...], "spans": [...]}]. Histogram

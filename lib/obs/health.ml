@@ -1,0 +1,196 @@
+(* Numerical-stability telemetry for the LP layers.
+
+   The revised simplex and the certificate checker report what their
+   numerics looked like — LU growth factor and pivot magnitudes per
+   refactorization, eta-chain drift sampled on the reinversion triggers,
+   degeneracy streaks, perturbation-ladder depth, a per-solve condition
+   estimate and the certificate residual triple — into one module that
+   (a) mirrors everything into the {!Metrics} registry and (b) keeps a
+   per-solve snapshot the run ledger embeds in each record.
+
+   Observers are called from hot-adjacent code (once per
+   refactorization / drift check / solve, never per pivot), so plain
+   mutation under one mutex is cheap enough. *)
+
+type snapshot = {
+  lu_growth : float;
+  lu_min_pivot : float;
+  lu_max_pivot : float;
+  refactorizations : int;
+  eta_drift : float;
+  drift_samples : int;
+  degeneracy_streak : int;
+  bland_switches : int;
+  perturbation_salt : int;
+  condition_estimate : float;
+  cert_primal : float;
+  cert_dual : float;
+  cert_comp : float;
+  cert_failures : int;
+}
+
+let empty =
+  {
+    lu_growth = 0.;
+    lu_min_pivot = 0.;
+    lu_max_pivot = 0.;
+    refactorizations = 0;
+    eta_drift = 0.;
+    drift_samples = 0;
+    degeneracy_streak = 0;
+    bland_switches = 0;
+    perturbation_salt = 0;
+    condition_estimate = 0.;
+    cert_primal = 0.;
+    cert_dual = 0.;
+    cert_comp = 0.;
+    cert_failures = 0;
+  }
+
+let lock = Mutex.create ()
+let cur = ref empty
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | x ->
+    Mutex.unlock lock;
+    x
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
+
+(* Registry mirrors. Gauges carry the LAST observation (what the solver
+   numerics look like right now); the snapshot keeps worst-since-reset
+   so a ledger record summarizes its whole solve. *)
+
+let g_growth =
+  Metrics.gauge
+    ~help:"LU element growth factor of the last basis refactorization."
+    "health_lu_growth_factor"
+
+let g_min_pivot =
+  Metrics.gauge
+    ~help:"Smallest |pivot| accepted by the last basis refactorization."
+    "health_lu_min_pivot"
+
+let g_max_pivot =
+  Metrics.gauge
+    ~help:"Largest |pivot| accepted by the last basis refactorization."
+    "health_lu_max_pivot"
+
+let g_drift =
+  Metrics.gauge
+    ~help:
+      "Last sampled eta-chain residual drift (incremental basic values vs a \
+       fresh FTRAN of the right-hand side)."
+    "health_eta_drift"
+
+let g_streak =
+  Metrics.gauge
+    ~help:"Longest degenerate-pivot streak seen (high-water mark)."
+    "health_degeneracy_streak_peak"
+
+let c_stalls =
+  Metrics.counter
+    ~help:"Degeneracy stalls that forced a switch to Bland's rule."
+    "health_degeneracy_stalls_total"
+
+let g_salt =
+  Metrics.gauge
+    ~help:"Deepest anti-degeneracy perturbation salt reached (high-water mark)."
+    "health_perturbation_salt_depth"
+
+let g_cond =
+  Metrics.gauge
+    ~help:
+      "Condition estimate of the final basis of the last solve (a cheap \
+       one-sided bound)."
+    "health_condition_estimate"
+
+let begin_solve () = locked (fun () -> cur := empty)
+let current () = locked (fun () -> !cur)
+
+let observe_refactor ~growth ~min_pivot ~max_pivot =
+  Metrics.set g_growth growth;
+  Metrics.set g_min_pivot min_pivot;
+  Metrics.set g_max_pivot max_pivot;
+  locked (fun () ->
+      let c = !cur in
+      cur :=
+        {
+          c with
+          lu_growth = Float.max c.lu_growth growth;
+          lu_min_pivot =
+            (if c.refactorizations = 0 then min_pivot
+             else Float.min c.lu_min_pivot min_pivot);
+          lu_max_pivot = Float.max c.lu_max_pivot max_pivot;
+          refactorizations = c.refactorizations + 1;
+        })
+
+let observe_drift drift =
+  Metrics.set g_drift drift;
+  locked (fun () ->
+      let c = !cur in
+      cur :=
+        {
+          c with
+          eta_drift = Float.max c.eta_drift drift;
+          drift_samples = c.drift_samples + 1;
+        })
+
+let observe_degeneracy_streak streak =
+  Metrics.set_max g_streak (float_of_int streak);
+  locked (fun () ->
+      let c = !cur in
+      if streak > c.degeneracy_streak then
+        cur := { c with degeneracy_streak = streak })
+
+let observe_stall () =
+  Metrics.inc c_stalls;
+  locked (fun () ->
+      let c = !cur in
+      cur := { c with bland_switches = c.bland_switches + 1 })
+
+let observe_salt salt =
+  Metrics.set_max g_salt (float_of_int salt);
+  locked (fun () ->
+      let c = !cur in
+      if salt > c.perturbation_salt then
+        cur := { c with perturbation_salt = salt })
+
+let observe_condition estimate =
+  Metrics.set g_cond estimate;
+  locked (fun () ->
+      let c = !cur in
+      cur :=
+        { c with condition_estimate = Float.max c.condition_estimate estimate })
+
+let observe_certificate ~primal ~dual ~comp ~accepted =
+  locked (fun () ->
+      let c = !cur in
+      cur :=
+        {
+          c with
+          cert_primal = Float.max c.cert_primal primal;
+          cert_dual = Float.max c.cert_dual dual;
+          cert_comp = Float.max c.cert_comp comp;
+          cert_failures = (c.cert_failures + if accepted then 0 else 1);
+        })
+
+let to_json s =
+  let num v = Json.Number v in
+  let int v = Json.Number (float_of_int v) in
+  Json.Object
+    [
+      ("lu_growth", num s.lu_growth);
+      ("lu_min_pivot", num s.lu_min_pivot);
+      ("lu_max_pivot", num s.lu_max_pivot);
+      ("refactorizations", int s.refactorizations);
+      ("eta_drift", num s.eta_drift);
+      ("drift_samples", int s.drift_samples);
+      ("degeneracy_streak", int s.degeneracy_streak);
+      ("bland_switches", int s.bland_switches);
+      ("perturbation_salt", int s.perturbation_salt);
+      ("condition_estimate", num s.condition_estimate);
+    ]

@@ -1,0 +1,65 @@
+(** Numerical-stability telemetry for the LP layers.
+
+    The revised simplex and the certificate checker report their
+    numerical health here: LU growth factor and pivot magnitudes per
+    refactorization, eta-chain residual drift sampled on the reinversion
+    triggers, degeneracy streaks and Bland switches, the depth of the
+    anti-degeneracy perturbation ladder, a per-solve condition estimate
+    and the certificate residual triple.
+
+    Every observation is mirrored twice: into the {!Metrics} registry
+    (gauges carry the last observation, [*_peak]/[*_depth] gauges the
+    high-water mark, counters accumulate), and into a per-solve
+    {!snapshot} that {!begin_solve} resets — the run ledger
+    ({!Ledger}) embeds the snapshot in each record so every solve
+    carries its own worst-case numerics.
+
+    Thread-safe; observers are called once per refactorization, drift
+    check or solve — never on the per-pivot path. *)
+
+type snapshot = {
+  lu_growth : float;
+      (** worst LU element growth factor over the refactorizations of
+          this solve (max |factor entry| / max |basis entry|) *)
+  lu_min_pivot : float;  (** smallest |pivot| accepted by any of them *)
+  lu_max_pivot : float;  (** largest |pivot| accepted by any of them *)
+  refactorizations : int;  (** refactorizations observed this solve *)
+  eta_drift : float;
+      (** worst sampled divergence of incrementally updated basic values
+          from a fresh FTRAN of the right-hand side *)
+  drift_samples : int;  (** drift checks performed this solve *)
+  degeneracy_streak : int;  (** longest degenerate-pivot streak *)
+  bland_switches : int;  (** stalls that forced Bland's rule *)
+  perturbation_salt : int;  (** deepest perturbation-ladder salt *)
+  condition_estimate : float;
+      (** worst per-solve condition estimate of a final basis *)
+  cert_primal : float;  (** worst certificate primal residual *)
+  cert_dual : float;  (** worst certificate dual violation *)
+  cert_comp : float;  (** worst certificate complementary-slackness gap *)
+  cert_failures : int;  (** certificates that exceeded tolerance *)
+}
+
+val empty : snapshot
+
+val begin_solve : unit -> unit
+(** Reset the per-solve snapshot. Called by the solve-level entry points
+    (e.g. [Bounds.eval], [Bounds.Sweep.step]) so {!current} describes
+    exactly one unit of ledger-recorded work. *)
+
+val current : unit -> snapshot
+
+(** {1 Observers} — called by the instrumented layers. *)
+
+val observe_refactor : growth:float -> min_pivot:float -> max_pivot:float -> unit
+val observe_drift : float -> unit
+val observe_degeneracy_streak : int -> unit
+val observe_stall : unit -> unit
+val observe_salt : int -> unit
+val observe_condition : float -> unit
+
+val observe_certificate :
+  primal:float -> dual:float -> comp:float -> accepted:bool -> unit
+
+val to_json : snapshot -> Json.t
+(** The snapshot as the ledger's ["health"] object (certificate fields
+    are omitted — the ledger records them under ["certificate"]). *)

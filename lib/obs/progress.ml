@@ -32,6 +32,13 @@ let create ?(clock = Span.now) ?(out = stderr) ?tty ?(quiet = false) ?heartbeat
       try Unix.isatty (Unix.descr_of_out_channel oc) with _ -> false)
   in
   let t0 = clock () in
+  (* A sweep killed mid-run (Ctrl-C, OOM, timeout) must keep its last
+     completed heartbeat records — --resume-from depends on them. Each
+     heartbeat already flushes, but an at_exit flush also covers records
+     buffered by any writer sharing the channel, and costs nothing. *)
+  (match heartbeat with
+  | Some oc -> at_exit (fun () -> try flush oc with _ -> ())
+  | None -> ());
   {
     clock;
     label;

@@ -355,6 +355,16 @@ let run ?(options = default_options) network =
         match buf with Some b -> Some (p, Buf.contents b) | None -> None)
       options.probes
   in
+  if Mapqn_obs.Ledger.is_enabled () then
+    Mapqn_obs.Ledger.record ~event:"sim"
+      [
+        ("fingerprint", Mapqn_obs.Json.String (Network.fingerprint network));
+        ("population", Mapqn_obs.Json.Number (float_of_int n));
+        ("seed", Mapqn_obs.Json.Number (float_of_int options.seed));
+        ("horizon", Mapqn_obs.Json.Number options.horizon);
+        ("events", Mapqn_obs.Json.Number (float_of_int !events));
+        ("throughput_ref", Mapqn_obs.Json.Number x0);
+      ];
   {
     stations = station_stats;
     system_response_time =

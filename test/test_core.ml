@@ -651,6 +651,72 @@ let test_sweep_run_progress_and_skip () =
     (List.map fst results);
   Alcotest.(check (list int)) "stepped populations" [ 1; 3 ] (List.rev !stepped)
 
+let test_sweep_ledger_records () =
+  (* With a ledger enabled, every sweep step and every eval appends
+     exactly one record carrying the provenance the doctor needs:
+     fingerprint, solver work deltas, certificate triple, health
+     snapshot and the evaluated bounds. *)
+  let module Ledger = Mapqn_obs.Ledger in
+  let module Json = Mapqn_obs.Json in
+  let tmp = Filename.temp_file "mapqn_ledger" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Ledger.disable ();
+      Sys.remove tmp)
+  @@ fun () ->
+  Ledger.enable ~context:[ ("seed", Json.Number 11.) ] ~path:tmp ();
+  let sweep = Bounds.Sweep.create (fun population -> fig5 ~population ()) in
+  List.iter
+    (fun population ->
+      let b = Bounds.Sweep.step_exn sweep population in
+      ignore (Bounds.response_time b))
+    [ 2; 3 ];
+  Ledger.disable ();
+  let records = Ledger.load tmp in
+  Alcotest.(check (list string)) "one record per unit of work"
+    [ "sweep_step"; "eval"; "sweep_step"; "eval" ]
+    (List.map Ledger.event records);
+  Alcotest.(check (list int)) "populations recorded" [ 2; 2; 3; 3 ]
+    (List.map Ledger.population records);
+  let fingerprints =
+    List.map
+      (fun r ->
+        match Option.bind (Json.member "fingerprint" r) Json.get_string with
+        | Some fp -> fp
+        | None -> Alcotest.fail "record lacks a model fingerprint")
+      records
+  in
+  Alcotest.(check bool) "populations fingerprint differently" true
+    (List.nth fingerprints 0 <> List.nth fingerprints 2);
+  List.iter
+    (fun r ->
+      Alcotest.(check (option (float 0.))) "seed from context" (Some 11.)
+        (Option.bind (Json.member "seed" r) Json.get_float);
+      List.iter
+        (fun key ->
+          if Json.member key r = None then
+            Alcotest.failf "record lacks %S" key)
+        [ "ts"; "git_sha"; "solver"; "duration_s"; "pivots"; "certificate";
+          "health" ])
+    records;
+  (* The second step was warm-started off the first's basis, and the eval
+     records carry the bound interval for the queried metric. *)
+  (match List.nth records 2 with
+  | r -> (
+    match Option.bind (Json.member "warm" r) Json.get_bool with
+    | Some warm -> Alcotest.(check bool) "second step warm" true warm
+    | None -> Alcotest.fail "sweep_step lacks warm flag"));
+  match Json.member "metrics" (List.nth records 1) with
+  | Some (Json.List [ m ]) ->
+    Alcotest.(check bool) "eval bound finite and ordered" true
+      (match
+         ( Option.bind (Json.member "lower" m) Json.get_float,
+           Option.bind (Json.member "upper" m) Json.get_float )
+       with
+      | Some lo, Some hi -> Float.is_finite lo && lo <= hi
+      | _ -> false)
+  | _ -> Alcotest.fail "eval record lacks its metrics list"
+
 let test_sweep_unsupported_network () =
   let sweep =
     Bounds.Sweep.create (fun population ->
@@ -724,6 +790,8 @@ let () =
             test_sweep_run_progress_and_skip;
           Alcotest.test_case "unsupported network" `Quick
             test_sweep_unsupported_network;
+          Alcotest.test_case "ledger records per step and eval" `Quick
+            test_sweep_ledger_records;
           QCheck_alcotest.to_alcotest prop_sweep_warm_matches_cold_fig4;
           QCheck_alcotest.to_alcotest prop_sweep_warm_matches_cold_fig8;
         ] );

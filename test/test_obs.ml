@@ -759,6 +759,324 @@ let test_progress_eta () =
       if Json.member "event" j = None then Alcotest.fail "heartbeat lacks event")
     !lines
 
+(* ---------------- Run ledger ---------------- *)
+
+let with_temp_ledger f =
+  let tmp = Filename.temp_file "mapqn_ledger" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Ledger.disable ();
+      Sys.remove tmp)
+    (fun () -> f tmp)
+
+let test_ledger_disabled_noop () =
+  Ledger.disable ();
+  Alcotest.(check bool) "disabled" false (Ledger.is_enabled ());
+  Ledger.record ~event:"eval" [] (* must be a silent no-op *);
+  Alcotest.(check bool) "no path" true (Ledger.path () = None);
+  Ledger.set_context "experiment" (Json.String "x") (* also a no-op *)
+
+let test_ledger_record_shape () =
+  with_temp_ledger @@ fun tmp ->
+  Ledger.enable ~context:[ ("experiment", Json.String "test") ] ~path:tmp ();
+  Alcotest.(check (option string)) "path" (Some tmp) (Ledger.path ());
+  Ledger.set_context "seed" (Json.Number 42.);
+  Ledger.record ~event:"eval"
+    [ ("population", Json.Number 8.); ("duration_s", Json.Number 0.25) ];
+  (* A field-level seed (e.g. the simulator's own) wins over the
+     sink-wide context seed. *)
+  Ledger.record ~event:"sim" [ ("seed", Json.Number 7.) ];
+  Ledger.disable ();
+  match Ledger.load tmp with
+  | [ r1; r2 ] ->
+    Alcotest.(check string) "event" "eval" (Ledger.event r1);
+    Alcotest.(check int) "population" 8 (Ledger.population r1);
+    Alcotest.(check int) "absent population" (-1) (Ledger.population r2);
+    check_float "context seed surfaced" 42.
+      (Option.get (Option.bind (Json.member "seed" r1) Json.get_float));
+    Alcotest.(check (option string)) "context pair merged" (Some "test")
+      (Option.bind (Json.member "experiment" r1) Json.get_string);
+    Alcotest.(check bool) "wall clock present" true (Json.member "ts" r1 <> None);
+    Alcotest.(check bool) "git_sha key present" true
+      (match r1 with
+      | Json.Object kvs -> List.mem_assoc "git_sha" kvs
+      | _ -> false);
+    check_float "field seed wins" 7.
+      (Option.get (Option.bind (Json.member "seed" r2) Json.get_float));
+    (match r2 with
+    | Json.Object kvs ->
+      Alcotest.(check int) "exactly one seed key" 1
+        (List.length (List.filter (fun (k, _) -> k = "seed") kvs))
+    | _ -> Alcotest.fail "record is not an object")
+  | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs)
+
+let test_ledger_crash_resume () =
+  with_temp_ledger @@ fun tmp ->
+  Ledger.enable ~path:tmp ();
+  Ledger.record ~event:"eval" [ ("population", Json.Number 2.) ];
+  Ledger.record ~event:"eval" [ ("population", Json.Number 4.) ];
+  Ledger.disable ();
+  (* A killed run tears the final line mid-record: the completed prefix
+     must load, the torn tail must not. *)
+  let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 tmp in
+  output_string oc "{\"event\":\"eval\",\"population\":8";
+  close_out oc;
+  Alcotest.(check (list int)) "torn final line skipped" [ 2; 4 ]
+    (List.map Ledger.population (Ledger.load tmp));
+  (* Re-enabling resumes the stream on a fresh line, so the first record
+     after the crash is not garbled into the torn one. *)
+  Ledger.enable ~path:tmp ();
+  Ledger.record ~event:"eval" [ ("population", Json.Number 16.) ];
+  Ledger.disable ();
+  Alcotest.(check (list int)) "resume appends cleanly" [ 2; 4; 16 ]
+    (List.map Ledger.population (Ledger.load tmp));
+  Alcotest.(check (list Alcotest.string)) "missing file is empty ledger" []
+    (List.map Ledger.event (Ledger.load (tmp ^ ".does-not-exist")))
+
+let prop_ledger_jsonl_roundtrip =
+  QCheck.Test.make ~name:"ledger: record fields survive the JSONL round-trip"
+    ~count:50
+    QCheck.(list_of_size Gen.(int_range 0 6) (float_range (-1e9) 1e9))
+    (fun values ->
+      let fields =
+        List.mapi (fun i v -> (Printf.sprintf "f%d" i, Json.Number v)) values
+      in
+      let tmp = Filename.temp_file "mapqn_ledger" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () ->
+          Ledger.disable ();
+          Sys.remove tmp)
+        (fun () ->
+          Ledger.enable ~path:tmp ();
+          Ledger.record ~event:"eval" fields;
+          Ledger.disable ();
+          match Ledger.load tmp with
+          | [ r ] ->
+            Ledger.event r = "eval"
+            && List.for_all (fun (k, v) -> Json.member k r = Some v) fields
+          | _ -> false))
+
+(* Synthetic solver records for diff/doctor: only the fields the
+   analyses read. *)
+let eval_record ?(fingerprint = "d143") ?certificate ?refactor_causes ?health
+    ~population ~lower ~upper ~pivots ~duration () =
+  let opt name = function
+    | None -> []
+    | Some kvs -> [ (name, Json.Object kvs) ]
+  in
+  Json.Object
+    ([
+       ("event", Json.String "eval");
+       ("population", Json.Number (float_of_int population));
+       ("fingerprint", Json.String fingerprint);
+       ("duration_s", Json.Number duration);
+       ("pivots", Json.Number pivots);
+       ( "metrics",
+         Json.List
+           [
+             Json.Object
+               [
+                 ("name", Json.String "response-time");
+                 ("lower", Json.Number lower);
+                 ("upper", Json.Number upper);
+               ];
+           ] );
+     ]
+    @ opt "certificate" certificate
+    @ opt "refactor_causes" refactor_causes
+    @ opt "health" health)
+
+let test_ledger_diff () =
+  let a =
+    [
+      eval_record ~population:4 ~lower:1. ~upper:2. ~pivots:100. ~duration:1. ();
+      eval_record ~population:8 ~lower:1.5 ~upper:2.5 ~pivots:200. ~duration:2.
+        ();
+    ]
+  in
+  let b =
+    [
+      (* Same (event, population, occurrence) key as a's first record,
+         upper bound moved by exactly 0.125. *)
+      eval_record ~fingerprint:"beef" ~population:4 ~lower:1. ~upper:2.125
+        ~pivots:150. ~duration:1.5 ();
+      eval_record ~population:16 ~lower:9. ~upper:9. ~pivots:1. ~duration:1. ();
+    ]
+  in
+  let report = Ledger.diff a b in
+  Alcotest.(check int) "one matched pair" 1 (List.length report.Ledger.matched);
+  Alcotest.(check int) "N=8 only in A" 1 report.Ledger.only_a;
+  Alcotest.(check int) "N=16 only in B" 1 report.Ledger.only_b;
+  (match report.Ledger.matched with
+  | [ d ] ->
+    check_float "known bound delta" 0.125 d.Ledger.bound_drift;
+    Alcotest.(check string) "drift metric" "response-time" d.Ledger.worst_metric;
+    check_float "pivots a" 100. d.Ledger.pivots_a;
+    check_float "pivots b" 150. d.Ledger.pivots_b;
+    Alcotest.(check bool) "model change detected" true
+      d.Ledger.fingerprint_changed
+  | _ -> Alcotest.fail "expected one drift entry");
+  (* Identical ledgers: zero drift, same model. *)
+  (match (Ledger.diff a a).Ledger.matched with
+  | [ d1; d2 ] ->
+    check_float "self-diff drifts nothing" 0.
+      (Float.max d1.Ledger.bound_drift d2.Ledger.bound_drift);
+    Alcotest.(check bool) "fingerprint stable" false d1.Ledger.fingerprint_changed
+  | _ -> Alcotest.fail "expected two matched entries");
+  let rendered = Ledger.render_diff report in
+  Alcotest.(check bool) "render mentions the change" true
+    (let sub = "CHANGED" in
+     let n = String.length rendered and m = String.length sub in
+     let rec go i = i + m <= n && (String.sub rendered i m = sub || go (i + 1)) in
+     go 0)
+
+let certificate_fields ?(failures = 0.) primal =
+  [
+    ("primal_residual", Json.Number primal);
+    ("dual_violation", Json.Number 0.);
+    ("comp_slack", Json.Number 0.);
+    ("failures", Json.Number failures);
+    ("tol_primal", Json.Number 1e-5);
+    ("tol_dual", Json.Number 1e-6);
+    ("tol_comp", Json.Number 1e-6);
+  ]
+
+let test_ledger_doctor_fig8_story () =
+  (* The historical pre-drift-trigger Fig-8 run in miniature: the primal
+     residual compounds with population until the largest one fails at
+     3e-05 against the 1e-5 tolerance. Doctor must tell that story. *)
+  let run =
+    [
+      eval_record ~population:20
+        ~certificate:(certificate_fields 1e-9)
+        ~lower:1. ~upper:2. ~pivots:10. ~duration:0.1 ();
+      eval_record ~population:40
+        ~certificate:(certificate_fields 2.8e-6)
+        ~lower:1. ~upper:2. ~pivots:20. ~duration:0.2 ();
+      eval_record ~population:100
+        ~certificate:(certificate_fields ~failures:1. 3e-5)
+        ~lower:1. ~upper:2. ~pivots:30. ~duration:0.3 ();
+    ]
+  in
+  let findings = Ledger.doctor run in
+  let with_code c = List.filter (fun f -> f.Ledger.code = c) findings in
+  (match with_code "cert-failure" with
+  | [ f ] ->
+    Alcotest.(check bool) "failure is Fail" true (f.Ledger.severity = Ledger.Fail);
+    Alcotest.(check bool) "failure names N=100" true
+      (f.Ledger.where = "eval N=100 (record 2)")
+  | fs -> Alcotest.failf "expected one cert-failure, got %d" (List.length fs));
+  (match with_code "cert-near-miss" with
+  | [ f ] ->
+    Alcotest.(check bool) "near-miss is Warn" true (f.Ledger.severity = Ledger.Warn)
+  | fs -> Alcotest.failf "expected one cert-near-miss, got %d" (List.length fs));
+  (match with_code "residual-peak-at-max-population" with
+  | [ f ] ->
+    Alcotest.(check bool) "the fig8 signature fails the run" true
+      (f.Ledger.severity = Ledger.Fail)
+  | fs -> Alcotest.failf "expected the fig8 signature, got %d" (List.length fs));
+  (* Same residuals with the peak mid-sweep: no max-population signature. *)
+  let healthy =
+    [
+      eval_record ~population:20
+        ~certificate:(certificate_fields 1e-9)
+        ~lower:1. ~upper:2. ~pivots:10. ~duration:0.1 ();
+      eval_record ~population:40
+        ~certificate:(certificate_fields 2e-9)
+        ~lower:1. ~upper:2. ~pivots:20. ~duration:0.2 ();
+      eval_record ~population:100
+        ~certificate:(certificate_fields 1e-12)
+        ~lower:1. ~upper:2. ~pivots:30. ~duration:0.3 ();
+    ]
+  in
+  Alcotest.(check (list Alcotest.string)) "healthy run has no findings" []
+    (List.map (fun f -> f.Ledger.code) (Ledger.doctor healthy))
+
+let test_ledger_doctor_solver_hazards () =
+  let r =
+    eval_record ~population:8
+      ~refactor_causes:[ ("drift", Json.Number 2.) ]
+      ~health:
+        [
+          ("eta_drift", Json.Number 3e-7);
+          ("degeneracy_streak", Json.Number 1500.);
+          ("bland_switches", Json.Number 1.);
+          ("perturbation_salt", Json.Number 2.);
+        ]
+      ~lower:1. ~upper:2. ~pivots:10. ~duration:0.1 ()
+  in
+  let codes = List.map (fun f -> f.Ledger.code) (Ledger.doctor [ r ]) in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) ("doctor flags " ^ c) true (List.mem c codes))
+    [ "drift-reinversion"; "degeneracy-stall"; "perturbation-retry" ];
+  (* A long degenerate streak without a Bland switch is informational. *)
+  let quiet =
+    eval_record ~population:8
+      ~health:[ ("degeneracy_streak", Json.Number 1500.) ]
+      ~lower:1. ~upper:2. ~pivots:10. ~duration:0.1 ()
+  in
+  Alcotest.(check (list Alcotest.string)) "streak alone is info"
+    [ "degeneracy-streak" ]
+    (List.map (fun f -> f.Ledger.code) (Ledger.doctor [ quiet ]));
+  (* Non-solver events carry no certificate and are never scanned. *)
+  Alcotest.(check (list Alcotest.string)) "sim records ignored" []
+    (List.map
+       (fun f -> f.Ledger.code)
+       (Ledger.doctor [ Json.Object [ ("event", Json.String "sim") ] ]))
+
+let test_ledger_summarize () =
+  let s =
+    Ledger.summarize
+      [
+        eval_record ~population:4 ~lower:1. ~upper:2. ~pivots:123. ~duration:0.5
+          ~certificate:(certificate_fields 1e-9) ();
+      ]
+  in
+  let has sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    Alcotest.(check bool) ("summary contains " ^ sub) true (go 0)
+  in
+  has "eval";
+  has "123";
+  has "0.500s";
+  has "1.00e-09"
+
+(* ---------------- Histogram percentiles ---------------- *)
+
+let test_export_percentile () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~buckets:[| 1.; 2.; 4. |] "lat" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 3.; 10. ];
+  (match Metrics.find ~registry:r "lat" with
+  | [ { Metrics.value = Metrics.Histogram d; _ } ] ->
+    (* Cumulative counts: le1 -> 1, le2 -> 2, le4 -> 3, +Inf -> 4.
+       p50 rank 2 lands exactly at the le=2 bucket's upper edge. *)
+    check_float "p50 interpolates within its bucket" 2.
+      (Export.percentile d 0.50);
+    (* p99 rank 3.96 falls in the overflow bucket, which saturates at
+       the last finite bound. *)
+    check_float "p99 saturates at the last finite bound" 4.
+      (Export.percentile d 0.99);
+    (* p25 rank 1 is the first bucket's edge; the bucket starts at 0. *)
+    check_float "p25 at first bucket edge" 1. (Export.percentile d 0.25)
+  | _ -> Alcotest.fail "expected one histogram sample");
+  let empty = Metrics.histogram ~registry:r ~buckets:[| 1. |] "empty" in
+  ignore empty;
+  (match Metrics.find ~registry:r "empty" with
+  | [ { Metrics.value = Metrics.Histogram d; _ } ] ->
+    Alcotest.(check bool) "empty histogram has no percentile" true
+      (Float.is_nan (Export.percentile d 0.5))
+  | _ -> Alcotest.fail "expected one histogram sample");
+  (* The table exporter surfaces the quantiles next to count/sum. *)
+  let s = Export.table ~metrics:(Metrics.snapshot ~registry:r ()) ~spans:[] in
+  Alcotest.(check bool) "table shows p50" true
+    (let sub = "p50=" in
+     let n = String.length s and m = String.length sub in
+     let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+     go 0)
+
 let test_load_completed_robust () =
   let tmp = Filename.temp_file "mapqn_hb" ".jsonl" in
   Fun.protect ~finally:(fun () -> Sys.remove tmp) @@ fun () ->
@@ -837,6 +1155,25 @@ let () =
             test_progress_eta;
           Alcotest.test_case "resume file robustness" `Quick
             test_load_completed_robust;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_ledger_disabled_noop;
+          Alcotest.test_case "record shape + seed precedence" `Quick
+            test_ledger_record_shape;
+          Alcotest.test_case "crash resume skips torn line" `Quick
+            test_ledger_crash_resume;
+          Alcotest.test_case "diff reports known bound delta" `Quick
+            test_ledger_diff;
+          Alcotest.test_case "doctor tells the fig8 story" `Quick
+            test_ledger_doctor_fig8_story;
+          Alcotest.test_case "doctor flags solver hazards" `Quick
+            test_ledger_doctor_solver_hazards;
+          Alcotest.test_case "summarize" `Quick test_ledger_summarize;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_export_percentile;
+          QCheck_alcotest.to_alcotest prop_ledger_jsonl_roundtrip;
         ] );
       ( "end-to-end",
         [
