@@ -553,7 +553,7 @@ let ledger_overhead () =
     Sys.time () -. t0
   in
   let ledgered () =
-    Mapqn_obs.Ledger.enable ~path:"BENCH_ledger.jsonl" ();
+    Mapqn_obs.Ledger.enable_exn ~path:"BENCH_ledger.jsonl" ();
     Fun.protect ~finally:Mapqn_obs.Ledger.disable run_once
   in
   (* Interleave the variants so machine drift hits both equally and take
@@ -580,6 +580,73 @@ let ledger_overhead () =
        ~help:"Absolute CPU overhead in seconds of the run ledger on lp-smoke"
        "bench_ledger_overhead_seconds")
     overhead
+
+(* ------------------------------------------------------------------ *)
+(* Fleet scaling: sequential vs 4-domain Table-1 bench slice           *)
+(* ------------------------------------------------------------------ *)
+
+(* The scaling claim of the fleet runner, held by bench/regress.ml:
+   [mapqn table1 --jobs 4] must be >= 2x faster than [--jobs 1] on a
+   machine with >= 4 cores, with bit-identical per-model results.  The
+   section merges a "fleet" key into BENCH_lp.json (the [lp] section
+   rewrites that file wholesale, so this one must read-modify-write) and
+   records the core count so the gate can refuse to demand parallel
+   speedup from a single-core CI runner. *)
+let fleet () =
+  let module J = Mapqn_obs.Json in
+  let options = Mapqn_experiments.Table1.bench_options in
+  let timed jobs =
+    let t0 = Unix.gettimeofday () in
+    let t =
+      Mapqn_experiments.Table1.run
+        ~options:{ options with Mapqn_experiments.Table1.jobs } ()
+    in
+    (t, Unix.gettimeofday () -. t0)
+  in
+  let seq, seq_s = timed 1 in
+  let par, par_s = timed 4 in
+  let identical =
+    seq.Mapqn_experiments.Table1.per_model
+    = par.Mapqn_experiments.Table1.per_model
+  in
+  let cores = Domain.recommended_domain_count () in
+  let speedup = if par_s > 0. then seq_s /. par_s else 0. in
+  Printf.printf
+    "table1 bench slice (%d models): --jobs 1 %.2fs, --jobs 4 %.2fs — %.2fx \
+     on %d core(s); per-model results %s\n"
+    options.Mapqn_experiments.Table1.models seq_s par_s speedup cores
+    (if identical then "bit-identical" else "DIFFER");
+  if not identical then begin
+    Printf.eprintf
+      "bench fleet: parallel per-model results differ from sequential\n";
+    exit 1
+  end;
+  let fleet_json =
+    J.Object
+      [
+        ("models", J.Number (float_of_int options.Mapqn_experiments.Table1.models));
+        ("sequential_s", J.Number seq_s);
+        ("jobs4_s", J.Number par_s);
+        ("speedup", J.Number speedup);
+        ("cores", J.Number (float_of_int cores));
+        ("bit_identical", J.Bool identical);
+      ]
+  in
+  let base =
+    match
+      In_channel.with_open_text "BENCH_lp.json" In_channel.input_all
+      |> J.parse
+    with
+    | Ok (J.Object kvs) -> List.filter (fun (k, _) -> k <> "fleet") kvs
+    | Ok _ | Error _ -> []
+    | exception Sys_error _ -> []
+  in
+  let body = J.to_string (J.Object (base @ [ ("fleet", fleet_json) ])) ^ "\n" in
+  try
+    Mapqn_obs.Export.write_file "BENCH_lp.json" body;
+    print_endline "bench: fleet scaling merged into BENCH_lp.json"
+  with Sys_error msg ->
+    Printf.eprintf "bench: cannot write BENCH_lp.json: %s\n" msg
 
 let lp_smoke () =
   let n = 20 in
@@ -702,6 +769,7 @@ let () =
   section "trace-pipeline" trace_pipeline;
   section "ablation" ablation;
   section "lp" lp;
+  section "fleet" fleet;
   section "lp-smoke" lp_smoke;
   section "trace-overhead" trace_overhead;
   section "ledger-overhead" ledger_overhead;

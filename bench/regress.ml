@@ -14,6 +14,10 @@
      cross-population sweep section) regressed by more than the
      threshold, or
    - the candidate reports any LP certificate failure, or
+   - the candidate's fleet section reports non-bit-identical parallel
+     results, or a 4-domain speedup below 2.0x on a machine with >= 4
+     cores (single- and dual-core runners report but never gate the
+     speedup), or
    - the [--obs] telemetry reports run-ledger overhead above 2% (with a
      2 ms absolute floor, so clock-resolution noise on a sub-second
      workload cannot flake the gate) or trace overhead above 10% on
@@ -228,7 +232,41 @@ let () =
   if J.member "phases" baseline = None then
     Printf.printf
       "  note: baseline has no phases block (pre-profiling format, not \
-       gated)\n");
+       gated)\n";
+  (* Fleet scaling gate: the candidate's 4-domain Table-1 bench slice
+     must be >= 2x faster than sequential, with bit-identical results —
+     but only on machines that can actually run 4 workers (the recorded
+     core count refuses the demand on small CI runners, where the honest
+     speedup is ~1x).  Baselines predating the fleet section only
+     warn. *)
+  (match J.member "fleet" candidate with
+  | Some fleet -> (
+    let num name = Option.bind (J.member name fleet) J.get_float in
+    (match Option.bind (J.member "bit_identical" fleet) J.get_bool with
+    | Some false ->
+      incr failures;
+      Printf.printf
+        "  fleet: parallel results differ from sequential  REGRESSION\n"
+    | Some true | None -> ());
+    match (num "speedup", num "cores") with
+    | Some speedup, Some cores when cores >= 4. ->
+      let gated = speedup < 2.0 in
+      if gated then incr failures;
+      Printf.printf "  fleet: --jobs 4 speedup %.2fx on %.0f cores%s\n" speedup
+        cores
+        (if gated then "  REGRESSION (must be >= 2.0x)" else "")
+    | Some speedup, Some cores ->
+      Printf.printf
+        "  fleet: --jobs 4 speedup %.2fx on %.0f core(s) (< 4 cores, speedup \
+         not gated)\n"
+        speedup cores
+    | _ -> Printf.printf "  fleet: block present but unreadable\n")
+  | None ->
+    Printf.printf
+      "  warning: candidate has no fleet block (fleet section not run?)\n");
+  if J.member "fleet" baseline = None then
+    Printf.printf
+      "  note: baseline has no fleet block (pre-fleet format, not gated)\n");
   (match !obs with
   | None -> ()
   | Some path ->

@@ -121,8 +121,12 @@ let start_ledger obs =
   match obs.ledger_out with
   | None -> ()
   | Some path -> (
-    try Mapqn_obs.Ledger.enable ~path ()
-    with Sys_error msg ->
+    match Mapqn_obs.Ledger.enable ~path () with
+    | Ok () -> ()
+    | Error e ->
+      Printf.eprintf "mapqn: %s\n" (Mapqn_obs.Ledger.enable_error_to_string e);
+      exit 1
+    | exception Sys_error msg ->
       Printf.eprintf "mapqn: cannot open ledger file: %s\n" msg;
       exit 1)
 
@@ -561,19 +565,48 @@ let fig8_cmd =
       const run $ verbose_arg $ scale_arg $ progress_arg $ heartbeat_out_arg
       $ obs_args)
 
+let resume_from_arg =
+  let doc =
+    "Skip models recorded as done in the heartbeat JSONL file $(docv) (from \
+     an earlier run's $(b,--heartbeat-out)); the summary statistics then \
+     cover only the models evaluated this run."
+  in
+  Arg.(value & opt (some string) None & info [ "resume-from" ] ~docv:"FILE" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the per-model fleet (default: the machine's \
+     recommended domain count). Per-model results, seeds and ledger record \
+     bodies are bit-identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs = function
+  | Some j when j >= 1 -> j
+  | Some j ->
+    Printf.eprintf "mapqn: --jobs must be >= 1 (got %d)\n" j;
+    exit 1
+  | None -> Mapqn_fleet.Fleet.default_jobs ()
+
+let resume_skip ~label resume_from =
+  match resume_from with
+  | None -> fun _ -> false
+  | Some path ->
+    let done_ = Mapqn_obs.Progress.load_completed path in
+    if done_ = [] then
+      Printf.eprintf "%s: no completed models in %s, running all\n%!" label path
+    else
+      Printf.eprintf "%s: resuming, %d model(s) already done in %s\n%!" label
+        (List.length done_) path;
+    let tbl = Hashtbl.create (List.length done_) in
+    List.iter (fun id -> Hashtbl.replace tbl id ()) done_;
+    fun id -> Hashtbl.mem tbl id
+
 let table1_cmd =
   let models_arg =
     Arg.(value & opt (some int) None & info [ "models" ] ~doc:"Number of random models.")
   in
-  let resume_from_arg =
-    let doc =
-      "Skip models recorded as done in the heartbeat JSONL file $(docv) (from \
-       an earlier run's $(b,--heartbeat-out)); the summary statistics then \
-       cover only the models evaluated this run."
-    in
-    Arg.(value & opt (some string) None & info [ "resume-from" ] ~docv:"FILE" ~doc)
-  in
-  let run verbose paper_scale models progress heartbeat_out resume_from obs =
+  let run verbose paper_scale models jobs progress heartbeat_out resume_from obs =
     setup_logs verbose;
     with_telemetry "table1" obs @@ fun () ->
     let options =
@@ -585,18 +618,10 @@ let table1_cmd =
       | Some m -> { options with Mapqn_experiments.Table1.models = m }
       | None -> options
     in
-    let skip =
-      match resume_from with
-      | None -> fun _ -> false
-      | Some path ->
-        let done_ = Mapqn_obs.Progress.load_completed path in
-        if done_ = [] then
-          Printf.eprintf "table1: no completed models in %s, running all\n%!" path
-        else
-          Printf.eprintf "table1: resuming, %d model(s) already done in %s\n%!"
-            (List.length done_) path;
-        fun id -> List.mem id done_
+    let options =
+      { options with Mapqn_experiments.Table1.jobs = resolve_jobs jobs }
     in
+    let skip = resume_skip ~label:"table1" resume_from in
     with_progress ~label:"table1" ~total:options.Mapqn_experiments.Table1.models
       ~progress ~heartbeat_out
     @@ fun p ->
@@ -606,8 +631,159 @@ let table1_cmd =
   Cmd.v
     (Cmd.info "table1" ~doc:"Table 1: bound accuracy on random models")
     Term.(
-      const run $ verbose_arg $ scale_arg $ models_arg $ progress_arg
+      const run $ verbose_arg $ scale_arg $ models_arg $ jobs_arg $ progress_arg
       $ heartbeat_out_arg $ resume_from_arg $ obs_args)
+
+(* Population grids for mapqn fleet: comma-separated items, each an
+   integer or an inclusive "lo..hi" range ("1..100", "1,2,4,8",
+   "1..8,16,32"). *)
+let parse_populations s =
+  try
+    String.split_on_char ',' s
+    |> List.concat_map (fun item ->
+           let item = String.trim item in
+           match String.index_opt item '.' with
+           | Some i
+             when i + 1 < String.length item && item.[i + 1] = '.' ->
+             let lo = int_of_string (String.trim (String.sub item 0 i)) in
+             let hi =
+               int_of_string
+                 (String.trim
+                    (String.sub item (i + 2) (String.length item - i - 2)))
+             in
+             if lo > hi || lo < 0 then failwith "bad range";
+             List.init (hi - lo + 1) (fun k -> lo + k)
+           | _ ->
+             let n = int_of_string item in
+             if n < 0 then failwith "negative";
+             [ n ])
+    |> fun l -> if l = [] then Error "empty population list" else Ok l
+  with _ ->
+    Error
+      (Printf.sprintf
+         "cannot parse populations %S (expected e.g. \"1..100\" or \"1,2,4,8\")"
+         s)
+
+let fleet_cmd =
+  let models_arg =
+    let doc = "Number of random models (paper scale: 10000)." in
+    Arg.(value & opt int 100 & info [ "models" ] ~doc)
+  in
+  let stations_arg =
+    let doc = "Queues per model (paper: 3; beyond-paper: 4-5)." in
+    Arg.(value & opt int 3 & info [ "stations" ] ~doc)
+  in
+  let map_stations_arg =
+    let doc = "How many queues get MAP(2) service (the rest exponential)." in
+    Arg.(value & opt int 1 & info [ "map-stations" ] ~doc)
+  in
+  let populations_arg =
+    let doc =
+      "Population grid: comma-separated integers and/or inclusive ranges \
+       ($(b,1..100), $(b,1,2,4,8), $(b,1..8,16,32))."
+    in
+    Arg.(value & opt string "1,2,4,8,16,32,64,100" & info [ "populations" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Model-generation master seed (per-model seeds derive from it)." in
+    Arg.(value & opt int 2008 & info [ "seed" ] ~doc)
+  in
+  let exact_upto_arg =
+    let doc =
+      "Also solve the exact CTMC and report bound errors for populations <= \
+       $(docv) (0 disables; exact solves are what make paper-scale grids \
+       infeasible, so keep this small)."
+    in
+    Arg.(value & opt int 0 & info [ "exact-upto" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Append one JSONL row per evaluated model (bounds per population, \
+       derived seed, fingerprint, timings) to $(docv), streamed as workers \
+       finish."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run verbose models stations map_stations populations jobs seed config
+      exact_upto out progress heartbeat_out resume_from obs =
+    setup_logs verbose;
+    with_telemetry "fleet" obs @@ fun () ->
+    let populations =
+      match parse_populations populations with
+      | Ok l -> l
+      | Error msg ->
+        Printf.eprintf "mapqn: %s\n" msg;
+        exit 1
+    in
+    if stations < 1 || map_stations < 1 || map_stations > stations then begin
+      Printf.eprintf
+        "mapqn: need 1 <= --map-stations <= --stations (got %d of %d)\n"
+        map_stations stations;
+      exit 1
+    end;
+    let options =
+      {
+        Mapqn_experiments.Fleet_sweep.models;
+        populations;
+        seed;
+        config;
+        exact_upto;
+        jobs = resolve_jobs jobs;
+        spec =
+          {
+            Mapqn_workloads.Random_models.default_spec with
+            Mapqn_workloads.Random_models.stations;
+            map_stations;
+          };
+      }
+    in
+    let skip = resume_skip ~label:"fleet" resume_from in
+    (* Row writes come from worker domains; one mutex keeps the JSONL
+       stream record-atomic (same contract as the ledger sink). *)
+    let sink_mutex = Mutex.create () in
+    let sink_oc =
+      match out with
+      | None -> None
+      | Some path -> (
+        try Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+        with Sys_error msg ->
+          Printf.eprintf "mapqn: cannot open output file: %s\n" msg;
+          exit 1)
+    in
+    let sink =
+      Option.map
+        (fun oc row ->
+          Mutex.lock sink_mutex;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock sink_mutex)
+            (fun () ->
+              output_string oc
+                (Mapqn_obs.Json.to_string
+                   (Mapqn_experiments.Fleet_sweep.row_to_json row));
+              output_char oc '\n';
+              flush oc))
+        sink_oc
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter close_out sink_oc)
+      (fun () ->
+        with_progress ~label:"fleet" ~total:models ~progress ~heartbeat_out
+        @@ fun p ->
+        let t =
+          Mapqn_experiments.Fleet_sweep.run ~options ?progress:p ~skip ?sink ()
+        in
+        Mapqn_experiments.Fleet_sweep.print t;
+        if t.Mapqn_experiments.Fleet_sweep.failed <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Fleet-scale random-model bound sweeps (full Table 1 and beyond) on \
+          a multicore domain pool")
+    Term.(
+      const run $ verbose_arg $ models_arg $ stations_arg $ map_stations_arg
+      $ populations_arg $ jobs_arg $ seed_arg $ config_arg $ exact_upto_arg
+      $ out_arg $ progress_arg $ heartbeat_out_arg $ resume_from_arg $ obs_args)
 
 let pipeline_cmd =
   let run verbose paper_scale obs =
@@ -1017,6 +1193,7 @@ let () =
             fig4_cmd;
             fig8_cmd;
             table1_cmd;
+            fleet_cmd;
             pipeline_cmd;
             moment_order_cmd;
             profile_cmd;

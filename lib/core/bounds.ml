@@ -137,8 +137,12 @@ let m_eval_seconds =
 (* ------------------------------------------------------------------ *)
 
 (* Deltas of the revised-solver work counters around one unit of
-   ledger-recorded work (an eval or a sweep step). Reading the registry
-   twice per eval — which itself solves a dozen-plus LPs — is noise. *)
+   ledger-recorded work (an eval or a sweep step). These come from the
+   backend instance's own [Revised.stats] — NOT the process-wide
+   metric counters — so a record's deltas stay correct when other
+   domains are solving concurrently (a fleet run). Prepare-phase work
+   (phase 1, seeded feasibility restoration) counts toward the step
+   that performs it. *)
 type work_snapshot = {
   ws_pivots : float;
   ws_refactors : float;
@@ -148,20 +152,29 @@ type work_snapshot = {
   ws_backstop : float;
 }
 
-let counter_value name =
-  match Mapqn_obs.Metrics.find name with
-  | { Mapqn_obs.Metrics.value = Mapqn_obs.Metrics.Counter c; _ } :: _ -> c
-  | _ -> 0.
-
-let work_snapshot () =
+let zero_work =
   {
-    ws_pivots = counter_value "revised_pivots_total";
-    ws_refactors = counter_value "revised_refactorizations_total";
-    ws_stability = counter_value "revised_refactor_stability_total";
-    ws_growth = counter_value "revised_refactor_growth_total";
-    ws_drift = counter_value "revised_refactor_drift_total";
-    ws_backstop = counter_value "revised_refactor_backstop_total";
+    ws_pivots = 0.;
+    ws_refactors = 0.;
+    ws_stability = 0.;
+    ws_growth = 0.;
+    ws_drift = 0.;
+    ws_backstop = 0.;
   }
+
+let work_snapshot t =
+  match t.backend with
+  | B_dense _ -> zero_work
+  | B_revised r ->
+    let s = Revised.stats r in
+    {
+      ws_pivots = float_of_int s.Revised.pivots;
+      ws_refactors = float_of_int s.Revised.refactorizations;
+      ws_stability = float_of_int s.Revised.refactor_stability;
+      ws_growth = float_of_int s.Revised.refactor_growth;
+      ws_drift = float_of_int s.Revised.refactor_drift;
+      ws_backstop = float_of_int s.Revised.refactor_backstop;
+    }
 
 let solver_name t =
   match t.backend with B_dense _ -> "dense" | B_revised _ -> "revised"
@@ -171,7 +184,7 @@ let solver_name t =
    the certificate residual triple (with the tolerances it was judged
    against) and the numerical-health snapshot of this unit of work. *)
 let ledger_fields t ~duration ~before =
-  let after = work_snapshot () in
+  let after = work_snapshot t in
   let h = Health.current () in
   let nvars, nrows = lp_size t in
   let num v = Json.Number v in
@@ -457,7 +470,7 @@ let eval t metrics =
   Mapqn_obs.Metrics.inc m_evals;
   Mapqn_obs.Span.with_ "bounds.eval" @@ fun () ->
   Health.begin_solve ();
-  let before = work_snapshot () in
+  let before = work_snapshot t in
   let t0 = Mapqn_obs.Span.now () in
   let memo = Hashtbl.create 8 in
   let rec cached m =
@@ -667,7 +680,11 @@ module Sweep = struct
   let step s population =
     Mapqn_obs.Span.with_ "bounds.sweep.step" @@ fun () ->
     Health.begin_solve ();
-    let before = work_snapshot () in
+    (* The step's backend does not exist yet (prepare creates it), so
+       the "before" work is zero: the record's deltas are the fresh
+       backend's whole life up to the end of the step, which is exactly
+       the step's own work — prepare, restoration and solves. *)
+    let before = zero_work in
     let t0 = Mapqn_obs.Span.now () in
     let network = s.network_of population in
     if Mapqn_model.Network.has_delay network then

@@ -8,6 +8,7 @@ type options = {
   populations : int list;
   config : Mapqn_core.Constraints.config;
   seed : int;
+  jobs : int;
 }
 
 let default_options =
@@ -17,6 +18,7 @@ let default_options =
     populations = [ 1; 2; 4; 8; 16; 32 ];
     config = Mapqn_core.Constraints.full;
     seed = 2008;
+    jobs = 1;
   }
 
 let bench_options =
@@ -38,10 +40,13 @@ type t = {
 
 let model_id index = Printf.sprintf "model-%04d" index
 
+(* Progress start/done events are the fleet runner's job (it knows the
+   per-task seed and wall time); the model body only reports phases,
+   with its id explicit so concurrent workers' phase heartbeats cannot
+   be attributed to each other's models. *)
 let evaluate_model ?progress options index (model : Random_models.model) =
   let report f = Option.iter f progress in
-  report (fun p ->
-      Mapqn_obs.Progress.start p ~seed:options.seed (model_id index));
+  let id = model_id index in
   let max_lower = ref 0. and max_upper = ref 0. and violations = ref 0 in
   (* One sweep per model: each population's LP extends the previous one
      instead of being rebuilt, and the revised backend carries its basis
@@ -54,7 +59,8 @@ let evaluate_model ?progress options index (model : Random_models.model) =
   List.iter
     (fun population ->
       report (fun p ->
-          Mapqn_obs.Progress.phase p (Printf.sprintf "N=%d" population));
+          Mapqn_obs.Progress.task_phase p ~id
+            (Printf.sprintf "N=%d" population));
       let net = Mapqn_model.Network.with_population model.Random_models.network population in
       let sol = Solution.solve net in
       let exact = Solution.system_response_time sol in
@@ -66,41 +72,46 @@ let evaluate_model ?progress options index (model : Random_models.model) =
         Float.max !max_upper (Mapqn_util.Tol.relative_error ~exact r.Bounds.upper);
       if not (Bounds.contains r exact) then incr violations)
     options.populations;
-  let result =
-    {
-      index;
-      max_err_lower = !max_lower;
-      max_err_upper = !max_upper;
-      bracket_violations = !violations;
-    }
-  in
-  report Mapqn_obs.Progress.finish;
-  result
+  {
+    index;
+    max_err_lower = !max_lower;
+    max_err_upper = !max_upper;
+    bracket_violations = !violations;
+  }
 
 let run ?(options = default_options) ?progress ?(skip = fun _ -> false) () =
-  (* Ledger provenance: every eval/sweep_step record of this run carries
-     the model-generation seed (no-op when no ledger is enabled). *)
+  (* Ledger provenance: the sink-wide context names the experiment and
+     its master seed; each model's fleet task overlays its own id and
+     derived per-model seed on top (no-op when no ledger is enabled). *)
   Mapqn_obs.Ledger.set_context "experiment" (Mapqn_obs.Json.String "table1");
   Mapqn_obs.Ledger.set_context "seed"
     (Mapqn_obs.Json.Number (float_of_int options.seed));
+  (* Models are generated sequentially on this domain even when the
+     evaluation fans out: generation is microseconds per model against
+     seconds of LP work, and one sequential PRNG stream keeps the model
+     set — hence every per-model result — bit-identical across [jobs]
+     values AND to the historical sequential runs. Skipping a model by
+     id (e.g. one a previous run's heartbeat file marks done) likewise
+     leaves the remaining models identical to a full run. *)
   let models =
-    Random_models.generate_many ~spec:options.spec ~seed:options.seed options.models
+    Array.of_list
+      (Random_models.generate_many ~spec:options.spec ~seed:options.seed
+         options.models)
   in
-  (* Model generation is deterministic in [seed], so skipping a model by
-     id (e.g. one a previous run's heartbeat file marks done) leaves the
-     remaining models identical to a full run. *)
+  let outcomes =
+    Mapqn_fleet.Fleet.run_tasks ~jobs:(max 1 options.jobs) ?progress ~skip
+      ~seed:options.seed ~ids:model_id ~total:(Array.length models)
+      ~f:(fun index -> evaluate_model ?progress options index models.(index))
+      ()
+  in
+  (match Mapqn_fleet.Fleet.first_failure outcomes with
+  | Some e -> raise e
+  | None -> ());
   let per_model =
-    List.filteri
-      (fun index _ ->
-        let keep = not (skip (model_id index)) in
-        if not keep then
-          Option.iter
-            (fun p ->
-              Mapqn_obs.Progress.skip p ~seed:options.seed (model_id index))
-            progress;
-        keep)
-      (List.mapi (fun i m -> (i, m)) models)
-    |> List.map (fun (index, model) -> evaluate_model ?progress options index model)
+    Array.to_list outcomes
+    |> List.filter_map (function
+         | Mapqn_fleet.Fleet.Done r -> Some r
+         | Mapqn_fleet.Fleet.Skipped | Mapqn_fleet.Fleet.Failed _ -> None)
   in
   let upper = Array.of_list (List.map (fun r -> r.max_err_upper) per_model) in
   let lower = Array.of_list (List.map (fun r -> r.max_err_lower) per_model) in

@@ -18,13 +18,16 @@ type options = {
   populations : int list;  (** paper: 1..100 *)
   config : Mapqn_core.Constraints.config;
   seed : int;
+  jobs : int;
+      (** worker domains for the per-model fleet (1 = sequential; the
+          results are bit-identical either way) *)
 }
 
 val default_options : options
-(** 50 models, populations [1;2;4;8;16;32], [full] constraints. *)
+(** 50 models, populations [1;2;4;8;16;32], [full] constraints, 1 job. *)
 
 val bench_options : options
-(** 12 models, populations [1;2;4;8], [full] constraints. *)
+(** 12 models, populations [1;2;4;8], [full] constraints, 1 job. *)
 
 type model_result = {
   index : int;
@@ -52,6 +55,13 @@ val run :
     never) excludes a model from evaluation — model generation is
     deterministic in [seed], so ids from a previous run's heartbeat file
     ({!Mapqn_obs.Progress.load_completed}) resume a partial sweep; the
-    summary statistics then cover only the evaluated models. *)
+    summary statistics then cover only the evaluated models.
+
+    With [options.jobs > 1] the models are evaluated by a
+    {!Mapqn_fleet} domain pool. Models are always {e generated}
+    sequentially on the calling domain (generation is microseconds per
+    model; evaluation is the expensive part), so the model set — and,
+    each model's evaluation being independent, every per-model result
+    and ledger record body — is bit-identical for every [jobs] value. *)
 
 val print : t -> unit

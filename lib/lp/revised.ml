@@ -156,6 +156,14 @@ type t = {
          later FTRANs *)
   mutable n_refactors : int;
   mutable n_pivots : int;
+  (* Per-cause reinversion counters, mirroring the process-wide
+     [revised_refactor_*_total] metrics: ledger records diff THESE (the
+     instance's own work) so concurrent solvers on other domains cannot
+     bleed into a record's deltas. *)
+  mutable n_refactor_stability : int;
+  mutable n_refactor_growth : int;
+  mutable n_refactor_drift : int;
+  mutable n_refactor_backstop : int;
 }
 
 let dummy_eta = { row = -1; pivot = 1.; idx = [||]; vals = [||] }
@@ -734,10 +742,12 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
           let need_refactor =
             if t.refactor_forced then begin
               Metrics.inc m_refactor_stability;
+              t.n_refactor_stability <- t.n_refactor_stability + 1;
               true
             end
             else if t.pivots_since_refactor >= t.pivot_backstop then begin
               Metrics.inc m_refactor_backstop;
+              t.n_refactor_backstop <- t.n_refactor_backstop + 1;
               true
             end
             else if
@@ -745,6 +755,7 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
               > t.growth_limit *. float_of_int (t.base_eta_nnz + t.m)
             then begin
               Metrics.inc m_refactor_growth;
+              t.n_refactor_growth <- t.n_refactor_growth + 1;
               true
             end
             else if
@@ -764,6 +775,7 @@ let run_phase t ~cost_of ~max_iter ~stall_limit =
               end
             then begin
               Metrics.inc m_refactor_drift;
+              t.n_refactor_drift <- t.n_refactor_drift + 1;
               true
             end
             else false
@@ -885,6 +897,10 @@ let build_state std salt =
       refactor_forced = false;
       n_refactors = 0;
       n_pivots = 0;
+      n_refactor_stability = 0;
+      n_refactor_growth = 0;
+      n_refactor_drift = 0;
+      n_refactor_backstop = 0;
     }
   in
   (* Seed etas so the (empty-file) identity represents B⁻¹ exactly: a
@@ -1228,6 +1244,7 @@ let restore_feasibility t ~max_pivots =
           let need_refactor =
             if t.refactor_forced then begin
               Metrics.inc m_refactor_stability;
+              t.n_refactor_stability <- t.n_refactor_stability + 1;
               true
             end
             else if
@@ -1235,6 +1252,7 @@ let restore_feasibility t ~max_pivots =
               > t.growth_limit *. float_of_int (t.base_eta_nnz + t.m)
             then begin
               Metrics.inc m_refactor_growth;
+              t.n_refactor_growth <- t.n_refactor_growth + 1;
               true
             end
             else false
@@ -1484,6 +1502,10 @@ type stats = {
   pivots : int;
   eta_nnz : int;
   solves : int;
+  refactor_stability : int;
+  refactor_growth : int;
+  refactor_drift : int;
+  refactor_backstop : int;
 }
 
 let stats t =
@@ -1492,6 +1514,10 @@ let stats t =
     pivots = t.n_pivots;
     eta_nnz = t.eta_nnz;
     solves = t.solves;
+    refactor_stability = t.n_refactor_stability;
+    refactor_growth = t.n_refactor_growth;
+    refactor_drift = t.n_refactor_drift;
+    refactor_backstop = t.n_refactor_backstop;
   }
 
 let force_refactor t = refactor t

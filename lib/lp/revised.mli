@@ -93,6 +93,11 @@ type stats = {
   pivots : int;  (** simplex pivots over this state's life *)
   eta_nnz : int;  (** current eta-file nonzeros *)
   solves : int;  (** phase-2 optimizations since the last {!reset} *)
+  refactor_stability : int;
+      (** reinversions forced by the small-pivot stability trigger *)
+  refactor_growth : int;  (** reinversions from eta-file growth *)
+  refactor_drift : int;  (** reinversions from sampled eta-chain drift *)
+  refactor_backstop : int;  (** reinversions from the pivot-count backstop *)
 }
 
 val stats : t -> stats

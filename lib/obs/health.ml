@@ -8,6 +8,12 @@
    (a) mirrors everything into the {!Metrics} registry and (b) keeps a
    per-solve snapshot the run ledger embeds in each record.
 
+   The snapshot lives in the current {!Run_ctx} (one typed slot per
+   context) rather than a process global, so two domains evaluating
+   models concurrently each accumulate their own solve's numerics; the
+   Metrics mirrors stay process-wide (the registry is itself
+   mutex-guarded and gauges are last-writer-wins by design).
+
    Observers are called from hot-adjacent code (once per
    refactorization / drift check / solve, never per pivot), so plain
    mutation under one mutex is cheap enough. *)
@@ -47,17 +53,25 @@ let empty =
     cert_failures = 0;
   }
 
-let lock = Mutex.create ()
-let cur = ref empty
+(* Per-context state. The slot init runs once per context; the mutex
+   covers observers racing a [current] read on the same context (the
+   common case — a worker's own solve — is uncontended). *)
+type state = { lock : Mutex.t; mutable cur : snapshot }
 
-let locked f =
-  Mutex.lock lock;
+let slot =
+  Run_ctx.slot ~name:"health" (fun () ->
+      { lock = Mutex.create (); cur = empty })
+
+let state () = Run_ctx.get (Run_ctx.current ()) slot
+
+let locked st f =
+  Mutex.lock st.lock;
   match f () with
   | x ->
-    Mutex.unlock lock;
+    Mutex.unlock st.lock;
     x
   | exception e ->
-    Mutex.unlock lock;
+    Mutex.unlock st.lock;
     raise e
 
 (* Registry mirrors. Gauges carry the LAST observation (what the solver
@@ -108,75 +122,72 @@ let g_cond =
        one-sided bound)."
     "health_condition_estimate"
 
-let begin_solve () = locked (fun () -> cur := empty)
-let current () = locked (fun () -> !cur)
+let begin_solve () =
+  let st = state () in
+  locked st (fun () -> st.cur <- empty)
+
+let current () =
+  let st = state () in
+  locked st (fun () -> st.cur)
+
+let update f =
+  let st = state () in
+  locked st (fun () -> st.cur <- f st.cur)
 
 let observe_refactor ~growth ~min_pivot ~max_pivot =
   Metrics.set g_growth growth;
   Metrics.set g_min_pivot min_pivot;
   Metrics.set g_max_pivot max_pivot;
-  locked (fun () ->
-      let c = !cur in
-      cur :=
-        {
-          c with
-          lu_growth = Float.max c.lu_growth growth;
-          lu_min_pivot =
-            (if c.refactorizations = 0 then min_pivot
-             else Float.min c.lu_min_pivot min_pivot);
-          lu_max_pivot = Float.max c.lu_max_pivot max_pivot;
-          refactorizations = c.refactorizations + 1;
-        })
+  update (fun c ->
+      {
+        c with
+        lu_growth = Float.max c.lu_growth growth;
+        lu_min_pivot =
+          (if c.refactorizations = 0 then min_pivot
+           else Float.min c.lu_min_pivot min_pivot);
+        lu_max_pivot = Float.max c.lu_max_pivot max_pivot;
+        refactorizations = c.refactorizations + 1;
+      })
 
 let observe_drift drift =
   Metrics.set g_drift drift;
-  locked (fun () ->
-      let c = !cur in
-      cur :=
-        {
-          c with
-          eta_drift = Float.max c.eta_drift drift;
-          drift_samples = c.drift_samples + 1;
-        })
+  update (fun c ->
+      {
+        c with
+        eta_drift = Float.max c.eta_drift drift;
+        drift_samples = c.drift_samples + 1;
+      })
 
 let observe_degeneracy_streak streak =
   Metrics.set_max g_streak (float_of_int streak);
-  locked (fun () ->
-      let c = !cur in
-      if streak > c.degeneracy_streak then
-        cur := { c with degeneracy_streak = streak })
+  update (fun c ->
+      if streak > c.degeneracy_streak then { c with degeneracy_streak = streak }
+      else c)
 
 let observe_stall () =
   Metrics.inc c_stalls;
-  locked (fun () ->
-      let c = !cur in
-      cur := { c with bland_switches = c.bland_switches + 1 })
+  update (fun c -> { c with bland_switches = c.bland_switches + 1 })
 
 let observe_salt salt =
   Metrics.set_max g_salt (float_of_int salt);
-  locked (fun () ->
-      let c = !cur in
-      if salt > c.perturbation_salt then
-        cur := { c with perturbation_salt = salt })
+  update (fun c ->
+      if salt > c.perturbation_salt then { c with perturbation_salt = salt }
+      else c)
 
 let observe_condition estimate =
   Metrics.set g_cond estimate;
-  locked (fun () ->
-      let c = !cur in
-      cur :=
-        { c with condition_estimate = Float.max c.condition_estimate estimate })
+  update (fun c ->
+      { c with condition_estimate = Float.max c.condition_estimate estimate })
 
 let observe_certificate ~primal ~dual ~comp ~accepted =
-  locked (fun () ->
-      let c = !cur in
-      cur :=
-        {
-          c with
-          cert_primal = Float.max c.cert_primal primal;
-          cert_dual = Float.max c.cert_dual dual;
-          cert_comp = Float.max c.cert_comp comp;
-          cert_failures = (c.cert_failures + if accepted then 0 else 1);
-        })
+  update (fun c ->
+      {
+        c with
+        cert_primal = Float.max c.cert_primal primal;
+        cert_dual = Float.max c.cert_dual dual;
+        cert_comp = Float.max c.cert_comp comp;
+        cert_failures = (c.cert_failures + if accepted then 0 else 1);
+      })
 
 let to_json s =
   let num v = Json.Number v in

@@ -14,6 +14,12 @@
     ({!Ledger}) embeds the snapshot in each record so every solve
     carries its own worst-case numerics.
 
+    The snapshot lives in the current {!Run_ctx} (not a process
+    global): concurrent domains each accumulate the numerics of their
+    own solves, provided each unit of work runs under its own context
+    ({!Run_ctx.with_}, as the fleet runner arranges). The Metrics
+    mirrors remain process-wide last-writer-wins gauges.
+
     Thread-safe; observers are called once per refactorization, drift
     check or solve — never on the per-pivot path. *)
 
@@ -42,11 +48,13 @@ type snapshot = {
 val empty : snapshot
 
 val begin_solve : unit -> unit
-(** Reset the per-solve snapshot. Called by the solve-level entry points
-    (e.g. [Bounds.eval], [Bounds.Sweep.step]) so {!current} describes
-    exactly one unit of ledger-recorded work. *)
+(** Reset the per-solve snapshot of the current {!Run_ctx}. Called by
+    the solve-level entry points (e.g. [Bounds.eval],
+    [Bounds.Sweep.step]) so {!current} describes exactly one unit of
+    ledger-recorded work. *)
 
 val current : unit -> snapshot
+(** The current context's snapshot. *)
 
 (** {1 Observers} — called by the instrumented layers. *)
 

@@ -35,11 +35,17 @@ let locked f =
 
 (* Provenance: the commit of the running binary's working tree, resolved
    once per process (a subprocess spawn is far too slow per record).
-   [None] outside a git checkout. *)
+   [None] outside a git checkout. The memo has its own mutex — it is
+   read inside the sink lock but must also be safe for any stray direct
+   caller on another domain. *)
+let sha_lock = Mutex.create ()
 let sha_memo : string option option ref = ref None
 
 let git_sha () =
-  match !sha_memo with
+  Mutex.lock sha_lock;
+  let memo = !sha_memo in
+  Mutex.unlock sha_lock;
+  match memo with
   | Some v -> v
   | None ->
     let v =
@@ -51,7 +57,10 @@ let git_sha () =
         | _ -> None
       with _ -> None
     in
+    Mutex.lock sha_lock;
+    (* A racing resolver computed the same value; last write wins. *)
     sha_memo := Some v;
+    Mutex.unlock sha_lock;
     v
 
 let disable () =
@@ -65,28 +74,57 @@ let disable () =
          with _ -> ());
         current := None)
 
+type enable_error = [ `Already_enabled of string ]
+
+let enable_error_to_string = function
+  | `Already_enabled path ->
+    Printf.sprintf
+      "ledger already enabled on %s (disable it before re-enabling)" path
+
 let enable ?(context = []) ~path () =
-  disable ();
-  (* A killed writer may have torn the final line without its newline;
-     appending straight after would garble the first new record into the
-     torn one. Resume on a fresh line instead. *)
-  let torn_tail =
-    Sys.file_exists path
-    && (try
-          let ic = open_in_bin path in
-          Fun.protect
-            ~finally:(fun () -> close_in_noerr ic)
-            (fun () ->
-              let len = in_channel_length ic in
-              len > 0
-              &&
-              (seek_in ic (len - 1);
-               input_char ic <> '\n'))
-        with _ -> false)
-  in
-  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
-  if torn_tail then output_char oc '\n';
-  locked (fun () -> current := Some { oc; lpath = path; context })
+  locked (fun () ->
+      match !current with
+      | Some s when String.equal s.lpath path ->
+        (* Silently reopening the live sink would drop its accumulated
+           context and interleave two append channels on one file. *)
+        Error (`Already_enabled path)
+      | prev ->
+        (match prev with
+        | Some s -> (
+          try
+            flush s.oc;
+            close_out s.oc
+          with _ -> ())
+        | None -> ());
+        current := None;
+        (* A killed writer may have torn the final line without its
+           newline; appending straight after would garble the first new
+           record into the torn one. Resume on a fresh line instead. *)
+        let torn_tail =
+          Sys.file_exists path
+          && (try
+                let ic = open_in_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_in_noerr ic)
+                  (fun () ->
+                    let len = in_channel_length ic in
+                    len > 0
+                    &&
+                    (seek_in ic (len - 1);
+                     input_char ic <> '\n'))
+              with _ -> false)
+        in
+        let oc =
+          open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+        in
+        if torn_tail then output_char oc '\n';
+        current := Some { oc; lpath = path; context };
+        Ok ())
+
+let enable_exn ?context ~path () =
+  match enable ?context ~path () with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Ledger.enable: " ^ enable_error_to_string e)
 
 let is_enabled () = !current <> None
 let path () = locked (fun () -> Option.map (fun s -> s.lpath) !current)
@@ -98,6 +136,11 @@ let set_context key value =
       | Some s -> s.context <- (key, value) :: List.remove_assoc key s.context)
 
 let record ~event fields =
+  (* Resolve the writer's run context before taking the sink lock: the
+     overlay belongs to the calling domain, the sink to the process. *)
+  let ctx = Run_ctx.current () in
+  let overlay = Run_ctx.context ctx in
+  let ctx_seed = Run_ctx.seed ctx in
   locked (fun () ->
       match !current with
       | None -> ()
@@ -105,25 +148,39 @@ let record ~event fields =
         let sha =
           match git_sha () with Some v -> Json.String v | None -> Json.Null
         in
-        (* An explicit seed in [fields] (e.g. a simulator run's own seed)
-           wins over the sink-wide context seed; either way the record
-           carries exactly one top-level "seed". *)
+        (* Exactly one top-level "seed" per record, by precedence: an
+           explicit seed in [fields] (e.g. a simulator run's own seed)
+           beats the run context's (overlay pair, then the context's own
+           seed — how a fleet worker stamps its derived per-model seed),
+           which beats the sink-wide context seed. *)
         let seed =
           match
-            (List.assoc_opt "seed" fields, List.assoc_opt "seed" s.context)
+            ( List.assoc_opt "seed" fields,
+              List.assoc_opt "seed" overlay,
+              ctx_seed,
+              List.assoc_opt "seed" s.context )
           with
-          | Some v, _ | None, Some v -> v
-          | None, None -> Json.Null
+          | Some v, _, _, _ | None, Some v, _, _ -> v
+          | None, None, Some seed, _ -> Json.Number (float_of_int seed)
+          | None, None, None, Some v -> v
+          | None, None, None, None -> Json.Null
         in
         let fields = List.remove_assoc "seed" fields in
+        let overlay = List.remove_assoc "seed" overlay in
         let context = List.remove_assoc "seed" s.context in
+        (* Merge, later layers overriding earlier ones:
+           sink context < run-context overlay < record fields. *)
+        let merge base extra =
+          List.filter (fun (k, _) -> not (List.mem_assoc k extra)) base @ extra
+        in
+        let body = merge (merge context overlay) fields in
         let line =
           Json.Object
             (("event", Json.String event)
             :: ("ts", Json.Number (Unix.gettimeofday ()))
             :: ("git_sha", sha)
             :: ("seed", seed)
-            :: (context @ fields))
+            :: body)
         in
         output_string s.oc (Json.to_string line);
         output_char s.oc '\n';

@@ -14,15 +14,34 @@
 
     Like {!Trace}, the writer is a process-global switch: the
     instrumented layers call {!record} unconditionally and it is a
-    no-op until {!enable} opens a sink. *)
+    no-op until {!enable} opens a sink. The sink itself is
+    mutex-guarded, so concurrent domains append whole records, never
+    torn ones; per-domain provenance (model id, derived seed) rides in
+    on the writer's current {!Run_ctx} overlay rather than the shared
+    sink context. *)
 
 (** {1 Writing} *)
 
-val enable : ?context:(string * Json.t) list -> path:string -> unit -> unit
+type enable_error = [ `Already_enabled of string ]
+
+val enable_error_to_string : enable_error -> string
+
+val enable :
+  ?context:(string * Json.t) list ->
+  path:string ->
+  unit ->
+  (unit, enable_error) result
 (** Open (append, create) [path] as the process ledger sink. [context]
     pairs are merged into every subsequent record (e.g. a model
     fingerprint or experiment name); a ["seed"] entry is surfaced as the
-    record's top-level [seed] field. Replaces any previous sink. *)
+    record's top-level [seed] field. Replaces a previous sink on a
+    {e different} path; enabling the path that is already the live sink
+    is rejected with [`Already_enabled] (it would silently drop the
+    sink's accumulated context and double-open the file) — {!disable}
+    first to reopen deliberately. *)
+
+val enable_exn : ?context:(string * Json.t) list -> path:string -> unit -> unit
+(** {!enable}, raising [Invalid_argument] on [`Already_enabled]. *)
 
 val disable : unit -> unit
 (** Flush and close the sink; subsequent {!record}s are no-ops. *)
@@ -39,8 +58,11 @@ val set_context : string -> Json.t -> unit
 val record : event:string -> (string * Json.t) list -> unit
 (** Append one record and flush. Every record carries [event], a wall
     clock [ts], the process [git_sha] (resolved once, [null] outside a
-    checkout), [seed] (from context, else [null]), the remaining
-    context pairs, then [fields]. No-op when disabled. *)
+    checkout), [seed], then the body. The body merges, in increasing
+    precedence: the sink context, the calling domain's
+    {!Run_ctx.context} overlay, and [fields]. [seed] resolves as
+    [fields] > overlay > the run context's own seed > sink context >
+    [null]. No-op when disabled. *)
 
 (** {1 Reading} *)
 

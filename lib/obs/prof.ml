@@ -6,17 +6,19 @@
    Σ direct children totals, so summing self over all paths telescopes
    to the summed root totals ≈ measured wall time. *)
 
-let enabled = ref false
+(* Atomic, not a bare ref: worker domains consult the flag on their
+   solver hot paths while the main domain may flip it. *)
+let enabled = Atomic.make false
 
 let enable () =
-  enabled := true;
+  Atomic.set enabled true;
   Span.set_gc_profiling true
 
 let disable () =
-  enabled := false;
+  Atomic.set enabled false;
   Span.set_gc_profiling false
 
-let is_enabled () = !enabled
+let is_enabled () = Atomic.get enabled
 let now = Span.now
 
 type row = {

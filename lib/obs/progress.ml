@@ -2,7 +2,17 @@
    per-model status with an ETA, a TTY-aware live status line, and JSONL
    heartbeat records that double as a checkpoint/resume substrate — a
    rerun can load the heartbeat file and skip models already marked
-   done. *)
+   done.
+
+   One mutex guards all mutable state AND the console/heartbeat
+   rendering: fleet workers on different domains report through the same
+   reporter, and without the lock their heartbeats would interleave
+   mid-record and the TTY line would tear. The classic
+   [start]/[phase]/[finish] lifecycle keys on an implicit "current"
+   model and only suits one reporter per worker; concurrent workers use
+   the [task_*] entry points, which carry the model id explicitly so a
+   "done" heartbeat can never be attributed to whichever model another
+   worker started last. *)
 
 type t = {
   clock : unit -> float;
@@ -12,6 +22,7 @@ type t = {
   tty : bool;
   heartbeat : out_channel option;
   t0 : float;
+  lock : Mutex.t;
   mutable completed : int;
   mutable skipped : int;
   mutable current : string option;
@@ -47,6 +58,7 @@ let create ?(clock = Span.now) ?(out = stderr) ?tty ?(quiet = false) ?heartbeat
     tty;
     heartbeat;
     t0;
+    lock = Mutex.create ();
     completed = 0;
     skipped = 0;
     current = None;
@@ -56,43 +68,56 @@ let create ?(clock = Span.now) ?(out = stderr) ?tty ?(quiet = false) ?heartbeat
     live_len = 0;
   }
 
-let completed t = t.completed
-let elapsed t = Float.max 0. (t.clock () -. t.t0)
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | x ->
+    Mutex.unlock t.lock;
+    x
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let elapsed_u t = Float.max 0. (t.clock () -. t.t0)
+let completed t = locked t (fun () -> t.completed)
+let elapsed t = elapsed_u t
 
 (* elapsed / completed * remaining: deterministic given an injected
    clock, and skipped models count as completed work so a resumed run
    does not project the skipped prefix onto the remainder. *)
-let eta_seconds t =
+let eta_seconds_u t =
   if t.completed <= 0 || t.completed >= t.total then None
-  else Some (elapsed t /. float_of_int t.completed *. float_of_int (t.total - t.completed))
+  else Some (elapsed_u t /. float_of_int t.completed *. float_of_int (t.total - t.completed))
+
+let eta_seconds t = locked t (fun () -> eta_seconds_u t)
 
 let duration s =
   if s < 60. then Printf.sprintf "%.0fs" s
   else if s < 3600. then Printf.sprintf "%dm%02ds" (int_of_float s / 60) (int_of_float s mod 60)
   else Printf.sprintf "%dh%02dm" (int_of_float s / 3600) (int_of_float s mod 3600 / 60)
 
-let eta_cell t =
-  match eta_seconds t with None -> "" | Some s -> " eta " ^ duration s
+let eta_cell_u t =
+  match eta_seconds_u t with None -> "" | Some s -> " eta " ^ duration s
 
 (* ------------------------------------------------------------------ *)
-(* Heartbeats                                                           *)
+(* Heartbeats (caller holds the lock)                                  *)
 (* ------------------------------------------------------------------ *)
 
-let heartbeat t ~event =
+let heartbeat_u t ~event ~model ~seed ~phase ~elapsed:dt =
   match t.heartbeat with
   | None -> ()
   | Some oc ->
     let opt name f v = match v with None -> [] | Some v -> [ (name, f v) ] in
     let record =
       Json.Object
-        (("ts", Json.Number (elapsed t))
+        (("ts", Json.Number (elapsed_u t))
         :: ("label", Json.String t.label)
         :: ("event", Json.String event)
-        :: (opt "model" (fun m -> Json.String m) t.current
-           @ opt "seed" (fun s -> Json.Number (float_of_int s)) t.seed
-           @ opt "phase" (fun p -> Json.String p) t.phase
+        :: (opt "model" (fun m -> Json.String m) model
+           @ opt "seed" (fun s -> Json.Number (float_of_int s)) seed
+           @ opt "phase" (fun p -> Json.String p) phase
            @ [
-               ("elapsed", Json.Number (Float.max 0. (t.clock () -. t.model_t0)));
+               ("elapsed", Json.Number (Float.max 0. dt));
                ("completed", Json.Number (float_of_int t.completed));
                ("total", Json.Number (float_of_int t.total));
              ]))
@@ -101,11 +126,16 @@ let heartbeat t ~event =
     output_char oc '\n';
     flush oc
 
+(* The implicit-current variant used by the sequential lifecycle. *)
+let heartbeat_cur_u t ~event =
+  heartbeat_u t ~event ~model:t.current ~seed:t.seed ~phase:t.phase
+    ~elapsed:(t.clock () -. t.model_t0)
+
 (* ------------------------------------------------------------------ *)
-(* Console output                                                       *)
+(* Console output (caller holds the lock)                              *)
 (* ------------------------------------------------------------------ *)
 
-let live_line t =
+let live_line_u t =
   let pct =
     if t.total = 0 then 100.
     else 100. *. float_of_int t.completed /. float_of_int t.total
@@ -119,19 +149,19 @@ let live_line t =
       | Some p -> Printf.sprintf "  %s:%s" id p)
   in
   Printf.sprintf "%s %d/%d (%.0f%%)%s%s" t.label t.completed t.total pct
-    (eta_cell t) where
+    (eta_cell_u t) where
 
-let redraw t =
+let redraw_u t =
   match t.out with
   | Some oc when t.tty ->
-    let line = live_line t in
+    let line = live_line_u t in
     let pad = max 0 (t.live_len - String.length line) in
     output_string oc ("\r" ^ line ^ String.make pad ' ');
     t.live_len <- String.length line;
     flush oc
   | _ -> ()
 
-let println t msg =
+let println_u t msg =
   match t.out with
   | None -> ()
   | Some oc ->
@@ -145,59 +175,97 @@ let println t msg =
     flush oc
 
 (* ------------------------------------------------------------------ *)
-(* Lifecycle                                                            *)
+(* Sequential lifecycle (implicit current model)                       *)
 (* ------------------------------------------------------------------ *)
 
 let start t ?seed id =
-  t.current <- Some id;
-  t.seed <- seed;
-  t.phase <- None;
-  t.model_t0 <- t.clock ();
-  heartbeat t ~event:"start";
-  redraw t
+  locked t (fun () ->
+      t.current <- Some id;
+      t.seed <- seed;
+      t.phase <- None;
+      t.model_t0 <- t.clock ();
+      heartbeat_cur_u t ~event:"start";
+      redraw_u t)
 
 let phase t name =
-  t.phase <- Some name;
-  heartbeat t ~event:"phase";
-  redraw t
+  locked t (fun () ->
+      t.phase <- Some name;
+      heartbeat_cur_u t ~event:"phase";
+      redraw_u t)
 
 let finish t =
-  let dt = Float.max 0. (t.clock () -. t.model_t0) in
-  t.completed <- t.completed + 1;
-  heartbeat t ~event:"done";
-  (match t.current with
-  | Some id when not t.tty ->
-    println t
-      (Printf.sprintf "%s [%d/%d] %s done in %s%s" t.label t.completed t.total
-         id (duration dt) (eta_cell t))
-  | _ -> ());
-  t.current <- None;
-  t.phase <- None;
-  redraw t
+  locked t (fun () ->
+      let dt = Float.max 0. (t.clock () -. t.model_t0) in
+      t.completed <- t.completed + 1;
+      heartbeat_cur_u t ~event:"done";
+      (match t.current with
+      | Some id when not t.tty ->
+        println_u t
+          (Printf.sprintf "%s [%d/%d] %s done in %s%s" t.label t.completed
+             t.total id (duration dt) (eta_cell_u t))
+      | _ -> ());
+      t.current <- None;
+      t.phase <- None;
+      redraw_u t)
 
 let skip t ?seed id =
-  t.current <- Some id;
-  t.seed <- seed;
-  t.phase <- None;
-  t.model_t0 <- t.clock ();
-  t.completed <- t.completed + 1;
-  t.skipped <- t.skipped + 1;
-  heartbeat t ~event:"skip";
-  t.current <- None;
-  redraw t
+  locked t (fun () ->
+      t.completed <- t.completed + 1;
+      t.skipped <- t.skipped + 1;
+      heartbeat_u t ~event:"skip" ~model:(Some id) ~seed ~phase:None ~elapsed:0.;
+      redraw_u t)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent lifecycle (explicit model ids, for fleet workers)        *)
+(* ------------------------------------------------------------------ *)
+
+let task_start t ?seed id =
+  locked t (fun () ->
+      (* The live line shows the most recently started task — with
+         several in flight there is no single "current" model, only a
+         representative one. *)
+      t.current <- Some id;
+      t.seed <- seed;
+      t.phase <- None;
+      heartbeat_u t ~event:"start" ~model:(Some id) ~seed ~phase:None
+        ~elapsed:0.;
+      redraw_u t)
+
+let task_phase t ~id name =
+  locked t (fun () ->
+      (if t.current = Some id then t.phase <- Some name);
+      heartbeat_u t ~event:"phase" ~model:(Some id) ~seed:t.seed
+        ~phase:(Some name) ~elapsed:0.;
+      redraw_u t)
+
+let task_done t ?seed ?(elapsed = 0.) id =
+  locked t (fun () ->
+      t.completed <- t.completed + 1;
+      heartbeat_u t ~event:"done" ~model:(Some id) ~seed ~phase:None ~elapsed;
+      if not t.tty && t.out <> None then
+        println_u t
+          (Printf.sprintf "%s [%d/%d] %s done in %s%s" t.label t.completed
+             t.total id (duration elapsed) (eta_cell_u t));
+      if t.current = Some id then begin
+        t.current <- None;
+        t.phase <- None
+      end;
+      redraw_u t)
 
 let close t =
-  (match t.out with
-  | Some oc when t.tty ->
-    output_string oc ("\r" ^ String.make t.live_len ' ' ^ "\r");
-    t.live_len <- 0;
-    flush oc
-  | _ -> ());
-  println t
-    (Printf.sprintf "%s: %d/%d done%s in %s" t.label t.completed t.total
-       (if t.skipped > 0 then Printf.sprintf " (%d skipped)" t.skipped else "")
-       (duration (elapsed t)));
-  match t.heartbeat with Some oc -> flush oc | None -> ()
+  locked t (fun () ->
+      (match t.out with
+      | Some oc when t.tty ->
+        output_string oc ("\r" ^ String.make t.live_len ' ' ^ "\r");
+        t.live_len <- 0;
+        flush oc
+      | _ -> ());
+      println_u t
+        (Printf.sprintf "%s: %d/%d done%s in %s" t.label t.completed t.total
+           (if t.skipped > 0 then Printf.sprintf " (%d skipped)" t.skipped
+            else "")
+           (duration (elapsed_u t)));
+      match t.heartbeat with Some oc -> flush oc | None -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Resume                                                               *)

@@ -6,7 +6,16 @@
     otherwise), and optionally appends JSONL heartbeat records — model
     id, seed, phase, elapsed — to a channel. The heartbeat file doubles
     as a checkpoint: {!load_completed} returns the model ids a previous
-    run finished so a rerun can skip them. *)
+    run finished so a rerun can skip them.
+
+    All state and rendering sit behind one mutex, so a single reporter
+    can be shared by worker domains: heartbeat records never interleave
+    mid-line and the TTY status line never tears. Sequential sweeps use
+    the implicit-current {!start}/{!phase}/{!finish} lifecycle;
+    concurrent workers must use {!task_start}/{!task_phase}/{!task_done}
+    instead, which carry the model id explicitly (with several models in
+    flight, "the current model" no longer identifies whose event is
+    being reported). *)
 
 type t
 
@@ -37,6 +46,25 @@ val finish : t -> unit
 val skip : t -> ?seed:int -> string -> unit
 (** Record model [id] as skipped (e.g. found in a resume file). Counts
     toward [completed] so ETA reflects remaining work only. *)
+
+(** {1 Concurrent lifecycle}
+
+    Explicit-id events for fleet workers sharing one reporter across
+    domains. Safe to mix with {!skip} (which already names its model);
+    do not mix with {!start}/{!finish} on the same reporter. *)
+
+val task_start : t -> ?seed:int -> string -> unit
+(** Emit a ["start"] heartbeat for model [id]; the live line shows the
+    most recently started task. *)
+
+val task_phase : t -> id:string -> string -> unit
+(** Emit a ["phase"] heartbeat for model [id]. *)
+
+val task_done : t -> ?seed:int -> ?elapsed:float -> string -> unit
+(** Emit a ["done"] heartbeat for model [id] and bump [completed].
+    [elapsed] is the task's own wall time as measured by the caller
+    (the reporter cannot attribute shared wall time to one of several
+    in-flight tasks); defaults to [0.]. *)
 
 val close : t -> unit
 (** Clear the live line, print a final summary, flush the heartbeat

@@ -1,0 +1,69 @@
+(** Explicit, domain-safe run context.
+
+    A context carries the state that used to live in process globals —
+    the numerical-health snapshot ({!Health}), the ledger provenance
+    overlay, a deterministic per-model seed/PRNG — so independent units
+    of work (one model evaluation in a fleet run) can execute on
+    different domains without corrupting each other's telemetry.
+
+    Every domain has a {e current} context, stored in [Domain.DLS]: a
+    fresh anonymous root per domain by default, or whatever {!with_}
+    installed. The observability modules resolve the current context
+    internally, so single-threaded callers see exactly the old global
+    behavior without touching a signature.
+
+    Modules attach their own per-run state through typed {!slot}s
+    (mirroring [Domain.DLS.new_key]): state is created lazily per
+    context on first access, and [Run_ctx] needs no compile-time
+    knowledge of the state's type. *)
+
+type t
+
+val create :
+  ?seed:int -> ?rng:Mapqn_prng.Rng.t -> ?context:(string * Json.t) list -> unit -> t
+(** A fresh context. [seed] is the deterministic per-model seed the
+    fleet derives from the experiment seed; when [rng] is omitted but
+    [seed] given, the context carries [Rng.create ~seed]. [context] is
+    the initial ledger overlay (see {!set_context}). *)
+
+val current : unit -> t
+(** The calling domain's current context (a per-domain root context when
+    no {!with_} is active). *)
+
+val with_ : t -> (unit -> 'a) -> 'a
+(** [with_ ctx f] runs [f] with [ctx] as the current context of the
+    calling domain, restoring the previous context afterwards (also on
+    exceptions). Nesting is fine; contexts may be reused across calls
+    but must not be current on two domains at once. *)
+
+val id : t -> int
+(** Unique per-process context id (creation order). *)
+
+val seed : t -> int option
+val rng : t -> Mapqn_prng.Rng.t option
+
+(** {1 Ledger context overlay}
+
+    Key/value provenance pairs that {!Ledger.record} merges over the
+    sink-wide context for records written while this context is
+    current — e.g. the fleet sets ["model"] and the per-model seed, so
+    concurrent workers' records carry their own provenance instead of
+    the last writer's. *)
+
+val set_context : t -> string -> Json.t -> unit
+val context : t -> (string * Json.t) list
+
+(** {1 Typed state slots} *)
+
+type 'a slot
+
+val slot : name:string -> (unit -> 'a) -> 'a slot
+(** Declare a state slot (typically at module initialization, compare
+    [Domain.DLS.new_key]). [init] creates the state lazily, once per
+    context, on first {!get}. *)
+
+val get : t -> 'a slot -> 'a
+(** The context's state for [slot], created by the slot's [init] on
+    first access. Thread-safe. *)
+
+val slot_name : 'a slot -> string

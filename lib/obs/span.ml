@@ -6,9 +6,9 @@ let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
 (* GC/allocation profiling is owned here (rather than in [Prof]) so that
    [with_] can read it without a dependency cycle; [Prof.enable] flips
    it. *)
-let gc_profiling_flag = ref false
-let set_gc_profiling b = gc_profiling_flag := b
-let gc_profiling () = !gc_profiling_flag
+let gc_profiling_flag = Atomic.make false
+let set_gc_profiling b = Atomic.set gc_profiling_flag b
+let gc_profiling () = Atomic.get gc_profiling_flag
 
 type agg = {
   mutable count : int;
@@ -95,7 +95,7 @@ let with_ ?(collector = default) name f =
   let gc_snapshot () =
     { (Gc.quick_stat ()) with Gc.minor_words = Gc.minor_words () }
   in
-  let g0 = if !gc_profiling_flag then Some (gc_snapshot ()) else None in
+  let g0 = if Atomic.get gc_profiling_flag then Some (gc_snapshot ()) else None in
   let t0 = collector.clock () in
   Fun.protect f ~finally:(fun () ->
       (* Clamp: a stepped wall clock injected via [?clock] (or plain

@@ -91,20 +91,23 @@ let clear t =
 (* Global trace                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let enabled = ref false
-let global : t option ref = ref None
+(* Atomics, not bare refs: worker domains consult [enabled] on their
+   per-pivot hot paths and the ring itself is mutex-guarded, so a trace
+   enabled around a fleet run collects from all workers. *)
+let enabled = Atomic.make false
+let global : t option Atomic.t = Atomic.make None
 
 let enable ?capacity () =
-  global := Some (create ?capacity ());
-  enabled := true
+  Atomic.set global (Some (create ?capacity ()));
+  Atomic.set enabled true
 
 let disable () =
-  enabled := false;
-  global := None
+  Atomic.set enabled false;
+  Atomic.set global None
 
-let is_enabled () = !enabled
-let current () = !global
-let record ev = match !global with Some t -> emit t ev | None -> ()
+let is_enabled () = Atomic.get enabled
+let current () = Atomic.get global
+let record ev = match Atomic.get global with Some t -> emit t ev | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)

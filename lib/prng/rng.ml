@@ -44,6 +44,24 @@ let split t =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+(* Deterministic per-task seed derivation: hash (seed, index) through
+   SplitMix64 so that nearby experiment seeds and consecutive task
+   indices yield unrelated child seeds. Order-free — unlike [split], the
+   result depends only on the two integers, which is what lets a fleet
+   give task [i] the same seed no matter which worker or in which order
+   it runs. *)
+let derive ~seed index =
+  let state = ref (Int64.of_int seed) in
+  let a = splitmix64 state in
+  state := Int64.logxor a (Int64.mul (Int64.of_int index) 0x9E3779B97F4A7C15L);
+  let b = splitmix64 state in
+  (* Top 52 bits: non-negative, within OCaml's native int range, and
+     exactly representable as an IEEE double — derived seeds are
+     recorded in JSON (ledger, heartbeats, fleet rows) whose only
+     number type is a double, and a seed that rounds on the way to disk
+     cannot reproduce the run it labels. *)
+  Int64.to_int (Int64.shift_right_logical b 12)
+
 let float t =
   (* Top 53 bits scaled by 2^-53: uniform on [0,1) with full double
      resolution. *)

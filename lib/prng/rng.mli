@@ -19,6 +19,14 @@ val split : t -> t
 val copy : t -> t
 (** Snapshot of the current state. *)
 
+val derive : seed:int -> int -> int
+(** [derive ~seed index] is a deterministic child seed for task [index]
+    of an experiment seeded with [seed] (SplitMix64 over the pair).
+    Unlike {!split} it consumes no generator state, so a fleet can hand
+    task [i] the same seed regardless of worker assignment or completion
+    order. Non-negative and at most 52 bits, so the seed survives a
+    JSON round-trip (ledger records, heartbeat checkpoints) exactly. *)
+
 val uint64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -110,10 +110,20 @@ let m_idle_transitions k =
     "sim_idle_transitions_total"
 
 let run ?(options = default_options) network =
+  (* Each simulation is one unit of run-context work: its PRNG state
+     rides in the context (created from the run's seed, so the stream is
+     unchanged), and health/ledger provenance written during the run is
+     isolated from concurrent runs on other domains. *)
+  let ctx = Mapqn_obs.Run_ctx.create ~seed:options.seed () in
+  Mapqn_obs.Run_ctx.with_ ctx @@ fun () ->
   Mapqn_obs.Span.with_ "sim.run" @@ fun () ->
   let m = Network.num_stations network in
   let n = Network.population network in
-  let rng = Rng.create ~seed:options.seed in
+  let rng =
+    match Mapqn_obs.Run_ctx.rng ctx with
+    | Some r -> r
+    | None -> Rng.create ~seed:options.seed
+  in
   let heap : event Event_heap.t = Event_heap.create () in
   let wants tag =
     List.exists (fun p -> p = tag) options.probes

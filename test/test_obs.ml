@@ -778,7 +778,7 @@ let test_ledger_disabled_noop () =
 
 let test_ledger_record_shape () =
   with_temp_ledger @@ fun tmp ->
-  Ledger.enable ~context:[ ("experiment", Json.String "test") ] ~path:tmp ();
+  Ledger.enable_exn ~context:[ ("experiment", Json.String "test") ] ~path:tmp ();
   Alcotest.(check (option string)) "path" (Some tmp) (Ledger.path ());
   Ledger.set_context "seed" (Json.Number 42.);
   Ledger.record ~event:"eval"
@@ -810,9 +810,40 @@ let test_ledger_record_shape () =
     | _ -> Alcotest.fail "record is not an object")
   | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs)
 
+let test_ledger_double_enable () =
+  with_temp_ledger @@ fun tmp ->
+  (match Ledger.enable ~path:tmp () with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "first enable must succeed");
+  (* Same path while live: rejected with the typed error (it would drop
+     the sink context and double-open the file). *)
+  (match Ledger.enable ~path:tmp () with
+  | Error (`Already_enabled p) -> Alcotest.(check string) "path in error" tmp p
+  | Ok () -> Alcotest.fail "double enable on the live path must be rejected");
+  Alcotest.check_raises "enable_exn raises"
+    (Invalid_argument
+       ("Ledger.enable: " ^ Ledger.enable_error_to_string (`Already_enabled tmp)))
+    (fun () -> Ledger.enable_exn ~path:tmp ());
+  (* Still enabled on the original path, and a different path replaces
+     the sink deliberately. *)
+  Alcotest.(check (option string)) "sink unchanged" (Some tmp) (Ledger.path ());
+  let tmp2 = tmp ^ ".second" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp2 then Sys.remove tmp2)
+    (fun () ->
+      (match Ledger.enable ~path:tmp2 () with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "different path must replace the sink");
+      Alcotest.(check (option string)) "replaced" (Some tmp2) (Ledger.path ());
+      (* After disable, re-enabling the first path is legitimate. *)
+      Ledger.disable ();
+      match Ledger.enable ~path:tmp () with
+      | Ok () -> Ledger.disable ()
+      | Error _ -> Alcotest.fail "enable after disable must succeed")
+
 let test_ledger_crash_resume () =
   with_temp_ledger @@ fun tmp ->
-  Ledger.enable ~path:tmp ();
+  Ledger.enable_exn ~path:tmp ();
   Ledger.record ~event:"eval" [ ("population", Json.Number 2.) ];
   Ledger.record ~event:"eval" [ ("population", Json.Number 4.) ];
   Ledger.disable ();
@@ -825,7 +856,7 @@ let test_ledger_crash_resume () =
     (List.map Ledger.population (Ledger.load tmp));
   (* Re-enabling resumes the stream on a fresh line, so the first record
      after the crash is not garbled into the torn one. *)
-  Ledger.enable ~path:tmp ();
+  Ledger.enable_exn ~path:tmp ();
   Ledger.record ~event:"eval" [ ("population", Json.Number 16.) ];
   Ledger.disable ();
   Alcotest.(check (list int)) "resume appends cleanly" [ 2; 4; 16 ]
@@ -847,7 +878,7 @@ let prop_ledger_jsonl_roundtrip =
           Ledger.disable ();
           Sys.remove tmp)
         (fun () ->
-          Ledger.enable ~path:tmp ();
+          Ledger.enable_exn ~path:tmp ();
           Ledger.record ~event:"eval" fields;
           Ledger.disable ();
           match Ledger.load tmp with
@@ -1162,6 +1193,8 @@ let () =
             test_ledger_disabled_noop;
           Alcotest.test_case "record shape + seed precedence" `Quick
             test_ledger_record_shape;
+          Alcotest.test_case "double enable rejected" `Quick
+            test_ledger_double_enable;
           Alcotest.test_case "crash resume skips torn line" `Quick
             test_ledger_crash_resume;
           Alcotest.test_case "diff reports known bound delta" `Quick
