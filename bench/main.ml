@@ -621,6 +621,34 @@ let fleet () =
       "bench fleet: parallel per-model results differ from sequential\n";
     exit 1
   end;
+  (* Hard-slice failed-model count, under the harvest config
+     ([standard] constraints, the CLI default — the config the corpus's
+     failures live under): the first 200 random models on the
+     small-population grid include historically certificate-failing
+     corpus models (indices 15, 63, 74), so a numerics regression that
+     resurrects the failures shows up here as a nonzero count — which
+     regress.exe gates to zero. *)
+  let hard =
+    Mapqn_experiments.Fleet_sweep.run
+      ~options:
+        {
+          Mapqn_experiments.Fleet_sweep.default_options with
+          Mapqn_experiments.Fleet_sweep.models = 200;
+          populations = [ 1; 2; 4; 8 ];
+          config = Mapqn_core.Constraints.standard;
+        }
+      ()
+  in
+  let hard_failed = List.length hard.Mapqn_experiments.Fleet_sweep.failed in
+  let hard_rescued =
+    List.length
+      (List.filter
+         (fun r -> r.Mapqn_experiments.Fleet_sweep.rescues <> [])
+         hard.Mapqn_experiments.Fleet_sweep.rows)
+  in
+  Printf.printf
+    "fleet hard slice (200 models, N<=8): %d failed, %d rescued in %.2fs\n"
+    hard_failed hard_rescued hard.Mapqn_experiments.Fleet_sweep.wall_s;
   let fleet_json =
     J.Object
       [
@@ -630,6 +658,9 @@ let fleet () =
         ("speedup", J.Number speedup);
         ("cores", J.Number (float_of_int cores));
         ("bit_identical", J.Bool identical);
+        ("hard_slice_models", J.Number 200.);
+        ("failed", J.Number (float_of_int hard_failed));
+        ("rescued", J.Number (float_of_int hard_rescued));
       ]
   in
   let base =

@@ -248,6 +248,26 @@ let () =
       Printf.printf
         "  fleet: parallel results differ from sequential  REGRESSION\n"
     | Some true | None -> ());
+    (* The failed-model count must be zero: the bench's hard slice
+       includes models that historically failed their certificate, so
+       any nonzero count is the rescue ladder regressing. Candidates
+       without the field (pre-rescue bench binaries) only warn. *)
+    (match num "failed" with
+    | Some f when f > 0. ->
+      incr failures;
+      Printf.printf
+        "  fleet: %.0f failed model(s) in the hard slice  REGRESSION (must \
+         be 0)\n"
+        f
+    | Some _ ->
+      Printf.printf "  fleet: hard slice failed-model count 0%s\n"
+        (match num "rescued" with
+        | Some r when r > 0. -> Printf.sprintf " (%.0f rescued)" r
+        | _ -> "")
+    | None ->
+      Printf.printf
+        "  warning: candidate fleet block has no failed-model count \
+         (pre-rescue format?)\n");
     match (num "speedup", num "cores") with
     | Some speedup, Some cores when cores >= 4. ->
       let gated = speedup < 2.0 in

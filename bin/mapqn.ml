@@ -588,11 +588,11 @@ let resolve_jobs = function
     exit 1
   | None -> Mapqn_fleet.Fleet.default_jobs ()
 
-let resume_skip ~label resume_from =
+let resume_skip ?(require_certified = false) ~label resume_from =
   match resume_from with
   | None -> fun _ -> false
   | Some path ->
-    let done_ = Mapqn_obs.Progress.load_completed path in
+    let done_ = Mapqn_obs.Progress.load_completed ~require_certified path in
     if done_ = [] then
       Printf.eprintf "%s: no completed models in %s, running all\n%!" label path
     else
@@ -704,8 +704,17 @@ let fleet_cmd =
     in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
   in
+  let accept_uncertified_arg =
+    let doc =
+      "Keep a model whose certificate rescue ladder is exhausted, reporting \
+       its best uncertified bounds, instead of failing it. Its checkpoint \
+       entry is stamped $(b,\"certified\": false), so a later \
+       $(b,--resume-from) of the heartbeat file still retries it."
+    in
+    Arg.(value & flag & info [ "accept-uncertified" ] ~doc)
+  in
   let run verbose models stations map_stations populations jobs seed config
-      exact_upto out progress heartbeat_out resume_from obs =
+      exact_upto accept_uncertified out progress heartbeat_out resume_from obs =
     setup_logs verbose;
     with_telemetry "fleet" obs @@ fun () ->
     let populations =
@@ -728,6 +737,7 @@ let fleet_cmd =
         seed;
         config;
         exact_upto;
+        accept_uncertified;
         jobs = resolve_jobs jobs;
         spec =
           {
@@ -737,7 +747,10 @@ let fleet_cmd =
           };
       }
     in
-    let skip = resume_skip ~label:"fleet" resume_from in
+    (* Uncertified "done" records don't count as completed: a resumed
+       fleet retries rescued-but-uncertified models exactly like failed
+       ones (which emit no "done" record at all). *)
+    let skip = resume_skip ~require_certified:true ~label:"fleet" resume_from in
     (* Row writes come from worker domains; one mutex keeps the JSONL
        stream record-atomic (same contract as the ledger sink). *)
     let sink_mutex = Mutex.create () in
@@ -783,7 +796,8 @@ let fleet_cmd =
     Term.(
       const run $ verbose_arg $ models_arg $ stations_arg $ map_stations_arg
       $ populations_arg $ jobs_arg $ seed_arg $ config_arg $ exact_upto_arg
-      $ out_arg $ progress_arg $ heartbeat_out_arg $ resume_from_arg $ obs_args)
+      $ accept_uncertified_arg $ out_arg $ progress_arg $ heartbeat_out_arg
+      $ resume_from_arg $ obs_args)
 
 let pipeline_cmd =
   let run verbose paper_scale obs =

@@ -71,26 +71,120 @@ type solver = Dense | Revised
 
 type backend = B_dense of Simplex.prepared | B_revised of Revised.t
 
+(* Certificate rescue policy. On a certificate failure the solve
+   escalates through a ladder of increasingly drastic retries (refine →
+   reperturb tighter → cold re-solve → dense-tableau oracle);
+   [max_rung] caps how far it may climb and [accept_uncertified] turns
+   an exhausted ladder into a recorded [Health.Uncertified] outcome
+   instead of a raised [Certificate_failure]. *)
+type rescue_policy = { max_rung : int; accept_uncertified : bool }
+
+let default_rescue = { max_rung = 4; accept_uncertified = false }
+
 type t = {
   network : Mapqn_model.Network.t;
   ms : Ms.t;
   model : Lp.t;
-  backend : backend;
+  mutable backend : backend;
+      (* the rescue ladder swaps in the re-prepared state that produced
+         the accepted result, so later objectives benefit from it *)
   config : Constraints.config;
   max_iter : int option;
+  rescue : rescue_policy;
+  (* Work counters of backends the rescue ladder retired, so
+     [work_snapshot] deltas stay monotone across a swap. *)
+  mutable retired_pivots : int;
+  mutable retired_refactors : int;
+  mutable retired_stability : int;
+  mutable retired_growth : int;
+  mutable retired_drift : int;
+  mutable retired_backstop : int;
 }
 
 let default_solver = Revised
 
+let m_rescues =
+  Mapqn_obs.Metrics.counter
+    ~help:"Certificate or phase-1 failures that entered the rescue ladder."
+    "bounds_rescue_attempts_total"
+
+(* The dense oracle materializes an m×n tableau; past ~2e6 cells the
+   memory and per-pivot cost stop being a rescue and start being a
+   hang, and the big-population LPs it would cover are not where the
+   hard models live anyway. *)
+let dense_rescue_cells = 2_000_000
+
+(* Phase-1 rescue. [Revised.prepare] reporting the LP infeasible (or
+   hitting its phase-1 iteration cap) is always numerics on these
+   models — the exact aggregated solution is feasible by construction —
+   so a failed prepare climbs the same ladder as a failed certificate,
+   minus the refine rung (there is no optimal basis to refine): a 100×
+   tighter reperturbation, a cold re-solve at a shifted salt base, then
+   the dense tableau as an independent oracle. The winning rung is
+   recorded as the solve's {!Health.rescue} cause. *)
+let rescue_prepare ~policy ?max_iter model err =
+  Mapqn_obs.Metrics.inc m_rescues;
+  let attempt depth rung prepare =
+    if depth > policy.max_rung then None
+    else
+      match prepare () with
+      | Ok p ->
+        Health.observe_rescue rung;
+        Some p
+      | Error _ -> None
+  in
+  let reperturbed () =
+    attempt 2 Health.Reperturbed (fun () ->
+        Result.map
+          (fun p -> B_revised p)
+          (Revised.prepare ?max_iter ~pert_scale:0.01 ~salt:0 model))
+  and cold_resolve () =
+    attempt 3 Health.Cold_resolve (fun () ->
+        Result.map
+          (fun p -> B_revised p)
+          (Revised.prepare ?max_iter ~pert_scale:0.1 ~salt:7 model))
+  and dense_oracle () =
+    if Lp.num_vars model * Lp.num_rows model > dense_rescue_cells then None
+    else
+      attempt 4 Health.Dense_oracle (fun () ->
+          Result.map (fun p -> B_dense p) (Simplex.prepare ?max_iter model))
+  in
+  let rescued =
+    Mapqn_obs.Span.with_ "bounds.rescue" (fun () ->
+        match reperturbed () with
+        | Some _ as r -> r
+        | None -> (
+          match cold_resolve () with
+          | Some _ as r -> r
+          | None -> dense_oracle ()))
+  in
+  match rescued with Some b -> Ok b | None -> Error err
+
 let create ?(solver = default_solver) ?(config = Constraints.standard) ?max_iter
-    network =
+    ?(rescue = default_rescue) network =
   Mapqn_obs.Span.with_ "bounds.create" @@ fun () ->
   if Mapqn_model.Network.has_delay network then
     Error (Unsupported_network "a delay (infinite-server) station")
   else begin
     let ms, model = Constraints.build config network in
     let lift = function
-      | Ok backend -> Ok { network; ms; model; backend; config; max_iter }
+      | Ok backend ->
+        Ok
+          {
+            network;
+            ms;
+            model;
+            backend;
+            config;
+            max_iter;
+            rescue;
+            retired_pivots = 0;
+            retired_refactors = 0;
+            retired_stability = 0;
+            retired_growth = 0;
+            retired_drift = 0;
+            retired_backstop = 0;
+          }
       | Error Simplex.Infeasible_phase1 -> Error Infeasible_phase1
       | Error (Simplex.Iteration_limit_phase1 k) -> Error (Iteration_limit k)
     in
@@ -98,12 +192,14 @@ let create ?(solver = default_solver) ?(config = Constraints.standard) ?max_iter
     match solver with
     | Dense ->
       lift (Result.map (fun p -> B_dense p) (Simplex.prepare ?max_iter model))
-    | Revised ->
-      lift (Result.map (fun p -> B_revised p) (Revised.prepare ?max_iter model))
+    | Revised -> (
+      match Revised.prepare ?max_iter model with
+      | Ok p -> lift (Ok (B_revised p))
+      | Error e -> lift (rescue_prepare ~policy:rescue ?max_iter model e))
   end
 
-let create_exn ?solver ?config ?max_iter network =
-  match create ?solver ?config ?max_iter network with
+let create_exn ?solver ?config ?max_iter ?rescue network =
+  match create ?solver ?config ?max_iter ?rescue network with
   | Ok t -> t
   | Error e -> raise (Solver_error e)
 
@@ -163,18 +259,43 @@ let zero_work =
   }
 
 let work_snapshot t =
-  match t.backend with
-  | B_dense _ -> zero_work
+  let cur =
+    match t.backend with
+    | B_dense _ -> zero_work
+    | B_revised r ->
+      let s = Revised.stats r in
+      {
+        ws_pivots = float_of_int s.Revised.pivots;
+        ws_refactors = float_of_int s.Revised.refactorizations;
+        ws_stability = float_of_int s.Revised.refactor_stability;
+        ws_growth = float_of_int s.Revised.refactor_growth;
+        ws_drift = float_of_int s.Revised.refactor_drift;
+        ws_backstop = float_of_int s.Revised.refactor_backstop;
+      }
+  in
+  {
+    ws_pivots = cur.ws_pivots +. float_of_int t.retired_pivots;
+    ws_refactors = cur.ws_refactors +. float_of_int t.retired_refactors;
+    ws_stability = cur.ws_stability +. float_of_int t.retired_stability;
+    ws_growth = cur.ws_growth +. float_of_int t.retired_growth;
+    ws_drift = cur.ws_drift +. float_of_int t.retired_drift;
+    ws_backstop = cur.ws_backstop +. float_of_int t.retired_backstop;
+  }
+
+(* Retire the current backend's work into the running totals and swap in
+   the replacement the rescue ladder prepared. *)
+let swap_backend t backend =
+  (match t.backend with
+  | B_dense _ -> ()
   | B_revised r ->
     let s = Revised.stats r in
-    {
-      ws_pivots = float_of_int s.Revised.pivots;
-      ws_refactors = float_of_int s.Revised.refactorizations;
-      ws_stability = float_of_int s.Revised.refactor_stability;
-      ws_growth = float_of_int s.Revised.refactor_growth;
-      ws_drift = float_of_int s.Revised.refactor_drift;
-      ws_backstop = float_of_int s.Revised.refactor_backstop;
-    }
+    t.retired_pivots <- t.retired_pivots + s.Revised.pivots;
+    t.retired_refactors <- t.retired_refactors + s.Revised.refactorizations;
+    t.retired_stability <- t.retired_stability + s.Revised.refactor_stability;
+    t.retired_growth <- t.retired_growth + s.Revised.refactor_growth;
+    t.retired_drift <- t.retired_drift + s.Revised.refactor_drift;
+    t.retired_backstop <- t.retired_backstop + s.Revised.refactor_backstop);
+  t.backend <- backend
 
 let solver_name t =
   match t.backend with B_dense _ -> "dense" | B_revised _ -> "revised"
@@ -253,7 +374,9 @@ let m_cert_comp =
     ~help:"Worst complementary-slackness gap over the certificates of this run."
     "bounds_certificate_comp_slack"
 
-let certify t direction objective s =
+(* One certificate check, with metrics and trace but no policy: returns
+   the failure instead of raising so the rescue ladder can escalate. *)
+let certify_check t direction objective s =
   let label =
     match direction with Simplex.Minimize -> "min" | Simplex.Maximize -> "max"
   in
@@ -280,11 +403,121 @@ let certify t direction objective s =
            comp_slack = cert.Certificate.comp_slack;
            accepted = Result.is_ok outcome;
          });
-  match outcome with
-  | Ok _ -> ()
-  | Error f ->
-    Mapqn_obs.Metrics.inc m_certificate_failures;
-    raise (Solver_error (Certificate_failure f))
+  Result.map (fun _ -> ()) outcome
+
+(* ------------------------------------------------------------------ *)
+(* Certificate rescue ladder                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Escalation on a failed certificate. Each rung re-derives the solution
+   by a more drastic (and more expensive) route and re-certifies; the
+   first passing rung wins and is recorded as a typed
+   {!Health.rescue} outcome in the ledger. The ladder:
+
+   1. [Refined]      — rebuild the factorization of the same basis and
+                       re-optimize warm: washes out eta-file drift the
+                       in-solve refinement could not correct through a
+                       stale factorization.
+   2. [Reperturbed]  — fresh prepare at a 100× tighter perturbation:
+                       the witness tracks the true constraints 100×
+                       closer, at some risk of degenerate cycling
+                       (phase 1's salt-retry ladder covers that).
+   3. [Cold_resolve] — fresh prepare at a different perturbation salt
+                       base and a 10× tighter scale: an entirely
+                       different degenerate trajectory, discarding all
+                       warm-start state.
+   4. [Dense_oracle] — the dense-tableau backend as an independent
+                       oracle, gated by LP size (its tableau is m×n
+                       dense where the revised solver is O(nnz)).
+
+   Rungs 2-4 swap the state that produced the accepted result into
+   [t.backend] (retiring the old state's work counters), so subsequent
+   objectives on this model start from the healthier state instead of
+   re-climbing the ladder. *)
+
+let rescue t direction objective (f0 : Certificate.failure) =
+  Mapqn_obs.Metrics.inc m_rescues;
+  let reoptimize () = backend_optimize t direction objective in
+  (* Run one rung: [solve ()] produces an outcome; a passing certificate
+     on an optimal solution records the rung's rescue cause and returns
+     the solution. [install] (for rungs that prepared a replacement
+     state) runs only once the certificate has passed, so a failing
+     rung leaves [t.backend] untouched. *)
+  let attempt rung ?install solve =
+    match solve () with
+    | Simplex.Optimal s -> (
+      match certify_check t direction objective s with
+      | Ok () ->
+        Option.iter (fun f -> f ()) install;
+        Health.observe_rescue rung;
+        Some s
+      | Error _ -> None)
+    | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit -> None
+  in
+  let rung_refine () =
+    match t.backend with
+    | B_dense _ -> None
+    | B_revised r ->
+      attempt Health.Refined (fun () ->
+          Revised.force_refactor r;
+          reoptimize ())
+  in
+  let rung_reprepare rung ~pert_scale ~salt () =
+    match t.backend with
+    | B_dense _ -> None
+    | B_revised _ -> (
+      match
+        Revised.prepare ?max_iter:t.max_iter ~pert_scale ~salt t.model
+      with
+      | Error _ -> None
+      | Ok p ->
+        attempt rung
+          ~install:(fun () -> swap_backend t (B_revised p))
+          (fun () ->
+            Revised.optimize ?max_iter:t.max_iter p direction objective))
+  in
+  let rung_dense () =
+    let nvars, nrows = (Lp.num_vars t.model, Lp.num_rows t.model) in
+    if nvars * nrows > dense_rescue_cells then None
+    else
+      match Simplex.prepare ?max_iter:t.max_iter t.model with
+      | Error _ -> None
+      | Ok p ->
+        attempt Health.Dense_oracle
+          ~install:(fun () ->
+            match t.backend with
+            | B_dense _ -> ()
+            | B_revised _ -> swap_backend t (B_dense p))
+          (fun () -> Simplex.optimize ?max_iter:t.max_iter p direction objective)
+  in
+  let scale = match t.backend with
+    | B_revised r -> Revised.pert_scale r
+    | B_dense _ -> 1.
+  in
+  let rungs =
+    [
+      (1, rung_refine);
+      (2, rung_reprepare Health.Reperturbed ~pert_scale:(scale *. 0.01) ~salt:0);
+      (3, rung_reprepare Health.Cold_resolve ~pert_scale:(scale *. 0.1) ~salt:7);
+      (4, rung_dense);
+    ]
+  in
+  let rec climb = function
+    | [] ->
+      if t.rescue.accept_uncertified then begin
+        Health.observe_rescue Health.Uncertified;
+        None
+      end
+      else begin
+        Mapqn_obs.Metrics.inc m_certificate_failures;
+        raise (Solver_error (Certificate_failure f0))
+      end
+    | (depth, rung) :: rest ->
+      if depth > t.rescue.max_rung then climb []
+      else (
+        match rung () with Some s -> Some s | None -> climb rest)
+  in
+  Mapqn_obs.Span.with_ "bounds.rescue" (fun () -> climb rungs)
 
 let optimize t direction objective =
   Mapqn_obs.Metrics.inc m_objectives;
@@ -293,9 +526,17 @@ let optimize t direction objective =
     List.map (fun (i, c) -> (Lp.var_of_int t.model i, c)) objective
   in
   match backend_optimize t direction objective with
-  | Simplex.Optimal s ->
-    certify t direction objective s;
-    s.Simplex.objective
+  | Simplex.Optimal s -> (
+    match certify_check t direction objective s with
+    | Ok () -> s.Simplex.objective
+    | Error f -> (
+      match rescue t direction objective f with
+      | Some s' -> s'.Simplex.objective
+      | None ->
+        (* Ladder exhausted under [accept_uncertified]: the original
+           point is still the best available near-optimal solution —
+           report it, with the Uncertified outcome in the ledger. *)
+        s.Simplex.objective))
   | Simplex.Infeasible -> failwith "Bounds: phase-2 infeasibility (bug)"
   | Simplex.Unbounded ->
     failwith "Bounds: unbounded objective (missing normalization constraint?)"
@@ -631,6 +872,7 @@ module Sweep = struct
     sconfig : Constraints.config;
     max_iter : int option;
     warm_start : bool;
+    srescue : rescue_policy;
     mutable inc : Constraints.Incremental.t option;
     mutable prev : (int * bounds) option;
     mutable steps : int;
@@ -642,13 +884,14 @@ module Sweep = struct
   }
 
   let create ?(solver = default_solver) ?(config = Constraints.standard)
-      ?max_iter ?(warm_start = true) network_of =
+      ?max_iter ?(warm_start = true) ?(rescue = default_rescue) network_of =
     {
       network_of;
       solver;
       sconfig = config;
       max_iter;
       warm_start;
+      srescue = rescue;
       inc = None;
       prev = None;
       steps = 0;
@@ -662,17 +905,16 @@ module Sweep = struct
   let config s = s.sconfig
   let warm_start s = s.warm_start
 
-  let backend_counts backend =
-    match backend with
-    | B_revised r ->
-      let st = Revised.stats r in
-      (st.Revised.refactorizations, st.Revised.pivots)
-    | B_dense _ -> (0, 0)
+  (* Counts of one population's bounds state, including any backends its
+     rescue ladder retired along the way. *)
+  let backend_counts b =
+    let w = work_snapshot b in
+    (int_of_float w.ws_refactors, int_of_float w.ws_pivots)
 
   let retire s =
     match s.prev with
     | Some (_, b) ->
-      let r, p = backend_counts b.backend in
+      let r, p = backend_counts b in
       s.done_refactors <- s.done_refactors + r;
       s.done_pivots <- s.done_pivots + p
     | None -> ()
@@ -733,6 +975,13 @@ module Sweep = struct
               backend;
               config = s.sconfig;
               max_iter = s.max_iter;
+              rescue = s.srescue;
+              retired_pivots = 0;
+              retired_refactors = 0;
+              retired_stability = 0;
+              retired_growth = 0;
+              retired_drift = 0;
+              retired_backstop = 0;
             }
           in
           s.steps <- s.steps + 1;
@@ -749,19 +998,29 @@ module Sweep = struct
         | Error (Simplex.Iteration_limit_phase1 k) -> Error (Iteration_limit k)
       in
       Mapqn_obs.Span.with_ "bounds.prepare" @@ fun () ->
+      (* A failed prepare (phase-1 infeasibility or iteration cap) is
+         numerics, not modeling — climb the prepare rescue ladder before
+         reporting it. A rescued backend is a cold start. *)
+      let rescue_or e =
+        match rescue_prepare ~policy:s.srescue ?max_iter:s.max_iter model e with
+        | Ok b ->
+          cold ();
+          lift (Ok b)
+        | Error e -> lift (Error e)
+      in
       match (s.solver, seeds) with
       | Revised, Some seeds -> (
         match Revised.prepare_seeded ?max_iter:s.max_iter ~seeds model with
         | Ok (p, seeded) ->
           if seeded then warm () else cold ();
           lift (Ok (B_revised p))
-        | Error e -> lift (Error e))
-      | Revised, None ->
-        cold ();
-        lift
-          (Result.map
-             (fun p -> B_revised p)
-             (Revised.prepare ?max_iter:s.max_iter model))
+        | Error e -> rescue_or e)
+      | Revised, None -> (
+        match Revised.prepare ?max_iter:s.max_iter model with
+        | Ok p ->
+          cold ();
+          lift (Ok (B_revised p))
+        | Error e -> rescue_or e)
       | Dense, _ ->
         cold ();
         lift
@@ -784,7 +1043,7 @@ module Sweep = struct
   let stats s =
     let cur_r, cur_p =
       match s.prev with
-      | Some (_, b) -> backend_counts b.backend
+      | Some (_, b) -> backend_counts b
       | None -> (0, 0)
     in
     {

@@ -17,6 +17,7 @@ module Random_models = Mapqn_workloads.Random_models
 module Bounds = Mapqn_core.Bounds
 module Solution = Mapqn_ctmc.Solution
 module Fleet = Mapqn_fleet.Fleet
+module Health = Mapqn_obs.Health
 
 type options = {
   spec : Random_models.spec;
@@ -26,6 +27,7 @@ type options = {
   seed : int;
   jobs : int;
   exact_upto : int;
+  accept_uncertified : bool;
 }
 
 let default_options =
@@ -37,6 +39,7 @@ let default_options =
     seed = 2008;
     jobs = 1;
     exact_upto = 0;
+    accept_uncertified = false;
   }
 
 type model_row = {
@@ -45,6 +48,9 @@ type model_row = {
   model_seed : int;
   fingerprint : string;
   bounds : (int * Bounds.interval) list;  (* (population, R bounds) *)
+  rescues : (int * Health.rescue) list;
+      (* populations whose eval engaged the rescue ladder, grid order *)
+  uncertified : int;  (* populations accepted without a certificate *)
   max_err_lower : float;  (* NaN when no population had an exact solve *)
   max_err_upper : float;
   bracket_violations : int;
@@ -73,13 +79,19 @@ let evaluate_model ?progress options index (model : Random_models.model) =
   let id = model_id index in
   let report f = Option.iter f progress in
   let t0 = Mapqn_obs.Span.now () in
+  let rescue =
+    { Bounds.default_rescue with
+      accept_uncertified = options.accept_uncertified
+    }
+  in
   let sweep =
-    Bounds.Sweep.create ~config:options.config (fun population ->
+    Bounds.Sweep.create ~config:options.config ~rescue (fun population ->
         Mapqn_model.Network.with_population model.Random_models.network
           population)
   in
   let max_lower = ref Float.nan and max_upper = ref Float.nan in
   let violations = ref 0 in
+  let rescues = ref [] in
   let bounds =
     List.map
       (fun population ->
@@ -87,7 +99,24 @@ let evaluate_model ?progress options index (model : Random_models.model) =
             Mapqn_obs.Progress.task_phase p ~id
               (Printf.sprintf "N=%d" population));
         let b = Bounds.Sweep.step_exn sweep population in
+        (* [Sweep.step] and each [Bounds.eval] begin a fresh health
+           snapshot, so a prepare-time rescue (phase-1 ladder inside the
+           step) must be read before the evals wipe it; the eval-time
+           certificate rescue is read after. The deeper rung — the more
+           drastic escalation — attributes to [population]. *)
+        let step_rescue = (Health.current ()).Health.rescue in
         let r = Bounds.response_time b in
+        let eval_rescue = (Health.current ()).Health.rescue in
+        (match (step_rescue, eval_rescue) with
+        | None, None -> ()
+        | (Some _ as one), None | None, (Some _ as one) ->
+          rescues := (population, Option.get one) :: !rescues
+        | Some a, Some b ->
+          let deeper =
+            if Health.rescue_depth_of a >= Health.rescue_depth_of b then a
+            else b
+          in
+          rescues := (population, deeper) :: !rescues);
         if population <= options.exact_upto then begin
           let net =
             Mapqn_model.Network.with_population model.Random_models.network
@@ -106,6 +135,7 @@ let evaluate_model ?progress options index (model : Random_models.model) =
         (population, r))
       options.populations
   in
+  let rescues = List.rev !rescues in
   {
     index;
     id;
@@ -113,6 +143,10 @@ let evaluate_model ?progress options index (model : Random_models.model) =
     fingerprint =
       Mapqn_model.Network.fingerprint model.Random_models.network;
     bounds;
+    rescues;
+    uncertified =
+      List.length
+        (List.filter (fun (_, r) -> r = Health.Uncertified) rescues);
     max_err_lower = !max_lower;
     max_err_upper = !max_upper;
     bracket_violations = !violations;
@@ -139,6 +173,7 @@ let run ?(options = default_options) ?progress ?(skip = fun _ -> false) ?sink
   in
   let outcomes =
     Fleet.run_tasks ~jobs:(max 1 options.jobs) ?progress ~skip
+      ~certified:(fun row -> row.uncertified = 0)
       ~seed:options.seed ~ids:model_id ~total:(Array.length models)
       ~f:(fun index ->
         let row = evaluate_model ?progress options index models.(index) in
@@ -219,6 +254,20 @@ let row_to_json row =
                    ("r_upper", num upper);
                  ])
              row.bounds) );
+      ( "rescues",
+        Mapqn_obs.Json.List
+          (List.map
+             (fun (n, rung) ->
+               Mapqn_obs.Json.Object
+                 [
+                   ("population", num (float_of_int n));
+                   ( "rescue",
+                     Mapqn_obs.Json.String (Health.rescue_to_string rung) );
+                   ( "rescue_depth",
+                     num (float_of_int (Health.rescue_depth_of rung)) );
+                 ])
+             row.rescues) );
+      ("uncertified", num (float_of_int row.uncertified));
       ("max_err_lower", num row.max_err_lower);
       ("max_err_upper", num row.max_err_upper);
       ("bracket_violations", num (float_of_int row.bracket_violations));
@@ -244,6 +293,44 @@ let print t =
       (match rest with
       | [] -> ""
       | _ -> Printf.sprintf " (+%d more)" (List.length rest)));
+  (* Per-rung hit counts over all (model, population) evals: how often
+     each rescue-ladder rung produced the accepted result. *)
+  let rung_hits =
+    List.fold_left
+      (fun acc row ->
+        List.fold_left
+          (fun acc (_, rung) ->
+            let d = Health.rescue_depth_of rung in
+            acc.(d - 1) <- acc.(d - 1) + 1;
+            acc)
+          acc row.rescues)
+      (Array.make 5 0) t.rows
+  in
+  let rescued_models =
+    List.length (List.filter (fun r -> r.rescues <> []) t.rows)
+  in
+  if rescued_models > 0 then begin
+    let cells =
+      List.filteri (fun i _ -> rung_hits.(i) > 0)
+        [ Health.Refined; Health.Reperturbed; Health.Cold_resolve;
+          Health.Dense_oracle; Health.Uncertified ]
+      |> List.map (fun rung ->
+             Printf.sprintf "%s %d"
+               (Health.rescue_to_string rung)
+               rung_hits.(Health.rescue_depth_of rung - 1))
+    in
+    Printf.printf "rescue ladder: %s (%d model(s), per-population evals)\n"
+      (String.concat ", " cells)
+      rescued_models
+  end;
+  let uncertified =
+    List.fold_left (fun acc r -> acc + r.uncertified) 0 t.rows
+  in
+  if uncertified > 0 then
+    Printf.printf
+      "uncertified evals accepted: %d (rerun with --resume-from to retry \
+       those models)\n"
+      uncertified;
   let top_n = List.fold_left max 0 t.options.populations in
   let row label (mean, std, median, maximum) =
     [

@@ -23,11 +23,17 @@ type options = {
   exact_upto : int;
       (** also solve the exact CTMC and track bound errors for
           populations [<= exact_upto]; [0] disables (bounds only) *)
+  accept_uncertified : bool;
+      (** let a model whose rescue ladder is exhausted keep its best
+          uncertified bounds instead of failing — its row is flagged
+          ([uncertified]) and its checkpoint entry is stamped so a
+          resumed run retries it. Default [false]: an exhausted ladder
+          fails the model. *)
 }
 
 val default_options : options
 (** 100 models, populations [1;2;4;8;16;32;64;100], [full] constraints,
-    seed 2008, 1 job, no exact comparison. *)
+    seed 2008, 1 job, no exact comparison, uncertified results fail. *)
 
 type model_row = {
   index : int;
@@ -36,6 +42,14 @@ type model_row = {
   fingerprint : string;
   bounds : (int * Mapqn_core.Bounds.interval) list;
       (** response-time bounds per population, grid order *)
+  rescues : (int * Mapqn_obs.Health.rescue) list;
+      (** populations whose evaluation engaged the certificate rescue
+          ladder (or whose post-solve refinement corrected a
+          certificate-threatening residual), with the deepest rung
+          engaged; grid order *)
+  uncertified : int;
+      (** populations whose result was accepted without a passing
+          certificate (only with [accept_uncertified]) *)
   max_err_lower : float;  (** vs exact over [N <= exact_upto]; NaN if none *)
   max_err_upper : float;
   bracket_violations : int;

@@ -136,6 +136,9 @@ type t = {
          refactorization — the divergence signal of [run_phase] *)
   xb : float array;  (* basic values under the perturbed right-hand side *)
   rhs_pert : float array;
+  pert_scale : float;
+      (* global multiplier on the anti-degeneracy perturbation this state
+         was built with — the rescue ladder re-prepares at tighter scales *)
   phase1_basis : int array;
   mutable solves : int;
   work : float array;  (* FTRAN scratch, length m *)
@@ -832,7 +835,38 @@ let perturbation j salt =
      true constraints by at most this amount. *)
   1e-8 *. (0.5 +. u)
 
-let build_state std salt =
+(* Per-row perturbation scaling. The 1e-8 base above was tuned on the
+   m ~ 10³–10⁴ sweep instances; applied as a flat absolute constant it
+   is proportionally huge on the small-population LPs (tens to hundreds
+   of rows, where FTRAN roundoff is orders of magnitude lower) and
+   blind to row scaling — the regime where the fleet's hard random
+   models fail their certificates. In that small regime each row's
+   perturbation is therefore proportional to the row's own coefficient
+   magnitude (clamped so weakly-scaled rows still dominate roundoff and
+   heavy rows don't get their vertex disturbed), the row's RHS
+   magnitude, and sqrt(m/4096) with a floor of 1/8 — the perturbation
+   shrinks with the problem as the roundoff it must dominate does.
+   From m = 1024 up the flat constant stands: the trajectories there
+   are already well-conditioned, and reshaping the perturbation steers
+   phase 2 through measurably worse bases (the bench tandem's N ≥ 120
+   sweep steps and N = 250/500 solves regress in pivots, time and — at
+   the largest sizes — certificate residual). *)
+let pert_row_scales std =
+  let m = Std_form.num_rows std in
+  if m >= 1024 then Array.make m 1.
+  else
+    let size = Float.max 0.125 (sqrt (float_of_int m /. 4096.)) in
+    Array.init m (fun i ->
+        let norm = ref 0. in
+        Csr.iter_row std.Std_form.rows i (fun _ v ->
+            let a = Float.abs v in
+            if a > !norm then norm := a);
+        let row =
+          if !norm > 0. then Float.min 4. (Float.max 0.25 !norm) else 1.
+        in
+        size *. row *. (1. +. Float.abs std.Std_form.rhs.(i)))
+
+let build_state ?(pert_scale = 1.) std salt =
   let m = Std_form.num_rows std in
   let n_struct = std.Std_form.ncols in
   let cols = Std_form.cols std in
@@ -842,8 +876,10 @@ let build_state std salt =
      phase 1 may park an artificial at an O(1e-8) value — harmless,
      because feasibility and the reported quantities are judged against
      the TRUE right-hand side (B⁻¹b), not the perturbed one. *)
+  let pert_rows = pert_row_scales std in
   let rhs_pert =
-    Array.init m (fun i -> std.Std_form.rhs.(i) +. perturbation i salt)
+    Array.init m (fun i ->
+        std.Std_form.rhs.(i) +. (pert_scale *. pert_rows.(i) *. perturbation i salt))
   in
   (* One artificial per row: column n_struct + i ≡ ±e_i, signed so its
      basic value |rhs_pert i| is nonnegative.  Only the ones seeding the
@@ -887,6 +923,7 @@ let build_state std salt =
       worst_infeas = 0.;
       xb = Array.map Float.abs rhs_pert;
       rhs_pert;
+      pert_scale;
       phase1_basis = Array.copy basis;
       solves = 0;
       work = Array.make m 0.;
@@ -997,7 +1034,7 @@ let finalize_phase1 t =
 
 let default_max_iter ~m ~ncols = 50_000 + (50 * (m + ncols))
 
-let prepare_unspanned ?max_iter model =
+let prepare_unspanned ?max_iter ?(pert_scale = 1.) ?(salt = 0) model =
   let std = Std_form.build model in
   let m = Std_form.num_rows std in
   let max_iter =
@@ -1005,15 +1042,16 @@ let prepare_unspanned ?max_iter model =
     | Some k -> k
     | None -> default_max_iter ~m ~ncols:std.Std_form.ncols
   in
+  let salt0 = salt in
   let rec attempt salt =
     Health.observe_salt salt;
-    let t = build_state std salt in
+    let t = build_state ~pert_scale std salt in
     let cost_of j = if j >= t.n_struct then 1. else 0. in
     let stall_limit = max 5_000 (20 * m) in
     let status, _ = run_phase t ~cost_of ~max_iter ~stall_limit in
     match status with
     | R_limit ->
-      if salt < 3 then begin
+      if salt < salt0 + 3 then begin
         Metrics.inc m_retries;
         Log.debug (fun f ->
             f "phase-1 stall with perturbation salt %d; retrying" salt);
@@ -1024,7 +1062,7 @@ let prepare_unspanned ?max_iter model =
       (* Phase 1 minimizes a sum of nonnegative variables — unbounded is
          impossible in exact arithmetic, so reaching it means the basis
          degraded numerically.  Retry like a stall. *)
-      if salt < 3 then begin
+      if salt < salt0 + 3 then begin
         Metrics.inc m_retries;
         Log.debug (fun f ->
             f "phase-1 numerically degraded with perturbation salt %d; retrying"
@@ -1057,7 +1095,7 @@ let prepare_unspanned ?max_iter model =
         | (R_limit | R_unbounded), _ -> resumes := 3)
       done;
       if !mass > 1e-6 then
-        if salt < 3 then begin
+        if salt < salt0 + 3 then begin
           (* Residual artificial mass on these LPs means the trajectory
              degraded numerically (the exact aggregated solution is always
              feasible) — a fresh perturbation reshuffles the degenerate
@@ -1078,8 +1116,11 @@ let prepare_unspanned ?max_iter model =
   in
   attempt 0
 
-let prepare ?max_iter model =
-  Span.with_ "revised.phase1" (fun () -> prepare_unspanned ?max_iter model)
+let prepare ?max_iter ?pert_scale ?salt model =
+  Span.with_ "revised.phase1" (fun () ->
+      prepare_unspanned ?max_iter ?pert_scale ?salt model)
+
+let pert_scale t = t.pert_scale
 
 let reset t =
   Array.blit t.phase1_basis 0 t.basis 0 t.m;
@@ -1272,10 +1313,12 @@ let restore_feasibility t ~max_pivots =
   t.n_pivots <- t.n_pivots + !pivots;
   !ok
 
-let prepare_seeded_unspanned ?max_iter ~seeds model =
+let prepare_seeded_unspanned ?max_iter ?pert_scale ~seeds model =
   let cold ~fallback () =
     if fallback then Metrics.inc m_seeded_fallback;
-    Result.map (fun t -> (t, false)) (prepare_unspanned ?max_iter model)
+    Result.map
+      (fun t -> (t, false))
+      (prepare_unspanned ?max_iter ?pert_scale model)
   in
   if seeds = [] then cold ~fallback:false ()
   else begin
@@ -1287,7 +1330,7 @@ let prepare_seeded_unspanned ?max_iter ~seeds model =
       | Some k -> k
       | None -> default_max_iter ~m ~ncols:std.Std_form.ncols
     in
-    let t = build_state std 0 in
+    let t = build_state ?pert_scale std 0 in
     (* Resolve the seeds to standard-form columns: slacks to the slack of
        the named row, variables to their main column. *)
     let used = Array.make t.n_struct false in
@@ -1375,13 +1418,99 @@ let prepare_seeded_unspanned ?max_iter ~seeds model =
     end
   end
 
-let prepare_seeded ?max_iter ~seeds model =
+let prepare_seeded ?max_iter ?pert_scale ~seeds model =
   Span.with_ "revised.phase1" (fun () ->
-      prepare_seeded_unspanned ?max_iter ~seeds model)
+      prepare_seeded_unspanned ?max_iter ?pert_scale ~seeds model)
 
 (* ------------------------------------------------------------------ *)
 (* Phase 2                                                             *)
 (* ------------------------------------------------------------------ *)
+
+(* Post-solve iterative refinement. The reported basic values are
+   x = B⁻¹b computed through the eta file; on an ill-conditioned final
+   basis the FTRAN alone can miss the true system B·x = b by far more
+   than the certificate tolerance (the fleet's hard models reach ~1e-2).
+   The exact residual r = b − B·x is one sparse pass over the basic
+   columns, and the correction δ = B⁻¹r one more FTRAN through the
+   already-built factorization — one or two rounds recover the digits
+   conditioning took away, at a cost that is noise next to the solve. *)
+
+(* r <- rhs − B·x, where column i of B is A_{basis(i)}. *)
+let primal_residual_into t ~rhs x r =
+  Array.blit rhs 0 r 0 t.m;
+  for i = 0 to t.m - 1 do
+    let xi = x.(i) in
+    if xi <> 0. then begin
+      let c = t.basis.(i) in
+      if c < t.n_struct then
+        Csr.iter_row t.cols c (fun row v -> r.(row) <- r.(row) -. (v *. xi))
+      else begin
+        let row = t.art_row.(c - t.n_struct) in
+        r.(row) <- r.(row) -. (t.art_sign.(row) *. xi)
+      end
+    end
+  done
+
+(* Residuals already at roundoff are left alone — correcting them just
+   stirs noise. *)
+let refine_floor = 1e-12
+
+(* Refine x (≈ B⁻¹ rhs) in place; returns the residual ‖b − B·x‖∞ found
+   at the reported point before any correction. *)
+let refine_basic ?(rounds = 2) t ~rhs x =
+  let r = Array.make t.m 0. in
+  let first = ref 0. in
+  (try
+     for round = 1 to rounds do
+       primal_residual_into t ~rhs x r;
+       let worst = ref 0. in
+       for i = 0 to t.m - 1 do
+         let a = Float.abs r.(i) in
+         if a > !worst then worst := a
+       done;
+       if round = 1 then first := !worst;
+       if !worst <= refine_floor then raise Exit;
+       ftran_apply t r;
+       for i = 0 to t.m - 1 do
+         x.(i) <- x.(i) +. r.(i)
+       done
+     done
+   with Exit -> ());
+  !first
+
+(* Same story for the duals: r = c_B − Bᵀy (one sparse pass), correction
+   δ = B⁻ᵀr (one BTRAN). *)
+let refine_duals ?(rounds = 2) t ~cost_of y =
+  let r = Array.make t.m 0. in
+  try
+    for _ = 1 to rounds do
+      let worst = ref 0. in
+      for i = 0 to t.m - 1 do
+        let c = t.basis.(i) in
+        let dot = ref 0. in
+        if c < t.n_struct then
+          Csr.iter_row t.cols c (fun row v -> dot := !dot +. (v *. y.(row)))
+        else begin
+          let row = t.art_row.(c - t.n_struct) in
+          dot := t.art_sign.(row) *. y.(row)
+        end;
+        let ri = cost_of c -. !dot in
+        r.(i) <- ri;
+        let a = Float.abs ri in
+        if a > !worst then worst := a
+      done;
+      if !worst <= refine_floor then raise Exit;
+      btran_apply t r;
+      for i = 0 to t.m - 1 do
+        y.(i) <- y.(i) +. r.(i)
+      done
+    done
+  with Exit -> ()
+
+(* A pre-refinement residual above this would have put the certificate
+   (primal tolerance 1e-5) at risk — record it as a [Refined] rescue so
+   the ledger shows which solves refinement actually saved. *)
+let refine_rescue_threshold = 1e-6
 
 let optimize_unspanned ?max_iter t direction objective =
   Metrics.inc m_solves;
@@ -1458,6 +1587,14 @@ let optimize_unspanned ?max_iter t direction objective =
        anti-degeneracy perturbation. *)
     let x_true = Array.copy t.std.Std_form.rhs in
     ftran_apply t x_true;
+    (* Iterative refinement of both reported points (exact and witness)
+       through the final factorization, before anything is extracted or
+       certified. *)
+    let pre_true = refine_basic t ~rhs:t.std.Std_form.rhs x_true in
+    let pre_wit = refine_basic t ~rhs:t.rhs_pert x_wit in
+    let pre = Float.max pre_true pre_wit in
+    Health.observe_refinement ~residual:pre;
+    if pre > refine_rescue_threshold then Health.observe_rescue Health.Refined;
     let x_std = Array.make t.n_struct 0. in
     let w_std = Array.make t.n_struct 0. in
     for i = 0 to t.m - 1 do
@@ -1476,6 +1613,7 @@ let optimize_unspanned ?max_iter t direction objective =
       y.(i) <- cost_of t.basis.(i)
     done;
     btran_apply t y;
+    refine_duals t ~cost_of y;
     let duals =
       Array.init t.std.Std_form.nrows_model (fun i ->
           sign *. t.std.Std_form.row_signs.(i) *. y.(i))

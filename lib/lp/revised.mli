@@ -31,8 +31,24 @@ type t
 (** A prepared (phase-1 feasible) solver state for one model. Mutable:
     {!optimize} moves the basis. *)
 
-val prepare : ?max_iter:int -> Lp_model.t -> (t, Simplex.prepare_error) result
-(** Run phase 1. Default [max_iter] is [50_000 + 50 * (rows + vars)]. *)
+val prepare :
+  ?max_iter:int ->
+  ?pert_scale:float ->
+  ?salt:int ->
+  Lp_model.t ->
+  (t, Simplex.prepare_error) result
+(** Run phase 1. Default [max_iter] is [50_000 + 50 * (rows + vars)].
+
+    [pert_scale] (default [1.]) multiplies the anti-degeneracy
+    perturbation globally, on top of the built-in per-row scaling (row
+    coefficient norm × a sqrt(rows) size factor) — the certificate
+    rescue ladder re-prepares at tighter scales. [salt] (default [0])
+    is the base of the perturbation-retry ladder: a nonzero base draws
+    an entirely different perturbation, so a cold re-solve explores a
+    genuinely different degenerate trajectory. *)
+
+val pert_scale : t -> float
+(** The [pert_scale] this state was prepared with. *)
 
 val optimize :
   ?max_iter:int ->
@@ -75,6 +91,7 @@ val basis_seeds : ?phase1:bool -> t -> seed list
 
 val prepare_seeded :
   ?max_iter:int ->
+  ?pert_scale:float ->
   seeds:seed list ->
   Lp_model.t ->
   (t * bool, Simplex.prepare_error) result

@@ -18,6 +18,30 @@
    refactorization / drift check / solve, never per pivot), so plain
    mutation under one mutex is cheap enough. *)
 
+type rescue = Refined | Reperturbed | Cold_resolve | Dense_oracle | Uncertified
+
+let rescue_depth_of = function
+  | Refined -> 1
+  | Reperturbed -> 2
+  | Cold_resolve -> 3
+  | Dense_oracle -> 4
+  | Uncertified -> 5
+
+let rescue_to_string = function
+  | Refined -> "refined"
+  | Reperturbed -> "reperturbed"
+  | Cold_resolve -> "cold_resolve"
+  | Dense_oracle -> "dense_oracle"
+  | Uncertified -> "uncertified"
+
+let rescue_of_string = function
+  | "refined" -> Some Refined
+  | "reperturbed" -> Some Reperturbed
+  | "cold_resolve" -> Some Cold_resolve
+  | "dense_oracle" -> Some Dense_oracle
+  | "uncertified" -> Some Uncertified
+  | _ -> None
+
 type snapshot = {
   lu_growth : float;
   lu_min_pivot : float;
@@ -33,6 +57,8 @@ type snapshot = {
   cert_dual : float;
   cert_comp : float;
   cert_failures : int;
+  rescue : rescue option;
+  refine_residual : float;
 }
 
 let empty =
@@ -51,6 +77,8 @@ let empty =
     cert_dual = 0.;
     cert_comp = 0.;
     cert_failures = 0;
+    rescue = None;
+    refine_residual = 0.;
   }
 
 (* Per-context state. The slot init runs once per context; the mutex
@@ -179,6 +207,60 @@ let observe_condition estimate =
   update (fun c ->
       { c with condition_estimate = Float.max c.condition_estimate estimate })
 
+let c_rescue_refined =
+  Metrics.counter
+    ~help:"Certificate rescues resolved by iterative refinement (rung 1)."
+    "health_rescue_refined_total"
+
+let c_rescue_reperturbed =
+  Metrics.counter
+    ~help:
+      "Certificate rescues resolved by re-solving at a tighter perturbation \
+       scale (rung 2)."
+    "health_rescue_reperturbed_total"
+
+let c_rescue_cold =
+  Metrics.counter
+    ~help:"Certificate rescues resolved by a cold re-solve (rung 3)."
+    "health_rescue_cold_resolve_total"
+
+let c_rescue_dense =
+  Metrics.counter
+    ~help:"Certificate rescues resolved by the dense-tableau oracle (rung 4)."
+    "health_rescue_dense_oracle_total"
+
+let c_rescue_uncertified =
+  Metrics.counter
+    ~help:
+      "Solves whose rescue ladder was exhausted without a passing \
+       certificate."
+    "health_rescue_uncertified_total"
+
+let g_refine_residual =
+  Metrics.gauge
+    ~help:
+      "Worst primal residual found (and corrected) by post-solve iterative \
+       refinement in the last solve."
+    "health_refine_residual"
+
+let observe_rescue r =
+  Metrics.inc
+    (match r with
+    | Refined -> c_rescue_refined
+    | Reperturbed -> c_rescue_reperturbed
+    | Cold_resolve -> c_rescue_cold
+    | Dense_oracle -> c_rescue_dense
+    | Uncertified -> c_rescue_uncertified);
+  update (fun c ->
+      match c.rescue with
+      | Some prev when rescue_depth_of prev >= rescue_depth_of r -> c
+      | _ -> { c with rescue = Some r })
+
+let observe_refinement ~residual =
+  Metrics.set g_refine_residual residual;
+  update (fun c ->
+      { c with refine_residual = Float.max c.refine_residual residual })
+
 let observe_certificate ~primal ~dual ~comp ~accepted =
   update (fun c ->
       {
@@ -204,4 +286,11 @@ let to_json s =
       ("bland_switches", int s.bland_switches);
       ("perturbation_salt", int s.perturbation_salt);
       ("condition_estimate", num s.condition_estimate);
+      ( "rescue",
+        match s.rescue with
+        | None -> Json.Null
+        | Some r -> Json.String (rescue_to_string r) );
+      ( "rescue_depth",
+        int (match s.rescue with None -> 0 | Some r -> rescue_depth_of r) );
+      ("refine_residual", num s.refine_residual);
     ]

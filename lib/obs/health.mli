@@ -23,6 +23,20 @@
     Thread-safe; observers are called once per refactorization, drift
     check or solve — never on the per-pivot path. *)
 
+type rescue = Refined | Reperturbed | Cold_resolve | Dense_oracle | Uncertified
+(** The rung of the certificate rescue ladder that produced (or failed
+    to produce) a passing certificate for a solve. [Refined] also covers
+    the always-on post-solve iterative refinement when it had to correct
+    a residual large enough to have threatened the certificate. Ordered:
+    each constructor is a strictly deeper escalation than the previous,
+    and [Uncertified] means the whole ladder was exhausted. *)
+
+val rescue_depth_of : rescue -> int
+(** Ladder depth, 1 ([Refined]) to 5 ([Uncertified]). *)
+
+val rescue_to_string : rescue -> string
+val rescue_of_string : string -> rescue option
+
 type snapshot = {
   lu_growth : float;
       (** worst LU element growth factor over the refactorizations of
@@ -43,6 +57,12 @@ type snapshot = {
   cert_dual : float;  (** worst certificate dual violation *)
   cert_comp : float;  (** worst certificate complementary-slackness gap *)
   cert_failures : int;  (** certificates that exceeded tolerance *)
+  rescue : rescue option;
+      (** deepest rescue rung engaged this solve, [None] when no rescue
+          was needed *)
+  refine_residual : float;
+      (** worst primal residual found (and corrected) by post-solve
+          iterative refinement this solve *)
 }
 
 val empty : snapshot
@@ -67,6 +87,16 @@ val observe_condition : float -> unit
 
 val observe_certificate :
   primal:float -> dual:float -> comp:float -> accepted:bool -> unit
+
+val observe_rescue : rescue -> unit
+(** Record that a rescue rung produced this solve's accepted result (or,
+    for [Uncertified], that the ladder was exhausted). The snapshot
+    keeps the deepest rung; the per-rung [health_rescue_*_total]
+    counters accumulate process-wide. *)
+
+val observe_refinement : residual:float -> unit
+(** Record the primal residual that post-solve iterative refinement
+    found at the reported point (before correcting it). *)
 
 val to_json : snapshot -> Json.t
 (** The snapshot as the ledger's ["health"] object (certificate fields

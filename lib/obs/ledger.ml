@@ -228,6 +228,9 @@ let obj_num ?(default = 0.) outer name r =
   | Some o -> num ~default name o
   | None -> default
 
+let obj_str outer name r =
+  match Json.member outer r with Some o -> str name o | None -> ""
+
 let population r =
   match Option.bind (Json.member "population" r) Json.get_int with
   | Some n -> n
@@ -482,19 +485,45 @@ let doctor ?(tol_primal = 1e-5) ?(tol_dual = 1e-6) ?(tol_comp = 1e-6) records =
   List.iteri
     (fun i r ->
       let where = where_of i r in
+      let rescue_cause = obj_str "health" "rescue" r in
+      let rescue_depth = obj_num "health" "rescue_depth" r in
       (match cert_ratio r with
       | None -> ()
       | Some (ratio, quantity, value, tol) ->
         let failures = obj_num "certificate" "failures" r in
-        if failures > 0. || ratio > 1. then
-          add Fail "cert-failure" where
-            (Printf.sprintf "certificate %s = %.3e exceeds tolerance %.1e"
+        if rescue_cause = "uncertified" then
+          add Fail "cert-uncertified" where
+            (Printf.sprintf
+               "rescue ladder exhausted without a passing certificate (worst \
+                %s = %.3e vs tolerance %.1e)"
                quantity value tol)
+        else if failures > 0. || ratio > 1. then
+          if rescue_depth > 0. then
+            (* The recorded residual triple keeps the WORST values seen,
+               including the failed pre-rescue attempts — a rescued
+               record is a recovery, not a failure. *)
+            add Warn "cert-rescued" where
+              (Printf.sprintf
+                 "certificate initially failed (%s = %.3e vs tolerance %.1e); \
+                  rescued via %s (rung %.0f)"
+                 quantity value tol rescue_cause rescue_depth)
+          else
+            add Fail "cert-failure" where
+              (Printf.sprintf "certificate %s = %.3e exceeds tolerance %.1e"
+                 quantity value tol)
         else if ratio >= near_miss_fraction then
           add Warn "cert-near-miss" where
             (Printf.sprintf
                "certificate %s = %.3e is %.0f%% of tolerance %.1e" quantity
-               value (100. *. ratio) tol));
+               value (100. *. ratio) tol)
+        else if rescue_depth > 0. then
+          (* In-solve refinement recorded a [refined] outcome without any
+             certificate check failing: the solve was saved before the
+             certificate ever saw the bad point. *)
+          add Info "cert-rescued" where
+            (Printf.sprintf
+               "solve recorded a %s rescue (rung %.0f); certificate passed"
+               rescue_cause rescue_depth));
       let drift_reinv = obj_num "refactor_causes" "drift" r in
       if drift_reinv > 0. then
         add Warn "drift-reinversion" where
@@ -525,8 +554,14 @@ let doctor ?(tol_primal = 1e-5) ?(tol_dual = 1e-6) ?(tol_comp = 1e-6) records =
      at 3e-05. Flag the pattern whenever the worst residual ratio of the
      run sits at the maximum population, at a severity matching how
      close it came. *)
+  (* Rescued records keep their worst PRE-rescue residual, which would
+     read as a spurious last-population failure here — the per-record
+     cert-rescued finding already covers them. *)
   let with_pop =
-    List.filter (fun r -> population r >= 0) solver_records
+    List.filter
+      (fun r ->
+        population r >= 0 && obj_num "health" "rescue_depth" r = 0.)
+      solver_records
   in
   (match with_pop with
   | [] -> ()

@@ -121,11 +121,15 @@ val doctor :
   Json.t list ->
   finding list
 (** Scan solver records for numerical-trust hazards: certificate
-    failures and near-misses (residual at ≥25% of tolerance),
-    drift-triggered reinversions, degeneracy stalls, perturbation-ladder
-    retries, and the historical Fig-8 signature — the worst certificate
-    residual of the run sitting at the largest population. Tolerances
-    default to the {!Certificate} defaults and are overridden per record
-    when the record carries its own. *)
+    failures and near-misses (residual at ≥25% of tolerance), rescue
+    outcomes (a record whose certificate initially failed but whose
+    rescue-ladder rung repassed it is a Warn [cert-rescued], a rescue
+    recorded with no failed check an Info, and an exhausted ladder a
+    Fail [cert-uncertified]), drift-triggered reinversions, degeneracy
+    stalls, perturbation-ladder retries, and the historical Fig-8
+    signature — the worst certificate residual of the run sitting at
+    the largest population. Tolerances default to the {!Certificate}
+    defaults and are overridden per record when the record carries its
+    own. *)
 
 val render_findings : finding list -> string

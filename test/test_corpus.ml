@@ -1,0 +1,307 @@
+(* Hard-model regression corpus (test/corpus/hard_models.jsonl).
+
+   The corpus pins the 108 random Table-1 models (of the first 10,000,
+   master seed 2008) that failed their LP optimality certificate before
+   the certificate rescue ladder existed: primal residuals up to ~1e-2
+   against a 1e-5 tolerance, all at populations <= 8. Each record names
+   the model's generation index, derived task seed, network fingerprint
+   and the first population of the 1,2,4,8 grid whose certificate
+   failed. The fixture was produced by tools/harvest_corpus.ml from a
+   pre-rescue fleet run; the fingerprints pin the generator so the suite
+   detects drift in model generation as loudly as a solver regression.
+
+   Every corpus model must now certify — and the near-degenerate
+   generator below must keep producing fresh models of the same species
+   that the revised and dense solvers agree on. *)
+
+module Network = Mapqn_model.Network
+module Station = Mapqn_model.Station
+module Random_models = Mapqn_workloads.Random_models
+module Bounds = Mapqn_core.Bounds
+module Constraints = Mapqn_core.Constraints
+module Solution = Mapqn_ctmc.Solution
+module Health = Mapqn_obs.Health
+module Json = Mapqn_obs.Json
+module Ledger = Mapqn_obs.Ledger
+
+(* ---------------- corpus fixture ---------------- *)
+
+type entry = {
+  index : int;
+  id : string;
+  master_seed : int;
+  seed : int;
+  fingerprint : string;
+  fail_population : int;
+}
+
+(* `dune runtest` runs the suite from test/ inside _build (where the
+   dune deps put the fixture); `dune exec test/test_corpus.exe` runs
+   from the project root. *)
+let corpus_path =
+  List.find_opt Sys.file_exists
+    [ "corpus/hard_models.jsonl"; "test/corpus/hard_models.jsonl" ]
+
+let grid = [ 1; 2; 4; 8 ]
+
+let load_corpus () =
+  let corpus_path =
+    match corpus_path with
+    | Some p -> p
+    | None -> Alcotest.fail "corpus fixture missing: corpus/hard_models.jsonl"
+  in
+  let ic = open_in corpus_path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match Json.parse line with
+         | Error msg -> Alcotest.failf "corpus: unparsable line: %s" msg
+         | Ok j ->
+           let num name =
+             match Json.member name j with
+             | Some (Json.Number v) -> int_of_float v
+             | _ -> Alcotest.failf "corpus: missing field %s" name
+           in
+           let str name =
+             match Json.member name j with
+             | Some (Json.String s) -> s
+             | _ -> Alcotest.failf "corpus: missing field %s" name
+           in
+           entries :=
+             {
+               index = num "index";
+               id = str "model";
+               master_seed = num "master_seed";
+               seed = num "seed";
+               fingerprint = str "fingerprint";
+               fail_population = num "fail_population";
+             }
+             :: !entries
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let entries = List.rev !entries in
+  if entries = [] then Alcotest.fail "corpus fixture is empty";
+  entries
+
+(* Regenerate the corpus models exactly as `mapqn fleet` does:
+   sequentially from the master seed, default spec. Shared across tests
+   (generation is microseconds per model, but there is no reason to do
+   it three times). *)
+let corpus_models =
+  lazy
+    (let entries = load_corpus () in
+     let master_seed =
+       match entries with
+       | e :: rest ->
+         List.iter
+           (fun e' ->
+             if e'.master_seed <> e.master_seed then
+               Alcotest.fail "corpus: mixed master seeds")
+           rest;
+         e.master_seed
+       | [] -> assert false
+     in
+     let count = 1 + List.fold_left (fun a e -> max a e.index) 0 entries in
+     let models =
+       Array.of_list (Random_models.generate_many ~seed:master_seed count)
+     in
+     List.map
+       (fun e ->
+         if e.index < 0 || e.index >= Array.length models then
+           Alcotest.failf "corpus: index %d out of range" e.index;
+         let model = models.(e.index) in
+         let fp = Network.fingerprint model.Random_models.network in
+         if fp <> e.fingerprint then
+           Alcotest.failf
+             "corpus: %s fingerprint drift (fixture %s, generated %s) — the \
+              random-model generator no longer reproduces the corpus"
+             e.id e.fingerprint fp;
+         if Mapqn_fleet.Fleet.task_seed ~seed:e.master_seed e.index <> e.seed
+         then Alcotest.failf "corpus: %s derived-seed drift" e.id;
+         (e, model))
+       entries)
+
+(* ---------------- every corpus model certifies ---------------- *)
+
+let test_corpus_certifies () =
+  (* An optional ledger sink lets CI run `mapqn doctor` over exactly
+     this suite's solver records (the corpus CI job sets the variable;
+     local runs skip it). *)
+  (match Sys.getenv_opt "MAPQN_CORPUS_LEDGER" with
+  | Some path when not (Ledger.is_enabled ()) ->
+    Ledger.enable_exn
+      ~context:[ ("experiment", Json.String "corpus") ]
+      ~path ()
+  | _ -> ());
+  let causes = Hashtbl.create 8 in
+  List.iter
+    (fun (e, model) ->
+      (* [standard] constraints: the config the harvest ran under (the
+         CLI's --config default), hence the config these models failed
+         under — [full] solves a different, larger LP. *)
+      let sweep =
+        Bounds.Sweep.create ~config:Constraints.standard (fun population ->
+            Network.with_population model.Random_models.network population)
+      in
+      List.iter
+        (fun population ->
+          if population <= e.fail_population then begin
+            (* [step_exn] raises [Bounds.Solver_error] on a certificate
+               failure the rescue ladder cannot repair — exactly the
+               pre-rescue failure mode this corpus pins. *)
+            let b =
+              try Bounds.Sweep.step_exn sweep population
+              with ex ->
+                Alcotest.failf "%s N=%d no longer certifies: %s" e.id
+                  population (Printexc.to_string ex)
+            in
+            (* [Sweep.step] and each [Bounds.eval] begin a fresh health
+               snapshot: a prepare-time rescue must be read before the
+               evals wipe it, the eval-time certificate rescue after. *)
+            let step_rescue = (Health.current ()).Health.rescue in
+            ignore (Bounds.response_time b : Bounds.interval);
+            if population = e.fail_population then begin
+              (* Classify what fixed the historical failure: a rescue
+                 rung, the post-solve refinement correcting a
+                 certificate-scale residual, or — for models the
+                 row-scaled anti-degeneracy perturbation now steers
+                 around the bad basis entirely — a clean solve whose
+                 pre-refinement residual is already far below
+                 tolerance. *)
+              let h = Health.current () in
+              let rescue =
+                match (step_rescue, h.Health.rescue) with
+                | None, r | r, None -> r
+                | (Some a as ra), (Some b as rb) ->
+                  if Health.rescue_depth_of a >= Health.rescue_depth_of b then
+                    ra
+                  else rb
+              in
+              let cause =
+                match rescue with
+                | Some rung -> Health.rescue_to_string rung
+                | None when h.Health.refine_residual > 1e-9 -> "refinement"
+                | None -> "adaptive-perturbation"
+              in
+              Hashtbl.replace causes cause
+                (1 + Option.value ~default:0 (Hashtbl.find_opt causes cause));
+              if rescue = Some Health.Uncertified then
+                Alcotest.failf "%s N=%d accepted uncertified" e.id population
+            end
+          end)
+        grid)
+    (Lazy.force corpus_models);
+  Hashtbl.iter
+    (fun cause n -> Printf.printf "corpus rescue cause: %s x%d\n%!" cause n)
+    causes
+
+(* ---------------- exact-CTMC containment ---------------- *)
+
+(* For corpus models small enough to solve exactly (fail population
+   <= 6), the rescued bounds must still bracket the exact CTMC
+   response time at every grid population up to the failure — a rescue
+   that certified a wrong optimum would show up here. *)
+let test_corpus_ctmc_containment () =
+  let small =
+    List.filter (fun (e, _) -> e.fail_population <= 6) (Lazy.force corpus_models)
+  in
+  if small = [] then Alcotest.fail "corpus: no models with fail population <= 6";
+  List.iter
+    (fun (e, model) ->
+      let sweep =
+        Bounds.Sweep.create ~config:Constraints.standard (fun population ->
+            Network.with_population model.Random_models.network population)
+      in
+      List.iter
+        (fun population ->
+          if population <= e.fail_population then begin
+            let b = Bounds.Sweep.step_exn sweep population in
+            let r = Bounds.response_time b in
+            let net =
+              Network.with_population model.Random_models.network population
+            in
+            let exact = Solution.system_response_time (Solution.solve net) in
+            if not (Bounds.contains r exact) then
+              Alcotest.failf
+                "%s N=%d: exact R=%.9g outside rescued bounds [%.9g, %.9g]"
+                e.id population exact r.Bounds.lower r.Bounds.upper
+          end)
+        grid)
+    small;
+  Printf.printf "corpus CTMC containment: %d model(s) checked\n%!"
+    (List.length small)
+
+(* ---------------- near-degenerate generator ---------------- *)
+
+(* Fresh models of the corpus species: tied service rates, uniform
+   routing (so visit ratios — and with tied means, demands — repeat),
+   tiny populations. [tie_exp] controls how exactly the rates tie:
+   0 is an exact tie, k > 0 splits them by 10^-k. The built-in
+   [int_range] shrinkers walk a failure toward (seed 0, population 1,
+   exact tie) — the smallest, most degenerate reproduction. *)
+let arb_degenerate =
+  QCheck.(triple (int_range 0 99_999) (int_range 1 3) (int_range 0 12))
+
+let degenerate_network (seed, population, tie_exp) =
+  let rng = Mapqn_prng.Rng.create ~seed in
+  let eps = if tie_exp = 0 then 0. else 10. ** float_of_int (-tie_exp) in
+  let rate = Mapqn_prng.Dist.uniform rng ~lo:0.5 ~hi:2. in
+  let scv = Mapqn_prng.Dist.uniform rng ~lo:1.5 ~hi:4. in
+  let gamma2 = Mapqn_prng.Dist.uniform rng ~lo:0. ~hi:0.9 in
+  let stations =
+    [|
+      Station.exp ~rate ();
+      Station.exp ~rate:(rate *. (1. +. eps)) ();
+      (* The MAP station's mean ties to the exponential rate, so all
+         three demands coincide (uniform routing gives equal visits). *)
+      Station.map (Mapqn_map.Fit.map2_exn ~mean:(1. /. rate) ~scv ~gamma2 ());
+    |]
+  in
+  let third = 1. /. 3. in
+  let routing = Array.make 3 [| third; third; third |] in
+  Network.make_exn ~stations ~routing ~population
+
+let close ~tol a b = Float.abs (a -. b) <= tol *. Float.max 1. (Float.abs a)
+
+let prop_degenerate_revised_matches_dense =
+  QCheck.Test.make
+    ~name:"revised = dense on near-degenerate models (both certify)"
+    ~count:25 arb_degenerate (fun params ->
+      let net = degenerate_network params in
+      (* [create_exn] + metric queries raise [Bounds.Solver_error] if
+         the certificate (post-rescue) fails — either solver failing to
+         certify fails the property. *)
+      let bd = Bounds.create_exn ~solver:Bounds.Dense net in
+      let br = Bounds.create_exn ~solver:Bounds.Revised net in
+      let check name { Bounds.lower = l1; upper = u1 }
+          { Bounds.lower = l2; upper = u2 } =
+        if not (close ~tol:1e-8 l1 l2 && close ~tol:1e-8 u1 u2) then
+          QCheck.Test.fail_reportf
+            "%s disagrees: dense [%.12g, %.12g] vs revised [%.12g, %.12g]"
+            name l1 u1 l2 u2
+      in
+      check "R" (Bounds.response_time bd) (Bounds.response_time br);
+      for k = 0 to 2 do
+        check
+          (Printf.sprintf "X[%d]" k)
+          (Bounds.throughput bd k) (Bounds.throughput br k)
+      done;
+      true)
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "hard-models",
+        [
+          Alcotest.test_case "every corpus model certifies" `Slow
+            test_corpus_certifies;
+          Alcotest.test_case "exact CTMC within rescued bounds" `Slow
+            test_corpus_ctmc_containment;
+        ] );
+      ( "near-degenerate",
+        [ QCheck_alcotest.to_alcotest prop_degenerate_revised_matches_dense ]
+      );
+    ]

@@ -308,6 +308,28 @@ let test_run_tasks_resume_checkpoint () =
   Alcotest.(check (list string)) "resume neither duplicates nor loses"
     done1 done2
 
+(* A model accepted without a certificate (rescue ladder exhausted under
+   --accept-uncertified) checkpoints as done but stamped
+   "certified": false; a resume that insists on certificates re-runs it,
+   a plain resume does not. *)
+let test_run_tasks_resume_uncertified () =
+  let hb = Filename.temp_file "mapqn_fleet_hb" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove hb) @@ fun () ->
+  let ids = Printf.sprintf "job-%02d" in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 hb in
+  (Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+   let p = Mapqn_obs.Progress.create ~quiet:true ~heartbeat:oc ~total:4 "test" in
+   ignore
+     (Fleet.run_tasks ~jobs:2 ~progress:p ~certified:(fun i -> i <> 2)
+        ~skip:(fun _ -> false) ~seed:7 ~ids ~total:4 ~f:(fun i -> i) ()));
+  Alcotest.(check (list string)) "plain resume keeps uncertified dones"
+    [ "job-00"; "job-01"; "job-02"; "job-03" ]
+    (List.sort compare (Mapqn_obs.Progress.load_completed hb));
+  Alcotest.(check (list string)) "certified resume re-runs job-02"
+    [ "job-00"; "job-01"; "job-03" ]
+    (List.sort compare
+       (Mapqn_obs.Progress.load_completed ~require_certified:true hb))
+
 let () =
   Alcotest.run "fleet"
     [
@@ -343,6 +365,8 @@ let () =
             test_run_tasks_outcomes;
           Alcotest.test_case "resume checkpoint round-trip" `Quick
             test_run_tasks_resume_checkpoint;
+          Alcotest.test_case "uncertified dones re-run on certified resume"
+            `Quick test_run_tasks_resume_uncertified;
         ] );
       ( "determinism",
         [ QCheck_alcotest.to_alcotest prop_parallel_bit_identical ] );

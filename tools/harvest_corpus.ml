@@ -1,0 +1,75 @@
+(* Regenerate test/corpus/hard_models.jsonl from a failing-model list.
+
+   Reads "index population" pairs on stdin — one per model that failed
+   its LP optimality certificate, [population] being the first
+   population of the sweep grid at which the certificate failed — and
+   writes one self-describing corpus record per pair to stdout:
+
+     {"index": 15, "model": "model-00015", "master_seed": 2008,
+      "seed": <derived task seed>, "fingerprint": "...",
+      "fail_population": 8}
+
+   Models are regenerated exactly as `mapqn fleet` generates them: the
+   default random-model spec, sequentially from --seed, so the
+   fingerprint pins the generator output and the corpus test can detect
+   generator drift. Usage:
+
+     dune exec tools/harvest_corpus.exe -- [--seed 2008] [--models 10000] \
+       < failing_pairs.txt > test/corpus/hard_models.jsonl *)
+
+module Random_models = Mapqn_workloads.Random_models
+module Network = Mapqn_model.Network
+module Fleet = Mapqn_fleet.Fleet
+module Json = Mapqn_obs.Json
+
+let () =
+  let seed = ref 2008 and models = ref 10_000 in
+  let rec parse = function
+    | [] -> ()
+    | "--seed" :: v :: rest ->
+      seed := int_of_string v;
+      parse rest
+    | "--models" :: v :: rest ->
+      models := int_of_string v;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "harvest_corpus: unknown argument %s\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let pairs = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line stdin) in
+       if line <> "" then
+         Scanf.sscanf line "%d %d" (fun index pop ->
+             pairs := (index, pop) :: !pairs)
+     done
+   with End_of_file -> ());
+  let pairs = List.sort compare !pairs in
+  let generated =
+    Array.of_list (Random_models.generate_many ~seed:!seed !models)
+  in
+  List.iter
+    (fun (index, fail_population) ->
+      if index < 0 || index >= Array.length generated then begin
+        Printf.eprintf "harvest_corpus: index %d out of range\n" index;
+        exit 2
+      end;
+      let model = generated.(index) in
+      let num v = Json.Number (float_of_int v) in
+      let record =
+        Json.Object
+          [
+            ("index", num index);
+            ("model", Json.String (Printf.sprintf "model-%05d" index));
+            ("master_seed", num !seed);
+            ("seed", num (Fleet.task_seed ~seed:!seed index));
+            ( "fingerprint",
+              Json.String (Network.fingerprint model.Random_models.network) );
+            ("fail_population", num fail_population);
+          ]
+      in
+      print_string (Json.to_string record);
+      print_newline ())
+    pairs
